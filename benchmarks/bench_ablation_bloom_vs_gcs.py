@@ -1,0 +1,65 @@
+"""Ablation: Bloom filter vs Golomb Compressed Set vs raw CRLSet bytes.
+
+DESIGN.md §5 / paper §7.4: Langley [25] suggests GCS may beat Bloom
+filters on space.  Builds all three structures over the same revocation
+set and compares bytes and query cost.
+"""
+
+from conftest import emit_text
+
+import time
+
+from repro.core.report import format_bytes, format_table
+from repro.crlset.bloom import BloomFilter
+from repro.crlset.gcs import GolombCompressedSet
+
+N = 25_000  # one paper-sized CRLSet worth of revocations
+FP = 0.01
+
+
+def _items():
+    return [f"revoked-serial-{i}".encode() for i in range(N)]
+
+
+def test_bench_bloom_vs_gcs(benchmark):
+    items = _items()
+
+    def build_both():
+        bloom = BloomFilter.for_items(N, m_bits=N * 10)  # ~1% FP
+        bloom.update(items)
+        gcs = GolombCompressedSet(items, fp_rate=FP)
+        return bloom, gcs
+
+    bloom, gcs = benchmark.pedantic(build_both, rounds=2, iterations=1)
+
+    # Raw CRLSet encoding of the same set: ~4-byte serials + framing.
+    raw_bytes = N * (1 + 4) + 36
+
+    probes = [f"probe-{i}".encode() for i in range(5000)]
+    t0 = time.perf_counter()
+    bloom_hits = sum(1 for p in probes if p in bloom)
+    t1 = time.perf_counter()
+    gcs_hits = sum(1 for p in probes if p in gcs)
+    t2 = time.perf_counter()
+
+    emit_text(
+        format_table(
+            ["structure", "bytes", "bits/entry", "5k-probe time", "false hits"],
+            [
+                ("raw CRLSet serials", format_bytes(raw_bytes),
+                 f"{raw_bytes * 8 / N:.1f}", "-", "0 (exact)"),
+                ("Bloom filter (1% FP)", format_bytes(bloom.size_bytes),
+                 f"{bloom.size_bytes * 8 / N:.1f}", f"{(t1 - t0) * 1000:.1f} ms",
+                 str(bloom_hits)),
+                ("Golomb set (1% FP)", format_bytes(gcs.size_bytes),
+                 f"{gcs.size_bytes * 8 / N:.1f}", f"{(t2 - t1) * 1000:.1f} ms",
+                 str(gcs_hits)),
+            ],
+            title=f"ablation: {N:,} revocations at {FP:.0%} false-positive rate",
+        )
+    )
+    # Shape: GCS < Bloom < raw bytes; both approximations stay under 2 B/entry.
+    assert gcs.size_bytes < bloom.size_bytes < raw_bytes
+    # No false negatives in either structure.
+    assert all(item in bloom for item in items[:500])
+    assert all(item in gcs for item in items[:500])

@@ -1,0 +1,80 @@
+"""Ablation: which CRLSet construction rule costs how much coverage?
+
+DESIGN.md §5.  The baseline and the reason-filter ablation run the real
+daily builder; the threshold/cap ablations are computed analytically over
+the crawled corpus (the dropped CRLs' populations are bulk-modelled, so
+"what if Google admitted them" is a counting question), quantifying why
+the production CRLSet covers well under 1% of revocations.
+"""
+
+from conftest import emit_text
+
+from repro.core.report import format_table
+from repro.crlset.builder import CrlSetBuilder
+from repro.crlset.coverage import analyze_coverage
+from repro.revocation.reason import is_crlset_eligible
+
+
+def _built_coverage(study, **builder_kwargs) -> float:
+    builder = CrlSetBuilder(study.ecosystem, **builder_kwargs)
+    history = builder.run()
+    return analyze_coverage(study.ecosystem, history).coverage_fraction
+
+
+def _analytic_coverage(study, max_entries: float, reason_filter: bool) -> float:
+    """Upper-bound coverage if every crawled CRL under ``max_entries``
+    were admitted in full (no byte cap)."""
+    eco = study.ecosystem
+    end = study.calibration.measurement_end
+    total = eco.total_crl_entries(end)
+    admitted = 0
+    for crl in eco.crls:
+        if not crl.covered:
+            continue
+        count = crl.entry_count(end)
+        if count > max_entries:
+            continue
+        if reason_filter:
+            visible = crl.visible_entries(end)
+            eligible = sum(1 for e in visible if is_crlset_eligible(e.reason))
+            hidden = count - len(visible)
+            # Hidden entries share the corpus-wide reason mix (~87% eligible).
+            admitted += eligible + int(hidden * 0.87)
+        else:
+            admitted += count
+    return admitted / total
+
+
+def test_bench_ablate_crlset_rules(benchmark, study):
+    baseline = benchmark.pedantic(
+        lambda: _built_coverage(study), rounds=1, iterations=1
+    )
+    no_reason_filter = _built_coverage(study, apply_reason_filter=False)
+    cal = study.calibration
+    threshold_only = _analytic_coverage(
+        study, cal.crlset_max_entries_per_crl, reason_filter=True
+    )
+    no_threshold = _analytic_coverage(study, float("inf"), reason_filter=True)
+    no_rules_at_all = _analytic_coverage(study, float("inf"), reason_filter=False)
+
+    rows = [
+        ("production rules (baseline, built)", f"{baseline:.3%}"),
+        ("without reason-code filter (built)", f"{no_reason_filter:.3%}"),
+        ("no 250 KB cap (analytic bound)", f"{threshold_only:.3%}"),
+        ("no entry threshold either (analytic)", f"{no_threshold:.3%}"),
+        ("no rules at all (analytic)", f"{no_rules_at_all:.3%}"),
+    ]
+    emit_text(
+        format_table(
+            ["configuration", "fraction of all revocations covered"],
+            rows,
+            title="ablation: CRLSet construction rules vs coverage",
+        )
+    )
+
+    # Dropping the reason filter admits more entries.
+    assert no_reason_filter >= baseline
+    # The entry threshold (rule 3) is the coverage killer: without it the
+    # big CAs' CRLs would lift coverage by an order of magnitude.
+    assert no_threshold > 5 * baseline
+    assert no_rules_at_all >= no_threshold

@@ -1,0 +1,59 @@
+"""Ablation: soft-fail vs hard-fail under a blocking attacker.
+
+DESIGN.md §5 / paper §2.3: "any attacker who can block access to specific
+domains could leverage soft-failures to effectively turn off revocation
+checking."  Runs every desktop browser model against a revoked
+certificate whose revocation endpoints are blocked and reports who still
+accepts it.
+"""
+
+from conftest import emit_text
+
+import datetime
+
+from repro.browsers.certgen import TestPki
+from repro.browsers.policy import ChainContext
+from repro.browsers.registry import all_browsers
+from repro.core.report import format_table
+
+NOW = datetime.datetime(2015, 3, 31, 12, 0, tzinfo=datetime.timezone.utc)
+
+
+def _attack_outcomes():
+    """(browser label, accepted under attack) for each browser model."""
+    outcomes = []
+    for index, browser in enumerate(all_browsers()):
+        pki = TestPki(f"sf{index}", 1, {"crl", "ocsp"}, ev=False)
+        pki.revoke(0)
+        pki.make_unavailable(0, "crl", "no_response")
+        pki.make_unavailable(0, "ocsp", "no_response")
+        pki.make_unavailable(1, "crl", "no_response")
+        pki.make_unavailable(1, "ocsp", "no_response")
+        chain, staple = pki.handshake(status_request=browser.requests_staple())
+        result = browser.validate(ChainContext(chain, staple, pki.checker(), NOW))
+        outcomes.append((browser.label, result.accepted))
+    return outcomes
+
+
+def test_bench_ablate_softfail_attack(benchmark):
+    outcomes = benchmark.pedantic(_attack_outcomes, rounds=1, iterations=1)
+    accepted = [label for label, ok in outcomes if ok]
+    rejected = [label for label, ok in outcomes if not ok]
+
+    emit_text(
+        format_table(
+            ["outcome under blocking attacker", "browser/OS combinations"],
+            [
+                ("ACCEPTS revoked cert (soft-fail)", len(accepted)),
+                ("rejects (hard-fail)", len(rejected)),
+            ],
+            title="ablation: revoked cert + blocked revocation endpoints (30 combos)",
+        )
+    )
+    for label in rejected:
+        emit_text(f"  hard-fails: {label}")
+
+    # The paper's conclusion: the large majority of deployed combinations
+    # soft-fail, so the attacker wins on most clients.
+    assert len(accepted) > len(rejected)
+    assert len(accepted) + len(rejected) == 30

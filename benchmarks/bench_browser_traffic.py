@@ -1,0 +1,67 @@
+"""§6.2 bench: per-browser revocation traffic across the test suite.
+
+The paper's captured network traces, aggregated: what each browser/OS
+column of Table 2 *pays* in revocation fetches and bytes, and what that
+traffic buys in detected revocations.
+"""
+
+from conftest import emit_text
+
+from repro.browsers.desktop import (
+    Chrome,
+    Firefox,
+    InternetExplorer,
+    Opera12,
+    Opera31,
+    Safari,
+)
+from repro.browsers.mobile import AndroidBrowser, MobileSafari
+from repro.browsers.strict import StrictClient
+from repro.browsers.testsuite import generate_test_suite
+from repro.browsers.traffic import traffic_report
+from repro.core.report import format_bytes, format_table
+
+
+def test_bench_browser_traffic(benchmark):
+    suite = generate_test_suite()
+    sample = [case for index, case in enumerate(suite) if index % 4 == 0]
+    browsers = [
+        StrictClient(os="linux"),
+        InternetExplorer(version="11.0"),
+        Safari(),
+        Opera31(os="windows"),
+        Opera12(os="osx"),
+        Firefox(os="linux"),
+        Chrome(os="windows"),
+        Chrome(os="osx"),
+        AndroidBrowser("Chrome", "5.1"),
+        MobileSafari("8"),
+    ]
+
+    report = benchmark.pedantic(
+        lambda: traffic_report(browsers, sample), rounds=1, iterations=1
+    )
+    emit_text(
+        format_table(
+            ["browser", "fetches", "bytes", "B/connection", "revocations caught"],
+            [
+                (
+                    row.browser_label,
+                    row.fetches,
+                    format_bytes(row.bytes_downloaded),
+                    f"{row.bytes_per_connection:,.0f}",
+                    row.revocations_caught,
+                )
+                for row in report
+            ],
+            title=f"revocation traffic over {len(sample)} suite connections",
+        )
+    )
+    by_label = {row.browser_label: row for row in report}
+    mobile = next(v for k, v in by_label.items() if "Mobile" in k)
+    strict = next(v for k, v in by_label.items() if "Strict" in k)
+    # The §6 trade-off, quantified: zero traffic means zero detections;
+    # full checking costs real bandwidth.
+    assert mobile.bytes_downloaded == 0 and mobile.revocations_caught == 0
+    assert strict.revocations_caught == max(r.revocations_caught for r in report)
+    assert strict.bytes_downloaded > 0

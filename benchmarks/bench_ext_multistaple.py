@@ -1,0 +1,76 @@
+"""Extension bench: RFC 6961 multi-stapling vs classic stapling vs none.
+
+Quantifies the §2.2 claim: plain stapling still leaves intermediate
+checks on the critical path; the Multiple Certificate Status Request
+extension removes them entirely.
+"""
+
+from conftest import emit_text
+
+import datetime
+
+from repro.browsers.certgen import TestPki
+from repro.core.report import format_table
+from repro.extensions.multistaple import MultiStapleServer, chain_check_cost
+from repro.revocation.ocsp import OcspRequest
+
+NOW = datetime.datetime(2015, 3, 31, 12, 0, tzinfo=datetime.timezone.utc)
+
+
+def _setup(n_intermediates: int):
+    pki = TestPki(f"msb{n_intermediates}", n_intermediates, {"ocsp"}, ev=False)
+    fetchers = []
+    for index in range(len(pki.chain) - 1):
+        issuer = pki.issuer_ca_of(index)
+        serial = pki.chain[index].serial_number
+        fetchers.append(
+            lambda at, issuer=issuer, serial=serial: issuer.ocsp_responder.respond(
+                OcspRequest(issuer.issuer_key_hash, serial), at
+            )
+        )
+    server = MultiStapleServer(chain=pki.chain, staple_fetchers=fetchers)
+    server.warm_all(NOW)
+    return pki, server
+
+
+def test_bench_multistaple_handshake(benchmark):
+    pki, server = _setup(2)
+
+    def connect_and_validate():
+        result = server.handshake(NOW, status_request_v2=True)
+        return chain_check_cost(result.chain, result.staples, pki.checker(), NOW)
+
+    cost = benchmark(connect_and_validate)
+    assert cost.fetches == 0
+
+
+def test_multistaple_fetch_table():
+    rows = []
+    for n_ints in (1, 2, 3):
+        pki, server = _setup(n_ints)
+        full = server.handshake(NOW, status_request_v2=True)
+        none_cost = chain_check_cost(
+            full.chain, (None,) * (len(full.chain) - 1), pki.checker(), NOW
+        )
+        leaf_only = (full.staples[0],) + (None,) * (len(full.staples) - 1)
+        classic_cost = chain_check_cost(full.chain, leaf_only, pki.checker(), NOW)
+        multi_cost = chain_check_cost(full.chain, full.staples, pki.checker(), NOW)
+        rows.append(
+            (
+                f"{n_ints} intermediates",
+                none_cost.fetches,
+                classic_cost.fetches,
+                multi_cost.fetches,
+            )
+        )
+    emit_text(
+        format_table(
+            ["chain", "no stapling", "classic staple (RFC 6066)", "multi staple (RFC 6961)"],
+            rows,
+            title="blocking OCSP fetches a strict client still performs",
+        )
+    )
+    # Shape: classic removes exactly one fetch; multi removes all of them.
+    for _, none_f, classic_f, multi_f in rows:
+        assert classic_f == none_f - 1
+        assert multi_f == 0

@@ -1,0 +1,66 @@
+"""Extension bench: short-lived certificates and OneCRL.
+
+The §8/§9 alternatives, quantified: attack windows per regime, and the
+bytes-per-protected-certificate of OneCRL vs CRLSet.
+"""
+
+from conftest import emit_text, emit  # noqa: F401  (fixture wiring parity)
+
+from repro.core.report import format_bytes, format_table
+from repro.extensions.onecrl import blast_radius, build_onecrl
+from repro.extensions.shortlived import RevocationRegime, attack_window_study
+
+
+def test_bench_attack_windows(benchmark, study):
+    report = benchmark.pedantic(
+        lambda: attack_window_study(study.ecosystem, sample=1500),
+        rounds=2,
+        iterations=1,
+    )
+    rows = [
+        (
+            regime.value,
+            f"{report.mean(regime):.1f} d",
+            f"{report.median(regime):.1f} d",
+        )
+        for regime in RevocationRegime
+    ]
+    emit_text(
+        format_table(
+            ["client / issuance regime", "mean attack window", "median"],
+            rows,
+            title="key-compromise attack windows (Monte Carlo over revoked certs)",
+        )
+    )
+    assert report.improvement_factor() > 5
+
+
+def test_bench_onecrl_vs_crlset(benchmark, crlset_ready):
+    study = crlset_ready
+    end = study.calibration.measurement_end
+
+    onecrl = benchmark.pedantic(
+        lambda: build_onecrl(study.ecosystem, end), rounds=3, iterations=1
+    )
+    snapshot = study.crlset_history.final_snapshot
+    protected = sum(
+        blast_radius(study.ecosystem, record.intermediate_id)
+        for record in study.ecosystem.intermediates
+        if record.revoked_at is not None and record.revoked_at <= end
+    )
+    emit_text(
+        format_table(
+            ["structure", "entries", "bytes", "leaf certs protected"],
+            [
+                ("OneCRL (intermediates)", len(onecrl),
+                 format_bytes(onecrl.size_bytes), f"{protected:,} (entire subtrees)"),
+                ("CRLSet (leaves)", snapshot.entry_count,
+                 format_bytes(snapshot.size_bytes),
+                 f"{snapshot.entry_count:,} (one each)"),
+            ],
+            title="pushed revocation lists: bytes vs protection",
+        )
+    )
+    # OneCRL is >100x smaller yet each entry blocks a whole subtree.
+    assert onecrl.size_bytes * 100 < snapshot.size_bytes
+    assert protected > len(onecrl) * 10

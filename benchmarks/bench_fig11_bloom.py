@@ -1,0 +1,39 @@
+"""Figure 11 bench: Bloom-filter sweep plus real-filter throughput."""
+
+from conftest import emit
+
+from repro.crlset.bloom import BloomFilter
+from repro.experiments import fig11
+
+
+def test_bench_fig11_analysis(benchmark, crlset_ready):
+    result = benchmark.pedantic(
+        lambda: fig11.run(crlset_ready), rounds=2, iterations=1
+    )
+    emit(result)
+    assert all(c.shape_holds for c in result.comparisons)
+
+
+def test_bench_bloom_insert_throughput(benchmark):
+    """Inserting 25 k revocations (one CRLSet's worth) into a 256 KB filter."""
+    items = [f"serial-{i}".encode() for i in range(25_000)]
+
+    def build():
+        bloom = BloomFilter.for_items(len(items), 256 * 1024 * 8)
+        bloom.update(items)
+        return bloom
+
+    bloom = benchmark(build)
+    assert bloom.count == 25_000
+
+
+def test_bench_bloom_query_throughput(benchmark):
+    bloom = BloomFilter.for_items(25_000, 256 * 1024 * 8)
+    bloom.update(f"serial-{i}".encode() for i in range(25_000))
+    probes = [f"probe-{i}".encode() for i in range(10_000)]
+
+    def query():
+        return sum(1 for probe in probes if probe in bloom)
+
+    hits = benchmark(query)
+    assert hits < 1000

@@ -1,0 +1,13 @@
+"""Figure 3 / §4.3 bench: stapling deployment scan + probe experiment."""
+
+from conftest import emit
+
+from repro.experiments import fig3
+
+
+def test_bench_fig3_stapling(benchmark, study):
+    result = benchmark.pedantic(
+        lambda: fig3.run(study), rounds=3, iterations=1, warmup_rounds=1
+    )
+    emit(result)
+    assert all(c.shape_holds for c in result.comparisons)

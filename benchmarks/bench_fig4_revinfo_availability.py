@@ -1,0 +1,13 @@
+"""Figure 4 bench: CRL/OCSP pointer inclusion by issue month."""
+
+from conftest import emit
+
+from repro.experiments import fig4
+
+
+def test_bench_fig4_revocation_info(benchmark, study):
+    result = benchmark.pedantic(
+        lambda: fig4.run(study), rounds=3, iterations=1, warmup_rounds=1
+    )
+    emit(result)
+    assert all(c.shape_holds for c in result.comparisons)

@@ -1,0 +1,13 @@
+"""Figure 5 bench: CRL entry-count vs byte-size scatter (real DER sizes)."""
+
+from conftest import emit
+
+from repro.experiments import fig5
+
+
+def test_bench_fig5_crl_scatter(benchmark, study):
+    result = benchmark.pedantic(
+        lambda: fig5.run(study), rounds=3, iterations=1, warmup_rounds=1
+    )
+    emit(result)
+    assert all(c.shape_holds for c in result.comparisons)

@@ -1,0 +1,13 @@
+"""Figure 6 bench: raw vs certificate-weighted CRL size CDFs."""
+
+from conftest import emit
+
+from repro.experiments import fig6
+
+
+def test_bench_fig6_crl_cdf(benchmark, study):
+    result = benchmark.pedantic(
+        lambda: fig6.run(study), rounds=3, iterations=1, warmup_rounds=1
+    )
+    emit(result)
+    assert all(c.shape_holds for c in result.comparisons)

@@ -1,0 +1,22 @@
+"""Figure 8 bench: daily CRLSet build sweep (the heavy §7 computation)."""
+
+from conftest import emit
+
+from repro.crlset.builder import CrlSetBuilder
+from repro.experiments import fig8
+
+
+def test_bench_crlset_daily_sweep(benchmark, study):
+    """Times the full ~620-day CRLSet construction sweep."""
+    history = benchmark.pedantic(
+        lambda: CrlSetBuilder(study.ecosystem).run(), rounds=2, iterations=1
+    )
+    assert history.daily_entry_counts
+
+
+def test_bench_fig8_series(benchmark, crlset_ready):
+    result = benchmark.pedantic(
+        lambda: fig8.run(crlset_ready), rounds=3, iterations=1, warmup_rounds=1
+    )
+    emit(result)
+    assert all(c.shape_holds for c in result.comparisons)

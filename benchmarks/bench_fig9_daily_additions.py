@@ -1,0 +1,13 @@
+"""Figure 9 bench: daily CRL vs CRLSet additions."""
+
+from conftest import emit
+
+from repro.experiments import fig9
+
+
+def test_bench_fig9_daily_additions(benchmark, crlset_ready):
+    result = benchmark.pedantic(
+        lambda: fig9.run(crlset_ready), rounds=3, iterations=1, warmup_rounds=1
+    )
+    emit(result)
+    assert all(c.shape_holds for c in result.comparisons)

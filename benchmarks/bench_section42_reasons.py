@@ -1,0 +1,13 @@
+"""§4.2 bench: reason-code distribution across revocations."""
+
+from conftest import emit
+
+from repro.experiments import section42
+
+
+def test_bench_section42_reasons(benchmark, study):
+    result = benchmark.pedantic(
+        lambda: section42.run(study), rounds=3, iterations=1, warmup_rounds=1
+    )
+    emit(result)
+    assert all(c.shape_holds for c in result.comparisons)

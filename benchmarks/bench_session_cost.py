@@ -1,0 +1,44 @@
+"""Client session-cost bench: what revocation checking costs a user.
+
+The §5.2/§6 tension made concrete: bytes and blocking latency for a
+100-site browsing session under each client behaviour, on broadband and
+mobile links.
+"""
+
+from conftest import emit_text
+
+from repro.core.cost import SessionCostModel
+from repro.core.report import format_bytes, format_table
+from repro.net.transport import LinkProfile
+
+
+def test_bench_session_cost(benchmark, study):
+    model = SessionCostModel(study.ecosystem)
+    comparison = benchmark.pedantic(
+        lambda: model.compare_modes(site_count=100), rounds=3, iterations=1
+    )
+
+    mobile_model = SessionCostModel(study.ecosystem, LinkProfile.mobile())
+    mobile = mobile_model.compare_modes(site_count=100)
+
+    rows = []
+    for mode in ("crl", "ocsp", "staple", "none"):
+        cost = comparison[mode]
+        rows.append(
+            (
+                mode,
+                cost.checks,
+                format_bytes(cost.bytes_downloaded),
+                f"{cost.latency_per_site_ms:.0f} ms",
+                f"{mobile[mode].latency_per_site_ms:.0f} ms",
+            )
+        )
+    emit_text(
+        format_table(
+            ["mode", "fetches", "bytes (100 sites)", "latency/site", "mobile latency/site"],
+            rows,
+            title="client cost of revocation checking for a 100-site session",
+        )
+    )
+    assert comparison["crl"].bytes_downloaded > comparison["ocsp"].bytes_downloaded
+    assert comparison["none"].bytes_downloaded == 0

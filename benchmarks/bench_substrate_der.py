@@ -1,0 +1,78 @@
+"""Substrate micro-benchmarks: DER, certificates, CRL encode/parse.
+
+Not a paper figure -- these bound the simulator's own throughput, which
+determines how large a corpus the scan experiments can afford.
+"""
+
+import datetime
+
+from repro.pki.certificate import Certificate, CertificateBuilder
+from repro.pki.keys import KeyPair
+from repro.pki.name import Name
+from repro.revocation.crl import CertificateRevocationList, RevokedEntry
+
+UTC = datetime.timezone.utc
+NB = datetime.datetime(2014, 1, 1, tzinfo=UTC)
+NA = datetime.datetime(2016, 1, 1, tzinfo=UTC)
+THIS = datetime.datetime(2015, 3, 1, tzinfo=UTC)
+
+
+def _build_cert() -> Certificate:
+    keys = KeyPair.generate("bench-der")
+    return (
+        CertificateBuilder()
+        .subject(Name.make("bench.example"))
+        .issuer(Name.make("Bench CA"))
+        .serial_number(1234567)
+        .public_key(keys.public_key)
+        .validity(NB, NA)
+        .crl_urls(["http://crl.bench.example/0.crl"])
+        .ocsp_urls(["http://ocsp.bench.example/q"])
+        .sign(keys)
+    )
+
+
+def test_bench_certificate_issue(benchmark):
+    cert = benchmark(_build_cert)
+    assert cert.serial_number == 1234567
+
+
+def test_bench_certificate_parse(benchmark):
+    der = _build_cert().to_der()
+    cert = benchmark(Certificate.from_der, der)
+    assert cert.serial_number == 1234567
+
+
+def test_bench_crl_encode_10k_entries(benchmark):
+    keys = KeyPair.generate("bench-crl")
+    entries = [
+        RevokedEntry(1000 + i, THIS - datetime.timedelta(days=1))
+        for i in range(10_000)
+    ]
+    crl = CertificateRevocationList.build(
+        issuer=Name.make("Bench CRL CA"),
+        issuer_keys=keys,
+        entries=entries,
+        this_update=THIS,
+        next_update=THIS + datetime.timedelta(days=1),
+    )
+    der = benchmark(crl.to_der)
+    # ~38 bytes/entry, as in the paper's Figure 5.
+    assert 20 * 10_000 < len(der) < 50 * 10_000
+
+
+def test_bench_crl_parse_10k_entries(benchmark):
+    keys = KeyPair.generate("bench-crl2")
+    entries = [
+        RevokedEntry(1000 + i, THIS - datetime.timedelta(days=1))
+        for i in range(10_000)
+    ]
+    der = CertificateRevocationList.build(
+        issuer=Name.make("Bench CRL CA"),
+        issuer_keys=keys,
+        entries=entries,
+        this_update=THIS,
+        next_update=THIS + datetime.timedelta(days=1),
+    ).to_der()
+    crl = benchmark(CertificateRevocationList.from_der, der)
+    assert len(crl) == 10_000

@@ -1,0 +1,13 @@
+"""Table 1 bench: per-CA CRL statistics."""
+
+from conftest import emit
+
+from repro.experiments import table1
+
+
+def test_bench_table1_per_ca(benchmark, study):
+    result = benchmark.pedantic(
+        lambda: table1.run(study), rounds=3, iterations=1, warmup_rounds=1
+    )
+    emit(result)
+    assert all(c.shape_holds for c in result.comparisons)

@@ -1,0 +1,31 @@
+"""Table 2 bench: the 244-case suite against all 30 browser/OS models.
+
+Times a single browser/OS column over the full suite (the unit of work
+the paper parallelised across VMs), then regenerates and prints the full
+Table 2 matrix and diffs it against the paper.
+"""
+
+from conftest import emit
+
+from repro.browsers.desktop import InternetExplorer
+from repro.browsers.testsuite import BrowserTestHarness, generate_test_suite
+from repro.experiments import table2
+
+
+def test_bench_one_browser_full_suite(benchmark):
+    suite = generate_test_suite()
+    harness = BrowserTestHarness()
+    browser = InternetExplorer(version="11.0")
+
+    outcomes = benchmark.pedantic(
+        lambda: harness.run_suite(browser, suite), rounds=2, iterations=1
+    )
+    assert len(outcomes) == 244
+
+
+def test_bench_full_table2(benchmark, study):
+    result = benchmark.pedantic(
+        lambda: table2.run(study), rounds=1, iterations=1
+    )
+    emit(result)
+    assert not result.data["mismatches"]

@@ -1,0 +1,60 @@
+"""Benchmark fixtures.
+
+Every figure/table bench shares one session-scoped study so that the
+expensive substrate (ecosystem, CRLSet sweep) is built once; each bench
+then times its own analysis step and prints the regenerated figure/table.
+
+Set ``REPRO_BENCH_SCALE`` to change the corpus size (default 0.002, i.e.
+~10 k leaf certificates; the paper's full scale is 1.0).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import MeasurementStudy
+from repro.scan.calibration import Calibration
+
+BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.002"))
+
+
+@pytest.fixture(scope="session")
+def study() -> MeasurementStudy:
+    study = MeasurementStudy(calibration=Calibration(scale=BENCH_SCALE))
+    # Materialise the substrate outside the timed regions.
+    _ = study.ecosystem
+    return study
+
+
+@pytest.fixture(scope="session")
+def crlset_ready(study) -> MeasurementStudy:
+    _ = study.crlset_history
+    return study
+
+
+_capture_manager = None
+
+
+def pytest_configure(config) -> None:
+    global _capture_manager
+    _capture_manager = config.pluginmanager.getplugin("capturemanager")
+
+
+def emit(result) -> None:
+    """Print a regenerated figure/table beneath the benchmark output.
+
+    Suspends pytest's output capture, so the regenerated rows/series
+    appear in ``pytest benchmarks/ --benchmark-only`` output without
+    needing ``-s``.
+    """
+    emit_text(result.render())
+
+
+def emit_text(text: str) -> None:
+    if _capture_manager is not None:
+        with _capture_manager.global_and_fixture_disabled():
+            print("\n" + text)
+    else:
+        print("\n" + text)

@@ -1,0 +1,94 @@
+#!/usr/bin/env python3
+"""CRL bandwidth planner: a CA-operator's what-if tool built on the library.
+
+Given an expected certificate population and revocation rate, compares the
+client-side cost of the dissemination options the paper analyses in §5/§9:
+
+* one monolithic CRL,
+* sharded CRLs (the GoDaddy approach; sweep of shard counts),
+* plain OCSP,
+* OCSP Stapling (amortised to ~zero client fetches).
+
+Costs are computed from real DER encodings and the simulated link model,
+for both a broadband and a mobile client profile.
+
+Run:  python examples/crl_bandwidth_planner.py [certs] [revoked_fraction]
+"""
+
+import datetime
+import sys
+
+from repro.ca.crl_publisher import CrlPublisher
+from repro.core.report import format_bytes, format_table
+from repro.net.transport import LinkProfile
+from repro.pki.keys import KeyPair
+from repro.pki.name import Name
+
+NOW = datetime.datetime(2015, 3, 1, 12, 0, tzinfo=datetime.timezone.utc)
+OCSP_RESPONSE_BYTES = 450  # measured from repro.revocation.ocsp encodings
+
+
+def shard_cost(certs: int, revoked: int, shards: int) -> int:
+    """Bytes a client downloads to check one certificate (its shard)."""
+    publisher = CrlPublisher(
+        Name.make("Planner CA"),
+        KeyPair.generate("planner"),
+        "http://crl.planner.example",
+        shard_count=shards,
+    )
+    step = max(1, certs // revoked) if revoked else certs + 1
+    for serial in range(certs):
+        publisher.assign(serial)
+        if revoked and serial % step == 0:
+            publisher.record_revocation(
+                serial, NOW, None, NOW + datetime.timedelta(days=365)
+            )
+    sizes = [crl.encoded_size for crl in publisher.encode_all(NOW)]
+    return max(sizes)
+
+
+def main() -> None:
+    certs = int(sys.argv[1]) if len(sys.argv) > 1 else 20_000
+    revoked_fraction = float(sys.argv[2]) if len(sys.argv) > 2 else 0.08
+    revoked = int(certs * revoked_fraction)
+    print(
+        f"Planning for {certs:,} issued certificates, "
+        f"{revoked:,} revoked ({revoked_fraction:.0%}, the paper's steady state)\n"
+    )
+
+    broadband = LinkProfile()
+    mobile = LinkProfile.mobile()
+
+    options: list[tuple[str, int]] = [("single CRL", shard_cost(certs, revoked, 1))]
+    for shards in (8, 32, 128):
+        options.append((f"{shards} CRL shards", shard_cost(certs, revoked, shards)))
+    options.append(("OCSP query", OCSP_RESPONSE_BYTES))
+    options.append(("OCSP staple (amortised)", 0))
+
+    rows = []
+    for label, nbytes in options:
+        rows.append(
+            (
+                label,
+                format_bytes(nbytes),
+                f"{broadband.transfer_time(nbytes).total_seconds() * 1000:.0f} ms",
+                f"{mobile.transfer_time(nbytes).total_seconds() * 1000:.0f} ms",
+            )
+        )
+    print(
+        format_table(
+            ["option", "bytes/check", "broadband latency", "mobile latency"],
+            rows,
+            title="client cost to check ONE certificate's revocation status",
+        )
+    )
+    print(
+        "\nTakeaways (paper §5.3/§9): sharding divides CRL cost almost\n"
+        "linearly; OCSP is cheap but adds a blocking round-trip and leaks\n"
+        "browsing behaviour to the CA; stapling removes the client fetch\n"
+        "entirely -- yet only ~3% of certificates were served with it."
+    )
+
+
+if __name__ == "__main__":
+    main()

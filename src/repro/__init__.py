@@ -1,0 +1,41 @@
+"""repro: a reproduction of "An End-to-End Measurement of Certificate
+Revocation in the Web's PKI" (Liu et al., IMC 2015).
+
+The package rebuilds the paper's entire measurement apparatus on a
+deterministic synthetic Web-PKI ecosystem (DESIGN.md documents the data
+substitutions):
+
+* :mod:`repro.asn1`, :mod:`repro.pki`, :mod:`repro.revocation` -- X.509
+  certificates, CRLs, and OCSP with real DER encodings;
+* :mod:`repro.ca`, :mod:`repro.net` -- CA machinery and a simulated
+  network;
+* :mod:`repro.scan` -- the synthetic ecosystem plus Rapid7-style scans,
+  daily CRL crawls, and TLS-handshake (stapling) scans;
+* :mod:`repro.browsers` -- 30 browser/OS revocation-policy models and the
+  244-case test suite behind Table 2;
+* :mod:`repro.crlset` -- the CRLSet pipeline, Bloom filters, and GCS;
+* :mod:`repro.core` -- the end-to-end analysis pipeline;
+* :mod:`repro.experiments` -- one module per paper table/figure.
+
+Quickstart::
+
+    from repro import MeasurementStudy, run_experiment
+    study = MeasurementStudy(scale=0.002)
+    print(run_experiment("fig2", study).render())
+"""
+
+from repro.core.pipeline import MeasurementStudy
+from repro.experiments.runner import ALL_EXPERIMENTS, run_all, run_experiment
+from repro.scan.calibration import Calibration, PaperTargets
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "ALL_EXPERIMENTS",
+    "Calibration",
+    "MeasurementStudy",
+    "PaperTargets",
+    "run_all",
+    "run_experiment",
+    "__version__",
+]

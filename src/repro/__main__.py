@@ -1,0 +1,76 @@
+"""Command-line interface.
+
+Usage::
+
+    python -m repro list                     # available experiments
+    python -m repro run fig2 [--scale S]     # regenerate one figure/table
+    python -m repro run all [--scale S]      # regenerate everything
+    python -m repro report [--scale S]       # EXPERIMENTS.md body to stdout
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import ALL_EXPERIMENTS, MeasurementStudy, run_all, run_experiment
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'An End-to-End Measurement of Certificate "
+            "Revocation in the Web's PKI' (IMC 2015)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("list", help="list available experiments")
+
+    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    run.add_argument("experiment", help="experiment id, e.g. fig2, table2, all")
+    run.add_argument("--scale", type=float, default=0.002)
+    run.add_argument("--seed", type=int, default=20151028)
+
+    report = sub.add_parser("report", help="print the EXPERIMENTS.md body")
+    report.add_argument("--scale", type=float, default=0.002)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id, module in ALL_EXPERIMENTS.items():
+            print(f"{experiment_id:10s} {module.TITLE}")
+        return 0
+    if args.command == "run":
+        study = MeasurementStudy(scale=args.scale, seed=args.seed)
+        if args.experiment == "all":
+            results = run_all(study)
+        else:
+            try:
+                results = [run_experiment(args.experiment, study)]
+            except KeyError as exc:
+                print(exc, file=sys.stderr)
+                return 2
+        failures = 0
+        for result in results:
+            print(result.render())
+            print()
+            failures += sum(1 for c in result.comparisons if not c.shape_holds)
+        if failures:
+            print(f"{failures} shape comparison(s) FAILED", file=sys.stderr)
+            return 1
+        return 0
+    if args.command == "report":
+        from repro.experiments import reportgen
+
+        sys.argv = ["reportgen", str(args.scale)]
+        reportgen.main()
+        return 0
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""Minimal ASN.1 DER encoder/decoder.
+
+X.509 certificates and CRLs are DER-encoded ASN.1 structures.  The paper's
+CA-side measurements (Figures 5-6, Table 1) are about the *byte sizes* of
+CRLs, so this reproduction encodes its certificates and CRLs with a real DER
+encoder rather than modelling sizes analytically.  Only the subset of DER
+needed by RFC 5280 structures is implemented.
+
+Public API::
+
+    from repro.asn1 import der, oid
+    der.encode_sequence(...)
+    obj, rest = der.decode(data)
+"""
+
+from repro.asn1 import der, oid
+from repro.asn1.der import (
+    Asn1Error,
+    DecodedValue,
+    Tag,
+    decode,
+    decode_all,
+    encode_bit_string,
+    encode_boolean,
+    encode_context,
+    encode_generalized_time,
+    encode_integer,
+    encode_null,
+    encode_octet_string,
+    encode_oid,
+    encode_printable_string,
+    encode_sequence,
+    encode_set,
+    encode_utc_time,
+    encode_utf8_string,
+)
+from repro.asn1.oid import OID, OIDRegistry
+
+__all__ = [
+    "Asn1Error",
+    "DecodedValue",
+    "OID",
+    "OIDRegistry",
+    "Tag",
+    "decode",
+    "decode_all",
+    "der",
+    "encode_bit_string",
+    "encode_boolean",
+    "encode_context",
+    "encode_generalized_time",
+    "encode_integer",
+    "encode_null",
+    "encode_octet_string",
+    "encode_oid",
+    "encode_printable_string",
+    "encode_sequence",
+    "encode_set",
+    "encode_utc_time",
+    "encode_utf8_string",
+    "oid",
+]

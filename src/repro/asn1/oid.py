@@ -1,0 +1,125 @@
+"""Object identifier registry for the OIDs used by RFC 5280 and this study.
+
+The registry maps between dotted-decimal strings and human-readable names,
+covering signature algorithms, X.509 extensions, distinguished-name
+attributes, and the EV policy identifiers the paper's browser test suite
+relies on (Verisign's ``2.16.840.1.113733.1.7.23.6`` EV OID, §6.1).
+"""
+
+from __future__ import annotations
+
+__all__ = ["OID", "OIDRegistry", "REGISTRY"]
+
+
+class OID:
+    """Well-known OIDs as dotted-decimal constants."""
+
+    # Distinguished-name attributes.
+    COMMON_NAME = "2.5.4.3"
+    COUNTRY = "2.5.4.6"
+    ORGANIZATION = "2.5.4.10"
+    ORGANIZATIONAL_UNIT = "2.5.4.11"
+
+    # Signature algorithms (we reuse identifiers; the actual backend may be
+    # the hash simulator -- see repro.pki.keys).
+    SHA256_WITH_RSA = "1.2.840.113549.1.1.11"
+    ED25519 = "1.3.101.112"
+
+    # Certificate extensions.
+    BASIC_CONSTRAINTS = "2.5.29.19"
+    KEY_USAGE = "2.5.29.15"
+    CRL_DISTRIBUTION_POINTS = "2.5.29.31"
+    CERTIFICATE_POLICIES = "2.5.29.32"
+    AUTHORITY_KEY_IDENTIFIER = "2.5.29.35"
+    SUBJECT_KEY_IDENTIFIER = "2.5.29.14"
+    CRL_NUMBER = "2.5.29.20"
+    CRL_REASON = "2.5.29.21"
+    AUTHORITY_INFO_ACCESS = "1.3.6.1.5.5.7.1.1"
+
+    # AIA access methods.
+    AD_OCSP = "1.3.6.1.5.5.7.48.1"
+    AD_CA_ISSUERS = "1.3.6.1.5.5.7.48.2"
+
+    # OCSP.
+    OCSP_BASIC = "1.3.6.1.5.5.7.48.1.1"
+    OCSP_NONCE = "1.3.6.1.5.5.7.48.1.2"
+
+    # EV policy OIDs.  The paper uses Verisign's EV OID in its test suite.
+    EV_VERISIGN = "2.16.840.1.113733.1.7.23.6"
+    EV_GODADDY = "2.16.840.1.114413.1.7.23.3"
+    EV_COMODO = "1.3.6.1.4.1.6449.1.2.1.5.1"
+    EV_GLOBALSIGN = "1.3.6.1.4.1.4146.1.1"
+    EV_THAWTE = "2.16.840.1.113733.1.7.48.1"
+    # CA/Browser Forum generic EV policy identifier.
+    EV_CABFORUM = "2.23.140.1.1"
+    # Generic DV policy identifier.
+    DV_CABFORUM = "2.23.140.1.2.1"
+
+    EV_POLICY_OIDS = frozenset(
+        {
+            EV_VERISIGN,
+            EV_GODADDY,
+            EV_COMODO,
+            EV_GLOBALSIGN,
+            EV_THAWTE,
+            EV_CABFORUM,
+        }
+    )
+
+
+_NAMES = {
+    OID.COMMON_NAME: "commonName",
+    OID.COUNTRY: "countryName",
+    OID.ORGANIZATION: "organizationName",
+    OID.ORGANIZATIONAL_UNIT: "organizationalUnitName",
+    OID.SHA256_WITH_RSA: "sha256WithRSAEncryption",
+    OID.ED25519: "ed25519",
+    OID.BASIC_CONSTRAINTS: "basicConstraints",
+    OID.KEY_USAGE: "keyUsage",
+    OID.CRL_DISTRIBUTION_POINTS: "cRLDistributionPoints",
+    OID.CERTIFICATE_POLICIES: "certificatePolicies",
+    OID.AUTHORITY_KEY_IDENTIFIER: "authorityKeyIdentifier",
+    OID.SUBJECT_KEY_IDENTIFIER: "subjectKeyIdentifier",
+    OID.CRL_NUMBER: "cRLNumber",
+    OID.CRL_REASON: "cRLReason",
+    OID.AUTHORITY_INFO_ACCESS: "authorityInfoAccess",
+    OID.AD_OCSP: "OCSP",
+    OID.AD_CA_ISSUERS: "caIssuers",
+    OID.OCSP_BASIC: "id-pkix-ocsp-basic",
+    OID.OCSP_NONCE: "id-pkix-ocsp-nonce",
+    OID.EV_VERISIGN: "verisignEV",
+    OID.EV_GODADDY: "goDaddyEV",
+    OID.EV_COMODO: "comodoEV",
+    OID.EV_GLOBALSIGN: "globalSignEV",
+    OID.EV_THAWTE: "thawteEV",
+    OID.EV_CABFORUM: "cabForumEV",
+    OID.DV_CABFORUM: "cabForumDV",
+}
+
+
+class OIDRegistry:
+    """Bidirectional OID <-> name lookup."""
+
+    def __init__(self, names: dict[str, str] | None = None) -> None:
+        self._by_oid = dict(_NAMES if names is None else names)
+        self._by_name = {name: oid for oid, name in self._by_oid.items()}
+
+    def name(self, dotted: str) -> str:
+        """Human-readable name, or the dotted string itself if unknown."""
+        return self._by_oid.get(dotted, dotted)
+
+    def oid(self, name: str) -> str:
+        try:
+            return self._by_name[name]
+        except KeyError:
+            raise KeyError(f"unknown OID name {name!r}") from None
+
+    def register(self, dotted: str, name: str) -> None:
+        self._by_oid[dotted] = name
+        self._by_name[name] = dotted
+
+    def __contains__(self, dotted: str) -> bool:
+        return dotted in self._by_oid
+
+
+REGISTRY = OIDRegistry()

@@ -1,0 +1,43 @@
+"""Browser revocation-checking models and the 244-case test suite (§6).
+
+Each of the paper's 30 browser/OS combinations is modelled as a
+:class:`~repro.browsers.policy.BrowserModel` whose revocation-checking
+policy is encoded from §6.3/§6.4.  The test suite generator reproduces the
+paper's 244 certificate configurations; running every model against every
+case regenerates Table 2.
+"""
+
+from repro.browsers.policy import (
+    BrowserModel,
+    ChainContext,
+    Position,
+    UnavailableAction,
+    ValidationResult,
+)
+from repro.browsers.registry import all_browsers, table2_columns
+from repro.browsers.certgen import TestPki
+from repro.browsers.testsuite import (
+    BrowserTestHarness,
+    TestCase,
+    TestOutcome,
+    generate_test_suite,
+)
+from repro.browsers.table2 import Mark, compute_table2, render_table2
+
+__all__ = [
+    "BrowserModel",
+    "BrowserTestHarness",
+    "ChainContext",
+    "Mark",
+    "Position",
+    "TestCase",
+    "TestOutcome",
+    "TestPki",
+    "UnavailableAction",
+    "ValidationResult",
+    "all_browsers",
+    "compute_table2",
+    "generate_test_suite",
+    "render_table2",
+    "table2_columns",
+]

@@ -1,0 +1,62 @@
+"""Mobile browser models (§6.4).
+
+The paper's starkest finding: not a single mobile browser checks any
+revocation information.  Android's stock browser and Chrome do *request*
+OCSP staples but ignore the response -- even a staple with status
+``revoked`` does not stop the connection.
+"""
+
+from __future__ import annotations
+
+from repro.browsers.policy import BrowserModel
+
+__all__ = ["AndroidBrowser", "MobileIE", "MobileSafari"]
+
+
+class MobileSafari(BrowserModel):
+    """Mobile Safari on iOS 6-8: no checks, no staple requests."""
+
+    name = "Mobile Safari"
+    is_mobile = True
+
+    def __init__(self, ios_version: str) -> None:
+        super().__init__(os=f"ios{ios_version}")
+        self.version = f"iOS {ios_version}"
+
+    def requests_staple(self) -> bool:
+        return False
+
+
+class AndroidBrowser(BrowserModel):
+    """Android stock Browser and Chrome for Android (4.x-5.1).
+
+    Both request OCSP staples but do not use them in validation: a
+    ``revoked`` staple is accepted and the connection proceeds.
+    """
+
+    is_mobile = True
+
+    def __init__(self, app: str, android_version: str) -> None:
+        super().__init__(os=f"android{android_version}")
+        self.name = f"Android {app}"
+        self.version = android_version
+
+    def requests_staple(self) -> bool:
+        return True
+
+    def uses_staple(self) -> bool:
+        return False  # requested, then ignored
+
+
+class MobileIE(BrowserModel):
+    """IE on Windows Phone 8.0: no checks, no staple requests."""
+
+    name = "Mobile IE"
+    version = "8.0"
+    is_mobile = True
+
+    def __init__(self) -> None:
+        super().__init__(os="windows-phone")
+
+    def requests_staple(self) -> bool:
+        return False

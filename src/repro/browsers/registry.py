@@ -1,0 +1,74 @@
+"""The 30 browser/OS combinations and Table 2's 14 column groups."""
+
+from __future__ import annotations
+
+from repro.browsers.desktop import (
+    Chrome,
+    Firefox,
+    InternetExplorer,
+    Opera12,
+    Opera31,
+    Safari,
+)
+from repro.browsers.mobile import AndroidBrowser, MobileIE, MobileSafari
+from repro.browsers.policy import BrowserModel
+
+__all__ = ["all_browsers", "table2_columns"]
+
+
+def all_browsers() -> list[BrowserModel]:
+    """All 30 combinations the paper tested (§6, "we tested 30 different
+    combinations of OS and browser")."""
+    browsers: list[BrowserModel] = []
+    for os in ("osx", "windows", "linux"):
+        browsers.append(Chrome(os=os))
+    for os in ("osx", "windows", "linux"):
+        browsers.append(Firefox(os=os))
+    for os in ("osx", "windows", "linux"):
+        browsers.append(Opera12(os=os))
+    for os in ("osx", "windows", "linux"):
+        browsers.append(Opera31(os=os))
+    for version in ("6.0", "7.0", "8.0"):
+        browsers.append(Safari(version=version))
+    for version in ("7.0", "8.0", "9.0"):
+        browsers.append(InternetExplorer(version=version))
+    browsers.append(InternetExplorer(version="10.0"))
+    for os_label in ("windows7", "windows8.1", "windows10"):
+        browsers.append(InternetExplorer(version="11.0", os=os_label))
+    for ios in ("6", "7", "8"):
+        browsers.append(MobileSafari(ios_version=ios))
+    for android in ("4.4", "5.1"):
+        browsers.append(AndroidBrowser("Browser", android))
+    for android in ("4.4", "5.1"):
+        browsers.append(AndroidBrowser("Chrome", android))
+    browsers.append(MobileIE())
+    assert len(browsers) == 30
+    return browsers
+
+
+def table2_columns() -> list[tuple[str, list[BrowserModel]]]:
+    """Table 2's 14 columns; several aggregate multiple combinations."""
+    browsers = all_browsers()
+
+    def pick(predicate) -> list[BrowserModel]:
+        return [b for b in browsers if predicate(b)]
+
+    return [
+        ("Chrome OSX", pick(lambda b: b.name == "Chrome" and b.os == "osx")),
+        ("Chrome Win", pick(lambda b: b.name == "Chrome" and b.os == "windows")),
+        ("Chrome Lin", pick(lambda b: b.name == "Chrome" and b.os == "linux")),
+        ("Firefox 40", pick(lambda b: b.name == "Firefox")),
+        ("Opera 12.17", pick(lambda b: isinstance(b, Opera12))),
+        ("Opera 31.0", pick(lambda b: isinstance(b, Opera31))),
+        ("Safari 6-8", pick(lambda b: b.name == "Safari")),
+        (
+            "IE 7-9",
+            pick(lambda b: b.name == "IE" and b.major <= 9),
+        ),
+        ("IE 10", pick(lambda b: b.name == "IE" and b.major == 10)),
+        ("IE 11", pick(lambda b: b.name == "IE" and b.major == 11)),
+        ("iOS 6-8", pick(lambda b: b.name == "Mobile Safari")),
+        ("Andr. Stock", pick(lambda b: b.name == "Android Browser")),
+        ("Andr. Chrome", pick(lambda b: b.name == "Android Chrome")),
+        ("WinPhone IE", pick(lambda b: b.name == "Mobile IE")),
+    ]

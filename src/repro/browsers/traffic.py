@@ -1,0 +1,69 @@
+"""Per-browser revocation traffic analysis (§6.2's network traces).
+
+The paper captured network traces while running its test suite "to
+examine the SSL handshake and communication with revocation servers".
+This module aggregates the harness's trace capture into a per-browser
+traffic report: how many revocation fetches and bytes each browser/OS
+combination generates across the suite -- making the security/cost
+trade-off of Table 2 explicit (checking browsers pay; mobile browsers
+pay nothing and learn nothing).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.browsers.policy import BrowserModel
+from repro.browsers.testsuite import BrowserTestHarness, TestCase, TestOutcome
+
+__all__ = ["BrowserTraffic", "traffic_report"]
+
+
+@dataclass(frozen=True)
+class BrowserTraffic:
+    """Aggregate revocation traffic for one browser over a case set."""
+
+    browser_label: str
+    cases: int
+    fetches: int
+    bytes_downloaded: int
+    revocations_caught: int
+
+    @property
+    def bytes_per_connection(self) -> float:
+        return self.bytes_downloaded / self.cases if self.cases else 0.0
+
+    @property
+    def bytes_per_catch(self) -> float:
+        """The cost of each revocation actually detected."""
+        if not self.revocations_caught:
+            return float("inf") if self.bytes_downloaded else 0.0
+        return self.bytes_downloaded / self.revocations_caught
+
+
+def traffic_report(
+    browsers: list[BrowserModel],
+    cases: list[TestCase],
+    harness: BrowserTestHarness | None = None,
+) -> list[BrowserTraffic]:
+    """Run the suite per browser and aggregate the captured traces."""
+    harness = harness or BrowserTestHarness()
+    report: list[BrowserTraffic] = []
+    for browser in browsers:
+        outcomes: list[TestOutcome] = harness.run_suite(browser, cases)
+        caught = sum(
+            1
+            for outcome in outcomes
+            if outcome.case.family in ("revoked", "fallback") and outcome.rejected
+        )
+        report.append(
+            BrowserTraffic(
+                browser_label=browser.label,
+                cases=len(outcomes),
+                fetches=sum(o.revocation_fetches for o in outcomes),
+                bytes_downloaded=sum(o.bytes_downloaded for o in outcomes),
+                revocations_caught=caught,
+            )
+        )
+    report.sort(key=lambda row: -row.bytes_downloaded)
+    return report

@@ -1,0 +1,22 @@
+"""Certificate Authority machinery.
+
+CAs issue certificates, accept revocation requests, and disseminate
+revocation information via sharded CRLs and OCSP responders -- the
+behaviours the paper measures in §5.
+"""
+
+from repro.ca.authority import CertificateAuthority, IssuedRecord
+from repro.ca.crl_publisher import CrlPublisher, CrlShard, CrlView
+from repro.ca.ocsp_responder import OcspResponder
+from repro.ca.profiles import CaProfile, PAPER_CA_PROFILES
+
+__all__ = [
+    "CaProfile",
+    "CertificateAuthority",
+    "CrlPublisher",
+    "CrlShard",
+    "CrlView",
+    "IssuedRecord",
+    "OcspResponder",
+    "PAPER_CA_PROFILES",
+]

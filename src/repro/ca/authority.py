@@ -1,0 +1,237 @@
+"""The Certificate Authority.
+
+A :class:`CertificateAuthority` owns a key pair and a CA certificate
+(self-signed for roots, parent-signed for intermediates), issues leaf and
+intermediate certificates, accepts revocation requests, and exposes its
+dissemination channels -- a :class:`~repro.ca.crl_publisher.CrlPublisher`
+and an :class:`~repro.ca.ocsp_responder.OcspResponder`.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+
+from repro.ca.crl_publisher import CrlPublisher
+from repro.ca.ocsp_responder import OcspResponder
+from repro.pki.certificate import Certificate, CertificateBuilder
+from repro.pki.keys import KeyPair, SignatureBackend
+from repro.pki.name import Name
+from repro.pki.serial import SequentialSerialPolicy, SerialNumberPolicy
+from repro.revocation.reason import ReasonCode
+
+__all__ = ["CertificateAuthority", "IssuedRecord"]
+
+_UTC = datetime.timezone.utc
+
+
+@dataclass
+class IssuedRecord:
+    """Everything the CA remembers about one issued certificate."""
+
+    certificate: Certificate
+    crl_url: str | None
+    revoked_at: datetime.datetime | None = None
+    revocation_reason: ReasonCode | None = None
+
+    @property
+    def serial_number(self) -> int:
+        return self.certificate.serial_number
+
+    @property
+    def is_revoked(self) -> bool:
+        return self.revoked_at is not None
+
+    def is_revoked_at(self, when: datetime.datetime) -> bool:
+        return self.revoked_at is not None and self.revoked_at <= when
+
+
+class CertificateAuthority:
+    """An issuing authority with CRL and OCSP dissemination channels."""
+
+    def __init__(
+        self,
+        name: Name,
+        keys: KeyPair,
+        certificate: Certificate,
+        serial_policy: SerialNumberPolicy | None = None,
+        crl_base_url: str | None = None,
+        crl_shard_count: int = 1,
+        crl_reissue_period: datetime.timedelta = datetime.timedelta(days=1),
+        ocsp_url: str | None = None,
+        ocsp_validity: datetime.timedelta = datetime.timedelta(days=4),
+    ) -> None:
+        self.name = name
+        self.keys = keys
+        self.certificate = certificate
+        self.serial_policy = serial_policy or SequentialSerialPolicy()
+        self.issued: dict[int, IssuedRecord] = {}
+
+        self.crl_publisher: CrlPublisher | None = None
+        if crl_base_url is not None:
+            self.crl_publisher = CrlPublisher(
+                issuer_name=name,
+                issuer_keys=keys,
+                base_url=crl_base_url,
+                shard_count=crl_shard_count,
+                reissue_period=crl_reissue_period,
+            )
+
+        self.ocsp_url = ocsp_url
+        self.ocsp_responder: OcspResponder | None = None
+        if ocsp_url is not None:
+            self.ocsp_responder = OcspResponder(
+                responder_keys=keys,
+                issuer_key_hash=keys.key_id,
+                status_lookup=self._ocsp_status_lookup,
+                validity_period=ocsp_validity,
+            )
+
+    # -- construction helpers ------------------------------------------------
+
+    @classmethod
+    def create_root(
+        cls,
+        common_name: str,
+        seed: str,
+        not_before: datetime.datetime,
+        not_after: datetime.datetime,
+        backend: SignatureBackend | None = None,
+        **kwargs,
+    ) -> "CertificateAuthority":
+        """Create a self-signed root CA.
+
+        Roots carry no revocation pointers by design (§3.2 footnote 9):
+        they can only be "revoked" by removal from client trust stores.
+        """
+        name = Name.make(common_name, organization=common_name)
+        keys = KeyPair.generate(seed, backend)
+        certificate = (
+            CertificateBuilder()
+            .subject(name)
+            .issuer(name)
+            .serial_number(1)
+            .public_key(keys.public_key)
+            .validity(not_before, not_after)
+            .ca()
+            .sign(keys)
+        )
+        return cls(name=name, keys=keys, certificate=certificate, **kwargs)
+
+    def create_intermediate(
+        self,
+        common_name: str,
+        seed: str,
+        not_before: datetime.datetime,
+        not_after: datetime.datetime,
+        include_crl: bool = True,
+        include_ocsp: bool = True,
+        backend: SignatureBackend | None = None,
+        **kwargs,
+    ) -> "CertificateAuthority":
+        """Issue an intermediate CA certificate and return the new CA.
+
+        The intermediate's own revocation pointers name *this* CA's
+        channels (the parent revokes its child).
+        """
+        name = Name.make(common_name, organization=common_name)
+        keys = KeyPair.generate(seed, backend)
+        serial = self.serial_policy.next_serial()
+        builder = (
+            CertificateBuilder()
+            .subject(name)
+            .issuer(self.name)
+            .serial_number(serial)
+            .public_key(keys.public_key)
+            .validity(not_before, not_after)
+            .ca()
+        )
+        crl_url: str | None = None
+        if include_crl and self.crl_publisher is not None:
+            crl_url = self.crl_publisher.assign(serial)
+            builder.crl_urls([crl_url])
+        if include_ocsp and self.ocsp_url is not None:
+            builder.ocsp_urls([self.ocsp_url])
+        certificate = builder.sign(self.keys)
+        self.issued[serial] = IssuedRecord(certificate=certificate, crl_url=crl_url)
+        return CertificateAuthority(
+            name=name, keys=keys, certificate=certificate, **kwargs
+        )
+
+    # -- issuance --------------------------------------------------------------
+
+    def issue_leaf(
+        self,
+        common_name: str,
+        public_key: bytes,
+        not_before: datetime.datetime,
+        not_after: datetime.datetime,
+        ev: bool = False,
+        ev_policy_oid: str | None = None,
+        include_crl: bool = True,
+        include_ocsp: bool = True,
+    ) -> Certificate:
+        """Issue a leaf certificate and record it in the ledger."""
+        serial = self.serial_policy.next_serial()
+        builder = (
+            CertificateBuilder()
+            .subject(Name.make(common_name))
+            .issuer(self.name)
+            .serial_number(serial)
+            .public_key(public_key)
+            .validity(not_before, not_after)
+        )
+        crl_url: str | None = None
+        if include_crl and self.crl_publisher is not None:
+            crl_url = self.crl_publisher.assign(serial)
+            builder.crl_urls([crl_url])
+        if include_ocsp and self.ocsp_url is not None:
+            builder.ocsp_urls([self.ocsp_url])
+        if ev:
+            from repro.asn1.oid import OID
+
+            builder.ev(ev_policy_oid or OID.EV_VERISIGN)
+        certificate = builder.sign(self.keys)
+        self.issued[serial] = IssuedRecord(certificate=certificate, crl_url=crl_url)
+        return certificate
+
+    # -- revocation --------------------------------------------------------
+
+    def revoke(
+        self,
+        serial_number: int,
+        at: datetime.datetime,
+        reason: ReasonCode | None = None,
+    ) -> None:
+        """Process a revocation request from a subscriber."""
+        record = self.issued.get(serial_number)
+        if record is None:
+            raise KeyError(f"serial {serial_number} was not issued by {self.name}")
+        if record.is_revoked:
+            return  # idempotent
+        record.revoked_at = at
+        record.revocation_reason = reason
+        if record.crl_url is not None and self.crl_publisher is not None:
+            self.crl_publisher.record_revocation(
+                serial_number, at, reason, record.certificate.not_after
+            )
+
+    def _ocsp_status_lookup(
+        self, serial_number: int
+    ) -> tuple[datetime.datetime | None, ReasonCode | None] | None:
+        record = self.issued.get(serial_number)
+        if record is None:
+            return None
+        return record.revoked_at, record.revocation_reason
+
+    # -- introspection -----------------------------------------------------
+
+    @property
+    def issuer_key_hash(self) -> bytes:
+        return self.keys.key_id
+
+    def revoked_records(self) -> list[IssuedRecord]:
+        return [record for record in self.issued.values() if record.is_revoked]
+
+    def record_for(self, serial_number: int) -> IssuedRecord | None:
+        return self.issued.get(serial_number)

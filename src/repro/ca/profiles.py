@@ -1,0 +1,263 @@
+"""Per-CA profiles calibrated to the paper's Table 1.
+
+Table 1 of the paper lists, for the nine largest CAs, the number of CRLs
+they maintain, their total and revoked certificate counts (within the Leaf
+Set), and the average CRL size a certificate of theirs points at:
+
+    CA          CRLs  Total cert  Revoked   Avg CRL KB
+    GoDaddy      322   1,050,014  277,500      1,184.0
+    RapidSSL       5     626,774    2,153         34.5
+    Comodo        30     447,506    7,169        517.6
+    PositiveSSL    3     415,075    8,177        441.3
+    GeoTrust      27     335,380    3,081         12.9
+    Verisign      37     311,788   15,438        205.2
+    Thawte        32     278,563    4,446         25.4
+    GlobalSign    26     247,819   24,242      2,050.0
+    StartCom      17     236,776    1,752        240.5
+
+A key subtlety: CRLs contain *every* certificate a CA has revoked --
+11,461,935 entries across the paper's 2,800 CRLs -- while only ~420 k
+revocations belong to scan-observed (Leaf Set) certificates.  Profiles
+therefore carry an ``avg_crl_kb`` target from which the ecosystem
+generator derives a *hidden* (never-observed) revocation population per
+shard, so per-CRL byte sizes come out right at any leaf scale.
+
+Two non-Table-1 profiles complete the corpus: ``Apple`` (the paper's
+76 MB outlier CRL at http://crl.apple.com/wwdrca.crl with 2.6 M entries)
+and ``Other``, a bucket for the long tail of small CAs with tiny CRLs
+(which is why the *raw* CRL size median in Figure 6 is under 1 KB).
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+
+__all__ = ["CaProfile", "PAPER_CA_PROFILES", "total_observed_certs"]
+
+_JAN_2010 = datetime.date(2010, 1, 15)
+
+
+@dataclass(frozen=True)
+class CaProfile:
+    """Generator parameters for one CA, calibrated to the paper."""
+
+    name: str
+    #: certificates of this CA in the Leaf Set at full (paper) scale.
+    observed_certs: int
+    #: of those, how many end up revoked by the end of the study.
+    observed_revoked: int
+    #: number of CRL shards at full scale (Table 1 column "CRLs").
+    crl_count: int
+    #: target average CRL size in KB for a certificate of this CA
+    #: (Table 1 column "Avg CRL size"); drives the hidden population.
+    avg_crl_kb: float
+    #: "sequential" (small serials) or "random_long" (~49-decimal-digit
+    #: serials; paper footnote 11 blames these for CRL size variance).
+    serial_style: str = "sequential"
+    #: fraction of issued leaves that are EV.
+    ev_fraction: float = 0.0
+    #: date from which new certs carry an OCSP responder URL (Figure 4;
+    #: RapidSSL adopted OCSP only in July 2012).
+    ocsp_since: datetime.date = _JAN_2010
+    #: adoption ramp: each certificate's effective adoption date is
+    #: ``ocsp_since`` plus a uniform draw from [0, ocsp_ramp_days]; used
+    #: for the "Other" bucket so aggregate OCSP inclusion rises smoothly
+    #: through 2011-2013 as in Figure 4.
+    ocsp_ramp_days: int = 0
+    #: fraction of new certs that carry a CRL distribution point.
+    crl_inclusion: float = 0.999
+    #: CRL re-issue period in days (95% of CRLs expire within 24 h).
+    crl_reissue_days: int = 1
+    #: number of intermediate CA certificates under this brand.
+    intermediates: int = 2
+    #: whether Google's CRLSet crawl covers (some of) this CA's CRLs.
+    crlset_covered: bool = False
+
+    def scaled_certs(self, scale: float) -> int:
+        return max(1, round(self.observed_certs * scale))
+
+    def scaled_revoked(self, scale: float) -> int:
+        return min(self.scaled_certs(scale), round(self.observed_revoked * scale))
+
+    def scaled_crl_count(self, scale: float) -> int:
+        """CRL shard counts scale with the corpus (more slowly than the
+        certificate population) so that per-CRL entry counts and byte
+        sizes -- which the paper reports in absolute terms -- hold at any
+        scale."""
+        if scale >= 0.1:
+            return self.crl_count
+        return max(1, round(self.crl_count * scale * 10))
+
+    @property
+    def revoked_fraction(self) -> float:
+        return self.observed_revoked / self.observed_certs
+
+
+def _profile(**kwargs) -> CaProfile:
+    return CaProfile(**kwargs)
+
+
+#: The nine Table 1 CAs + Apple (76 MB CRL outlier) + the small-CA tail.
+PAPER_CA_PROFILES: tuple[CaProfile, ...] = (
+    _profile(
+        name="GoDaddy",
+        observed_certs=1_050_014,
+        observed_revoked=277_500,
+        crl_count=322,
+        avg_crl_kb=1_184.0,
+        serial_style="sequential",
+        ev_fraction=0.008,
+        intermediates=6,
+        crlset_covered=True,
+    ),
+    _profile(
+        name="RapidSSL",
+        observed_certs=626_774,
+        observed_revoked=2_153,
+        crl_count=5,
+        avg_crl_kb=34.5,
+        serial_style="sequential",
+        ev_fraction=0.0,
+        ocsp_since=datetime.date(2012, 7, 1),
+        intermediates=3,
+        crlset_covered=True,
+    ),
+    _profile(
+        name="Comodo",
+        observed_certs=447_506,
+        observed_revoked=7_169,
+        crl_count=30,
+        avg_crl_kb=517.6,
+        serial_style="random_long",
+        ev_fraction=0.06,
+        intermediates=8,
+        crlset_covered=True,
+    ),
+    _profile(
+        name="PositiveSSL",
+        observed_certs=415_075,
+        observed_revoked=8_177,
+        crl_count=3,
+        avg_crl_kb=441.3,
+        serial_style="random_long",
+        ev_fraction=0.0,
+        intermediates=3,
+        crlset_covered=False,
+    ),
+    _profile(
+        name="GeoTrust",
+        observed_certs=335_380,
+        observed_revoked=3_081,
+        crl_count=27,
+        avg_crl_kb=12.9,
+        serial_style="sequential",
+        ev_fraction=0.06,
+        intermediates=5,
+        crlset_covered=True,
+    ),
+    _profile(
+        name="Verisign",
+        observed_certs=311_788,
+        observed_revoked=15_438,
+        crl_count=37,
+        avg_crl_kb=205.2,
+        serial_style="random_long",
+        ev_fraction=0.15,
+        intermediates=6,
+        crlset_covered=True,
+    ),
+    _profile(
+        name="Thawte",
+        observed_certs=278_563,
+        observed_revoked=4_446,
+        crl_count=32,
+        avg_crl_kb=25.4,
+        serial_style="sequential",
+        ev_fraction=0.08,
+        intermediates=4,
+        crlset_covered=True,
+    ),
+    _profile(
+        name="GlobalSign",
+        observed_certs=247_819,
+        observed_revoked=24_242,
+        crl_count=26,
+        avg_crl_kb=2_050.0,
+        serial_style="random_long",
+        ev_fraction=0.03,
+        intermediates=5,
+        crlset_covered=True,
+    ),
+    _profile(
+        name="StartCom",
+        observed_certs=236_776,
+        observed_revoked=1_752,
+        crl_count=17,
+        avg_crl_kb=240.5,
+        serial_style="sequential",
+        ev_fraction=0.01,
+        intermediates=3,
+        crlset_covered=False,
+    ),
+    # A tail of smaller CAs whose (small) CRLs Google's internal crawl
+    # does cover -- the CRLSet's 62 parents mostly map to CRLs like these.
+    _profile(
+        name="SmallCoveredCAs",
+        observed_certs=160_000,
+        observed_revoked=6_000,
+        crl_count=400,
+        avg_crl_kb=30.0,
+        serial_style="sequential",
+        ev_fraction=0.02,
+        intermediates=8,
+        crlset_covered=True,
+    ),
+    # The "VeriSign Class 3 Extended Validation" parent: a small, covered
+    # CRL family whose ~5.8 k entries were removed from the CRLSet in
+    # May 2014 (the paper's Figure 8 decline and Figure 10 removal tail).
+    _profile(
+        name="VerisignEV",
+        observed_certs=22_000,
+        observed_revoked=1_300,
+        crl_count=2,
+        avg_crl_kb=230.0,
+        serial_style="sequential",
+        ev_fraction=0.85,
+        intermediates=1,
+        crlset_covered=True,
+    ),
+    # The Apple WWDR CA: few web certificates observed, but the paper's
+    # largest CRL by far (76 MB, >2.6 M entries).
+    _profile(
+        name="Apple",
+        observed_certs=18_000,
+        observed_revoked=900,
+        crl_count=1,
+        avg_crl_kb=77_800.0,
+        serial_style="sequential",
+        ev_fraction=0.0,
+        intermediates=1,
+        crlset_covered=False,
+    ),
+    # Long tail of small CAs: most of the paper's 2,800 CRLs are tiny
+    # (raw median size < 1 KB), covering very few certificates each.
+    _profile(
+        name="Other",
+        observed_certs=950_000,
+        observed_revoked=70_000,
+        crl_count=2_300,
+        avg_crl_kb=0.9,
+        serial_style="sequential",
+        ev_fraction=0.015,
+        intermediates=12,
+        crl_inclusion=0.997,
+        ocsp_ramp_days=1100,
+        crlset_covered=False,
+    ),
+)
+
+
+def total_observed_certs() -> int:
+    """Full-scale Leaf Set size implied by the profiles (~5.07 M)."""
+    return sum(profile.observed_certs for profile in PAPER_CA_PROFILES)

@@ -1,0 +1,35 @@
+"""The paper's end-to-end measurement pipeline.
+
+This is the primary contribution being reproduced: the analysis machinery
+that takes scan corpora, CRL crawls, TLS handshake scans, browser test
+results, and CRLSet builds, and turns them into the paper's tables and
+figures.
+"""
+
+from repro.core.chain import ChainSets, build_chain_sets
+from repro.core.stats import (
+    Cdf,
+    describe,
+    median,
+    percentile,
+    weighted_cdf,
+)
+from repro.core.timelines import RevocationSeries, revocation_series
+from repro.core.pipeline import MeasurementStudy
+from repro.core.report import format_table, render_cdf, render_series
+
+__all__ = [
+    "Cdf",
+    "ChainSets",
+    "MeasurementStudy",
+    "RevocationSeries",
+    "build_chain_sets",
+    "describe",
+    "format_table",
+    "median",
+    "percentile",
+    "render_cdf",
+    "render_series",
+    "revocation_series",
+    "weighted_cdf",
+]

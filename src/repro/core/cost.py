@@ -1,0 +1,134 @@
+"""Client-side cost of revocation checking for a browsing session.
+
+Quantifies the §5.2 trade-off browsers face: a user who visits N HTTPS
+sites pays bytes and blocking latency for every revocation check their
+browser performs.  The model combines the ecosystem's real CRL sizes,
+OCSP response sizes, the link profile, and a cache with CRL/OCSP
+expiry -- the exact levers the paper argues over.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.net.transport import LinkProfile
+from repro.scan.ecosystem import Ecosystem
+from repro.scan.records import LeafRecord
+
+__all__ = ["SessionCost", "SessionCostModel"]
+
+#: typical encoded size of one OCSP response (paper: "typically <1 KB").
+OCSP_RESPONSE_BYTES = 450
+
+
+@dataclass(frozen=True)
+class SessionCost:
+    """Totals for one simulated browsing session."""
+
+    sites: int
+    checks: int
+    bytes_downloaded: int
+    blocking_latency_s: float
+    cache_hits: int
+
+    @property
+    def bytes_per_site(self) -> float:
+        return self.bytes_downloaded / self.sites if self.sites else 0.0
+
+    @property
+    def latency_per_site_ms(self) -> float:
+        return 1000.0 * self.blocking_latency_s / self.sites if self.sites else 0.0
+
+
+class SessionCostModel:
+    """Estimates a browsing session's revocation-checking overhead.
+
+    ``mode`` selects the client behaviour:
+
+    * ``"crl"``   -- download the leaf's CRL (cacheable ~24 h);
+    * ``"ocsp"``  -- one OCSP query per leaf (cacheable ~4 days);
+    * ``"staple"``-- zero fetches when the site staples, else fall back
+      to OCSP (the paper's recommended end state);
+    * ``"none"``  -- the mobile-browser regime: no checks at all.
+    """
+
+    def __init__(
+        self,
+        ecosystem: Ecosystem,
+        profile: LinkProfile | None = None,
+        seed: int = 3,
+    ) -> None:
+        self.ecosystem = ecosystem
+        self.profile = profile or LinkProfile()
+        self._rng = random.Random(seed)
+        self._crl_sizes: dict[str, int] = {}
+
+    def _crl_size(self, url: str) -> int:
+        size = self._crl_sizes.get(url)
+        if size is None:
+            size = self.ecosystem.crl_for_url(url).size_bytes(
+                self.ecosystem.calibration.measurement_end
+            )
+            self._crl_sizes[url] = size
+        return size
+
+    def sample_sites(self, count: int) -> list[LeafRecord]:
+        """Popularity-weighted site sample (Alexa-ranked sites repeat)."""
+        end = self.ecosystem.calibration.measurement_end
+        ranked = [
+            leaf
+            for leaf in self.ecosystem.leaves
+            if leaf.alexa_rank is not None and leaf.is_alive(end)
+        ]
+        if not ranked:
+            ranked = self.ecosystem.alive_leaves(end)
+        weights = [1.0 / leaf.alexa_rank if leaf.alexa_rank else 1.0 for leaf in ranked]
+        return self._rng.choices(ranked, weights=weights, k=count)
+
+    def session(self, sites: list[LeafRecord], mode: str) -> SessionCost:
+        if mode not in ("crl", "ocsp", "staple", "none"):
+            raise ValueError(f"unknown mode {mode!r}")
+        checks = 0
+        nbytes = 0
+        latency = 0.0
+        cache_hits = 0
+        crl_cache: set[str] = set()
+        ocsp_cache: set[int] = set()
+        for leaf in sites:
+            if mode == "none":
+                continue
+            if mode == "staple" and leaf.stapling_servers == leaf.server_count > 0:
+                continue  # staple arrived in the handshake: no extra cost
+            use_crl = mode == "crl" and leaf.crl_url is not None
+            if use_crl:
+                if leaf.crl_url in crl_cache:
+                    cache_hits += 1
+                    continue
+                size = self._crl_size(leaf.crl_url)
+                crl_cache.add(leaf.crl_url)
+            elif leaf.ocsp_url is not None:
+                if leaf.cert_id in ocsp_cache:
+                    cache_hits += 1
+                    continue
+                size = OCSP_RESPONSE_BYTES
+                ocsp_cache.add(leaf.cert_id)
+            else:
+                continue  # never-revocable certificate
+            checks += 1
+            nbytes += size
+            latency += self.profile.transfer_time(size).total_seconds()
+        return SessionCost(
+            sites=len(sites),
+            checks=checks,
+            bytes_downloaded=nbytes,
+            blocking_latency_s=latency,
+            cache_hits=cache_hits,
+        )
+
+    def compare_modes(self, site_count: int = 100) -> dict[str, SessionCost]:
+        sites = self.sample_sites(site_count)
+        return {
+            mode: self.session(sites, mode)
+            for mode in ("crl", "ocsp", "staple", "none")
+        }

@@ -1,0 +1,71 @@
+"""Plain-text rendering of tables, series, and CDFs.
+
+Every experiment prints its figure/table through these helpers so bench
+output is uniform and diffable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "render_cdf", "render_series", "format_bytes"]
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]], title: str = ""
+) -> str:
+    """A simple aligned ASCII table."""
+    rendered_rows = [[str(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = "  ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in rendered_rows:
+        lines.append("  ".join(cell.ljust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def render_series(
+    points: Iterable[tuple[object, float]],
+    title: str = "",
+    value_format: str = "{:.4f}",
+    width: int = 40,
+) -> str:
+    """A labelled value series with a proportional ASCII bar."""
+    points = list(points)
+    if not points:
+        return title + "\n(empty series)"
+    peak = max(value for _, value in points) or 1.0
+    lines = [title] if title else []
+    for label, value in points:
+        bar = "#" * max(0, round(width * value / peak))
+        lines.append(f"{label!s:>12}  {value_format.format(value):>10}  {bar}")
+    return "\n".join(lines)
+
+
+def render_cdf(
+    cdf,
+    title: str = "",
+    quantiles: Sequence[float] = (0.1, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99),
+    value_format: str = "{:.1f}",
+) -> str:
+    """Key quantiles of a :class:`repro.core.stats.Cdf`."""
+    lines = [title] if title else []
+    for q in quantiles:
+        lines.append(f"  p{int(q * 100):>2}: {value_format.format(cdf.quantile(q))}")
+    return "\n".join(lines)
+
+
+def format_bytes(nbytes: float) -> str:
+    """Human-readable byte count (B / KB / MB)."""
+    if nbytes >= 1 << 20:
+        return f"{nbytes / (1 << 20):.1f} MB"
+    if nbytes >= 1 << 10:
+        return f"{nbytes / (1 << 10):.1f} KB"
+    return f"{nbytes:.0f} B"

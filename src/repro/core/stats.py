@@ -1,0 +1,111 @@
+"""Distribution statistics used across the experiments.
+
+Implements the raw and certificate-weighted CDFs of Figure 6, generic
+percentiles, and summary descriptions.  Weighted CDFs weight each value by
+a count (e.g. a CRL's size weighted by the number of certificates that
+point at it), which is how the paper exposes the gap between "most CRLs
+are tiny" and "the median certificate's CRL is 51 KB".
+"""
+
+from __future__ import annotations
+
+import bisect
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+__all__ = ["Cdf", "describe", "median", "percentile", "weighted_cdf"]
+
+
+@dataclass(frozen=True)
+class Cdf:
+    """An empirical CDF as parallel (value, cumulative fraction) arrays."""
+
+    values: tuple[float, ...]
+    fractions: tuple[float, ...]
+
+    def quantile(self, q: float) -> float:
+        """Smallest value whose cumulative fraction reaches ``q``."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if not self.values:
+            raise ValueError("empty CDF")
+        index = bisect.bisect_left(self.fractions, q)
+        index = min(index, len(self.values) - 1)
+        return self.values[index]
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def fraction_at_or_below(self, value: float) -> float:
+        index = bisect.bisect_right(self.values, value)
+        if index == 0:
+            return 0.0
+        return self.fractions[index - 1]
+
+    def points(self) -> list[tuple[float, float]]:
+        return list(zip(self.values, self.fractions))
+
+    @classmethod
+    def from_values(cls, values: Iterable[float]) -> "Cdf":
+        ordered = sorted(values)
+        if not ordered:
+            return cls((), ())
+        n = len(ordered)
+        return cls(
+            tuple(ordered), tuple((i + 1) / n for i in range(n))
+        )
+
+
+def weighted_cdf(pairs: Iterable[tuple[float, float]]) -> Cdf:
+    """CDF of values where each carries a non-negative weight."""
+    ordered = sorted((value, weight) for value, weight in pairs if weight > 0)
+    if not ordered:
+        return Cdf((), ())
+    total = sum(weight for _, weight in ordered)
+    values = []
+    fractions = []
+    running = 0.0
+    for value, weight in ordered:
+        running += weight
+        values.append(value)
+        fractions.append(running / total)
+    return Cdf(tuple(values), tuple(fractions))
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile, q in [0, 1]."""
+    if not values:
+        raise ValueError("empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError("q must be in [0, 1]")
+    ordered = sorted(values)
+    rank = max(1, round(q * len(ordered)))
+    return ordered[rank - 1]
+
+
+def median(values: Sequence[float]) -> float:
+    ordered = sorted(values)
+    if not ordered:
+        raise ValueError("empty sequence")
+    mid = len(ordered) // 2
+    if len(ordered) % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def describe(values: Sequence[float]) -> dict[str, float]:
+    """min / p25 / median / p75 / p95 / max / mean summary."""
+    if not values:
+        raise ValueError("empty sequence")
+    ordered = sorted(values)
+    return {
+        "n": float(len(ordered)),
+        "min": float(ordered[0]),
+        "p25": percentile(ordered, 0.25),
+        "median": median(ordered),
+        "p75": percentile(ordered, 0.75),
+        "p95": percentile(ordered, 0.95),
+        "max": float(ordered[-1]),
+        "mean": sum(ordered) / len(ordered),
+    }

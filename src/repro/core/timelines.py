@@ -1,0 +1,113 @@
+"""Fresh/alive/revoked timelines (paper §3.3 and Figure 2).
+
+Vectorised with numpy over date ordinals: for each sample date, the
+fraction of *fresh* certificates (within validity) and *alive*
+certificates (still advertised) that have been revoked, for all
+certificates and for the EV subset.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.scan.records import LeafRecord
+
+__all__ = ["RevocationSeries", "revocation_series"]
+
+_FAR_FUTURE = datetime.date(9999, 1, 1).toordinal()
+
+
+@dataclass(frozen=True)
+class RevocationSeries:
+    """Figure 2's four series on a shared date axis."""
+
+    dates: tuple[datetime.date, ...]
+    fresh_revoked_all: tuple[float, ...]
+    fresh_revoked_ev: tuple[float, ...]
+    alive_revoked_all: tuple[float, ...]
+    alive_revoked_ev: tuple[float, ...]
+
+    def at(self, day: datetime.date) -> dict[str, float]:
+        index = self.dates.index(day)
+        return {
+            "fresh_revoked_all": self.fresh_revoked_all[index],
+            "fresh_revoked_ev": self.fresh_revoked_ev[index],
+            "alive_revoked_all": self.alive_revoked_all[index],
+            "alive_revoked_ev": self.alive_revoked_ev[index],
+        }
+
+    def peak_fresh_revoked(self) -> tuple[datetime.date, float]:
+        index = max(
+            range(len(self.dates)), key=lambda i: self.fresh_revoked_all[i]
+        )
+        return self.dates[index], self.fresh_revoked_all[index]
+
+
+def _arrays(leaves: list[LeafRecord]):
+    n = len(leaves)
+    not_before = np.empty(n, dtype=np.int64)
+    not_after = np.empty(n, dtype=np.int64)
+    birth = np.empty(n, dtype=np.int64)
+    death = np.empty(n, dtype=np.int64)
+    revoked = np.empty(n, dtype=np.int64)
+    is_ev = np.empty(n, dtype=bool)
+    for i, leaf in enumerate(leaves):
+        not_before[i] = leaf.not_before.toordinal()
+        not_after[i] = leaf.not_after.toordinal()
+        birth[i] = leaf.birth.toordinal()
+        death[i] = leaf.death.toordinal()
+        revoked[i] = (
+            leaf.revoked_at.toordinal() if leaf.revoked_at is not None else _FAR_FUTURE
+        )
+        is_ev[i] = leaf.is_ev
+    return not_before, not_after, birth, death, revoked, is_ev
+
+
+def revocation_series(
+    leaves: list[LeafRecord],
+    start: datetime.date,
+    end: datetime.date,
+    step_days: int = 7,
+) -> RevocationSeries:
+    """Compute Figure 2's series between ``start`` and ``end``."""
+    if end < start:
+        raise ValueError("end must not precede start")
+    not_before, not_after, birth, death, revoked, is_ev = _arrays(leaves)
+
+    dates: list[datetime.date] = []
+    day = start
+    while day <= end:
+        dates.append(day)
+        day += datetime.timedelta(days=step_days)
+
+    fresh_all: list[float] = []
+    fresh_ev: list[float] = []
+    alive_all: list[float] = []
+    alive_ev: list[float] = []
+    for day in dates:
+        ordinal = day.toordinal()
+        fresh = (not_before <= ordinal) & (ordinal <= not_after)
+        alive = (birth <= ordinal) & (ordinal <= death)
+        is_revoked = revoked <= ordinal
+        fresh_all.append(_fraction(is_revoked, fresh))
+        alive_all.append(_fraction(is_revoked, alive))
+        fresh_ev.append(_fraction(is_revoked, fresh & is_ev))
+        alive_ev.append(_fraction(is_revoked, alive & is_ev))
+
+    return RevocationSeries(
+        dates=tuple(dates),
+        fresh_revoked_all=tuple(fresh_all),
+        fresh_revoked_ev=tuple(fresh_ev),
+        alive_revoked_all=tuple(alive_all),
+        alive_revoked_ev=tuple(alive_ev),
+    )
+
+
+def _fraction(numerator_mask: np.ndarray, denominator_mask: np.ndarray) -> float:
+    denominator = int(denominator_mask.sum())
+    if denominator == 0:
+        return 0.0
+    return float((numerator_mask & denominator_mask).sum() / denominator)

@@ -1,0 +1,108 @@
+"""Bloom filters (paper §7.4).
+
+The paper proposes replacing CRLSets with a Bloom filter: no false
+negatives (a revoked certificate always hits), a tunable false-positive
+rate (a hit triggers a CRL check before blocking), and an order of
+magnitude more revocations in the same 250 KB budget.  Figure 11 sweeps
+filter size m, population n, and false-positive rate p with the optimal
+hash count k = ceil(m/n * ln 2).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import math
+from typing import Iterable
+
+__all__ = ["BloomFilter", "false_positive_rate", "optimal_k", "capacity_at_fp_rate"]
+
+
+def optimal_k(m_bits: int, n_items: int) -> int:
+    """The paper's formula: k = ceil(m/n * ln 2), at least 1."""
+    if n_items <= 0:
+        return 1
+    return max(1, math.ceil(m_bits / n_items * math.log(2)))
+
+
+def false_positive_rate(m_bits: int, n_items: int, k: int | None = None) -> float:
+    """Analytic FP rate p = (1 - e^{-kn/m})^k."""
+    if n_items <= 0:
+        return 0.0
+    if m_bits <= 0:
+        return 1.0
+    if k is None:
+        k = optimal_k(m_bits, n_items)
+    return (1.0 - math.exp(-k * n_items / m_bits)) ** k
+
+
+def capacity_at_fp_rate(m_bits: int, p: float) -> int:
+    """Largest n with FP rate <= p at optimal k: n = -m ln^2(2) / ln p."""
+    if not 0.0 < p < 1.0:
+        raise ValueError("p must be in (0, 1)")
+    return int(-m_bits * (math.log(2) ** 2) / math.log(p))
+
+
+class BloomFilter:
+    """A classic Bloom filter over byte-string items.
+
+    Hashing uses double hashing (Kirsch-Mitzenmauer) over SHA-256 halves,
+    which preserves the asymptotic FP behaviour with two base hashes.
+    """
+
+    def __init__(self, m_bits: int, k: int) -> None:
+        if m_bits < 8:
+            raise ValueError("m_bits must be >= 8")
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        self.m_bits = m_bits
+        self.k = k
+        self._bits = bytearray((m_bits + 7) // 8)
+        self.count = 0
+
+    @classmethod
+    def for_items(cls, n_items: int, m_bits: int) -> "BloomFilter":
+        return cls(m_bits=m_bits, k=optimal_k(m_bits, n_items))
+
+    def _positions(self, item: bytes) -> Iterable[int]:
+        digest = hashlib.sha256(item).digest()
+        h1 = int.from_bytes(digest[:16], "big")
+        h2 = int.from_bytes(digest[16:], "big") | 1
+        for i in range(self.k):
+            yield (h1 + i * h2) % self.m_bits
+
+    def add(self, item: bytes) -> None:
+        for position in self._positions(item):
+            self._bits[position >> 3] |= 1 << (position & 7)
+        self.count += 1
+
+    def update(self, items: Iterable[bytes]) -> None:
+        for item in items:
+            self.add(item)
+
+    def __contains__(self, item: bytes) -> bool:
+        return all(
+            self._bits[position >> 3] & (1 << (position & 7))
+            for position in self._positions(item)
+        )
+
+    @property
+    def size_bytes(self) -> int:
+        return len(self._bits)
+
+    @property
+    def fill_ratio(self) -> float:
+        set_bits = sum(bin(byte).count("1") for byte in self._bits)
+        return set_bits / self.m_bits
+
+    def expected_fp_rate(self) -> float:
+        return false_positive_rate(self.m_bits, self.count, self.k)
+
+    def measured_fp_rate(self, probes: Iterable[bytes]) -> float:
+        """Empirical FP rate over items known not to be members."""
+        total = 0
+        hits = 0
+        for probe in probes:
+            total += 1
+            if probe in self:
+                hits += 1
+        return hits / total if total else 0.0

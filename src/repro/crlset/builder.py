@@ -1,0 +1,353 @@
+"""CRLSet construction pipeline.
+
+Implements the documented rules the paper lists in §7.1:
+
+1. the CRLSet file is capped at 250 KB;
+2. it is populated from an internal list of crawled CRLs, fetched on the
+   order of hours (we give each covered CRL a deterministic crawl lag);
+3. a CRL with too many entries is dropped;
+4. only revocations with a CRLSet-eligible reason code are included.
+
+Plus the phenomena the paper observes empirically: a subset of covered
+CRLs is only partially reflected (Fig 7's tail), a two-week update gap in
+Nov-Dec 2014 (Fig 9), and the May 2014 removal of a large "VeriSign EV"
+parent that shrank the CRLSet by a quarter (Fig 8).
+
+The builder runs one chronological sweep over the study window and
+records, per entry, when it first appeared in and was removed from the
+CRLSet -- the raw material for Figures 8, 9, and 10.
+"""
+
+from __future__ import annotations
+
+import datetime
+import hashlib
+import random
+from dataclasses import dataclass
+
+from repro.crlset.format import CrlSetSnapshot, serial_to_bytes
+from repro.revocation.reason import is_crlset_eligible
+from repro.scan.calibration import Calibration
+from repro.scan.crl_model import EcosystemCrl
+from repro.scan.ecosystem import Ecosystem
+
+__all__ = ["CrlSetBuilder", "CrlSetHistory", "EntryHistory"]
+
+_DAY = datetime.timedelta(days=1)
+
+
+@dataclass(slots=True)
+class EntryHistory:
+    """CRLSet lifecycle of one revocation entry."""
+
+    parent: bytes
+    serial: int
+    crl_url: str
+    revoked_at: datetime.date
+    cert_not_after: datetime.date
+    eligible: bool
+    in_partial_subset: bool
+    first_appeared: datetime.date | None = None
+    removed_at: datetime.date | None = None
+
+    @property
+    def days_to_appear(self) -> int | None:
+        if self.first_appeared is None:
+            return None
+        return (self.first_appeared - self.revoked_at).days
+
+    @property
+    def removed_before_expiry_days(self) -> int | None:
+        """Days between CRLSet removal and certificate expiry (Fig 10)."""
+        if self.removed_at is None or self.removed_at >= self.cert_not_after:
+            return None
+        return (self.cert_not_after - self.removed_at).days
+
+
+@dataclass
+class CrlSetHistory:
+    """Everything one builder sweep produced."""
+
+    daily_entry_counts: dict[datetime.date, int]
+    daily_additions: dict[datetime.date, int]
+    daily_removals: dict[datetime.date, int]
+    entry_histories: list[EntryHistory]
+    final_snapshot: CrlSetSnapshot
+    covered_urls: frozenset[str]
+    #: CRLs dropped for exceeding the entry threshold (rule 3).
+    dropped_urls: frozenset[str]
+    parents_ever: frozenset[bytes]
+
+    def snapshot_count_on(self, day: datetime.date) -> int:
+        return self.daily_entry_counts.get(day, 0)
+
+
+class _CrlTrack:
+    """Builder-internal per-CRL state."""
+
+    __slots__ = (
+        "crl",
+        "lag_days",
+        "partial_fraction",
+        "active",
+        "byte_size",
+        "included",
+        "parent_removed",
+    )
+
+    def __init__(self, crl: EcosystemCrl, lag_days: int, partial_fraction: float):
+        self.crl = crl
+        self.lag_days = lag_days
+        self.partial_fraction = partial_fraction
+        #: entry keys currently listed on the (lagged) crawled CRL.
+        self.active: set[tuple[bytes, int]] = set()
+        self.byte_size = 36  # parent hash + count, charged once per CRL
+        self.included = False
+        self.parent_removed = False
+
+    def crawled_entry_count(self, day) -> int:
+        """What Google's crawler sees listed on this CRL: the eligible
+        materialised entries plus the bulk-modelled hidden population
+        (present on the wire even though we never identify each entry)."""
+        hidden = self.crl.hidden.count_at(day) if self.crl.hidden is not None else 0
+        return len(self.active) + hidden
+
+
+class CrlSetBuilder:
+    """Builds the daily CRLSet series for an ecosystem."""
+
+    def __init__(
+        self,
+        ecosystem: Ecosystem,
+        removal_brand: str = "VerisignEV",
+        seed: int = 11,
+        blocked_spki_count: int = 11,
+        apply_reason_filter: bool = True,
+        max_entries_override: int | None = None,
+        size_cap_override: int | None = None,
+    ) -> None:
+        """The three ``*_override``/``apply_*`` knobs exist for the
+        ablation benches: they disable, respectively, the reason-code
+        filter (rule 4), the per-CRL entry drop threshold (rule 3), and
+        the 250 KB cap (rule 1)."""
+        self.ecosystem = ecosystem
+        self.calibration: Calibration = ecosystem.calibration
+        self.removal_brand = removal_brand
+        self.apply_reason_filter = apply_reason_filter
+        self.max_entries = (
+            max_entries_override
+            if max_entries_override is not None
+            else self.calibration.crlset_max_entries_per_crl
+        )
+        self.size_cap = (
+            size_cap_override
+            if size_cap_override is not None
+            else self.calibration.crlset_size_cap_bytes
+        )
+        self._rng = random.Random(seed)
+        self._blocked_spkis = frozenset(
+            hashlib.sha256(f"blocked-spki-{i}".encode()).digest()
+            for i in range(blocked_spki_count)
+        )
+
+    # -- deterministic per-CRL attributes ---------------------------------
+
+    def _crawl_lag_days(self, url: str) -> int:
+        low, high = self.calibration.crlset_crawl_period_hours
+        digest = hashlib.sha256(url.encode()).digest()
+        hours = low + digest[0] % (high - low + 1)
+        return max(0, (hours + 12) // 24)  # crawled within `hours`
+
+    def _partial_fraction(self, url: str) -> float:
+        cal = self.calibration
+        digest = hashlib.sha256(b"partial" + url.encode()).digest()
+        if digest[0] / 255.0 >= cal.crlset_partial_coverage_fraction:
+            return 1.0
+        low, high = cal.crlset_partial_coverage_range
+        return low + (digest[1] / 255.0) * (high - low)
+
+    @staticmethod
+    def _in_partial_subset(serial: int, fraction: float) -> bool:
+        if fraction >= 1.0:
+            return True
+        digest = hashlib.sha256(b"subset" + serial_to_bytes(serial)).digest()
+        return digest[0] / 256.0 < fraction
+
+    # -- the sweep ----------------------------------------------------------
+
+    def run(
+        self,
+        start: datetime.date | None = None,
+        end: datetime.date | None = None,
+    ) -> CrlSetHistory:
+        cal = self.calibration
+        start = start or cal.crlset_build_start
+        end = end or cal.measurement_end
+
+        tracks: dict[str, _CrlTrack] = {}
+        histories: dict[tuple[bytes, int], EntryHistory] = {}
+        adds_by_day: dict[datetime.date, list[tuple[str, tuple[bytes, int]]]] = {}
+        removes_by_day: dict[datetime.date, list[tuple[str, tuple[bytes, int]]]] = {}
+
+        for crl in self.ecosystem.crls:
+            if not crl.covered:
+                continue
+            track = _CrlTrack(
+                crl,
+                lag_days=self._crawl_lag_days(crl.url),
+                partial_fraction=self._partial_fraction(crl.url),
+            )
+            tracks[crl.url] = track
+            for entry in crl.entries:
+                key = (crl.issuer_key_hash, entry.serial_number)
+                history = EntryHistory(
+                    parent=crl.issuer_key_hash,
+                    serial=entry.serial_number,
+                    crl_url=crl.url,
+                    revoked_at=entry.revoked_at,
+                    cert_not_after=entry.cert_not_after,
+                    eligible=(
+                        is_crlset_eligible(entry.reason)
+                        if self.apply_reason_filter
+                        else True
+                    ),
+                    in_partial_subset=self._in_partial_subset(
+                        entry.serial_number, track.partial_fraction
+                    ),
+                )
+                histories[key] = history
+                if not history.eligible or not history.in_partial_subset:
+                    continue  # never enters the CRLSet
+                add_day = entry.revoked_at + datetime.timedelta(days=track.lag_days)
+                remove_day = entry.cert_not_after + _DAY
+                if add_day <= end and remove_day > max(add_day, start):
+                    adds_by_day.setdefault(max(add_day, start), []).append(
+                        (crl.url, key)
+                    )
+                    if remove_day <= end:
+                        removes_by_day.setdefault(remove_day, []).append(
+                            (crl.url, key)
+                        )
+
+        members: set[tuple[bytes, int]] = set()
+        daily_counts: dict[datetime.date, int] = {}
+        daily_additions: dict[datetime.date, int] = {}
+        daily_removals: dict[datetime.date, int] = {}
+        dropped_urls: set[str] = set()
+        parents_ever: set[bytes] = set()
+        entry_sizes: dict[tuple[bytes, int], int] = {}
+
+        def entry_size(key: tuple[bytes, int]) -> int:
+            size = entry_sizes.get(key)
+            if size is None:
+                size = 1 + len(serial_to_bytes(key[1]))
+                entry_sizes[key] = size
+            return size
+
+        day = start
+        removal_applied = False
+        while day <= end:
+            in_gap = cal.crlset_gap_start <= day < cal.crlset_gap_end
+            added_today = 0
+            removed_today = 0
+
+            # 1. underlying crawled-CRL state always advances.
+            for url, key in adds_by_day.get(day, ()):
+                track = tracks[url]
+                track.active.add(key)
+                track.byte_size += entry_size(key)
+            for url, key in removes_by_day.get(day, ()):
+                track = tracks[url]
+                track.active.discard(key)
+                track.byte_size -= entry_size(key)
+
+            # 2. the parent-removal event.
+            if not removal_applied and day >= cal.crlset_parent_removal_date:
+                for track in tracks.values():
+                    if track.crl.brand == self.removal_brand:
+                        track.parent_removed = True
+                removal_applied = True
+
+            # 3. on build days, recompute inclusion and the member set.
+            if not in_gap:
+                added_today, removed_today = self._rebuild(
+                    tracks, members, histories, entry_size, day
+                )
+                for track in tracks.values():
+                    if track.included:
+                        parents_ever.add(track.crl.issuer_key_hash)
+                    elif track.crawled_entry_count(day) > self.max_entries:
+                        dropped_urls.add(track.crl.url)
+
+            daily_counts[day] = len(members)
+            daily_additions[day] = added_today
+            daily_removals[day] = removed_today
+            day += _DAY
+
+        final_parents: dict[bytes, set[int]] = {}
+        for parent, serial in members:
+            final_parents.setdefault(parent, set()).add(serial)
+        final_snapshot = CrlSetSnapshot(
+            sequence=len(daily_counts),
+            date=end,
+            parents={p: frozenset(s) for p, s in final_parents.items()},
+            blocked_spkis=self._blocked_spkis,
+        )
+        return CrlSetHistory(
+            daily_entry_counts=daily_counts,
+            daily_additions=daily_additions,
+            daily_removals=daily_removals,
+            entry_histories=list(histories.values()),
+            final_snapshot=final_snapshot,
+            covered_urls=frozenset(tracks),
+            dropped_urls=frozenset(dropped_urls),
+            parents_ever=frozenset(parents_ever),
+        )
+
+    def _rebuild(
+        self,
+        tracks: dict[str, _CrlTrack],
+        members: set[tuple[bytes, int]],
+        histories: dict[tuple[bytes, int], EntryHistory],
+        entry_size,
+        day: datetime.date,
+    ) -> tuple[int, int]:
+        """Recompute CRL inclusion (rules 1 and 3) and sync membership."""
+        cal = self.calibration
+        candidates = [
+            track
+            for track in tracks.values()
+            if not track.parent_removed
+            and track.crawled_entry_count(day) <= self.max_entries
+        ]
+        # Rule 3, applied against the byte cap: if everything does not fit
+        # in 250 KB, the CRLs with the most entries are dropped first (a
+        # CRL "with too many entries" is dropped, §7.1).
+        candidates.sort(key=lambda track: len(track.active))
+        budget = self.size_cap - 64  # header overhead
+        total = sum(track.byte_size for track in candidates)
+        while candidates and total > budget:
+            dropped = candidates.pop()  # most entries
+            total -= dropped.byte_size
+        included_urls = {track.crl.url for track in candidates}
+
+        added = 0
+        removed = 0
+        new_members: set[tuple[bytes, int]] = set()
+        for url in included_urls:
+            new_members |= tracks[url].active
+        for track in tracks.values():
+            track.included = track.crl.url in included_urls
+
+        for key in new_members - members:
+            history = histories[key]
+            if history.first_appeared is None:
+                history.first_appeared = day
+            history.removed_at = None
+            added += 1
+        for key in members - new_members:
+            histories[key].removed_at = day
+            removed += 1
+        members.clear()
+        members.update(new_members)
+        return added, removed

@@ -1,0 +1,11 @@
+"""Experiment modules: one per table/figure in the paper's evaluation.
+
+Each module exposes ``run(study) -> ExperimentResult``; the result bundles
+the structured data, a rendered plain-text figure/table, and a
+paper-vs-measured comparison (the basis of EXPERIMENTS.md).
+"""
+
+from repro.experiments.common import ExperimentResult
+from repro.experiments.runner import ALL_EXPERIMENTS, run_all, run_experiment
+
+__all__ = ["ALL_EXPERIMENTS", "ExperimentResult", "run_all", "run_experiment"]

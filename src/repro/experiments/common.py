@@ -1,0 +1,60 @@
+"""Shared experiment plumbing."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["Comparison", "ExperimentResult"]
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One paper-vs-measured data point."""
+
+    metric: str
+    paper: str
+    measured: str
+    #: does the measured value preserve the paper's qualitative shape?
+    shape_holds: bool = True
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one experiment run."""
+
+    experiment_id: str
+    title: str
+    rendered: str
+    data: dict = field(default_factory=dict)
+    comparisons: list[Comparison] = field(default_factory=list)
+
+    def compare(
+        self, metric: str, paper: object, measured: object, shape_holds: bool = True
+    ) -> None:
+        self.comparisons.append(
+            Comparison(
+                metric=metric,
+                paper=str(paper),
+                measured=str(measured),
+                shape_holds=shape_holds,
+            )
+        )
+
+    def comparison_table(self) -> str:
+        from repro.core.report import format_table
+
+        return format_table(
+            ["metric", "paper", "measured", "shape holds"],
+            [
+                (c.metric, c.paper, c.measured, "yes" if c.shape_holds else "NO")
+                for c in self.comparisons
+            ],
+            title=f"{self.experiment_id}: paper vs measured",
+        )
+
+    def render(self) -> str:
+        parts = [f"== {self.experiment_id}: {self.title} ==", self.rendered]
+        if self.comparisons:
+            parts.append("")
+            parts.append(self.comparison_table())
+        return "\n".join(parts)

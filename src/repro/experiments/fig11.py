@@ -1,0 +1,107 @@
+"""Figure 11: Bloom-filter capacity vs false-positive rate vs CRLSets."""
+
+from __future__ import annotations
+
+from repro.core.pipeline import MeasurementStudy
+from repro.core.report import format_table
+from repro.crlset.bloom import (
+    BloomFilter,
+    capacity_at_fp_rate,
+    false_positive_rate,
+)
+from repro.experiments.common import ExperimentResult
+
+EXPERIMENT_ID = "fig11"
+TITLE = "Bloom filters as a CRLSet replacement (Figure 11, §7.4)"
+
+_SIZES = {
+    "256KB": 256 * 1024 * 8,
+    "512KB": 512 * 1024 * 8,
+    "1MB": 1024 * 1024 * 8,
+    "2MB": 2 * 1024 * 1024 * 8,
+    "16MB": 16 * 1024 * 1024 * 8,
+}
+_POPULATIONS = (10_000, 30_000, 100_000, 300_000, 1_000_000, 3_000_000, 10_000_000)
+
+
+def run(study: MeasurementStudy) -> ExperimentResult:
+    dynamics = study.crlset_dynamics()
+    total_revocations = study.ecosystem.total_crl_entries(
+        study.calibration.measurement_end
+    )
+    paper_total = study.targets.total_crl_entries
+
+    rows = []
+    curves: dict[str, list[tuple[int, float]]] = {}
+    for label, m_bits in _SIZES.items():
+        curve = []
+        for n in _POPULATIONS:
+            p = false_positive_rate(m_bits, n)
+            curve.append((n, p))
+        curves[label] = curve
+        rows.append(
+            [label]
+            + [f"{p:.2e}" if p < 0.01 else f"{p:.3f}" for _, p in curve]
+        )
+    rendered = format_table(
+        ["m \\ n"] + [f"{n:,}" for n in _POPULATIONS],
+        rows,
+        title="analytic false-positive rate at optimal k",
+    )
+
+    # The paper's headline points.
+    cap_256k_1pct = capacity_at_fp_rate(_SIZES["256KB"], 0.01)
+    cap_2m_1pct = capacity_at_fp_rate(_SIZES["2MB"], 0.01)
+    crlset_band = (dynamics.min_entries, dynamics.max_entries)
+    rendered += (
+        f"\n\n256 KB filter at 1% FP holds {cap_256k_1pct:,} revocations "
+        f"(CRLSet band in this run: {crlset_band[0]:,}-{crlset_band[1]:,})\n"
+        f"2 MB filter at 1% FP holds {cap_2m_1pct:,} revocations "
+        f"({cap_2m_1pct / paper_total:.0%} of the paper's 11.46M corpus)"
+    )
+
+    # Empirical validation of the analytic curve with a real filter.
+    n_check = 20_000
+    bloom = BloomFilter.for_items(n_check, _SIZES["256KB"])
+    bloom.update(f"revoked-{i}".encode() for i in range(n_check))
+    measured_fp = bloom.measured_fp_rate(
+        f"fresh-{i}".encode() for i in range(30_000)
+    )
+    analytic_fp = false_positive_rate(_SIZES["256KB"], n_check)
+    rendered += (
+        f"\n\nempirical check: 256 KB filter with n={n_check:,}: "
+        f"measured FP {measured_fp:.4f} vs analytic {analytic_fp:.4f}"
+    )
+
+    result = ExperimentResult(
+        EXPERIMENT_ID,
+        TITLE,
+        rendered,
+        data={
+            "curves": curves,
+            "capacity_256k_1pct": cap_256k_1pct,
+            "capacity_2m_1pct": cap_2m_1pct,
+            "measured_fp": measured_fp,
+            "analytic_fp": analytic_fp,
+            "total_revocations_scaled": total_revocations,
+        },
+    )
+    result.compare(
+        "256 KB Bloom holds 10x more than CRLSet at 1% FP",
+        ">10x CRLSet's ~25k",
+        f"{cap_256k_1pct:,} vs CRLSet max {crlset_band[1]:,}",
+        shape_holds=cap_256k_1pct > 8 * crlset_band[1],
+    )
+    result.compare(
+        "2 MB covers ~15% of all revocations (1.7M)",
+        "1.7M revocations",
+        f"{cap_2m_1pct:,}",
+        shape_holds=1_200_000 <= cap_2m_1pct <= 2_500_000,
+    )
+    result.compare(
+        "analytic FP matches a real filter",
+        "match",
+        f"{measured_fp:.4f} vs {analytic_fp:.4f}",
+        shape_holds=abs(measured_fp - analytic_fp) < max(0.01, analytic_fp),
+    )
+    return result

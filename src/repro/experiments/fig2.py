@@ -1,0 +1,86 @@
+"""Figure 2: fraction of fresh and alive certificates revoked over time."""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.core.pipeline import MeasurementStudy
+from repro.core.report import render_series
+from repro.experiments.common import ExperimentResult
+
+EXPERIMENT_ID = "fig2"
+TITLE = "Fresh/alive certificates revoked over time (Figure 2)"
+
+_PRE_HEARTBLEED = datetime.date(2014, 3, 5)
+
+
+def run(study: MeasurementStudy) -> ExperimentResult:
+    series = study.revocation_series()
+    targets = study.targets
+
+    final = len(series.dates) - 1
+    pre_index = max(
+        i for i, day in enumerate(series.dates) if day <= _PRE_HEARTBLEED
+    )
+    peak_day, peak_value = series.peak_fresh_revoked()
+
+    fresh_rendered = render_series(
+        [
+            (day, value)
+            for day, value in zip(series.dates, series.fresh_revoked_all)
+        ][::4],
+        title="fraction of FRESH certs revoked (all), 4-week sampling",
+        value_format="{:.3%}",
+    )
+    alive_rendered = render_series(
+        [
+            (day, value)
+            for day, value in zip(series.dates, series.alive_revoked_all)
+        ][::4],
+        title="fraction of ALIVE certs revoked (all), 4-week sampling",
+        value_format="{:.3%}",
+    )
+    rendered = fresh_rendered + "\n\n" + alive_rendered
+
+    result = ExperimentResult(
+        EXPERIMENT_ID,
+        TITLE,
+        rendered,
+        data={
+            "dates": series.dates,
+            "fresh_revoked_all": series.fresh_revoked_all,
+            "fresh_revoked_ev": series.fresh_revoked_ev,
+            "alive_revoked_all": series.alive_revoked_all,
+            "alive_revoked_ev": series.alive_revoked_ev,
+        },
+    )
+    fresh_end = series.fresh_revoked_all[final]
+    alive_end = series.alive_revoked_all[final]
+    ev_end = series.fresh_revoked_ev[final]
+    pre = series.fresh_revoked_all[pre_index]
+    result.compare(
+        "fresh revoked at end", f">{targets.fresh_revoked_at_end:.0%}",
+        f"{fresh_end:.2%}", shape_holds=0.05 <= fresh_end <= 0.13,
+    )
+    result.compare(
+        "fresh revoked pre-Heartbleed", f"~{targets.fresh_revoked_pre_heartbleed:.0%}",
+        f"{pre:.2%}", shape_holds=0.002 <= pre <= 0.025,
+    )
+    result.compare(
+        "alive revoked at end", f"~{targets.alive_revoked_at_end:.1%}",
+        f"{alive_end:.2%}", shape_holds=0.003 <= alive_end <= 0.015,
+    )
+    result.compare(
+        "EV fresh revoked at end", f">{targets.ev_fresh_revoked_at_end:.0%}",
+        f"{ev_end:.2%}", shape_holds=0.03 <= ev_end <= 0.13,
+    )
+    result.compare(
+        "Heartbleed spike visible",
+        "spike in Apr-May 2014",
+        f"peak {peak_value:.2%} on {peak_day}",
+        shape_holds=(
+            peak_value >= 3 * pre
+            and datetime.date(2014, 4, 1) <= peak_day <= datetime.date(2014, 9, 1)
+        ),
+    )
+    return result

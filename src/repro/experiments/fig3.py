@@ -1,0 +1,88 @@
+"""Figure 3 + §4.3: OCSP Stapling support and repeated-probe measurement."""
+
+from __future__ import annotations
+
+from repro.core.pipeline import MeasurementStudy
+from repro.core.report import format_table, render_series
+from repro.experiments.common import ExperimentResult
+
+EXPERIMENT_ID = "fig3"
+TITLE = "OCSP Stapling deployment and probe experiment (Figure 3, §4.3)"
+
+
+def run(study: MeasurementStudy) -> ExperimentResult:
+    summary = study.stapling_summary
+    probes = study.stapling_probes()
+    targets = study.targets
+
+    probe_rendered = render_series(
+        [
+            (f"probe {i + 1}", fraction)
+            for i, fraction in enumerate(probes.observed_fraction)
+        ],
+        title="fraction of stapling-capable servers observed stapling",
+        value_format="{:.3f}",
+    )
+    stats_rendered = format_table(
+        ["metric", "paper", "measured"],
+        [
+            ("servers supporting stapling",
+             f"{targets.servers_supporting_stapling:.2%}",
+             f"{summary.server_fraction:.2%}"),
+            ("certs with >=1 stapling server",
+             f"{targets.certs_with_any_stapling_server:.2%}",
+             f"{summary.cert_any_fraction:.2%}"),
+            ("certs with all servers stapling",
+             f"{targets.certs_with_all_stapling_servers:.2%}",
+             f"{summary.cert_all_fraction:.2%}"),
+            ("EV certs with >=1 stapling server",
+             f"{targets.ev_certs_with_any_stapling_server:.2%}",
+             f"{summary.ev_any_fraction:.2%}"),
+            ("EV certs with all servers stapling",
+             f"{targets.ev_certs_with_all_stapling_servers:.2%}",
+             f"{summary.ev_all_fraction:.2%}"),
+            ("single-probe underestimate",
+             f"~{targets.single_probe_underestimate:.0%}",
+             f"{probes.single_probe_underestimate:.1%}"),
+        ],
+    )
+    result = ExperimentResult(
+        EXPERIMENT_ID,
+        TITLE,
+        probe_rendered + "\n\n" + stats_rendered,
+        data={
+            "summary": summary,
+            "probe_fractions": probes.observed_fraction,
+        },
+    )
+    result.compare(
+        "stapling is rare (servers)",
+        f"{targets.servers_supporting_stapling:.1%}",
+        f"{summary.server_fraction:.1%}",
+        shape_holds=summary.server_fraction < 0.08,
+    )
+    result.compare(
+        "certs any-stapling",
+        f"{targets.certs_with_any_stapling_server:.1%}",
+        f"{summary.cert_any_fraction:.1%}",
+        shape_holds=0.02 <= summary.cert_any_fraction <= 0.09,
+    )
+    result.compare(
+        "EV staples less than overall",
+        "3.15% vs 5.19%",
+        f"{summary.ev_any_fraction:.1%} vs {summary.cert_any_fraction:.1%}",
+        shape_holds=summary.ev_any_fraction < summary.cert_any_fraction,
+    )
+    result.compare(
+        "single-probe underestimate",
+        f"~{targets.single_probe_underestimate:.0%}",
+        f"{probes.single_probe_underestimate:.0%}",
+        shape_holds=0.10 <= probes.single_probe_underestimate <= 0.25,
+    )
+    result.compare(
+        "probe curve rises",
+        "monotone toward 1.0",
+        f"{probes.observed_fraction[0]:.2f} -> {probes.observed_fraction[-1]:.2f}",
+        shape_holds=probes.observed_fraction[-1] > probes.observed_fraction[0],
+    )
+    return result

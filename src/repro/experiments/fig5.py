@@ -1,0 +1,65 @@
+"""Figure 5: CRL entry count vs byte size (linear, ~38 bytes/entry)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.pipeline import MeasurementStudy
+from repro.core.report import format_table
+from repro.experiments.common import ExperimentResult
+
+EXPERIMENT_ID = "fig5"
+TITLE = "CRL entries vs CRL size scatter (Figure 5)"
+
+
+def run(study: MeasurementStudy) -> ExperimentResult:
+    at = study.calibration.measurement_end
+    sizes = study.crl_sizes(at)
+    counts = study.crl_entry_counts(at)
+
+    points = [
+        (counts[url], sizes[url]) for url in sizes if counts[url] > 0
+    ]
+    entries = np.array([p[0] for p in points], dtype=float)
+    size_bytes = np.array([p[1] for p in points], dtype=float)
+
+    # Least-squares slope through large CRLs (small ones are dominated by
+    # the fixed signature/header overhead, as in the paper's scatter).
+    large = entries >= 100
+    if large.sum() >= 2:
+        slope, intercept = np.polyfit(entries[large], size_bytes[large], 1)
+    else:
+        slope, intercept = float("nan"), float("nan")
+    correlation = float(np.corrcoef(np.log10(entries), np.log10(size_bytes))[0, 1])
+
+    sample_rows = sorted(points)[:: max(1, len(points) // 15)]
+    rendered = format_table(
+        ["entries", "size (bytes)", "bytes/entry"],
+        [
+            (n, s, f"{s / n:.1f}" if n else "-")
+            for n, s in sample_rows
+        ],
+        title=f"sampled scatter points (n={len(points)} CRLs)",
+    )
+    rendered += (
+        f"\n\nfit over CRLs with >=100 entries: "
+        f"{slope:.1f} bytes/entry + {intercept:.0f} B overhead; "
+        f"log-log correlation r={correlation:.3f}"
+    )
+
+    result = ExperimentResult(
+        EXPERIMENT_ID,
+        TITLE,
+        rendered,
+        data={"points": points, "slope": float(slope), "correlation": correlation},
+    )
+    targets = study.targets
+    result.compare(
+        "bytes per CRL entry", f"~{targets.crl_bytes_per_entry:.0f} B",
+        f"{slope:.1f} B", shape_holds=20 <= slope <= 60,
+    )
+    result.compare(
+        "strong linear relationship", "linear scatter",
+        f"r={correlation:.3f}", shape_holds=correlation > 0.95,
+    )
+    return result

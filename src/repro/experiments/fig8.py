@@ -1,0 +1,60 @@
+"""Figure 8: CRLSet entry count over time."""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.core.pipeline import MeasurementStudy
+from repro.core.report import render_series
+from repro.experiments.common import ExperimentResult
+
+EXPERIMENT_ID = "fig8"
+TITLE = "CRLSet size over time (Figure 8)"
+
+
+def run(study: MeasurementStudy) -> ExperimentResult:
+    dynamics = study.crlset_dynamics()
+    series = dynamics.entry_count_series
+    cal = study.calibration
+
+    sampled = sorted(series)[::14]
+    rendered = render_series(
+        [(day, float(series[day])) for day in sampled],
+        title="CRLSet entries (fortnightly sampling)",
+        value_format="{:,.0f}",
+    )
+
+    removal = cal.crlset_parent_removal_date
+    before_removal = series[removal - datetime.timedelta(days=2)]
+    after_removal = series[removal + datetime.timedelta(days=2)]
+    peak = dynamics.max_entries
+    end = series[max(series)]
+
+    result = ExperimentResult(
+        EXPERIMENT_ID, TITLE, rendered, data={"series": series}
+    )
+    targets = study.targets
+    result.compare(
+        "entry count range",
+        f"{targets.crlset_min_entries:,}-{targets.crlset_max_entries:,}",
+        f"{dynamics.min_entries:,}-{dynamics.max_entries:,}",
+        shape_holds=2_000 <= dynamics.min_entries
+        and dynamics.max_entries <= 60_000,
+    )
+    result.compare(
+        "peak during Heartbleed wave", "peak ~Apr-May 2014",
+        f"peak {peak:,}",
+        shape_holds=max(series, key=series.get)
+        <= datetime.date(2014, 6, 15),
+    )
+    result.compare(
+        "sharp drop at parent removal", "-5,774 entries (May-Jun 2014)",
+        f"{before_removal:,} -> {after_removal:,}",
+        shape_holds=after_removal < before_removal * 0.9,
+    )
+    result.compare(
+        "net decline from peak by >1/4", "24,904 -> ~16,000",
+        f"{peak:,} -> {end:,}",
+        shape_holds=end < peak * 0.8,
+    )
+    return result

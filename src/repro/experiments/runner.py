@@ -1,0 +1,74 @@
+"""Run every experiment and render the paper-vs-measured report."""
+
+from __future__ import annotations
+
+from repro.core.pipeline import MeasurementStudy
+from repro.experiments import (
+    fig2,
+    fig3,
+    fig4,
+    fig5,
+    fig6,
+    fig7,
+    fig8,
+    fig9,
+    fig10,
+    fig11,
+    section3,
+    section42,
+    table1,
+    table2,
+)
+from repro.experiments.common import ExperimentResult
+
+__all__ = ["ALL_EXPERIMENTS", "run_all", "run_experiment"]
+
+ALL_EXPERIMENTS = {
+    module.EXPERIMENT_ID: module
+    for module in (
+        section3,
+        section42,
+        fig2,
+        fig3,
+        fig4,
+        fig5,
+        fig6,
+        table1,
+        table2,
+        fig7,
+        fig8,
+        fig9,
+        fig10,
+        fig11,
+    )
+}
+
+
+def run_experiment(
+    experiment_id: str, study: MeasurementStudy | None = None
+) -> ExperimentResult:
+    try:
+        module = ALL_EXPERIMENTS[experiment_id]
+    except KeyError:
+        raise KeyError(
+            f"unknown experiment {experiment_id!r}; "
+            f"known: {sorted(ALL_EXPERIMENTS)}"
+        ) from None
+    study = study or MeasurementStudy()
+    return module.run(study)
+
+
+def run_all(study: MeasurementStudy | None = None) -> list[ExperimentResult]:
+    study = study or MeasurementStudy()
+    return [module.run(study) for module in ALL_EXPERIMENTS.values()]
+
+
+def main() -> None:  # pragma: no cover - CLI convenience
+    study = MeasurementStudy()
+    for result in run_all(study):
+        print(result.render())
+        print()
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

@@ -1,0 +1,65 @@
+"""§3 dataset composition: Leaf/Intermediate Sets and revocation pointers."""
+
+from __future__ import annotations
+
+from repro.core.pipeline import MeasurementStudy
+from repro.core.report import format_table
+from repro.experiments.common import ExperimentResult
+
+EXPERIMENT_ID = "section3"
+TITLE = "Dataset composition (paper §3)"
+
+
+def run(study: MeasurementStudy) -> ExperimentResult:
+    summary = study.dataset_summary()
+    targets = study.targets
+    scale = study.calibration.scale
+
+    rows = [
+        ("unique certs seen", f"{targets.unique_certs_seen:,}",
+         f"{summary['unique_certs_seen']:,.0f}"),
+        ("Leaf Set size", f"{targets.leaf_set_size:,}",
+         f"{summary['leaf_set_size']:,.0f}"),
+        ("alive in last scan", f"{targets.leaf_alive_in_last_scan_fraction:.1%}",
+         f"{summary['alive_in_last_scan_fraction']:.1%}"),
+        ("Intermediate Set size", f"{targets.intermediate_set_size:,}",
+         f"{summary['intermediate_set_size']:,.0f}"),
+        ("root store size", f"{targets.root_store_size}",
+         f"{summary['root_store_size']:.0f}"),
+        ("leaf certs with CRL", f"{targets.leaf_with_crl:.1%}",
+         f"{summary['leaf_with_crl']:.1%}"),
+        ("leaf certs with OCSP", f"{targets.leaf_with_ocsp:.1%}",
+         f"{summary['leaf_with_ocsp']:.1%}"),
+        ("leaf certs with neither", f"{targets.leaf_with_neither:.2%}",
+         f"{summary['leaf_with_neither']:.2%}"),
+        ("intermediates with CRL", f"{targets.intermediate_with_crl:.1%}",
+         f"{summary['intermediate_with_crl']:.1%}"),
+        ("intermediates with OCSP", f"{targets.intermediate_with_ocsp:.1%}",
+         f"{summary['intermediate_with_ocsp']:.1%}"),
+        ("unique CRLs", f"{targets.unique_crls:,}", f"{summary['unique_crls']:.0f}"),
+        ("unique OCSP responders", f"{targets.unique_ocsp_responders}",
+         f"{summary['unique_ocsp_responders']:.0f}"),
+    ]
+    rendered = format_table(
+        ["metric", "paper (full scale)", f"measured (scale={scale})"], rows
+    )
+    result = ExperimentResult(EXPERIMENT_ID, TITLE, rendered, data=summary)
+    result.compare(
+        "leaf CRL inclusion",
+        f"{targets.leaf_with_crl:.1%}",
+        f"{summary['leaf_with_crl']:.1%}",
+        shape_holds=summary["leaf_with_crl"] > 0.98,
+    )
+    result.compare(
+        "leaf OCSP inclusion",
+        f"{targets.leaf_with_ocsp:.1%}",
+        f"{summary['leaf_with_ocsp']:.1%}",
+        shape_holds=abs(summary["leaf_with_ocsp"] - targets.leaf_with_ocsp) < 0.05,
+    )
+    result.compare(
+        "never-revocable leaves",
+        f"{targets.leaf_with_neither:.2%}",
+        f"{summary['leaf_with_neither']:.2%}",
+        shape_holds=summary["leaf_with_neither"] < 0.01,
+    )
+    return result

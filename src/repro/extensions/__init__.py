@@ -1,0 +1,34 @@
+"""Extensions the paper points at but could not yet measure.
+
+The paper's discussion sections sketch several "near-term improvements"
+(§1, §2.2, §7, §9) that had little or no deployment in 2015.  This
+package implements them so their effect can be quantified against the
+same synthetic ecosystem:
+
+* :mod:`repro.extensions.multistaple` -- the Multiple Certificate Status
+  Request TLS extension (RFC 6961 [37]): stapling OCSP responses for the
+  *whole chain*, removing the intermediate-check gap that plain stapling
+  leaves open.
+* :mod:`repro.extensions.shortlived` -- short-lived certificates [46]:
+  making revocation unnecessary by making expiry fast.
+* :mod:`repro.extensions.onecrl` -- Mozilla's OneCRL [41]: a pushed
+  revocation list for *intermediate* certificates only.
+"""
+
+from repro.extensions.multistaple import MultiStapleServer, MultiStapleResult
+from repro.extensions.onecrl import OneCrl, build_onecrl
+from repro.extensions.shortlived import (
+    AttackWindowReport,
+    RevocationRegime,
+    attack_window_study,
+)
+
+__all__ = [
+    "AttackWindowReport",
+    "MultiStapleResult",
+    "MultiStapleServer",
+    "OneCrl",
+    "RevocationRegime",
+    "attack_window_study",
+    "build_onecrl",
+]

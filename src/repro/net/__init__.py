@@ -1,0 +1,38 @@
+"""Deterministic network simulation.
+
+Provides the transport substrate the measurement rides on: a simulated
+clock, DNS, an HTTP-shaped request/response fabric with latency/bandwidth
+accounting and failure injection, client-side caching, CRL/OCSP endpoints,
+and TLS handshakes with the ``status_request`` (OCSP Stapling) extension.
+"""
+
+from repro.net.clock import SimClock
+from repro.net.http import HttpRequest, HttpResponse, HttpStatus
+from repro.net.dns import DnsError, Resolver
+from repro.net.transport import FailureMode, LinkProfile, Network, TransferStats
+from repro.net.cache import ClientCache
+from repro.net.endpoints import CrlEndpoint, Endpoint, OcspEndpoint, StaticEndpoint
+from repro.net.fetcher import NetworkFetcher
+from repro.net.tls import HandshakeResult, TlsClient, TlsServer
+
+__all__ = [
+    "ClientCache",
+    "CrlEndpoint",
+    "DnsError",
+    "Endpoint",
+    "FailureMode",
+    "HandshakeResult",
+    "HttpRequest",
+    "HttpResponse",
+    "HttpStatus",
+    "LinkProfile",
+    "Network",
+    "NetworkFetcher",
+    "OcspEndpoint",
+    "Resolver",
+    "SimClock",
+    "StaticEndpoint",
+    "TlsClient",
+    "TlsServer",
+    "TransferStats",
+]

@@ -1,0 +1,61 @@
+"""Client-side cache for revocation artefacts.
+
+CRLs and OCSP responses both carry validity windows and are cacheable
+(§2.2); the paper notes 95% of CRLs expire within 24 hours, limiting how
+much caching actually saves.  The cache stores any object exposing an
+``is_expired(at)`` predicate, keyed by URL (plus serial for OCSP).
+"""
+
+from __future__ import annotations
+
+import datetime
+from typing import Any
+
+__all__ = ["ClientCache"]
+
+
+class ClientCache:
+    """An expiry-aware key/value cache with hit/miss accounting."""
+
+    def __init__(self, max_entries: int = 10_000) -> None:
+        if max_entries < 1:
+            raise ValueError("max_entries must be positive")
+        self._entries: dict[Any, Any] = {}
+        self._max_entries = max_entries
+        self.hits = 0
+        self.misses = 0
+
+    def get(self, key: Any, at: datetime.datetime) -> Any | None:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        if entry.is_expired(at):
+            del self._entries[key]
+            self.misses += 1
+            return None
+        self.hits += 1
+        return entry
+
+    def put(self, key: Any, value: Any) -> None:
+        if not hasattr(value, "is_expired"):
+            raise TypeError("cached values must expose is_expired(at)")
+        if len(self._entries) >= self._max_entries and key not in self._entries:
+            # Evict the entry with the earliest expiry (simple, deterministic).
+            victim = min(self._entries, key=lambda k: self._entries[k].next_update)
+            del self._entries[victim]
+        self._entries[key] = value
+
+    def invalidate(self, key: Any) -> None:
+        self._entries.pop(key, None)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0

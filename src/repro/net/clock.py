@@ -1,0 +1,48 @@
+"""Simulated wall clock.
+
+All simulation components share a :class:`SimClock` so that time is
+explicit and deterministic -- there is no reading of the host's clock
+anywhere in the library.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+__all__ = ["SimClock"]
+
+_UTC = datetime.timezone.utc
+
+
+class SimClock:
+    """A monotonically advancing simulated UTC clock."""
+
+    def __init__(self, start: datetime.datetime) -> None:
+        if start.tzinfo is None:
+            start = start.replace(tzinfo=_UTC)
+        self._now = start.astimezone(_UTC)
+
+    @property
+    def now(self) -> datetime.datetime:
+        return self._now
+
+    def advance(self, delta: datetime.timedelta) -> datetime.datetime:
+        if delta < datetime.timedelta(0):
+            raise ValueError("the simulated clock cannot move backwards")
+        self._now += delta
+        return self._now
+
+    def advance_to(self, when: datetime.datetime) -> datetime.datetime:
+        if when.tzinfo is None:
+            when = when.replace(tzinfo=_UTC)
+        if when < self._now:
+            raise ValueError("the simulated clock cannot move backwards")
+        self._now = when.astimezone(_UTC)
+        return self._now
+
+    def sleep_until_next(self, period: datetime.timedelta) -> datetime.datetime:
+        """Advance to the next multiple of ``period`` since midnight."""
+        midnight = self._now.replace(hour=0, minute=0, second=0, microsecond=0)
+        elapsed = self._now - midnight
+        steps = int(elapsed / period) + 1
+        return self.advance_to(midnight + steps * period)

@@ -1,0 +1,45 @@
+"""Simulated DNS.
+
+The browser test suite (§6.1) includes an "unavailable because the domain
+name of the revocation server does not exist" failure mode, so DNS is a
+first-class failure point rather than an implementation detail.
+"""
+
+from __future__ import annotations
+
+__all__ = ["DnsError", "Resolver"]
+
+
+class DnsError(Exception):
+    """NXDOMAIN or resolver failure."""
+
+
+class Resolver:
+    """Hostname -> address book with injectable NXDOMAIN failures."""
+
+    def __init__(self) -> None:
+        self._records: dict[str, str] = {}
+        self._poisoned: set[str] = set()
+
+    def register(self, hostname: str, address: str) -> None:
+        self._records[hostname.lower()] = address
+
+    def unregister(self, hostname: str) -> None:
+        self._records.pop(hostname.lower(), None)
+
+    def poison(self, hostname: str) -> None:
+        """Make ``hostname`` resolve to NXDOMAIN until :meth:`heal`."""
+        self._poisoned.add(hostname.lower())
+
+    def heal(self, hostname: str) -> None:
+        self._poisoned.discard(hostname.lower())
+
+    def resolve(self, hostname: str) -> str:
+        key = hostname.lower()
+        if key in self._poisoned or key not in self._records:
+            raise DnsError(f"NXDOMAIN: {hostname}")
+        return self._records[key]
+
+    def knows(self, hostname: str) -> bool:
+        key = hostname.lower()
+        return key in self._records and key not in self._poisoned

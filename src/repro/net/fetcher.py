@@ -1,0 +1,94 @@
+"""A :class:`~repro.revocation.checker.RevocationFetcher` over the
+simulated network, with client-side caching and cost accounting."""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.net.cache import ClientCache
+from repro.net.dns import DnsError
+from repro.net.http import HttpRequest
+from repro.net.transport import Network, TimeoutError_
+from repro.revocation.crl import CertificateRevocationList
+from repro.revocation.ocsp import OcspRequest, OcspResponse
+
+__all__ = ["NetworkFetcher"]
+
+
+class NetworkFetcher:
+    """Fetches CRLs and OCSP responses through a :class:`Network`.
+
+    Keeps running totals of bytes and latency so experiments can report
+    the client-side cost of revocation checking (§5.2).
+    """
+
+    def __init__(
+        self,
+        network: Network,
+        clock_now: "callable",
+        cache: ClientCache | None = None,
+    ) -> None:
+        self._network = network
+        self._now = clock_now
+        self.cache = cache if cache is not None else ClientCache()
+        self.bytes_downloaded = 0
+        self.latency_total = datetime.timedelta(0)
+        self.fetches = 0
+
+    def fetch_crl(self, url: str) -> CertificateRevocationList | None:
+        at = self._now()
+        cached = self.cache.get(("crl", url), at)
+        if cached is not None:
+            return cached
+        try:
+            response, stats = self._network.get(url, at)
+        except (DnsError, TimeoutError_, ValueError):
+            return None
+        self._account(stats)
+        if not response.ok:
+            return None
+        try:
+            crl = CertificateRevocationList.from_der(response.body, url=url)
+        except Exception:
+            return None
+        self.cache.put(("crl", url), crl)
+        return crl
+
+    def fetch_ocsp(
+        self,
+        url: str,
+        issuer_key_hash: bytes,
+        serial_number: int,
+        use_get: bool = True,
+    ) -> OcspResponse | None:
+        at = self._now()
+        key = ("ocsp", url, issuer_key_hash, serial_number)
+        cached = self.cache.get(key, at)
+        if cached is not None:
+            return cached
+        ocsp_request = OcspRequest(
+            issuer_key_hash=issuer_key_hash,
+            serial_number=serial_number,
+            use_get=use_get,
+        )
+        method = "GET" if use_get else "POST"
+        request = HttpRequest(method, url, body=ocsp_request.to_der())
+        try:
+            response, stats = self._network.request(request, at)
+        except (DnsError, TimeoutError_, ValueError):
+            return None
+        self._account(stats)
+        if not response.ok:
+            return None
+        try:
+            parsed = OcspResponse.from_der(response.body)
+        except Exception:
+            return None
+        if parsed.is_successful:
+            self.cache.put(key, parsed)
+        return parsed
+
+    def _account(self, stats) -> None:
+        self.bytes_downloaded += stats.bytes_down
+        self.latency_total += stats.latency
+        self.fetches += 1

@@ -1,0 +1,101 @@
+"""Simulated TLS handshakes with the ``status_request`` extension.
+
+:class:`TlsServer` holds a certificate chain and (optionally) an OCSP
+staple cache; :class:`TlsClient` performs handshakes, optionally
+requesting a staple.  The handshake result carries everything the browser
+models and the Michigan-style handshake scanner need: the presented
+chain, whether the server advertised stapling, and the staple itself.
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.pki.certificate import Certificate
+from repro.revocation.ocsp import OcspResponse
+from repro.revocation.stapling import StapleCache
+
+__all__ = ["HandshakeResult", "TlsClient", "TlsServer"]
+
+
+@dataclass(frozen=True)
+class HandshakeResult:
+    """What the client learns from one TLS handshake."""
+
+    chain: tuple[Certificate, ...]
+    staple: OcspResponse | None
+    #: True if the server supports the status_request extension at all
+    #: (even if it had no staple cached for this particular handshake).
+    stapling_advertised: bool
+    latency: datetime.timedelta = datetime.timedelta(0)
+
+    @property
+    def leaf(self) -> Certificate:
+        return self.chain[0]
+
+
+class TlsServer:
+    """A TLS endpoint presenting a fixed certificate chain.
+
+    ``stapling_enabled`` reflects the administrator's choice (§4.3: only a
+    few percent enable it).  When enabled, staples come from an nginx-like
+    :class:`StapleCache`; ``staple_fetcher(at)`` obtains fresh OCSP
+    responses for the leaf (returns ``None`` if the responder is down).
+    """
+
+    def __init__(
+        self,
+        chain: list[Certificate] | tuple[Certificate, ...],
+        stapling_enabled: bool = False,
+        staple_cache: StapleCache | None = None,
+        staple_fetcher: Callable[[datetime.datetime], OcspResponse | None] | None = None,
+    ) -> None:
+        if not chain:
+            raise ValueError("a TLS server needs at least a leaf certificate")
+        self.chain = tuple(chain)
+        self.stapling_enabled = stapling_enabled
+        self.staple_cache = staple_cache or StapleCache()
+        self._staple_fetcher = staple_fetcher
+        self.handshakes_served = 0
+
+    @property
+    def leaf(self) -> Certificate:
+        return self.chain[0]
+
+    def handshake(
+        self, at: datetime.datetime, status_request: bool
+    ) -> HandshakeResult:
+        """Serve one handshake at simulated instant ``at``."""
+        self.handshakes_served += 1
+        staple: OcspResponse | None = None
+        if status_request and self.stapling_enabled:
+            fetch = (
+                (lambda: self._staple_fetcher(at))
+                if self._staple_fetcher is not None
+                else (lambda: None)
+            )
+            staple = self.staple_cache.get_staple(at, fetch)
+        return HandshakeResult(
+            chain=self.chain,
+            staple=staple,
+            stapling_advertised=self.stapling_enabled,
+        )
+
+
+@dataclass
+class TlsClient:
+    """A handshake initiator; ``request_staple`` mirrors browser behaviour
+    (Table 2's "Request OCSP staple" row)."""
+
+    request_staple: bool = True
+    handshakes: int = 0
+    staples_received: int = 0
+
+    def connect(self, server: TlsServer, at: datetime.datetime) -> HandshakeResult:
+        result = server.handshake(at, status_request=self.request_staple)
+        self.handshakes += 1
+        if result.staple is not None:
+            self.staples_received += 1
+        return result

@@ -1,0 +1,142 @@
+"""HTTP-shaped transport with latency/bandwidth accounting and failures.
+
+The network maps URLs to :class:`~repro.net.endpoints.Endpoint` objects.
+Each request produces an :class:`HttpResponse` plus :class:`TransferStats`
+(latency and bytes), which is how the study quantifies the client cost of
+fetching revocation information (§5.2: the median certificate's CRL is
+51 KB; OCSP responses are <1 KB with ~250 ms latency).
+
+Failure injection covers the paper's four "unavailable" modes (§6.1):
+NXDOMAIN, HTTP 404, no response (timeout), and -- at the OCSP layer --
+``unknown`` status responses.
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+from dataclasses import dataclass
+
+from repro.net.dns import DnsError, Resolver
+from repro.net.http import HttpRequest, HttpResponse, HttpStatus, split_url
+
+__all__ = ["FailureMode", "LinkProfile", "Network", "TransferStats", "TimeoutError_"]
+
+
+class FailureMode(enum.Enum):
+    """Injectable endpoint failure behaviours."""
+
+    NONE = "none"
+    NXDOMAIN = "nxdomain"
+    HTTP_404 = "http_404"
+    NO_RESPONSE = "no_response"
+
+
+class TimeoutError_(Exception):
+    """The endpoint never responded."""
+
+
+@dataclass(frozen=True)
+class LinkProfile:
+    """Latency/bandwidth model for a client-endpoint path.
+
+    Transfer time = rtt (connection setup + request) + bytes / bandwidth.
+    Defaults approximate a broadband client reaching a CDN-hosted CA
+    endpoint (the paper cites ~250 ms typical OCSP lookups [33]).
+    """
+
+    rtt: datetime.timedelta = datetime.timedelta(milliseconds=40)
+    bandwidth_bytes_per_s: float = 2_000_000.0  # ~16 Mbit/s
+
+    def transfer_time(self, nbytes: int) -> datetime.timedelta:
+        if nbytes < 0:
+            raise ValueError("nbytes must be non-negative")
+        seconds = nbytes / self.bandwidth_bytes_per_s
+        return self.rtt + datetime.timedelta(seconds=seconds)
+
+    @classmethod
+    def mobile(cls) -> "LinkProfile":
+        """A constrained mobile link (motivates §6.4's findings)."""
+        return cls(
+            rtt=datetime.timedelta(milliseconds=150),
+            bandwidth_bytes_per_s=250_000.0,
+        )
+
+
+@dataclass(frozen=True)
+class TransferStats:
+    latency: datetime.timedelta
+    bytes_down: int
+    bytes_up: int = 0
+
+
+class Network:
+    """Routes requests from clients to registered endpoints."""
+
+    def __init__(
+        self, resolver: Resolver | None = None, profile: LinkProfile | None = None
+    ) -> None:
+        self.resolver = resolver or Resolver()
+        self.profile = profile or LinkProfile()
+        self._endpoints: dict[tuple[str, str], "Endpoint"] = {}
+        self._failures: dict[str, FailureMode] = {}
+        self.total_bytes = 0
+        self.total_requests = 0
+
+    # -- wiring ------------------------------------------------------------
+
+    def register(self, url: str, endpoint: "Endpoint") -> None:
+        host, path = split_url(url)
+        self.resolver.register(host, f"10.0.0.{(len(self._endpoints) % 250) + 1}")
+        self._endpoints[(host, path)] = endpoint
+
+    def set_failure(self, url: str, mode: FailureMode) -> None:
+        """Inject a failure mode for all requests to ``url``."""
+        host, path = split_url(url)
+        self._failures[f"{host}{path}"] = mode
+        if mode is FailureMode.NXDOMAIN:
+            self.resolver.poison(host)
+        else:
+            self.resolver.heal(host)
+
+    def clear_failure(self, url: str) -> None:
+        host, path = split_url(url)
+        self._failures.pop(f"{host}{path}", None)
+        self.resolver.heal(host)
+
+    # -- request path ------------------------------------------------------
+
+    def request(
+        self, request: HttpRequest, at: datetime.datetime
+    ) -> tuple[HttpResponse, TransferStats]:
+        """Dispatch a request; raises :class:`DnsError` or
+        :class:`TimeoutError_` for those failure modes."""
+        host, path = split_url(request.url)
+        mode = self._failures.get(f"{host}{path}", FailureMode.NONE)
+        self.total_requests += 1
+        if mode is FailureMode.NXDOMAIN:
+            raise DnsError(f"NXDOMAIN: {host}")
+        self.resolver.resolve(host)
+        if mode is FailureMode.NO_RESPONSE:
+            raise TimeoutError_(request.url)
+        if mode is FailureMode.HTTP_404:
+            response = HttpResponse(HttpStatus.NOT_FOUND)
+        else:
+            endpoint = self._endpoints.get((host, path))
+            if endpoint is None:
+                response = HttpResponse(HttpStatus.NOT_FOUND)
+            else:
+                response = endpoint.handle(request, at)
+        nbytes = len(response.body)
+        stats = TransferStats(
+            latency=self.profile.transfer_time(nbytes),
+            bytes_down=nbytes,
+            bytes_up=len(request.body),
+        )
+        self.total_bytes += nbytes
+        return response, stats
+
+    def get(
+        self, url: str, at: datetime.datetime
+    ) -> tuple[HttpResponse, TransferStats]:
+        return self.request(HttpRequest("GET", url), at)

@@ -1,0 +1,59 @@
+"""X.509-style PKI data model.
+
+Provides certificates, distinguished names, extensions, serial-number
+policies, signature key pairs with pluggable backends, and chain
+verification -- the substrate on which the paper's CAs, scans, and browser
+models operate.
+"""
+
+from repro.pki.certificate import Certificate, CertificateBuilder, TbsCertificate
+from repro.pki.extensions import (
+    AuthorityInfoAccess,
+    BasicConstraints,
+    CertificatePolicies,
+    CrlDistributionPoints,
+    Extension,
+)
+from repro.pki.keys import (
+    Ed25519Backend,
+    KeyPair,
+    SignatureBackend,
+    SimBackend,
+    default_backend,
+)
+from repro.pki.name import Name
+from repro.pki.serial import (
+    RandomLongSerialPolicy,
+    SequentialSerialPolicy,
+    SerialNumberPolicy,
+)
+from repro.pki.verify import (
+    ChainVerificationError,
+    VerificationStatus,
+    verify_certificate,
+    verify_chain,
+)
+
+__all__ = [
+    "AuthorityInfoAccess",
+    "BasicConstraints",
+    "Certificate",
+    "CertificateBuilder",
+    "CertificatePolicies",
+    "ChainVerificationError",
+    "CrlDistributionPoints",
+    "Ed25519Backend",
+    "Extension",
+    "KeyPair",
+    "Name",
+    "RandomLongSerialPolicy",
+    "SequentialSerialPolicy",
+    "SerialNumberPolicy",
+    "SignatureBackend",
+    "SimBackend",
+    "TbsCertificate",
+    "VerificationStatus",
+    "default_backend",
+    "verify_certificate",
+    "verify_chain",
+]

@@ -1,0 +1,205 @@
+"""X.509v3 extensions used by the study.
+
+Each extension knows how to encode itself to DER and how to decode from a
+DER node.  The set covers what the paper's pipeline inspects:
+
+* BasicConstraints -- distinguishes CA (intermediate/root) from leaf certs.
+* CrlDistributionPoints -- where clients fetch CRLs (§3.2; only http[s]
+  URLs count as "potentially reachable", ldap:// and file:// are ignored).
+* AuthorityInfoAccess -- OCSP responder URLs.
+* CertificatePolicies -- carries EV policy OIDs (§6.1 test suite).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asn1 import der
+from repro.asn1.oid import OID
+
+__all__ = [
+    "AuthorityInfoAccess",
+    "BasicConstraints",
+    "CertificatePolicies",
+    "CrlDistributionPoints",
+    "Extension",
+    "is_reachable_url",
+]
+
+_TAG_URI = 6  # GeneralName uniformResourceIdentifier [6] IA5String
+
+
+def is_reachable_url(url: str) -> bool:
+    """True for http[s]:// URLs; the paper ignores ldap:// and file://."""
+    return url.startswith("http://") or url.startswith("https://")
+
+
+@dataclass(frozen=True)
+class Extension:
+    """A raw extension: (OID, criticality, DER-encoded extnValue)."""
+
+    oid: str
+    critical: bool
+    value: bytes
+
+    def to_der(self) -> bytes:
+        parts = [der.encode_oid(self.oid)]
+        if self.critical:
+            parts.append(der.encode_boolean(True))
+        parts.append(der.encode_octet_string(self.value))
+        return der.encode_sequence(*parts)
+
+    @classmethod
+    def from_der_node(cls, node: der.DecodedValue) -> "Extension":
+        children = node.children
+        oid = children[0].as_oid()
+        critical = False
+        index = 1
+        if index < len(children) and children[index].tag == der.Tag.BOOLEAN:
+            critical = children[index].as_boolean()
+            index += 1
+        value = children[index].value
+        return cls(oid=oid, critical=critical, value=value)
+
+
+@dataclass(frozen=True)
+class BasicConstraints:
+    """RFC 5280 4.2.1.9."""
+
+    is_ca: bool = False
+    path_length: int | None = None
+
+    OID = OID.BASIC_CONSTRAINTS
+
+    def to_extension(self) -> Extension:
+        parts = []
+        if self.is_ca:
+            parts.append(der.encode_boolean(True))
+            if self.path_length is not None:
+                parts.append(der.encode_integer(self.path_length))
+        return Extension(self.OID, critical=True, value=der.encode_sequence(*parts))
+
+    @classmethod
+    def from_extension(cls, ext: Extension) -> "BasicConstraints":
+        node = der.decode_all(ext.value)
+        is_ca = False
+        path_length = None
+        for child in node.children:
+            if child.tag == der.Tag.BOOLEAN:
+                is_ca = child.as_boolean()
+            elif child.tag == der.Tag.INTEGER:
+                path_length = child.as_integer()
+        return cls(is_ca=is_ca, path_length=path_length)
+
+
+@dataclass(frozen=True)
+class CrlDistributionPoints:
+    """RFC 5280 4.2.1.13 -- a list of CRL distribution point URLs."""
+
+    urls: tuple[str, ...] = field(default_factory=tuple)
+
+    OID = OID.CRL_DISTRIBUTION_POINTS
+
+    @property
+    def reachable_urls(self) -> tuple[str, ...]:
+        return tuple(url for url in self.urls if is_reachable_url(url))
+
+    def to_extension(self) -> Extension:
+        points = []
+        for url in self.urls:
+            general_name = der.encode_tlv(
+                der.Tag.CONTEXT | _TAG_URI, url.encode("ascii")
+            )
+            full_name = der.encode_context(0, general_name)  # fullName [0]
+            dp_name = der.encode_context(0, full_name)  # distributionPoint [0]
+            points.append(der.encode_sequence(dp_name))
+        return Extension(self.OID, critical=False, value=der.encode_sequence(*points))
+
+    @classmethod
+    def from_extension(cls, ext: Extension) -> "CrlDistributionPoints":
+        node = der.decode_all(ext.value)
+        urls: list[str] = []
+        for point in node.children:
+            for dp_name in point.children:
+                if dp_name.context_number != 0:
+                    continue
+                for full_name in dp_name.children:
+                    if full_name.context_number != 0:
+                        continue
+                    for general_name in full_name.children:
+                        if general_name.context_number == _TAG_URI:
+                            urls.append(general_name.value.decode("ascii"))
+        return cls(tuple(urls))
+
+
+@dataclass(frozen=True)
+class AuthorityInfoAccess:
+    """RFC 5280 4.2.2.1 -- OCSP responder and caIssuers URLs."""
+
+    ocsp_urls: tuple[str, ...] = field(default_factory=tuple)
+    ca_issuer_urls: tuple[str, ...] = field(default_factory=tuple)
+
+    OID = OID.AUTHORITY_INFO_ACCESS
+
+    @property
+    def reachable_ocsp_urls(self) -> tuple[str, ...]:
+        return tuple(url for url in self.ocsp_urls if is_reachable_url(url))
+
+    def to_extension(self) -> Extension:
+        descriptions = []
+        for method_oid, urls in (
+            (OID.AD_OCSP, self.ocsp_urls),
+            (OID.AD_CA_ISSUERS, self.ca_issuer_urls),
+        ):
+            for url in urls:
+                general_name = der.encode_tlv(
+                    der.Tag.CONTEXT | _TAG_URI, url.encode("ascii")
+                )
+                descriptions.append(
+                    der.encode_sequence(der.encode_oid(method_oid), general_name)
+                )
+        return Extension(
+            self.OID, critical=False, value=der.encode_sequence(*descriptions)
+        )
+
+    @classmethod
+    def from_extension(cls, ext: Extension) -> "AuthorityInfoAccess":
+        node = der.decode_all(ext.value)
+        ocsp: list[str] = []
+        issuers: list[str] = []
+        for desc in node.children:
+            method = desc.children[0].as_oid()
+            location = desc.children[1]
+            if location.context_number != _TAG_URI:
+                continue
+            url = location.value.decode("ascii")
+            if method == OID.AD_OCSP:
+                ocsp.append(url)
+            elif method == OID.AD_CA_ISSUERS:
+                issuers.append(url)
+        return cls(tuple(ocsp), tuple(issuers))
+
+
+@dataclass(frozen=True)
+class CertificatePolicies:
+    """RFC 5280 4.2.1.4 -- policy OIDs; EV status is signalled here."""
+
+    policy_oids: tuple[str, ...] = field(default_factory=tuple)
+
+    OID = OID.CERTIFICATE_POLICIES
+
+    @property
+    def is_ev(self) -> bool:
+        return any(oid in OID.EV_POLICY_OIDS for oid in self.policy_oids)
+
+    def to_extension(self) -> Extension:
+        infos = [
+            der.encode_sequence(der.encode_oid(policy))
+            for policy in self.policy_oids
+        ]
+        return Extension(self.OID, critical=False, value=der.encode_sequence(*infos))
+
+    @classmethod
+    def from_extension(cls, ext: Extension) -> "CertificatePolicies":
+        node = der.decode_all(ext.value)
+        return cls(tuple(info.children[0].as_oid() for info in node.children))

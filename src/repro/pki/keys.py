@@ -1,0 +1,183 @@
+"""Key pairs and pluggable signature backends.
+
+The paper's analyses never depend on cryptographic strength, only on
+signature *semantics*: a signature made with key A must verify under A's
+public key and fail under any other key.  Two backends provide this:
+
+* :class:`SimBackend` -- the default.  Deterministic and very fast; a
+  signature is ``SHA-256(public_key || message)``.  Within a closed
+  simulation (no adversarial signers) this gives exactly the required
+  semantics.  It is of course forgeable by anyone holding the public key;
+  this substitution is documented in DESIGN.md.
+* :class:`Ed25519Backend` -- real asymmetric signatures via the
+  ``cryptography`` package, for small-scale tests that want genuine
+  unforgeability.  Optional; importing it without ``cryptography`` raises.
+
+Signature byte lengths are padded to realistic X.509 sizes (default 256
+bytes, matching RSA-2048) so that encoded certificate and CRL sizes line up
+with the paper's measurements (~38 bytes per CRL entry plus fixed signature
+overhead).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import hmac
+from dataclasses import dataclass
+
+__all__ = [
+    "Ed25519Backend",
+    "KeyPair",
+    "SignatureBackend",
+    "SimBackend",
+    "default_backend",
+]
+
+
+class SignatureBackend:
+    """Interface for signature schemes."""
+
+    #: dotted OID advertised in signatureAlgorithm fields.
+    algorithm_oid: str = "1.2.840.113549.1.1.11"
+    #: byte length of produced signatures (for realistic DER sizes).
+    signature_size: int = 256
+
+    def generate(self, seed: bytes) -> "KeyPair":
+        raise NotImplementedError
+
+    def sign(self, private_key: bytes, message: bytes) -> bytes:
+        raise NotImplementedError
+
+    def verify(self, public_key: bytes, message: bytes, signature: bytes) -> bool:
+        raise NotImplementedError
+
+
+class SimBackend(SignatureBackend):
+    """Deterministic hash-based simulation of an asymmetric scheme.
+
+    ``public_key = SHA-256("pub" || seed)``; a signature binds the public
+    key and the message.  Verification never needs the private key, so it
+    behaves like an asymmetric scheme from the verifier's point of view.
+    """
+
+    algorithm_oid = "1.2.840.113549.1.1.11"
+
+    def __init__(self, signature_size: int = 256) -> None:
+        if signature_size < 32:
+            raise ValueError("signature_size must be >= 32 (SHA-256 digest)")
+        self.signature_size = signature_size
+
+    def generate(self, seed: bytes) -> "KeyPair":
+        private = hashlib.sha256(b"priv" + seed).digest()
+        public = hashlib.sha256(b"pub" + seed).digest()
+        return KeyPair(public_key=public, private_key=private, backend=self)
+
+    def _core(self, public_key: bytes, message: bytes) -> bytes:
+        return hashlib.sha256(b"sig" + public_key + message).digest()
+
+    def sign(self, private_key: bytes, message: bytes) -> bytes:
+        # The simulated private key deterministically yields the public key
+        # so the signer does not have to carry both around.
+        public = self._public_from_private(private_key)
+        digest = self._core(public, message)
+        # Pad deterministically to the configured signature size.
+        pad = hashlib.sha256(b"pad" + digest).digest()
+        while len(digest) + len(pad) < self.signature_size:
+            pad += hashlib.sha256(pad).digest()
+        return (digest + pad)[: self.signature_size]
+
+    def verify(self, public_key: bytes, message: bytes, signature: bytes) -> bool:
+        if len(signature) < 32:
+            return False
+        expected = self._core(public_key, message)
+        return hmac.compare_digest(signature[:32], expected)
+
+    @staticmethod
+    def _public_from_private(private_key: bytes) -> bytes:
+        return hashlib.sha256(b"pub-from" + private_key).digest()
+
+    def generate_pair(self, seed: bytes) -> "KeyPair":
+        """Generate a key pair whose private key maps to its public key."""
+        private = hashlib.sha256(b"priv" + seed).digest()
+        public = self._public_from_private(private)
+        return KeyPair(public_key=public, private_key=private, backend=self)
+
+
+class Ed25519Backend(SignatureBackend):
+    """Real Ed25519 signatures via the ``cryptography`` package."""
+
+    algorithm_oid = "1.3.101.112"
+    signature_size = 64
+
+    def __init__(self) -> None:
+        try:
+            from cryptography.hazmat.primitives.asymmetric import ed25519
+        except ImportError as exc:  # pragma: no cover - env dependent
+            raise ImportError(
+                "Ed25519Backend requires the 'cryptography' package"
+            ) from exc
+        self._ed25519 = ed25519
+
+    def generate(self, seed: bytes) -> "KeyPair":
+        material = hashlib.sha256(b"ed25519" + seed).digest()
+        private = self._ed25519.Ed25519PrivateKey.from_private_bytes(material)
+        from cryptography.hazmat.primitives import serialization
+
+        public = private.public_key().public_bytes(
+            serialization.Encoding.Raw, serialization.PublicFormat.Raw
+        )
+        return KeyPair(public_key=public, private_key=material, backend=self)
+
+    def sign(self, private_key: bytes, message: bytes) -> bytes:
+        key = self._ed25519.Ed25519PrivateKey.from_private_bytes(private_key)
+        return key.sign(message)
+
+    def verify(self, public_key: bytes, message: bytes, signature: bytes) -> bool:
+        from cryptography.exceptions import InvalidSignature
+
+        key = self._ed25519.Ed25519PublicKey.from_public_bytes(public_key)
+        try:
+            key.verify(signature, message)
+        except InvalidSignature:
+            return False
+        return True
+
+
+_DEFAULT = SimBackend()
+
+
+def default_backend() -> SignatureBackend:
+    """The process-wide default signature backend (the hash simulator)."""
+    return _DEFAULT
+
+
+@dataclass(frozen=True)
+class KeyPair:
+    """A signing key pair bound to the backend that created it."""
+
+    public_key: bytes
+    private_key: bytes
+    backend: SignatureBackend
+
+    def sign(self, message: bytes) -> bytes:
+        return self.backend.sign(self.private_key, message)
+
+    def verify(self, message: bytes, signature: bytes) -> bool:
+        return self.backend.verify(self.public_key, message, signature)
+
+    @property
+    def key_id(self) -> bytes:
+        """SHA-256 of the public key; used as SubjectKeyIdentifier and as
+        the CRLSet "parent" key (§7.1 of the paper)."""
+        return hashlib.sha256(self.public_key).digest()
+
+    @classmethod
+    def generate(
+        cls, seed: bytes | str, backend: SignatureBackend | None = None
+    ) -> "KeyPair":
+        if isinstance(seed, str):
+            seed = seed.encode("utf-8")
+        backend = backend or default_backend()
+        if isinstance(backend, SimBackend):
+            return backend.generate_pair(seed)
+        return backend.generate(seed)

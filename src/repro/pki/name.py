@@ -1,0 +1,75 @@
+"""X.501 distinguished names (the subset used by web certificates)."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.asn1 import der
+from repro.asn1.oid import OID, REGISTRY
+
+__all__ = ["Name"]
+
+
+@dataclass(frozen=True)
+class Name:
+    """A distinguished name as an ordered tuple of (attribute OID, value).
+
+    Equality is structural, which is what chain building needs: a leaf's
+    issuer name must equal the intermediate's subject name byte-for-byte.
+    """
+
+    rdns: tuple[tuple[str, str], ...] = field(default_factory=tuple)
+
+    @classmethod
+    def make(
+        cls,
+        common_name: str,
+        organization: str | None = None,
+        country: str | None = None,
+    ) -> "Name":
+        rdns: list[tuple[str, str]] = []
+        if country:
+            rdns.append((OID.COUNTRY, country))
+        if organization:
+            rdns.append((OID.ORGANIZATION, organization))
+        rdns.append((OID.COMMON_NAME, common_name))
+        return cls(tuple(rdns))
+
+    @property
+    def common_name(self) -> str | None:
+        for oid, value in self.rdns:
+            if oid == OID.COMMON_NAME:
+                return value
+        return None
+
+    @property
+    def organization(self) -> str | None:
+        for oid, value in self.rdns:
+            if oid == OID.ORGANIZATION:
+                return value
+        return None
+
+    def to_der(self) -> bytes:
+        """Encode as RDNSequence (each RDN a single-attribute SET)."""
+        rdn_encodings = []
+        for oid, value in self.rdns:
+            attr = der.encode_sequence(
+                der.encode_oid(oid), der.encode_utf8_string(value)
+            )
+            rdn_encodings.append(der.encode_set(attr))
+        return der.encode_sequence(*rdn_encodings)
+
+    @classmethod
+    def from_der_node(cls, node: der.DecodedValue) -> "Name":
+        rdns: list[tuple[str, str]] = []
+        for rdn in node.children:
+            for attr in rdn.children:
+                oid = attr.children[0].as_oid()
+                value = attr.children[1].as_string()
+                rdns.append((oid, value))
+        return cls(tuple(rdns))
+
+    def __str__(self) -> str:
+        return ", ".join(
+            f"{REGISTRY.name(oid)}={value}" for oid, value in self.rdns
+        )

@@ -1,0 +1,99 @@
+"""Certificate and chain verification.
+
+Mirrors the paper's §3.1 pre-processing: chains are verified relative to a
+set of trusted roots, iteratively admitting intermediates; date errors can
+be ignored (the paper's scans span 1.5 years, so they configure OpenSSL to
+ignore expiry), and revocation is checked separately by the client models.
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+
+from repro.pki.certificate import Certificate
+from repro.pki.keys import SignatureBackend, default_backend
+
+__all__ = [
+    "ChainVerificationError",
+    "VerificationStatus",
+    "verify_certificate",
+    "verify_chain",
+]
+
+
+class ChainVerificationError(Exception):
+    """Raised when a chain cannot be verified and errors are not collected."""
+
+
+class VerificationStatus(enum.Enum):
+    OK = "ok"
+    BAD_SIGNATURE = "bad_signature"
+    EXPIRED = "expired"
+    NOT_YET_VALID = "not_yet_valid"
+    ISSUER_MISMATCH = "issuer_mismatch"
+    NOT_A_CA = "not_a_ca"
+    EMPTY_CHAIN = "empty_chain"
+    UNTRUSTED_ROOT = "untrusted_root"
+
+
+def verify_certificate(
+    certificate: Certificate,
+    issuer: Certificate,
+    at: datetime.datetime | None = None,
+    check_dates: bool = True,
+    backend: SignatureBackend | None = None,
+) -> VerificationStatus:
+    """Verify one link: ``certificate`` was signed by ``issuer``.
+
+    Returns the first failing status, or ``OK``.
+    """
+    backend = backend or default_backend()
+    if certificate.issuer != issuer.subject:
+        return VerificationStatus.ISSUER_MISMATCH
+    if not certificate.is_self_signed and not issuer.is_ca:
+        return VerificationStatus.NOT_A_CA
+    if not certificate.verify_signature(issuer.public_key, backend):
+        return VerificationStatus.BAD_SIGNATURE
+    if check_dates and at is not None:
+        if at < certificate.not_before:
+            return VerificationStatus.NOT_YET_VALID
+        if at > certificate.not_after:
+            return VerificationStatus.EXPIRED
+    return VerificationStatus.OK
+
+
+def verify_chain(
+    chain: list[Certificate],
+    trusted_roots: set[bytes] | frozenset[bytes],
+    at: datetime.datetime | None = None,
+    check_dates: bool = False,
+    backend: SignatureBackend | None = None,
+) -> VerificationStatus:
+    """Verify ``chain`` = [leaf, intermediate..., root-or-last-intermediate].
+
+    ``trusted_roots`` holds fingerprints of trusted root certificates.  As
+    in the paper's pipeline, ``check_dates`` defaults to False (scans span
+    1.5 years); set ``at`` and ``check_dates=True`` for live validation.
+
+    The chain's last certificate must either be a trusted root itself or be
+    directly signed by one present in the chain.
+    """
+    if not chain:
+        return VerificationStatus.EMPTY_CHAIN
+    for child, parent in zip(chain, chain[1:]):
+        status = verify_certificate(
+            child, parent, at=at, check_dates=check_dates, backend=backend
+        )
+        if status is not VerificationStatus.OK:
+            return status
+    anchor = chain[-1]
+    if anchor.fingerprint not in trusted_roots:
+        return VerificationStatus.UNTRUSTED_ROOT
+    if check_dates and at is not None:
+        # The anchor itself must also be within its validity period.
+        if at < anchor.not_before:
+            return VerificationStatus.NOT_YET_VALID
+        if at > anchor.not_after:
+            return VerificationStatus.EXPIRED
+    return VerificationStatus.OK

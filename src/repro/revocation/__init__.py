@@ -1,0 +1,37 @@
+"""Revocation artefacts and client-side checking.
+
+Wire-level objects (CRLs, OCSP requests/responses, staples) plus the
+client-side :class:`RevocationChecker` used by the browser models.
+"""
+
+from repro.revocation.crl import CertificateRevocationList, RevokedEntry
+from repro.revocation.ocsp import (
+    CertStatus,
+    OcspRequest,
+    OcspResponse,
+    OcspResponseStatus,
+)
+from repro.revocation.reason import ReasonCode
+from repro.revocation.stapling import StapleCache, StaplePolicy
+from repro.revocation.checker import (
+    CheckOutcome,
+    CheckResult,
+    RevocationChecker,
+    RevocationFetcher,
+)
+
+__all__ = [
+    "CertStatus",
+    "CertificateRevocationList",
+    "CheckOutcome",
+    "CheckResult",
+    "OcspRequest",
+    "OcspResponse",
+    "OcspResponseStatus",
+    "ReasonCode",
+    "RevocationChecker",
+    "RevocationFetcher",
+    "RevokedEntry",
+    "StapleCache",
+    "StaplePolicy",
+]

@@ -1,0 +1,140 @@
+"""Client-side revocation checking.
+
+:class:`RevocationChecker` implements the mechanics every browser model
+shares -- fetch a CRL or query an OCSP responder for one certificate,
+classify the outcome -- while the *policy* (which certificates to check,
+what to do on failure) lives in :mod:`repro.browsers.policy`.
+
+The checker talks to the network through the :class:`RevocationFetcher`
+protocol, implemented by the simulated network (:mod:`repro.net`), so the
+same checker code runs in unit tests with a stub fetcher.
+"""
+
+from __future__ import annotations
+
+import datetime
+import enum
+from dataclasses import dataclass
+from typing import Protocol
+
+from repro.pki.certificate import Certificate
+from repro.revocation.crl import CertificateRevocationList
+from repro.revocation.ocsp import CertStatus, OcspResponse
+
+__all__ = [
+    "CheckOutcome",
+    "CheckResult",
+    "RevocationChecker",
+    "RevocationFetcher",
+]
+
+
+class RevocationFetcher(Protocol):
+    """What the checker needs from the network layer."""
+
+    def fetch_crl(self, url: str) -> CertificateRevocationList | None:
+        """Download and parse a CRL; ``None`` on any failure."""
+
+    def fetch_ocsp(
+        self, url: str, issuer_key_hash: bytes, serial_number: int, use_get: bool = True
+    ) -> OcspResponse | None:
+        """Query an OCSP responder; ``None`` on transport failure."""
+
+
+class CheckOutcome(enum.Enum):
+    """Result of one revocation check for one certificate."""
+
+    GOOD = "good"
+    REVOKED = "revoked"
+    #: responder answered `unknown` (OCSP only).
+    UNKNOWN = "unknown"
+    #: revocation information could not be obtained at all.
+    UNAVAILABLE = "unavailable"
+    #: certificate carries no revocation pointers (never revocable).
+    NO_INFO = "no_info"
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    outcome: CheckOutcome
+    protocol: str = ""  # "crl", "ocsp", or "staple"
+    bytes_downloaded: int = 0
+    latency: datetime.timedelta = datetime.timedelta(0)
+
+    @property
+    def is_definitive(self) -> bool:
+        return self.outcome in (CheckOutcome.GOOD, CheckOutcome.REVOKED)
+
+
+class RevocationChecker:
+    """Fetch-and-classify revocation status for a single certificate."""
+
+    def __init__(self, fetcher: RevocationFetcher) -> None:
+        self._fetcher = fetcher
+
+    def check_crl(
+        self, certificate: Certificate, at: datetime.datetime
+    ) -> CheckResult:
+        """Check via the certificate's CRL distribution points."""
+        urls = certificate.crl_urls
+        if not urls:
+            return CheckResult(CheckOutcome.NO_INFO, protocol="crl")
+        for url in urls:
+            crl = self._fetcher.fetch_crl(url)
+            if crl is None:
+                continue
+            if crl.is_expired(at):
+                continue
+            size = crl.encoded_size
+            if crl.is_revoked(certificate.serial_number):
+                return CheckResult(
+                    CheckOutcome.REVOKED, protocol="crl", bytes_downloaded=size
+                )
+            return CheckResult(
+                CheckOutcome.GOOD, protocol="crl", bytes_downloaded=size
+            )
+        return CheckResult(CheckOutcome.UNAVAILABLE, protocol="crl")
+
+    def check_ocsp(
+        self,
+        certificate: Certificate,
+        issuer_key_hash: bytes,
+        at: datetime.datetime,
+        use_get: bool = True,
+    ) -> CheckResult:
+        """Check via the certificate's OCSP responders."""
+        urls = certificate.ocsp_urls
+        if not urls:
+            return CheckResult(CheckOutcome.NO_INFO, protocol="ocsp")
+        for url in urls:
+            response = self._fetcher.fetch_ocsp(
+                url, issuer_key_hash, certificate.serial_number, use_get=use_get
+            )
+            if response is None or not response.is_successful:
+                continue
+            if response.is_expired(at):
+                continue
+            return CheckResult(
+                self._classify(response),
+                protocol="ocsp",
+                bytes_downloaded=response.encoded_size,
+            )
+        return CheckResult(CheckOutcome.UNAVAILABLE, protocol="ocsp")
+
+    def check_staple(
+        self, staple: OcspResponse | None, at: datetime.datetime
+    ) -> CheckResult:
+        """Classify a stapled OCSP response delivered in the handshake."""
+        if staple is None:
+            return CheckResult(CheckOutcome.UNAVAILABLE, protocol="staple")
+        if not staple.is_successful or staple.is_expired(at):
+            return CheckResult(CheckOutcome.UNAVAILABLE, protocol="staple")
+        return CheckResult(self._classify(staple), protocol="staple")
+
+    @staticmethod
+    def _classify(response: OcspResponse) -> CheckOutcome:
+        if response.cert_status is CertStatus.REVOKED:
+            return CheckOutcome.REVOKED
+        if response.cert_status is CertStatus.GOOD:
+            return CheckOutcome.GOOD
+        return CheckOutcome.UNKNOWN

@@ -1,0 +1,49 @@
+"""RFC 5280 CRL reason codes.
+
+§4.2 of the paper: most revocations carry no reason code at all, and
+Google's CRLSet only admits revocations whose reason is one of a small set
+(no reason, Unspecified, KeyCompromise, CACompromise, AACompromise).
+"""
+
+from __future__ import annotations
+
+import enum
+
+__all__ = ["ReasonCode", "CRLSET_REASON_CODES"]
+
+
+class ReasonCode(enum.IntEnum):
+    """CRLReason ::= ENUMERATED (RFC 5280 5.3.1)."""
+
+    UNSPECIFIED = 0
+    KEY_COMPROMISE = 1
+    CA_COMPROMISE = 2
+    AFFILIATION_CHANGED = 3
+    SUPERSEDED = 4
+    CESSATION_OF_OPERATION = 5
+    CERTIFICATE_HOLD = 6
+    # value 7 is not used
+    REMOVE_FROM_CRL = 8
+    PRIVILEGE_WITHDRAWN = 9
+    AA_COMPROMISE = 10
+
+    @property
+    def label(self) -> str:
+        return self.name.replace("_", " ").title().replace(" ", "")
+
+
+#: Reason codes admitted into CRLSets (paper §7.1 footnote 25).  ``None``
+#: (no reason extension at all) is also admitted.
+CRLSET_REASON_CODES = frozenset(
+    {
+        ReasonCode.UNSPECIFIED,
+        ReasonCode.KEY_COMPROMISE,
+        ReasonCode.CA_COMPROMISE,
+        ReasonCode.AA_COMPROMISE,
+    }
+)
+
+
+def is_crlset_eligible(reason: ReasonCode | None) -> bool:
+    """True if a revocation with this reason may enter a CRLSet."""
+    return reason is None or reason in CRLSET_REASON_CODES

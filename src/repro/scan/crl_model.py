@@ -1,0 +1,128 @@
+"""Scan-side CRL model.
+
+:class:`EcosystemCrl` is the generator's view of one published CRL: the
+materialised entries it can identify individually (observed leaf
+revocations plus, on CRLSet-eligible CRLs, synthetic never-observed
+revocations) and -- on the big CRLs -- a bulk :class:`HiddenPopulation`.
+Byte sizes use exact DER arithmetic (:mod:`repro.revocation.sizing`).
+"""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass, field
+
+from repro.pki.name import Name
+from repro.revocation.crl import CertificateRevocationList, RevokedEntry
+from repro.revocation.reason import ReasonCode
+from repro.revocation.sizing import estimated_crl_size, representative_entry_size
+from repro.scan.hidden import HiddenPopulation
+
+__all__ = ["CrlEntryRecord", "EcosystemCrl"]
+
+_UTC = datetime.timezone.utc
+
+
+def _noon(day: datetime.date) -> datetime.datetime:
+    return datetime.datetime(day.year, day.month, day.day, 12, 0, tzinfo=_UTC)
+
+
+@dataclass(slots=True)
+class CrlEntryRecord:
+    """One individually identified CRL entry."""
+
+    serial_number: int
+    revoked_at: datetime.date
+    reason: ReasonCode | None
+    cert_not_after: datetime.date
+    #: cert_id of the Leaf Set certificate this entry revokes, if observed.
+    cert_id: int | None = None
+
+    def visible_on(self, day: datetime.date) -> bool:
+        """CAs list an entry from revocation until certificate expiry."""
+        return self.revoked_at <= day <= self.cert_not_after
+
+
+@dataclass
+class EcosystemCrl:
+    """One CRL in the synthetic ecosystem."""
+
+    url: str
+    brand: str
+    intermediate_id: int
+    issuer_name: Name
+    issuer_key_hash: bytes
+    signature_size: int
+    signature_algorithm_oid: str
+    serial_bytes: int
+    reissue_hours: int = 24
+    #: whether Google's internal crawl covers this CRL (CRLSet pipeline).
+    covered: bool = False
+    entries: list[CrlEntryRecord] = field(default_factory=list)
+    hidden: HiddenPopulation | None = None
+    #: Leaf Set certificates whose CRL pointer names this URL.
+    assigned_cert_count: int = 0
+
+    def add_entry(self, entry: CrlEntryRecord) -> None:
+        self.entries.append(entry)
+
+    # -- daily views ---------------------------------------------------------
+
+    def visible_entries(self, day: datetime.date) -> list[CrlEntryRecord]:
+        return [entry for entry in self.entries if entry.visible_on(day)]
+
+    def entry_count(self, day: datetime.date) -> int:
+        count = sum(1 for entry in self.entries if entry.visible_on(day))
+        if self.hidden is not None:
+            count += self.hidden.count_at(day)
+        return count
+
+    def additions_on(self, day: datetime.date) -> int:
+        count = sum(1 for entry in self.entries if entry.revoked_at == day)
+        if self.hidden is not None:
+            count += self.hidden.additions_on(day)
+        return count
+
+    # -- sizing --------------------------------------------------------------
+
+    def size_bytes(self, day: datetime.date) -> int:
+        """Exact DER size of this CRL as published on ``day``."""
+        materialized = sum(
+            len(self._to_revoked_entry(entry).to_der())
+            for entry in self.entries
+            if entry.visible_on(day)
+        )
+        hidden_count = self.hidden.count_at(day) if self.hidden is not None else 0
+        return estimated_crl_size(
+            issuer=self.issuer_name,
+            signature_size=self.signature_size,
+            signature_algorithm_oid=self.signature_algorithm_oid,
+            materialized_entry_bytes=materialized,
+            hidden_entry_count=hidden_count,
+            hidden_entry_size=representative_entry_size(self.serial_bytes),
+        )
+
+    # -- real encoding (materialised entries only) ---------------------------
+
+    @staticmethod
+    def _to_revoked_entry(entry: CrlEntryRecord) -> RevokedEntry:
+        return RevokedEntry(
+            serial_number=entry.serial_number,
+            revocation_date=_noon(entry.revoked_at),
+            reason=entry.reason,
+        )
+
+    def to_crl(self, day: datetime.date, issuer_keys) -> CertificateRevocationList:
+        """A real signed CRL with the materialised entries visible on
+        ``day`` (the big hidden-bulk CRLs are never encoded in full)."""
+        this_update = _noon(day)
+        return CertificateRevocationList.build(
+            issuer=self.issuer_name,
+            issuer_keys=issuer_keys,
+            entries=[
+                self._to_revoked_entry(entry) for entry in self.visible_entries(day)
+            ],
+            this_update=this_update,
+            next_update=this_update + datetime.timedelta(hours=self.reissue_hours),
+            url=self.url,
+        )

@@ -1,0 +1,155 @@
+"""Michigan-style IPv4 TLS handshake scans: OCSP Stapling measurement.
+
+Reproduces §4.3 and Figure 3.  A single-connection scan under-counts
+stapling support because nginx-like servers with a cold staple cache omit
+the staple on the first request; repeated connections (the paper probed
+20,000 random servers 10 times, 3 s apart) reveal the true support level.
+
+The per-server behaviour is mechanistic: each stapling-enabled server has
+a staple-cache state (warm with probability ``1 - staple_cold_probability``
+at first probe) and a background refetch that completes after a random
+delay, exactly like :class:`repro.revocation.stapling.StapleCache`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.scan.calibration import Calibration
+from repro.scan.ecosystem import Ecosystem
+from repro.scan.records import LeafRecord
+
+__all__ = ["StaplingProbeResult", "StaplingSummary", "TlsHandshakeScanner"]
+
+
+@dataclass(frozen=True)
+class StaplingProbeResult:
+    """Figure 3's series: cumulative stapling observations per probe."""
+
+    probes: int
+    #: fraction of stapling-capable servers observed stapling within the
+    #: first k probes, indexed 1..probes.
+    observed_fraction: list[float]
+
+    @property
+    def single_probe_underestimate(self) -> float:
+        """How much a single-connection scan under-counts support."""
+        return 1.0 - self.observed_fraction[0]
+
+
+@dataclass(frozen=True)
+class StaplingSummary:
+    """§4.3's deployment statistics."""
+
+    servers_total: int
+    servers_stapling: int
+    certs_total: int
+    certs_any_stapling: int
+    certs_all_stapling: int
+    ev_certs_total: int
+    ev_certs_any_stapling: int
+    ev_certs_all_stapling: int
+
+    @property
+    def server_fraction(self) -> float:
+        return self.servers_stapling / self.servers_total if self.servers_total else 0.0
+
+    @property
+    def cert_any_fraction(self) -> float:
+        return self.certs_any_stapling / self.certs_total if self.certs_total else 0.0
+
+    @property
+    def cert_all_fraction(self) -> float:
+        return self.certs_all_stapling / self.certs_total if self.certs_total else 0.0
+
+    @property
+    def ev_any_fraction(self) -> float:
+        return (
+            self.ev_certs_any_stapling / self.ev_certs_total
+            if self.ev_certs_total
+            else 0.0
+        )
+
+    @property
+    def ev_all_fraction(self) -> float:
+        return (
+            self.ev_certs_all_stapling / self.ev_certs_total
+            if self.ev_certs_total
+            else 0.0
+        )
+
+
+class TlsHandshakeScanner:
+    """Simulates the full-IPv4 TLS handshake scan of March 28, 2015."""
+
+    def __init__(self, ecosystem: Ecosystem, seed: int = 7) -> None:
+        self.ecosystem = ecosystem
+        self.calibration: Calibration = ecosystem.calibration
+        self._rng = random.Random(seed)
+
+    def _fresh_advertised(self) -> list[LeafRecord]:
+        end = self.calibration.measurement_end
+        return [
+            leaf
+            for leaf in self.ecosystem.leaves
+            if leaf.is_fresh(end) and leaf.is_alive(end)
+        ]
+
+    def summary(self) -> StaplingSummary:
+        """One-connection-per-server scan statistics (§4.3)."""
+        leaves = self._fresh_advertised()
+        servers_total = sum(leaf.server_count for leaf in leaves)
+        servers_stapling = sum(leaf.stapling_servers for leaf in leaves)
+        certs_any = sum(1 for leaf in leaves if leaf.stapling_servers > 0)
+        certs_all = sum(
+            1 for leaf in leaves if leaf.stapling_servers == leaf.server_count
+        )
+        ev = [leaf for leaf in leaves if leaf.is_ev]
+        ev_any = sum(1 for leaf in ev if leaf.stapling_servers > 0)
+        ev_all = sum(1 for leaf in ev if leaf.stapling_servers == leaf.server_count)
+        return StaplingSummary(
+            servers_total=servers_total,
+            servers_stapling=servers_stapling,
+            certs_total=len(leaves),
+            certs_any_stapling=certs_any,
+            certs_all_stapling=certs_all,
+            ev_certs_total=len(ev),
+            ev_certs_any_stapling=ev_any,
+            ev_certs_all_stapling=ev_all,
+        )
+
+    def probe_experiment(
+        self, server_sample: int = 20_000, probes: int = 10
+    ) -> StaplingProbeResult:
+        """Figure 3: connect repeatedly to stapling-capable servers.
+
+        For each sampled server the cache is warm at the first probe with
+        probability ``1 - staple_cold_probability``; cold caches trigger a
+        background fetch whose completion delay is drawn uniformly from
+        ``staple_fetch_delay_range_s``, so later probes (spaced
+        ``probe_interval_s`` apart) progressively observe the staple.
+        """
+        cal = self.calibration
+        rng = self._rng
+        first_seen: list[int] = []  # probe index (1-based) of first staple
+        for _ in range(server_sample):
+            if rng.random() >= cal.staple_cold_probability:
+                first_seen.append(1)
+                continue
+            delay = rng.uniform(*cal.staple_fetch_delay_range_s)
+            # The cold first probe kicks off the fetch at t=0; probe k
+            # happens at t=(k-1)*interval and sees the staple once the
+            # fetch has completed.
+            ready_probe = None
+            for k in range(2, probes + 1):
+                if (k - 1) * cal.probe_interval_s >= delay:
+                    ready_probe = k
+                    break
+            first_seen.append(ready_probe if ready_probe is not None else probes + 1)
+        fractions = []
+        for k in range(1, probes + 1):
+            fractions.append(
+                sum(1 for probe in first_seen if probe <= k) / server_sample
+            )
+        return StaplingProbeResult(probes=probes, observed_fraction=fractions)

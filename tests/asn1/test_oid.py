@@ -1,0 +1,52 @@
+"""OID registry tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.asn1.oid import OID, OIDRegistry, REGISTRY
+
+
+class TestOidConstants:
+    def test_ev_policy_set_contains_verisign(self):
+        assert OID.EV_VERISIGN in OID.EV_POLICY_OIDS
+
+    def test_dv_policy_is_not_ev(self):
+        assert OID.DV_CABFORUM not in OID.EV_POLICY_OIDS
+
+    def test_extension_oids_are_distinct(self):
+        oids = {
+            OID.BASIC_CONSTRAINTS,
+            OID.CRL_DISTRIBUTION_POINTS,
+            OID.CERTIFICATE_POLICIES,
+            OID.AUTHORITY_INFO_ACCESS,
+            OID.CRL_REASON,
+            OID.CRL_NUMBER,
+        }
+        assert len(oids) == 6
+
+
+class TestRegistry:
+    def test_known_name(self):
+        assert REGISTRY.name(OID.CRL_DISTRIBUTION_POINTS) == "cRLDistributionPoints"
+
+    def test_unknown_oid_passthrough(self):
+        assert REGISTRY.name("9.9.9") == "9.9.9"
+
+    def test_reverse_lookup(self):
+        assert REGISTRY.oid("cRLDistributionPoints") == OID.CRL_DISTRIBUTION_POINTS
+
+    def test_reverse_lookup_unknown_raises(self):
+        with pytest.raises(KeyError):
+            REGISTRY.oid("nope")
+
+    def test_register_custom(self):
+        registry = OIDRegistry()
+        registry.register("1.2.3.4", "testOid")
+        assert registry.name("1.2.3.4") == "testOid"
+        assert registry.oid("testOid") == "1.2.3.4"
+        assert "1.2.3.4" in registry
+
+    def test_contains(self):
+        assert OID.AD_OCSP in REGISTRY
+        assert "1.2.3.99" not in REGISTRY

@@ -1,0 +1,108 @@
+"""Test-suite PKI fixture tests."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.browsers.certgen import TestPki
+from repro.pki.verify import VerificationStatus, verify_chain
+from repro.revocation.checker import CheckOutcome, RevocationChecker
+from repro.revocation.ocsp import CertStatus
+
+NOW = datetime.datetime(2015, 3, 31, 12, 0, tzinfo=datetime.timezone.utc)
+
+
+class TestChainConstruction:
+    @pytest.mark.parametrize("n_ints", [0, 1, 2, 3])
+    def test_chain_shape(self, n_ints):
+        pki = TestPki(f"shape{n_ints}", n_ints, {"crl", "ocsp"}, ev=False)
+        assert len(pki.chain) == n_ints + 2
+        assert pki.chain[0] is pki.leaf
+        assert pki.chain[-1].is_self_signed
+        status = verify_chain(list(pki.chain), pki.trusted_roots)
+        assert status is VerificationStatus.OK
+
+    def test_protocol_pointers(self):
+        crl_only = TestPki("crl-only", 1, {"crl"}, ev=False)
+        assert crl_only.leaf.crl_urls and not crl_only.leaf.ocsp_urls
+        ocsp_only = TestPki("ocsp-only", 1, {"ocsp"}, ev=False)
+        assert ocsp_only.leaf.ocsp_urls and not ocsp_only.leaf.crl_urls
+
+    def test_ev_leaf(self):
+        assert TestPki("ev", 1, {"ocsp"}, ev=True).leaf.is_ev
+
+    def test_issuer_ca_of(self):
+        pki = TestPki("issuer", 2, {"crl"}, ev=False)
+        assert pki.issuer_ca_of(0).certificate == pki.chain[1]
+        assert pki.issuer_ca_of(1).certificate == pki.chain[2]
+        with pytest.raises(ValueError):
+            pki.issuer_ca_of(len(pki.chain) - 1)
+
+    def test_invalid_protocols_rejected(self):
+        with pytest.raises(ValueError):
+            TestPki("bad", 1, {"carrier-pigeon"}, ev=False)
+
+
+class TestScenarios:
+    def test_revoked_leaf_visible_via_crl(self):
+        pki = TestPki("rev-crl", 1, {"crl"}, ev=False)
+        pki.revoke(0)
+        checker = pki.checker()
+        result = checker.check_crl(pki.leaf, NOW)
+        assert result.outcome is CheckOutcome.REVOKED
+
+    def test_revoked_intermediate_visible_via_ocsp(self):
+        pki = TestPki("rev-ocsp", 1, {"ocsp"}, ev=False)
+        pki.revoke(1)
+        checker = pki.checker()
+        int1 = pki.chain[1]
+        result = checker.check_ocsp(int1, pki.chain[2].spki_hash, NOW)
+        assert result.outcome is CheckOutcome.REVOKED
+
+    @pytest.mark.parametrize("mode", ["nxdomain", "http404", "no_response"])
+    def test_unavailable_modes(self, mode):
+        pki = TestPki(f"unavail-{mode}", 1, {"crl"}, ev=False)
+        pki.make_unavailable(0, "crl", mode)
+        result = pki.checker().check_crl(pki.leaf, NOW)
+        assert result.outcome is CheckOutcome.UNAVAILABLE
+
+    def test_unknown_mode(self):
+        pki = TestPki("unknown", 1, {"ocsp"}, ev=False)
+        pki.make_unavailable(0, "ocsp", "unknown")
+        result = pki.checker().check_ocsp(pki.leaf, pki.chain[1].spki_hash, NOW)
+        assert result.outcome is CheckOutcome.UNKNOWN
+
+    def test_staple_served(self):
+        pki = TestPki("staple", 1, {"ocsp"}, ev=False)
+        pki.set_staple(CertStatus.REVOKED)
+        chain, staple = pki.handshake(status_request=True)
+        assert staple is not None
+        assert staple.cert_status is CertStatus.REVOKED
+        # Staple is signed by the leaf's issuer.
+        assert staple.verify_signature(pki.issuer_ca_of(0).keys.public_key)
+
+    def test_staple_not_served_without_request(self):
+        pki = TestPki("staple2", 1, {"ocsp"}, ev=False)
+        pki.set_staple(CertStatus.GOOD)
+        _, staple = pki.handshake(status_request=False)
+        assert staple is None
+
+    def test_firewalled_responder(self):
+        pki = TestPki("firewall", 1, {"ocsp"}, ev=False)
+        pki.set_staple(CertStatus.REVOKED, firewall_responder=True)
+        result = pki.checker().check_ocsp(pki.leaf, pki.chain[1].spki_hash, NOW)
+        assert result.outcome is CheckOutcome.UNAVAILABLE
+
+    def test_failures_scoped_to_target(self):
+        pki = TestPki("scoped", 2, {"crl"}, ev=False)
+        pki.make_unavailable(1, "crl", "no_response")
+        checker = pki.checker()
+        # Leaf CRL unaffected.
+        assert checker.check_crl(pki.leaf, NOW).outcome is CheckOutcome.GOOD
+        # Int1 CRL down.
+        assert (
+            checker.check_crl(pki.chain[1], NOW).outcome
+            is CheckOutcome.UNAVAILABLE
+        )

@@ -1,0 +1,264 @@
+"""Per-browser behaviour tests: each paper statement from §6.3-§6.4."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.browsers.certgen import TestPki
+from repro.browsers.desktop import (
+    Chrome,
+    Firefox,
+    InternetExplorer,
+    Opera12,
+    Opera31,
+    Safari,
+)
+from repro.browsers.mobile import AndroidBrowser, MobileIE, MobileSafari
+from repro.browsers.policy import ChainContext
+from repro.revocation.ocsp import CertStatus
+
+NOW = datetime.datetime(2015, 3, 31, 12, 0, tzinfo=datetime.timezone.utc)
+
+_counter = 0
+
+
+def run(browser, n_ints=1, protocols=("ocsp",), ev=False, setup=None):
+    global _counter
+    _counter += 1
+    pki = TestPki(f"bx{_counter}", n_ints, set(protocols), ev=ev)
+    if setup:
+        setup(pki)
+    chain, staple = pki.handshake(status_request=browser.requests_staple())
+    ctx = ChainContext(chain=chain, staple=staple, checker=pki.checker(), at=NOW)
+    return browser.validate(ctx)
+
+
+class TestChrome:
+    def test_osx_non_ev_checks_nothing(self):
+        result = run(Chrome(os="osx"), setup=lambda p: p.revoke(0))
+        assert result.accepted and not result.checks
+
+    def test_osx_ev_catches_revoked_leaf(self):
+        result = run(Chrome(os="osx"), ev=True, setup=lambda p: p.revoke(0))
+        assert not result.accepted
+
+    def test_windows_non_ev_checks_int1_crl_only(self):
+        # CRL-only chain, revoked int1 -> caught even for non-EV.
+        result = run(
+            Chrome(os="windows"), protocols=("crl",), setup=lambda p: p.revoke(1)
+        )
+        assert not result.accepted
+        # But a revoked CRL-only *leaf* is missed for non-EV.
+        result = run(
+            Chrome(os="windows"), protocols=("crl",), setup=lambda p: p.revoke(0)
+        )
+        assert result.accepted
+
+    def test_windows_non_ev_skips_ocsp(self):
+        result = run(
+            Chrome(os="windows"), protocols=("ocsp",), setup=lambda p: p.revoke(1)
+        )
+        assert result.accepted
+
+    def test_ev_crl_fallback(self):
+        def setup(pki):
+            pki.revoke(0)
+            pki.make_unavailable(0, "ocsp", "no_response")
+
+        result = run(Chrome(os="osx"), protocols=("crl", "ocsp"), ev=True, setup=setup)
+        assert not result.accepted
+
+    def test_unknown_trusted_incorrectly(self):
+        result = run(
+            Chrome(os="osx"), ev=True,
+            setup=lambda p: p.make_unavailable(0, "ocsp", "unknown"),
+        )
+        assert result.accepted
+
+    def test_int1_crl_unavailable_rejected_for_ev_on_osx(self):
+        result = run(
+            Chrome(os="osx"), protocols=("crl",), ev=True,
+            setup=lambda p: p.make_unavailable(1, "crl", "nxdomain"),
+        )
+        assert not result.accepted
+
+    def test_int1_crl_unavailable_rejected_for_all_on_windows(self):
+        result = run(
+            Chrome(os="windows"), protocols=("crl",), ev=False,
+            setup=lambda p: p.make_unavailable(1, "crl", "nxdomain"),
+        )
+        assert not result.accepted
+
+    def test_staple_respected_only_on_windows(self):
+        def setup(pki):
+            pki.revoke(0)
+            pki.set_staple(CertStatus.REVOKED, firewall_responder=True)
+
+        assert not run(Chrome(os="windows"), setup=setup).accepted
+        assert run(Chrome(os="osx"), setup=setup).accepted
+
+
+class TestFirefox:
+    def test_never_checks_crls(self):
+        result = run(Firefox(os="linux"), protocols=("crl",), setup=lambda p: p.revoke(0))
+        assert result.accepted and not result.checks
+
+    def test_non_ev_checks_leaf_ocsp_only(self):
+        assert not run(Firefox(os="osx"), setup=lambda p: p.revoke(0)).accepted
+        assert run(Firefox(os="osx"), setup=lambda p: p.revoke(1)).accepted
+
+    def test_ev_checks_all_ocsp(self):
+        assert not run(Firefox(os="osx"), ev=True, setup=lambda p: p.revoke(1)).accepted
+
+    def test_rejects_unknown(self):
+        result = run(
+            Firefox(os="windows"),
+            setup=lambda p: p.make_unavailable(0, "ocsp", "unknown"),
+        )
+        assert not result.accepted
+
+    def test_soft_fails_on_unavailable(self):
+        result = run(
+            Firefox(os="linux"),
+            setup=lambda p: p.make_unavailable(0, "ocsp", "no_response"),
+        )
+        assert result.accepted
+
+    def test_respects_revoked_staple(self):
+        def setup(pki):
+            pki.revoke(0)
+            pki.set_staple(CertStatus.REVOKED, firewall_responder=True)
+
+        assert not run(Firefox(os="osx"), setup=setup).accepted
+
+
+class TestOpera:
+    def test_opera12_crl_all_elements(self):
+        assert not run(
+            Opera12(os="osx"), protocols=("crl",), n_ints=3, setup=lambda p: p.revoke(3)
+        ).accepted
+
+    def test_opera12_ocsp_leaf_only(self):
+        assert not run(Opera12(os="osx"), setup=lambda p: p.revoke(0)).accepted
+        assert run(Opera12(os="osx"), setup=lambda p: p.revoke(1)).accepted
+
+    def test_opera12_rejects_unknown(self):
+        result = run(
+            Opera12(os="linux"),
+            setup=lambda p: p.make_unavailable(0, "ocsp", "unknown"),
+        )
+        assert not result.accepted
+
+    def test_opera31_first_element_hard_fail_crl(self):
+        result = run(
+            Opera31(os="osx"), protocols=("crl",),
+            setup=lambda p: p.make_unavailable(1, "crl", "no_response"),
+        )
+        assert not result.accepted
+
+    def test_opera31_leaf_hard_fail_only_without_intermediates(self):
+        result = run(
+            Opera31(os="osx"), protocols=("crl",), n_ints=0,
+            setup=lambda p: p.make_unavailable(0, "crl", "no_response"),
+        )
+        assert not result.accepted
+        result = run(
+            Opera31(os="osx"), protocols=("crl",), n_ints=1,
+            setup=lambda p: p.make_unavailable(0, "crl", "no_response"),
+        )
+        assert result.accepted
+
+    def test_opera31_ocsp_hard_fail_linux_windows_only(self):
+        def setup(pki):
+            pki.make_unavailable(1, "ocsp", "no_response")
+
+        assert not run(Opera31(os="linux"), setup=setup).accepted
+        assert not run(Opera31(os="windows"), setup=setup).accepted
+        assert run(Opera31(os="osx"), setup=setup).accepted
+
+
+class TestSafari:
+    def test_checks_whole_chain_both_protocols(self):
+        assert not run(Safari(), protocols=("crl",), n_ints=2, setup=lambda p: p.revoke(2)).accepted
+        assert not run(Safari(), protocols=("ocsp",), setup=lambda p: p.revoke(0)).accepted
+
+    def test_crl_fallback(self):
+        def setup(pki):
+            pki.revoke(0)
+            pki.make_unavailable(0, "ocsp", "no_response")
+
+        assert not run(Safari(), protocols=("crl", "ocsp"), setup=setup).accepted
+
+    def test_hard_fail_requires_crl_pointer(self):
+        # First-intermediate unavailable: rejects on CRL chains...
+        result = run(
+            Safari(), protocols=("crl",),
+            setup=lambda p: p.make_unavailable(1, "crl", "http404"),
+        )
+        assert not result.accepted
+        # ...but accepts on OCSP-only chains.
+        result = run(
+            Safari(), protocols=("ocsp",),
+            setup=lambda p: p.make_unavailable(1, "ocsp", "http404"),
+        )
+        assert result.accepted
+
+    def test_does_not_request_staples(self):
+        assert not Safari().requests_staple()
+
+
+class TestInternetExplorer:
+    @pytest.mark.parametrize("version", ["7.0", "8.0", "9.0", "10.0", "11.0"])
+    def test_checks_everything(self, version):
+        browser = InternetExplorer(version=version)
+        assert not run(browser, protocols=("crl",), n_ints=2, setup=lambda p: p.revoke(2)).accepted
+
+    def test_int1_unavailable_rejected_all_versions(self):
+        for version in ("7.0", "10.0", "11.0"):
+            result = run(
+                InternetExplorer(version=version),
+                setup=lambda p: p.make_unavailable(1, "ocsp", "no_response"),
+            )
+            assert not result.accepted, version
+
+    def test_leaf_unavailable_version_split(self):
+        def setup(pki):
+            pki.make_unavailable(0, "ocsp", "no_response")
+
+        assert run(InternetExplorer(version="9.0"), setup=setup).accepted
+        result10 = run(InternetExplorer(version="10.0"), setup=setup)
+        assert result10.accepted and result10.warned
+        assert not run(InternetExplorer(version="11.0"), setup=setup).accepted
+
+
+class TestMobile:
+    @pytest.mark.parametrize(
+        "browser",
+        [
+            MobileSafari("8"),
+            AndroidBrowser("Browser", "5.1"),
+            AndroidBrowser("Chrome", "4.4"),
+            MobileIE(),
+        ],
+        ids=["ios", "android-stock", "android-chrome", "wp-ie"],
+    )
+    def test_never_checks_anything(self, browser):
+        result = run(browser, setup=lambda p: p.revoke(0))
+        assert result.accepted
+        assert not result.checks
+
+    def test_android_ignores_revoked_staple(self):
+        def setup(pki):
+            pki.revoke(0)
+            pki.set_staple(CertStatus.REVOKED, firewall_responder=True)
+
+        browser = AndroidBrowser("Chrome", "5.1")
+        result = run(browser, setup=setup)
+        assert result.accepted  # staple requested but ignored
+        assert result.staple_requested
+        assert not result.staple_used
+
+    def test_ios_does_not_request_staples(self):
+        assert not MobileSafari("7").requests_staple()

@@ -1,0 +1,74 @@
+"""Failure-mode equivalence: the §6.1 unavailability modes.
+
+The paper tests four distinct ways revocation information can be
+unavailable (NXDOMAIN, HTTP 404, no response, OCSP `unknown`).  For
+every browser the first three must be policy-equivalent (they all mean
+"could not obtain"), while `unknown` is different -- it is an
+authoritative answer some browsers mishandle.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.browsers.certgen import TestPki
+from repro.browsers.desktop import Firefox, InternetExplorer, Opera31, Safari
+from repro.browsers.policy import ChainContext
+
+NOW = datetime.datetime(2015, 3, 31, 12, 0, tzinfo=datetime.timezone.utc)
+
+_counter = [0]
+
+
+def outcome(browser, protocol: str, mode: str, target: int = 1) -> bool:
+    """True if the connection is accepted."""
+    _counter[0] += 1
+    pki = TestPki(f"fm{_counter[0]}", 1, {protocol}, ev=False)
+    pki.make_unavailable(target, protocol, mode)
+    chain, staple = pki.handshake(status_request=browser.requests_staple())
+    ctx = ChainContext(chain, staple, pki.checker(), NOW)
+    return browser.validate(ctx).accepted
+
+
+TRANSPORT_MODES = ("nxdomain", "http404", "no_response")
+
+
+@pytest.mark.parametrize(
+    "browser_factory",
+    [
+        lambda: Safari(),
+        lambda: InternetExplorer(version="9.0"),
+        lambda: InternetExplorer(version="11.0"),
+        lambda: Opera31(os="windows"),
+        lambda: Firefox(os="linux"),
+    ],
+    ids=["safari", "ie9", "ie11", "opera31-win", "firefox"],
+)
+class TestTransportModeEquivalence:
+    def test_crl_modes_equivalent(self, browser_factory):
+        browser = browser_factory()
+        results = {mode: outcome(browser, "crl", mode) for mode in TRANSPORT_MODES}
+        assert len(set(results.values())) == 1, results
+
+    def test_ocsp_transport_modes_equivalent(self, browser_factory):
+        browser = browser_factory()
+        results = {mode: outcome(browser, "ocsp", mode) for mode in TRANSPORT_MODES}
+        assert len(set(results.values())) == 1, results
+
+
+class TestUnknownIsDifferent:
+    def test_firefox_distinguishes_unknown_from_transport_failure(self):
+        browser = Firefox(os="linux")
+        # Transport failure on the leaf: soft-fail accept.
+        assert outcome(browser, "ocsp", "no_response", target=0)
+        # Authoritative `unknown` on the leaf: rejected.
+        assert not outcome(browser, "ocsp", "unknown", target=0)
+
+    def test_ie_conflates_unknown_with_good(self):
+        browser = InternetExplorer(version="11.0")
+        # IE treats unknown as trusted (incorrect), unlike a transport
+        # failure on the leaf which it rejects.
+        assert outcome(browser, "ocsp", "unknown", target=0)
+        assert not outcome(browser, "ocsp", "no_response", target=0)

@@ -1,0 +1,98 @@
+"""Unit tests for Table 2 mark classification logic."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.browsers.table2 import Mark, _pass_fail_mark
+
+
+@dataclass
+class FakeModel:
+    os: str = "osx"
+
+
+@dataclass
+class FakeCase:
+    ev: bool = False
+
+
+@dataclass
+class FakeOutcome:
+    rejected: bool
+    warned: bool = False
+    case: FakeCase = None
+
+    def __post_init__(self):
+        if self.case is None:
+            self.case = FakeCase()
+
+
+def cell(*entries):
+    return [(model, outcome) for model, outcome in entries]
+
+
+class TestPassFailMark:
+    def test_all_pass(self):
+        outcomes = cell(
+            (FakeModel(), FakeOutcome(True)), (FakeModel(), FakeOutcome(True))
+        )
+        assert _pass_fail_mark(outcomes) is Mark.YES
+
+    def test_all_fail(self):
+        outcomes = cell(
+            (FakeModel(), FakeOutcome(False)), (FakeModel(), FakeOutcome(False))
+        )
+        assert _pass_fail_mark(outcomes) is Mark.NO
+
+    def test_empty_is_dash(self):
+        assert _pass_fail_mark([]) is Mark.DASH
+
+    def test_ev_split(self):
+        outcomes = cell(
+            (FakeModel(), FakeOutcome(True, case=FakeCase(ev=True))),
+            (FakeModel(), FakeOutcome(False, case=FakeCase(ev=False))),
+        )
+        assert _pass_fail_mark(outcomes) is Mark.EV
+
+    def test_os_split(self):
+        outcomes = cell(
+            (FakeModel(os="linux"), FakeOutcome(True)),
+            (FakeModel(os="windows"), FakeOutcome(True)),
+            (FakeModel(os="osx"), FakeOutcome(False)),
+        )
+        assert _pass_fail_mark(outcomes) is Mark.LW
+
+    def test_warn_only_is_alert(self):
+        outcomes = cell(
+            (FakeModel(), FakeOutcome(False, warned=True)),
+            (FakeModel(), FakeOutcome(False, warned=True)),
+        )
+        assert _pass_fail_mark(outcomes) is Mark.ALERT
+
+    def test_pass_and_warn_mix_is_alert(self):
+        # IE 10's leaf-unavailable pattern: rejects without intermediates,
+        # warns with them.
+        outcomes = cell(
+            (FakeModel(), FakeOutcome(True)),
+            (FakeModel(), FakeOutcome(False, warned=True)),
+        )
+        assert _pass_fail_mark(outcomes) is Mark.ALERT
+
+    def test_uncorrelated_partial_is_no(self):
+        # Opera 31's leaf-unavailable pattern: passes only the no-
+        # intermediate chains, which is neither EV- nor OS-correlated.
+        outcomes = cell(
+            (FakeModel(), FakeOutcome(True, case=FakeCase(ev=False))),
+            (FakeModel(), FakeOutcome(False, case=FakeCase(ev=False))),
+            (FakeModel(), FakeOutcome(False, case=FakeCase(ev=True))),
+        )
+        assert _pass_fail_mark(outcomes) is Mark.NO
+
+    def test_ev_beats_lw_when_both_could_apply(self):
+        # A single EV-passing model on linux: the EV rule fires first.
+        outcomes = cell(
+            (FakeModel(os="linux"), FakeOutcome(True, case=FakeCase(ev=True))),
+            (FakeModel(os="linux"), FakeOutcome(False, case=FakeCase(ev=False))),
+        )
+        assert _pass_fail_mark(outcomes) is Mark.EV

@@ -1,0 +1,52 @@
+"""StrictClient reference behaviour: the §2.3 ideal, for contrast."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.browsers.strict import StrictClient
+from repro.browsers.testsuite import BrowserTestHarness, generate_test_suite
+
+
+@pytest.fixture(scope="module")
+def outcomes():
+    harness = BrowserTestHarness()
+    return harness.run_suite(StrictClient(os="linux"), generate_test_suite())
+
+
+class TestStrictClient:
+    def test_catches_every_revocation(self, outcomes):
+        revoked = [o for o in outcomes if o.case.family == "revoked"]
+        assert all(o.rejected for o in revoked)
+
+    def test_hard_fails_every_unavailability(self, outcomes):
+        unavailable = [
+            o
+            for o in outcomes
+            if o.case.family in ("unavailable", "both_unavailable")
+        ]
+        assert all(o.rejected for o in unavailable)
+
+    def test_detects_revocation_via_fallback(self, outcomes):
+        fallback = [o for o in outcomes if o.case.family == "fallback"]
+        assert all(o.rejected for o in fallback)
+
+    def test_accepts_all_baselines(self, outcomes):
+        baseline = [o for o in outcomes if o.case.family == "baseline"]
+        assert all(not o.rejected for o in baseline)
+
+    def test_respects_revoked_staples(self, outcomes):
+        staple_revoked = [
+            o for o in outcomes if o.case.staple_status == "revoked"
+        ]
+        assert all(o.rejected for o in staple_revoked)
+
+    def test_perfect_score(self, outcomes):
+        """StrictClient passes every one of the 244 cases -- the bar no
+        real browser reaches (paper §6.5)."""
+        # The `unknown` staple case counts as pass either way: rejecting
+        # an unknown staple is RFC-correct even with a live good responder.
+        failures = [
+            o for o in outcomes if not o.passed and o.case.staple_status != "unknown"
+        ]
+        assert failures == []

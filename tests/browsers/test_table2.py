@@ -1,0 +1,58 @@
+"""Table 2 end-to-end: the computed matrix must match the paper."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.browsers.table2 import (
+    PAPER_TABLE2,
+    ROWS,
+    Mark,
+    compute_table2,
+    diff_against_paper,
+    render_table2,
+)
+
+
+@pytest.fixture(scope="module")
+def matrix():
+    return compute_table2()
+
+
+class TestTable2:
+    def test_every_testable_cell_matches_paper(self, matrix):
+        mismatches = diff_against_paper(matrix)
+        assert mismatches == []
+
+    def test_row_and_column_counts(self, matrix):
+        assert set(matrix) == {row.key for row in ROWS}
+        assert all(len(cells) == 14 for cells in matrix.values())
+        assert set(PAPER_TABLE2) == {row.key for row in ROWS}
+
+    def test_mobile_columns_never_pass_checks(self, matrix):
+        check_rows = [row.key for row in ROWS if "/" in row.key]
+        for key in check_rows:
+            for column in (10, 11, 12, 13):  # the four mobile columns
+                assert matrix[key][column] is Mark.NO
+
+    def test_nobody_is_fully_correct(self, matrix):
+        """§6.5: no browser in default config passes every row."""
+        for column in range(14):
+            marks = {matrix[row.key][column] for row in ROWS}
+            assert marks != {Mark.YES}
+
+    def test_int2plus_unavailable_universally_soft_fails(self, matrix):
+        assert set(matrix["crl/int2plus/unavailable"]) == {Mark.NO}
+        assert set(matrix["ocsp/int2plus/unavailable"]) == {Mark.NO}
+
+    def test_firefox_rejects_unknown(self, matrix):
+        assert matrix["reject_unknown"][3] is Mark.YES
+
+    def test_android_requests_but_ignores_staples(self, matrix):
+        assert matrix["request_staple"][11] is Mark.IGNORES
+        assert matrix["request_staple"][12] is Mark.IGNORES
+
+    def test_render_contains_all_rows(self, matrix):
+        text = render_table2(matrix)
+        for row in ROWS:
+            assert row.label in text

@@ -1,0 +1,121 @@
+"""Test-suite generator and harness tests."""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.browsers.registry import all_browsers, table2_columns
+from repro.browsers.testsuite import (
+    BrowserTestHarness,
+    generate_test_suite,
+)
+
+
+@pytest.fixture(scope="module")
+def suite():
+    return generate_test_suite()
+
+
+class TestGenerator:
+    def test_exactly_244_cases(self, suite):
+        # The paper: "the result is a suite of 244 different tests".
+        assert len(suite) == 244
+
+    def test_family_budget(self, suite):
+        families = Counter(case.family for case in suite)
+        assert families == {
+            "baseline": 24,
+            "revoked": 60,
+            "unavailable": 140,
+            "fallback": 4,
+            "both_unavailable": 4,
+            "stapling": 12,
+        }
+
+    def test_ids_unique(self, suite):
+        assert len({case.test_id for case in suite}) == 244
+
+    def test_ev_split_is_even(self, suite):
+        assert sum(1 for case in suite if case.ev) == 122
+
+    def test_chain_length_dimension(self, suite):
+        lengths = {case.n_intermediates for case in suite}
+        assert lengths == {0, 1, 2, 3}
+
+    def test_unavailable_modes(self, suite):
+        crl_modes = {
+            c.failure_mode
+            for c in suite
+            if c.family == "unavailable" and c.protocols == frozenset({"crl"})
+        }
+        ocsp_modes = {
+            c.failure_mode
+            for c in suite
+            if c.family == "unavailable" and c.protocols == frozenset({"ocsp"})
+        }
+        assert crl_modes == {"nxdomain", "http404", "no_response"}
+        assert ocsp_modes == {"nxdomain", "http404", "no_response", "unknown"}
+
+    def test_target_positions(self, suite):
+        revoked = [c for c in suite if c.family == "revoked"]
+        positions = Counter(c.target_position for c in revoked)
+        # 10 positions per (protocol, ev): 4 leaf, 3 int1, 3 int2plus.
+        assert positions == {"leaf": 24, "int1": 18, "int2plus": 18}
+
+    def test_expected_reject(self, suite):
+        for case in suite:
+            if case.family == "baseline":
+                assert not case.expected_reject
+            elif case.family == "stapling":
+                assert case.expected_reject == (case.staple_status == "revoked")
+            else:
+                assert case.expected_reject
+
+    def test_describe_is_informative(self, suite):
+        text = suite[30].describe()
+        assert suite[30].family in text
+
+
+class TestRegistry:
+    def test_thirty_combinations(self):
+        assert len(all_browsers()) == 30
+
+    def test_fourteen_columns_cover_all_browsers(self):
+        columns = table2_columns()
+        assert len(columns) == 14
+        total = sum(len(models) for _, models in columns)
+        assert total == 30
+        for label, models in columns:
+            assert models, label
+
+
+class TestHarness:
+    def test_strict_reference_outcomes(self, suite):
+        """IE 11 (the strictest tested browser) against a case sample."""
+        from repro.browsers.desktop import InternetExplorer
+
+        harness = BrowserTestHarness()
+        browser = InternetExplorer(version="11.0")
+        sample = [c for c in suite if c.test_id in {"t000", "t030", "t100", "t200"}]
+        outcomes = [harness.run_case(browser, case) for case in sample]
+        for outcome in outcomes:
+            assert outcome.browser_label.startswith("IE")
+
+    def test_baseline_accepted_by_everyone(self, suite):
+        harness = BrowserTestHarness()
+        baseline = [c for c in suite if c.family == "baseline"][:4]
+        for browser in (all_browsers()[0], all_browsers()[-1]):
+            for case in baseline:
+                outcome = harness.run_case(browser, case)
+                assert not outcome.rejected, (browser.label, case.describe())
+
+    def test_mobile_fails_all_revoked_cases(self, suite):
+        from repro.browsers.mobile import MobileSafari
+
+        harness = BrowserTestHarness()
+        browser = MobileSafari("8")
+        revoked = [c for c in suite if c.family == "revoked"][:6]
+        for case in revoked:
+            assert not harness.run_case(browser, case).passed

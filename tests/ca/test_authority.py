@@ -1,0 +1,146 @@
+"""CertificateAuthority tests: issuance, revocation, hierarchy."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.ca.authority import CertificateAuthority
+from repro.pki.keys import KeyPair
+from repro.pki.verify import VerificationStatus, verify_chain
+from repro.revocation.reason import ReasonCode
+
+UTC = datetime.timezone.utc
+NB = datetime.datetime(2014, 1, 1, tzinfo=UTC)
+NA = datetime.datetime(2016, 1, 1, tzinfo=UTC)
+NOW = datetime.datetime(2015, 3, 1, tzinfo=UTC)
+
+
+@pytest.fixture()
+def root():
+    return CertificateAuthority.create_root(
+        "Authority Root",
+        "auth-root",
+        NB,
+        NA,
+        crl_base_url="http://crl.auth.example",
+        ocsp_url="http://ocsp.auth.example/q",
+    )
+
+
+class TestRoots:
+    def test_root_is_self_signed_ca(self, root):
+        assert root.certificate.is_self_signed
+        assert root.certificate.is_ca
+
+    def test_root_has_no_revocation_pointers(self, root):
+        # §3.2 footnote 9: roots can only be revoked by store removal.
+        assert not root.certificate.has_revocation_info
+
+
+class TestIssuance:
+    def test_leaf_fields(self, root):
+        leaf = root.issue_leaf(
+            "leaf.example", KeyPair.generate("l").public_key, NB, NA
+        )
+        assert leaf.subject.common_name == "leaf.example"
+        assert leaf.issuer == root.name
+        assert not leaf.is_ca
+        assert leaf.crl_urls and leaf.ocsp_urls
+
+    def test_serials_unique(self, root):
+        serials = {
+            root.issue_leaf(
+                f"s{i}.example", KeyPair.generate(f"s{i}").public_key, NB, NA
+            ).serial_number
+            for i in range(20)
+        }
+        assert len(serials) == 20
+
+    def test_ev_leaf(self, root):
+        leaf = root.issue_leaf(
+            "ev.example", KeyPair.generate("ev").public_key, NB, NA, ev=True
+        )
+        assert leaf.is_ev
+
+    def test_optional_pointers(self, root):
+        bare = root.issue_leaf(
+            "bare.example", KeyPair.generate("bare").public_key, NB, NA,
+            include_crl=False, include_ocsp=False,
+        )
+        assert not bare.has_revocation_info
+
+    def test_ledger_records(self, root):
+        leaf = root.issue_leaf("r.example", KeyPair.generate("r").public_key, NB, NA)
+        record = root.record_for(leaf.serial_number)
+        assert record is not None
+        assert not record.is_revoked
+
+
+class TestHierarchy:
+    def test_intermediate_chain_verifies(self, root):
+        intermediate = root.create_intermediate("Sub CA", "auth-sub", NB, NA)
+        leaf = intermediate.issue_leaf(
+            "deep.example", KeyPair.generate("deep").public_key, NB, NA,
+            include_crl=False, include_ocsp=False,
+        )
+        chain = [leaf, intermediate.certificate, root.certificate]
+        status = verify_chain(chain, {root.certificate.fingerprint})
+        assert status is VerificationStatus.OK
+
+    def test_intermediate_pointers_name_parent_channels(self, root):
+        intermediate = root.create_intermediate("Sub CA", "auth-sub2", NB, NA)
+        cert = intermediate.certificate
+        assert cert.crl_urls[0].startswith("http://crl.auth.example")
+        assert cert.ocsp_urls == ("http://ocsp.auth.example/q",)
+
+    def test_parent_can_revoke_child(self, root):
+        intermediate = root.create_intermediate("Sub CA", "auth-sub3", NB, NA)
+        serial = intermediate.certificate.serial_number
+        root.revoke(serial, NOW, ReasonCode.CA_COMPROMISE)
+        assert root.record_for(serial).is_revoked
+
+
+class TestRevocation:
+    def test_revoke_updates_everything(self, root):
+        leaf = root.issue_leaf("v.example", KeyPair.generate("v").public_key, NB, NA)
+        root.revoke(leaf.serial_number, NOW, ReasonCode.KEY_COMPROMISE)
+        record = root.record_for(leaf.serial_number)
+        assert record.revoked_at == NOW
+        assert record.revocation_reason is ReasonCode.KEY_COMPROMISE
+        # CRL view reflects it.
+        view = root.crl_publisher.view(record.crl_url, NOW)
+        assert view.is_revoked(leaf.serial_number)
+        # OCSP responder reflects it.
+        from repro.revocation.ocsp import CertStatus, OcspRequest
+
+        response = root.ocsp_responder.respond(
+            OcspRequest(root.issuer_key_hash, leaf.serial_number), NOW
+        )
+        assert response.cert_status is CertStatus.REVOKED
+        assert response.revocation_reason is ReasonCode.KEY_COMPROMISE
+
+    def test_revoke_is_idempotent(self, root):
+        leaf = root.issue_leaf("i.example", KeyPair.generate("i").public_key, NB, NA)
+        root.revoke(leaf.serial_number, NOW)
+        root.revoke(leaf.serial_number, NOW + datetime.timedelta(days=1))
+        assert root.record_for(leaf.serial_number).revoked_at == NOW
+
+    def test_revoke_unknown_serial_raises(self, root):
+        with pytest.raises(KeyError):
+            root.revoke(123456, NOW)
+
+    def test_revocation_not_visible_before_date(self, root):
+        leaf = root.issue_leaf("f.example", KeyPair.generate("f").public_key, NB, NA)
+        future = NOW + datetime.timedelta(days=30)
+        root.revoke(leaf.serial_number, future)
+        record = root.record_for(leaf.serial_number)
+        assert not record.is_revoked_at(NOW)
+        assert record.is_revoked_at(future)
+
+    def test_revoked_records_listing(self, root):
+        a = root.issue_leaf("ra.example", KeyPair.generate("ra").public_key, NB, NA)
+        root.issue_leaf("rb.example", KeyPair.generate("rb").public_key, NB, NA)
+        root.revoke(a.serial_number, NOW)
+        assert {r.serial_number for r in root.revoked_records()} >= {a.serial_number}

@@ -1,0 +1,81 @@
+"""OCSP responder tests."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.ca.ocsp_responder import OcspResponder
+from repro.pki.keys import KeyPair
+from repro.revocation.ocsp import CertStatus, OcspRequest, OcspResponseStatus
+from repro.revocation.reason import ReasonCode
+
+UTC = datetime.timezone.utc
+NOW = datetime.datetime(2015, 3, 1, 10, 30, tzinfo=UTC)
+
+
+@pytest.fixture()
+def responder_setup():
+    keys = KeyPair.generate("resp-ca")
+    ledger = {}
+
+    def lookup(serial):
+        return ledger.get(serial)
+
+    responder = OcspResponder(
+        responder_keys=keys,
+        issuer_key_hash=keys.key_id,
+        status_lookup=lookup,
+    )
+    return responder, keys, ledger
+
+
+class TestResponder:
+    def test_good(self, responder_setup):
+        responder, keys, ledger = responder_setup
+        ledger[5] = (None, None)
+        response = responder.respond(OcspRequest(keys.key_id, 5), NOW)
+        assert response.cert_status is CertStatus.GOOD
+        assert response.verify_signature(keys.public_key)
+        assert responder.queries_served == 1
+
+    def test_revoked_with_reason(self, responder_setup):
+        responder, keys, ledger = responder_setup
+        revoked_at = NOW - datetime.timedelta(days=2)
+        ledger[5] = (revoked_at, ReasonCode.KEY_COMPROMISE)
+        response = responder.respond(OcspRequest(keys.key_id, 5), NOW)
+        assert response.cert_status is CertStatus.REVOKED
+        assert response.revocation_time == revoked_at
+
+    def test_future_revocation_still_good(self, responder_setup):
+        responder, keys, ledger = responder_setup
+        ledger[5] = (NOW + datetime.timedelta(days=2), None)
+        response = responder.respond(OcspRequest(keys.key_id, 5), NOW)
+        assert response.cert_status is CertStatus.GOOD
+
+    def test_unknown_serial(self, responder_setup):
+        responder, keys, _ = responder_setup
+        response = responder.respond(OcspRequest(keys.key_id, 404), NOW)
+        assert response.cert_status is CertStatus.UNKNOWN
+
+    def test_wrong_issuer_unauthorized(self, responder_setup):
+        responder, keys, _ = responder_setup
+        other = KeyPair.generate("other")
+        response = responder.respond(OcspRequest(other.key_id, 5), NOW)
+        assert response.response_status is OcspResponseStatus.UNAUTHORIZED
+
+    def test_force_unknown(self, responder_setup):
+        responder, keys, ledger = responder_setup
+        ledger[5] = (None, None)
+        responder.force_unknown = True
+        response = responder.respond(OcspRequest(keys.key_id, 5), NOW)
+        assert response.cert_status is CertStatus.UNKNOWN
+
+    def test_validity_window(self, responder_setup):
+        responder, keys, ledger = responder_setup
+        ledger[5] = (None, None)
+        response = responder.respond(OcspRequest(keys.key_id, 5), NOW)
+        assert response.next_update - response.this_update == responder.validity_period
+        # OCSP responses are cacheable for days, longer than most CRLs.
+        assert response.next_update - response.this_update >= datetime.timedelta(days=1)

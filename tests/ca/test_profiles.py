@@ -1,0 +1,70 @@
+"""CA profile calibration tests (Table 1 inputs)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ca.profiles import PAPER_CA_PROFILES, total_observed_certs
+
+
+def profile(name):
+    return next(p for p in PAPER_CA_PROFILES if p.name == name)
+
+
+class TestTable1Values:
+    def test_table1_counts_match_paper(self):
+        # The nine Table 1 rows are verbatim paper data.
+        expected = {
+            "GoDaddy": (322, 1_050_014, 277_500, 1_184.0),
+            "RapidSSL": (5, 626_774, 2_153, 34.5),
+            "Comodo": (30, 447_506, 7_169, 517.6),
+            "PositiveSSL": (3, 415_075, 8_177, 441.3),
+            "GeoTrust": (27, 335_380, 3_081, 12.9),
+            "Verisign": (37, 311_788, 15_438, 205.2),
+            "Thawte": (32, 278_563, 4_446, 25.4),
+            "GlobalSign": (26, 247_819, 24_242, 2_050.0),
+            "StartCom": (17, 236_776, 1_752, 240.5),
+        }
+        for name, (crls, total, revoked, avg_kb) in expected.items():
+            p = profile(name)
+            assert p.crl_count == crls
+            assert p.observed_certs == total
+            assert p.observed_revoked == revoked
+            assert p.avg_crl_kb == avg_kb
+
+    def test_total_near_leaf_set_size(self):
+        # Profiles should sum to roughly the paper's 5.07 M Leaf Set.
+        assert 4_500_000 <= total_observed_certs() <= 5_800_000
+
+    def test_apple_is_the_outlier(self):
+        apple = profile("Apple")
+        assert apple.avg_crl_kb == max(p.avg_crl_kb for p in PAPER_CA_PROFILES)
+        assert apple.avg_crl_kb > 50_000  # the 76 MB CRL
+
+    def test_rapidssl_ocsp_adoption_date(self):
+        import datetime
+
+        assert profile("RapidSSL").ocsp_since == datetime.date(2012, 7, 1)
+
+
+class TestScaling:
+    @pytest.mark.parametrize("scale", [0.001, 0.002, 0.01, 0.1])
+    def test_scaled_counts_positive(self, scale):
+        for p in PAPER_CA_PROFILES:
+            assert p.scaled_certs(scale) >= 1
+            assert p.scaled_crl_count(scale) >= 1
+            assert p.scaled_revoked(scale) <= p.scaled_certs(scale)
+
+    def test_scaled_revoked_fraction_preserved(self):
+        p = profile("GoDaddy")
+        fraction = p.scaled_revoked(0.01) / p.scaled_certs(0.01)
+        assert abs(fraction - p.revoked_fraction) < 0.01
+
+    def test_full_scale_keeps_crl_counts(self):
+        assert profile("GoDaddy").scaled_crl_count(1.0) == 322
+
+    def test_shards_scale_slower_than_certs(self):
+        p = profile("GoDaddy")
+        cert_ratio = p.scaled_certs(0.01) / p.observed_certs
+        shard_ratio = p.scaled_crl_count(0.01) / p.crl_count
+        assert shard_ratio > cert_ratio

@@ -1,0 +1,45 @@
+"""Shared fixtures.
+
+The heavyweight artefacts (ecosystem, study, CRLSet history) are
+session-scoped: they are deterministic, read-only for tests, and take a
+second or two each to build.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro import MeasurementStudy
+from repro.scan.calibration import Calibration
+
+
+@pytest.fixture(scope="session")
+def calibration() -> Calibration:
+    return Calibration(scale=0.002)
+
+
+@pytest.fixture(scope="session")
+def study(calibration) -> MeasurementStudy:
+    return MeasurementStudy(calibration=calibration)
+
+
+@pytest.fixture(scope="session")
+def ecosystem(study):
+    return study.ecosystem
+
+
+@pytest.fixture(scope="session")
+def crlset_history(study):
+    return study.crlset_history
+
+
+@pytest.fixture(scope="session")
+def measurement_end(calibration) -> datetime.date:
+    return calibration.measurement_end
+
+
+@pytest.fixture()
+def utc_now() -> datetime.datetime:
+    return datetime.datetime(2015, 3, 31, 12, 0, tzinfo=datetime.timezone.utc)

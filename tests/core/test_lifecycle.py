@@ -1,0 +1,99 @@
+"""Figure 1 lifecycle classification tests."""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.core.lifecycle import (
+    LifecycleShape,
+    classify,
+    lifecycle_census,
+    render_lifecycle,
+)
+from repro.scan.records import LeafRecord
+
+D = datetime.date
+
+
+def leaf(nb, na, birth, death, revoked=None) -> LeafRecord:
+    return LeafRecord(
+        cert_id=0,
+        brand="X",
+        intermediate_id=0,
+        serial_number=1,
+        not_before=nb,
+        not_after=na,
+        birth=birth,
+        death=death,
+        is_ev=False,
+        crl_url=None,
+        ocsp_url=None,
+        revoked_at=revoked,
+    )
+
+
+class TestClassify:
+    def test_typical(self):
+        record = leaf(D(2014, 1, 1), D(2015, 1, 1), D(2014, 1, 5), D(2014, 12, 1))
+        assert classify(record, D(2014, 6, 1)) is LifecycleShape.TYPICAL
+
+    def test_revoked_retired(self):
+        record = leaf(
+            D(2014, 1, 1), D(2015, 1, 1), D(2014, 1, 5), D(2014, 5, 1),
+            revoked=D(2014, 5, 1),
+        )
+        assert classify(record, D(2014, 8, 1)) is LifecycleShape.REVOKED_RETIRED
+
+    def test_revoked_still_advertised(self):
+        record = leaf(
+            D(2014, 1, 1), D(2015, 1, 1), D(2014, 1, 5), D(2014, 12, 20),
+            revoked=D(2014, 5, 1),
+        )
+        assert (
+            classify(record, D(2014, 8, 1))
+            is LifecycleShape.REVOKED_STILL_ADVERTISED
+        )
+
+    def test_expired_still_advertised(self):
+        record = leaf(D(2014, 1, 1), D(2014, 6, 1), D(2014, 1, 5), D(2014, 8, 1))
+        assert (
+            classify(record, D(2014, 7, 1))
+            is LifecycleShape.EXPIRED_STILL_ADVERTISED
+        )
+
+    def test_atypical_gamespace_case(self):
+        # The paper's gamespace.adobe.com: revoked AND expired AND alive.
+        record = leaf(
+            D(2014, 1, 1), D(2014, 6, 1), D(2014, 1, 5), D(2014, 9, 1),
+            revoked=D(2014, 4, 1),
+        )
+        assert classify(record, D(2014, 7, 1)) is LifecycleShape.ATYPICAL
+
+
+class TestCensus:
+    def test_census_over_ecosystem(self, ecosystem, measurement_end):
+        census = lifecycle_census(ecosystem, measurement_end)
+        assert sum(census.values()) == len(ecosystem.leaves)
+        # Typical certificates dominate; the anomalies exist but are rare.
+        assert census[LifecycleShape.TYPICAL] > sum(
+            count
+            for shape, count in census.items()
+            if shape is not LifecycleShape.TYPICAL
+        ) * 0.5
+        assert census[LifecycleShape.REVOKED_STILL_ADVERTISED] > 0
+
+
+class TestRender:
+    def test_render_contains_all_timelines(self):
+        record = leaf(
+            D(2014, 1, 1), D(2015, 1, 1), D(2014, 1, 5), D(2014, 12, 1),
+            revoked=D(2014, 5, 1),
+        )
+        text = render_lifecycle(record)
+        assert "fresh" in text and "alive" in text and "revoked" in text
+        assert "=" in text and "#" in text and "R" in text
+
+    def test_render_without_revocation(self):
+        record = leaf(D(2014, 1, 1), D(2015, 1, 1), D(2014, 1, 5), D(2014, 12, 1))
+        text = render_lifecycle(record)
+        assert "revoked" not in text

@@ -1,0 +1,79 @@
+"""Report rendering and MeasurementStudy facade tests."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.core.report import format_bytes, format_table, render_cdf, render_series
+from repro.core.stats import Cdf
+
+
+class TestReport:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [(1, 22), (333, 4)], title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert len(lines) == 5
+
+    def test_render_series_bars_scale(self):
+        text = render_series([("x", 1.0), ("y", 0.5)], width=10)
+        lines = text.splitlines()
+        assert lines[0].count("#") == 10
+        assert lines[1].count("#") == 5
+
+    def test_render_series_empty(self):
+        assert "(empty series)" in render_series([], title="t")
+
+    def test_render_cdf(self):
+        text = render_cdf(Cdf.from_values(range(100)), title="cdf")
+        assert "p50" in text and "p95" in text
+
+    def test_format_bytes(self):
+        assert format_bytes(500) == "500 B"
+        assert format_bytes(51 * 1024) == "51.0 KB"
+        assert format_bytes(76 * 1024 * 1024) == "76.0 MB"
+
+
+class TestMeasurementStudy:
+    def test_components_cached(self, study):
+        assert study.ecosystem is study.ecosystem
+        assert study.crlset_history is study.crlset_history
+
+    def test_dataset_summary_keys(self, study):
+        summary = study.dataset_summary()
+        for key in (
+            "leaf_set_size",
+            "alive_in_last_scan_fraction",
+            "leaf_with_crl",
+            "unique_crls",
+            "unique_ocsp_responders",
+        ):
+            assert key in summary
+
+    def test_alive_fraction_band(self, study):
+        summary = study.dataset_summary()
+        # Paper: 45.2% of Leaf Set certs alive in the latest scan.
+        assert 0.30 <= summary["alive_in_last_scan_fraction"] <= 0.65
+
+    def test_revocation_series_window(self, study):
+        series = study.revocation_series(
+            start=datetime.date(2014, 2, 1), end=datetime.date(2014, 4, 1)
+        )
+        assert series.dates[0] == datetime.date(2014, 2, 1)
+        assert series.dates[-1] <= datetime.date(2014, 4, 1)
+
+    def test_revocation_info_by_issue_month(self, study):
+        series = study.revocation_info_by_issue_month()
+        months = sorted(series)
+        assert months[0] >= datetime.date(2011, 1, 1)
+        for month in months:
+            assert 0.0 <= series[month]["crl"] <= 1.0
+            assert 0.0 <= series[month]["ocsp"] <= 1.0
+
+    def test_crl_sizes_and_counts_align(self, study):
+        sizes = study.crl_sizes()
+        counts = study.crl_entry_counts()
+        assert set(sizes) == set(counts)

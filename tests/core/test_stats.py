@@ -1,0 +1,101 @@
+"""Statistics helper tests."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stats import Cdf, describe, median, percentile, weighted_cdf
+
+
+class TestCdf:
+    def test_from_values(self):
+        cdf = Cdf.from_values([3, 1, 2])
+        assert cdf.values == (1, 2, 3)
+        assert cdf.fractions == (pytest.approx(1 / 3), pytest.approx(2 / 3), 1.0)
+
+    def test_median_and_quantiles(self):
+        cdf = Cdf.from_values(range(1, 101))
+        assert cdf.median == 50
+        assert cdf.quantile(0.9) == 90
+        assert cdf.quantile(1.0) == 100
+        assert cdf.quantile(0.0) == 1
+
+    def test_fraction_at_or_below(self):
+        cdf = Cdf.from_values([1, 2, 3, 4])
+        assert cdf.fraction_at_or_below(2) == 0.5
+        assert cdf.fraction_at_or_below(0) == 0.0
+        assert cdf.fraction_at_or_below(10) == 1.0
+
+    def test_quantile_validation(self):
+        cdf = Cdf.from_values([1])
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+        with pytest.raises(ValueError):
+            Cdf((), ()).quantile(0.5)
+
+    @given(st.lists(st.floats(min_value=-1e9, max_value=1e9), min_size=1))
+    def test_fractions_monotone(self, values):
+        cdf = Cdf.from_values(values)
+        assert list(cdf.fractions) == sorted(cdf.fractions)
+        assert cdf.fractions[-1] == pytest.approx(1.0)
+
+
+class TestWeightedCdf:
+    def test_weighting_changes_median(self):
+        """The Figure 6 effect: raw vs certificate-weighted medians."""
+        # 9 tiny CRLs covering 1 cert each, 1 huge CRL covering 1000.
+        pairs = [(1.0, 1)] * 9 + [(1000.0, 1000)]
+        raw = Cdf.from_values([value for value, _ in pairs])
+        weighted = weighted_cdf(pairs)
+        assert raw.median == 1.0
+        assert weighted.median == 1000.0
+
+    def test_zero_weights_dropped(self):
+        cdf = weighted_cdf([(5.0, 0), (7.0, 2)])
+        assert cdf.values == (7.0,)
+
+    def test_empty(self):
+        assert weighted_cdf([]).values == ()
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0, max_value=1e6),
+                st.integers(min_value=1, max_value=100),
+            ),
+            min_size=1,
+            max_size=50,
+        )
+    )
+    @settings(max_examples=50)
+    def test_equal_weights_match_raw(self, pairs):
+        values = [value for value, _ in pairs]
+        raw = Cdf.from_values(values)
+        equal = weighted_cdf((value, 1) for value in values)
+        assert raw.median == equal.median
+
+
+class TestScalars:
+    def test_median(self):
+        assert median([1, 2, 3]) == 2
+        assert median([1, 2, 3, 4]) == 2.5
+        with pytest.raises(ValueError):
+            median([])
+
+    def test_percentile(self):
+        values = list(range(1, 101))
+        assert percentile(values, 0.5) == 50
+        assert percentile(values, 0.95) == 95
+        with pytest.raises(ValueError):
+            percentile([], 0.5)
+        with pytest.raises(ValueError):
+            percentile([1], 2.0)
+
+    def test_describe(self):
+        stats = describe([1, 2, 3, 4, 5])
+        assert stats["min"] == 1 and stats["max"] == 5
+        assert stats["median"] == 3
+        assert stats["mean"] == 3
+        assert stats["n"] == 5

@@ -1,0 +1,95 @@
+"""Bloom filter tests: correctness invariants and the §7.4 analytics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.crlset.bloom import (
+    BloomFilter,
+    capacity_at_fp_rate,
+    false_positive_rate,
+    optimal_k,
+)
+
+
+class TestConstruction:
+    def test_parameter_validation(self):
+        with pytest.raises(ValueError):
+            BloomFilter(m_bits=4, k=1)
+        with pytest.raises(ValueError):
+            BloomFilter(m_bits=1024, k=0)
+
+    def test_size_bytes(self):
+        assert BloomFilter(m_bits=8192, k=3).size_bytes == 1024
+
+    def test_for_items_uses_optimal_k(self):
+        bloom = BloomFilter.for_items(1000, 16384)
+        assert bloom.k == optimal_k(16384, 1000)
+
+
+class TestMembership:
+    def test_no_false_negatives_small(self):
+        bloom = BloomFilter(m_bits=1 << 16, k=5)
+        items = [f"serial-{i}".encode() for i in range(2000)]
+        bloom.update(items)
+        assert all(item in bloom for item in items)
+
+    def test_empty_filter_rejects_everything(self):
+        bloom = BloomFilter(m_bits=1 << 12, k=4)
+        assert b"anything" not in bloom
+
+    def test_fp_rate_in_expected_range(self):
+        n = 5000
+        bloom = BloomFilter.for_items(n, 1 << 16)
+        bloom.update(f"in-{i}".encode() for i in range(n))
+        measured = bloom.measured_fp_rate(f"out-{i}".encode() for i in range(20000))
+        analytic = bloom.expected_fp_rate()
+        assert measured < 4 * analytic + 0.01
+
+    def test_fill_ratio_grows(self):
+        bloom = BloomFilter(m_bits=1 << 12, k=3)
+        assert bloom.fill_ratio == 0.0
+        bloom.update(f"{i}".encode() for i in range(100))
+        assert 0.0 < bloom.fill_ratio < 1.0
+
+    @given(st.sets(st.binary(min_size=1, max_size=16), min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_no_false_negatives_property(self, items):
+        """The §7.4 guarantee: a revoked cert is always flagged."""
+        bloom = BloomFilter.for_items(len(items), 1 << 14)
+        bloom.update(items)
+        assert all(item in bloom for item in items)
+
+
+class TestAnalytics:
+    def test_optimal_k_formula(self):
+        import math
+
+        assert optimal_k(10_000, 1_000) == math.ceil(10 * math.log(2))
+        assert optimal_k(10, 10_000) == 1  # floor at 1
+
+    def test_fp_rate_monotone_in_n(self):
+        m = 256 * 1024 * 8
+        rates = [false_positive_rate(m, n) for n in (10_000, 100_000, 1_000_000)]
+        assert rates[0] < rates[1] < rates[2]
+
+    def test_fp_rate_edge_cases(self):
+        assert false_positive_rate(1024, 0) == 0.0
+        assert false_positive_rate(0, 10) == 1.0
+
+    def test_capacity_inverse_of_fp_rate(self):
+        m = 2 * 1024 * 1024 * 8
+        n = capacity_at_fp_rate(m, 0.01)
+        assert false_positive_rate(m, n) <= 0.0105
+
+    def test_paper_headline_numbers(self):
+        """§7.4: 2 MB at 1% FP covers ~1.7 M revocations; 256 KB covers
+        an order of magnitude more than the ~25 k-entry CRLSet."""
+        assert 1_500_000 <= capacity_at_fp_rate(2 * 1024 * 1024 * 8, 0.01) <= 2_000_000
+        assert capacity_at_fp_rate(256 * 1024 * 8, 0.01) > 200_000
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            capacity_at_fp_rate(1024, 1.5)

@@ -1,0 +1,78 @@
+"""Client cache tests."""
+
+from __future__ import annotations
+
+import datetime
+from dataclasses import dataclass
+
+import pytest
+
+from repro.net.cache import ClientCache
+
+UTC = datetime.timezone.utc
+NOW = datetime.datetime(2015, 3, 1, tzinfo=UTC)
+
+
+@dataclass
+class FakeCacheable:
+    next_update: datetime.datetime
+
+    def is_expired(self, at):
+        return at > self.next_update
+
+
+def fresh(hours=24):
+    return FakeCacheable(NOW + datetime.timedelta(hours=hours))
+
+
+class TestCache:
+    def test_miss_then_hit(self):
+        cache = ClientCache()
+        assert cache.get("k", NOW) is None
+        value = fresh()
+        cache.put("k", value)
+        assert cache.get("k", NOW) is value
+        assert cache.hits == 1 and cache.misses == 1
+        assert cache.hit_rate == 0.5
+
+    def test_expired_entry_evicted(self):
+        cache = ClientCache()
+        cache.put("k", fresh(hours=1))
+        later = NOW + datetime.timedelta(hours=2)
+        assert cache.get("k", later) is None
+        assert len(cache) == 0
+
+    def test_requires_expirable_values(self):
+        with pytest.raises(TypeError):
+            ClientCache().put("k", object())
+
+    def test_capacity_eviction_earliest_expiry(self):
+        cache = ClientCache(max_entries=2)
+        early = fresh(hours=1)
+        late = fresh(hours=48)
+        cache.put("early", early)
+        cache.put("late", late)
+        cache.put("new", fresh(hours=24))
+        # "early" (soonest expiry) must be the evicted one.
+        assert cache.get("late", NOW) is late
+        assert cache.get("early", NOW) is None
+
+    def test_invalidate_and_clear(self):
+        cache = ClientCache()
+        cache.put("k", fresh())
+        cache.invalidate("k")
+        assert cache.get("k", NOW) is None
+        cache.put("k", fresh())
+        cache.clear()
+        assert len(cache) == 0
+
+    def test_max_entries_positive(self):
+        with pytest.raises(ValueError):
+            ClientCache(max_entries=0)
+
+    def test_crl_caching_limited_by_short_expiry(self):
+        """§5.2: 95% of CRLs expire within 24h, limiting cache savings."""
+        cache = ClientCache()
+        cache.put("crl", fresh(hours=24))
+        tomorrow = NOW + datetime.timedelta(hours=25)
+        assert cache.get("crl", tomorrow) is None  # must re-download

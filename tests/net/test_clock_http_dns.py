@@ -1,0 +1,93 @@
+"""SimClock, HTTP message model, and DNS tests."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.net.clock import SimClock
+from repro.net.dns import DnsError, Resolver
+from repro.net.http import HttpRequest, HttpResponse, HttpStatus, split_url
+
+UTC = datetime.timezone.utc
+
+
+class TestSimClock:
+    def test_advance(self):
+        clock = SimClock(datetime.datetime(2015, 1, 1, tzinfo=UTC))
+        clock.advance(datetime.timedelta(hours=2))
+        assert clock.now.hour == 2
+
+    def test_naive_start_becomes_utc(self):
+        clock = SimClock(datetime.datetime(2015, 1, 1))
+        assert clock.now.tzinfo is UTC
+
+    def test_no_backwards(self):
+        clock = SimClock(datetime.datetime(2015, 1, 1, tzinfo=UTC))
+        with pytest.raises(ValueError):
+            clock.advance(datetime.timedelta(seconds=-1))
+        with pytest.raises(ValueError):
+            clock.advance_to(datetime.datetime(2014, 1, 1, tzinfo=UTC))
+
+    def test_sleep_until_next_period(self):
+        clock = SimClock(datetime.datetime(2015, 1, 1, 3, 30, tzinfo=UTC))
+        clock.sleep_until_next(datetime.timedelta(hours=1))
+        assert clock.now == datetime.datetime(2015, 1, 1, 4, 0, tzinfo=UTC)
+
+
+class TestHttp:
+    def test_split_url(self):
+        assert split_url("http://host.example/path/x") == ("host.example", "/path/x")
+        assert split_url("https://host.example") == ("host.example", "/")
+
+    def test_split_url_rejects_other_schemes(self):
+        with pytest.raises(ValueError):
+            split_url("ldap://dir.example/crl")
+
+    def test_request_host_path(self):
+        request = HttpRequest("GET", "http://a.example/x")
+        assert request.host == "a.example"
+        assert request.path == "/x"
+
+    def test_bad_method_rejected(self):
+        with pytest.raises(ValueError):
+            HttpRequest("PUT", "http://a.example/")
+
+    def test_response_ok(self):
+        assert HttpResponse(HttpStatus.OK).ok
+        assert not HttpResponse(HttpStatus.NOT_FOUND).ok
+
+
+class TestResolver:
+    def test_register_resolve(self):
+        resolver = Resolver()
+        resolver.register("a.example", "10.0.0.1")
+        assert resolver.resolve("a.example") == "10.0.0.1"
+        assert resolver.knows("a.example")
+
+    def test_case_insensitive(self):
+        resolver = Resolver()
+        resolver.register("A.Example", "10.0.0.1")
+        assert resolver.resolve("a.example") == "10.0.0.1"
+
+    def test_nxdomain(self):
+        with pytest.raises(DnsError):
+            Resolver().resolve("missing.example")
+
+    def test_poison_and_heal(self):
+        resolver = Resolver()
+        resolver.register("a.example", "10.0.0.1")
+        resolver.poison("a.example")
+        with pytest.raises(DnsError):
+            resolver.resolve("a.example")
+        assert not resolver.knows("a.example")
+        resolver.heal("a.example")
+        assert resolver.resolve("a.example") == "10.0.0.1"
+
+    def test_unregister(self):
+        resolver = Resolver()
+        resolver.register("a.example", "10.0.0.1")
+        resolver.unregister("a.example")
+        with pytest.raises(DnsError):
+            resolver.resolve("a.example")

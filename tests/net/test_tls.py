@@ -1,0 +1,118 @@
+"""TLS handshake + stapling tests."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.ca.authority import CertificateAuthority
+from repro.net.tls import TlsClient, TlsServer
+from repro.pki.keys import KeyPair
+from repro.revocation.ocsp import CertStatus, OcspResponse
+from repro.revocation.stapling import StapleCache, StaplePolicy
+
+UTC = datetime.timezone.utc
+NB = datetime.datetime(2014, 1, 1, tzinfo=UTC)
+NA = datetime.datetime(2016, 1, 1, tzinfo=UTC)
+NOW = datetime.datetime(2015, 3, 1, 12, 0, tzinfo=UTC)
+
+
+@pytest.fixture(scope="module")
+def chain():
+    root = CertificateAuthority.create_root("TLS Root", "tls-root", NB, NA)
+    leaf = root.issue_leaf(
+        "tls.example", KeyPair.generate("tls-leaf").public_key, NB, NA,
+        include_crl=False, include_ocsp=False,
+    )
+    return [leaf, root.certificate], root
+
+
+def make_staple(root):
+    return OcspResponse.build(
+        responder_keys=root.keys,
+        cert_status=CertStatus.GOOD,
+        issuer_key_hash=root.issuer_key_hash,
+        serial_number=1,
+        this_update=NOW - datetime.timedelta(hours=1),
+        next_update=NOW + datetime.timedelta(days=3),
+    )
+
+
+class TestTlsServer:
+    def test_requires_chain(self):
+        with pytest.raises(ValueError):
+            TlsServer(chain=[])
+
+    def test_handshake_returns_chain(self, chain):
+        certs, _root = chain
+        server = TlsServer(chain=certs)
+        result = server.handshake(NOW, status_request=True)
+        assert result.chain == tuple(certs)
+        assert result.leaf is certs[0]
+        assert result.staple is None
+        assert not result.stapling_advertised
+        assert server.handshakes_served == 1
+
+    def test_stapling_disabled_ignores_request(self, chain):
+        certs, root = chain
+        cache = StapleCache()
+        cache.warm(make_staple(root))
+        server = TlsServer(chain=certs, stapling_enabled=False, staple_cache=cache)
+        assert server.handshake(NOW, status_request=True).staple is None
+
+    def test_warm_cache_staples(self, chain):
+        certs, root = chain
+        cache = StapleCache()
+        cache.warm(make_staple(root))
+        server = TlsServer(chain=certs, stapling_enabled=True, staple_cache=cache)
+        result = server.handshake(NOW, status_request=True)
+        assert result.staple is not None
+        assert result.stapling_advertised
+
+    def test_client_not_requesting_gets_no_staple(self, chain):
+        certs, root = chain
+        cache = StapleCache()
+        cache.warm(make_staple(root))
+        server = TlsServer(chain=certs, stapling_enabled=True, staple_cache=cache)
+        assert server.handshake(NOW, status_request=False).staple is None
+
+    def test_cold_cache_then_fetch(self, chain):
+        """The Figure 3 mechanism end to end."""
+        certs, root = chain
+        staple = make_staple(root)
+        server = TlsServer(
+            chain=certs,
+            stapling_enabled=True,
+            staple_cache=StapleCache(fetch_delay=datetime.timedelta(seconds=2)),
+            staple_fetcher=lambda at: staple,
+        )
+        first = server.handshake(NOW, status_request=True)
+        assert first.staple is None  # cold cache
+        second = server.handshake(
+            NOW + datetime.timedelta(seconds=3), status_request=True
+        )
+        assert second.staple is staple
+
+
+class TestTlsClient:
+    def test_client_counts(self, chain):
+        certs, root = chain
+        cache = StapleCache(policy=StaplePolicy.ANY_STATUS)
+        cache.warm(make_staple(root))
+        server = TlsServer(chain=certs, stapling_enabled=True, staple_cache=cache)
+        client = TlsClient(request_staple=True)
+        client.connect(server, NOW)
+        client.connect(server, NOW)
+        assert client.handshakes == 2
+        assert client.staples_received == 2
+
+    def test_non_requesting_client(self, chain):
+        certs, root = chain
+        cache = StapleCache()
+        cache.warm(make_staple(root))
+        server = TlsServer(chain=certs, stapling_enabled=True, staple_cache=cache)
+        client = TlsClient(request_staple=False)
+        result = client.connect(server, NOW)
+        assert result.staple is None
+        assert client.staples_received == 0

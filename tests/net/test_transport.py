@@ -1,0 +1,101 @@
+"""Network transport: routing, failures, and cost accounting."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.net.dns import DnsError
+from repro.net.endpoints import StaticEndpoint
+from repro.net.http import HttpStatus
+from repro.net.transport import FailureMode, LinkProfile, Network, TimeoutError_
+
+UTC = datetime.timezone.utc
+NOW = datetime.datetime(2015, 3, 1, tzinfo=UTC)
+
+
+@pytest.fixture()
+def network():
+    net = Network()
+    net.register("http://crl.example/a.crl", StaticEndpoint(b"x" * 1000))
+    return net
+
+
+class TestRouting:
+    def test_get_ok(self, network):
+        response, stats = network.get("http://crl.example/a.crl", NOW)
+        assert response.ok
+        assert len(response.body) == 1000
+        assert stats.bytes_down == 1000
+
+    def test_unknown_path_404(self, network):
+        response, _ = network.get("http://crl.example/missing", NOW)
+        assert response.status == HttpStatus.NOT_FOUND
+
+    def test_unknown_host_nxdomain(self, network):
+        with pytest.raises(DnsError):
+            network.get("http://other.example/x", NOW)
+
+    def test_accounting(self, network):
+        network.get("http://crl.example/a.crl", NOW)
+        network.get("http://crl.example/a.crl", NOW)
+        assert network.total_requests == 2
+        assert network.total_bytes == 2000
+
+
+class TestFailureInjection:
+    def test_nxdomain(self, network):
+        network.set_failure("http://crl.example/a.crl", FailureMode.NXDOMAIN)
+        with pytest.raises(DnsError):
+            network.get("http://crl.example/a.crl", NOW)
+
+    def test_http_404(self, network):
+        network.set_failure("http://crl.example/a.crl", FailureMode.HTTP_404)
+        response, _ = network.get("http://crl.example/a.crl", NOW)
+        assert response.status == HttpStatus.NOT_FOUND
+
+    def test_no_response(self, network):
+        network.set_failure("http://crl.example/a.crl", FailureMode.NO_RESPONSE)
+        with pytest.raises(TimeoutError_):
+            network.get("http://crl.example/a.crl", NOW)
+
+    def test_clear_failure(self, network):
+        network.set_failure("http://crl.example/a.crl", FailureMode.NO_RESPONSE)
+        network.clear_failure("http://crl.example/a.crl")
+        response, _ = network.get("http://crl.example/a.crl", NOW)
+        assert response.ok
+
+    def test_nxdomain_heals_when_failure_changes(self, network):
+        network.set_failure("http://crl.example/a.crl", FailureMode.NXDOMAIN)
+        network.set_failure("http://crl.example/a.crl", FailureMode.HTTP_404)
+        response, _ = network.get("http://crl.example/a.crl", NOW)
+        assert response.status == HttpStatus.NOT_FOUND
+
+
+class TestLinkProfile:
+    def test_latency_grows_with_bytes(self):
+        profile = LinkProfile()
+        assert profile.transfer_time(1_000_000) > profile.transfer_time(100)
+
+    def test_rtt_floor(self):
+        profile = LinkProfile(rtt=datetime.timedelta(milliseconds=40))
+        assert profile.transfer_time(0) == datetime.timedelta(milliseconds=40)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            LinkProfile().transfer_time(-1)
+
+    def test_mobile_profile_slower(self):
+        # §6.4: mobile links make revocation fetching costlier.
+        broadband = LinkProfile().transfer_time(50 * 1024)
+        mobile = LinkProfile.mobile().transfer_time(50 * 1024)
+        assert mobile > 2 * broadband
+
+    def test_crl_vs_ocsp_cost_gap(self):
+        """The paper's §5.2 point: a 51 KB CRL costs far more than a
+        <1 KB OCSP exchange."""
+        profile = LinkProfile()
+        crl_time = profile.transfer_time(51 * 1024)
+        ocsp_time = profile.transfer_time(900)
+        assert crl_time > 1.5 * ocsp_time

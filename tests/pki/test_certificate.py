@@ -1,0 +1,165 @@
+"""Certificate model tests: builder, DER round-trips, accessors."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.pki.certificate import Certificate, CertificateBuilder
+from repro.pki.keys import KeyPair
+from repro.pki.name import Name
+
+UTC = datetime.timezone.utc
+NB = datetime.datetime(2014, 1, 1, tzinfo=UTC)
+NA = datetime.datetime(2016, 1, 1, tzinfo=UTC)
+
+
+@pytest.fixture(scope="module")
+def ca_keys():
+    return KeyPair.generate("test-ca")
+
+
+@pytest.fixture(scope="module")
+def leaf_keys():
+    return KeyPair.generate("test-leaf")
+
+
+def build_leaf(ca_keys, leaf_keys, **extras) -> Certificate:
+    builder = (
+        CertificateBuilder()
+        .subject(Name.make("site.example"))
+        .issuer(Name.make("Test CA"))
+        .serial_number(extras.pop("serial", 42))
+        .public_key(leaf_keys.public_key)
+        .validity(NB, NA)
+    )
+    if extras.get("crl"):
+        builder.crl_urls([extras["crl"]])
+    if extras.get("ocsp"):
+        builder.ocsp_urls([extras["ocsp"]])
+    if extras.get("ev"):
+        builder.ev()
+    return builder.sign(ca_keys)
+
+
+class TestBuilder:
+    def test_basic_fields(self, ca_keys, leaf_keys):
+        cert = build_leaf(ca_keys, leaf_keys)
+        assert cert.serial_number == 42
+        assert cert.subject.common_name == "site.example"
+        assert cert.issuer.common_name == "Test CA"
+        assert cert.not_before == NB and cert.not_after == NA
+        assert not cert.is_ca
+        assert not cert.is_ev
+
+    def test_missing_fields_rejected(self, ca_keys):
+        with pytest.raises(ValueError, match="missing"):
+            CertificateBuilder().sign(ca_keys)
+
+    def test_invalid_validity_rejected(self, ca_keys, leaf_keys):
+        with pytest.raises(ValueError):
+            CertificateBuilder().validity(NA, NB)
+
+    def test_negative_serial_rejected(self):
+        with pytest.raises(ValueError):
+            CertificateBuilder().serial_number(-1)
+
+    def test_ca_certificate(self, ca_keys):
+        cert = (
+            CertificateBuilder()
+            .subject(Name.make("Sub CA"))
+            .issuer(Name.make("Test CA"))
+            .serial_number(1)
+            .public_key(ca_keys.public_key)
+            .validity(NB, NA)
+            .ca(path_length=0)
+            .sign(ca_keys)
+        )
+        assert cert.is_ca
+        assert cert.basic_constraints.path_length == 0
+
+    def test_ev_flag(self, ca_keys, leaf_keys):
+        assert build_leaf(ca_keys, leaf_keys, ev=True).is_ev
+
+    def test_revocation_pointers(self, ca_keys, leaf_keys):
+        cert = build_leaf(
+            ca_keys,
+            leaf_keys,
+            crl="http://crl.example/1.crl",
+            ocsp="http://ocsp.example/q",
+        )
+        assert cert.crl_urls == ("http://crl.example/1.crl",)
+        assert cert.ocsp_urls == ("http://ocsp.example/q",)
+        assert cert.has_revocation_info
+
+    def test_never_revocable(self, ca_keys, leaf_keys):
+        assert not build_leaf(ca_keys, leaf_keys).has_revocation_info
+
+
+class TestDerRoundtrip:
+    def test_full_roundtrip(self, ca_keys, leaf_keys):
+        cert = build_leaf(
+            ca_keys,
+            leaf_keys,
+            crl="http://crl.example/1.crl",
+            ocsp="http://ocsp.example/q",
+            ev=True,
+        )
+        parsed = Certificate.from_der(cert.to_der())
+        assert parsed.serial_number == cert.serial_number
+        assert parsed.subject == cert.subject
+        assert parsed.issuer == cert.issuer
+        assert parsed.not_before == cert.not_before
+        assert parsed.public_key == cert.public_key
+        assert parsed.crl_urls == cert.crl_urls
+        assert parsed.ocsp_urls == cert.ocsp_urls
+        assert parsed.is_ev
+        assert parsed.signature == cert.signature
+        assert parsed.to_der() == cert.to_der()
+
+    def test_fingerprint_stable(self, ca_keys, leaf_keys):
+        cert = build_leaf(ca_keys, leaf_keys)
+        assert cert.fingerprint == Certificate.from_der(cert.to_der()).fingerprint
+
+    def test_fingerprint_distinguishes(self, ca_keys, leaf_keys):
+        a = build_leaf(ca_keys, leaf_keys, serial=1)
+        b = build_leaf(ca_keys, leaf_keys, serial=2)
+        assert a.fingerprint != b.fingerprint
+
+    def test_encoded_size_realistic(self, ca_keys, leaf_keys):
+        # Real web certs are ~1-2 KB; ours should be in that ballpark.
+        size = len(build_leaf(ca_keys, leaf_keys, crl="http://c/x").to_der())
+        assert 300 < size < 3000
+
+
+class TestSemantics:
+    def test_signature_verifies_under_issuer(self, ca_keys, leaf_keys):
+        cert = build_leaf(ca_keys, leaf_keys)
+        assert cert.verify_signature(ca_keys.public_key)
+        assert not cert.verify_signature(leaf_keys.public_key)
+
+    def test_is_fresh(self, ca_keys, leaf_keys):
+        cert = build_leaf(ca_keys, leaf_keys)
+        assert cert.is_fresh(datetime.datetime(2015, 1, 1, tzinfo=UTC))
+        assert not cert.is_fresh(datetime.datetime(2013, 1, 1, tzinfo=UTC))
+        assert not cert.is_fresh(datetime.datetime(2017, 1, 1, tzinfo=UTC))
+
+    def test_self_signed_detection(self, ca_keys):
+        cert = (
+            CertificateBuilder()
+            .subject(Name.make("Root"))
+            .issuer(Name.make("Root"))
+            .serial_number(1)
+            .public_key(ca_keys.public_key)
+            .validity(NB, NA)
+            .ca()
+            .sign(ca_keys)
+        )
+        assert cert.is_self_signed
+
+    def test_spki_hash(self, ca_keys, leaf_keys):
+        import hashlib
+
+        cert = build_leaf(ca_keys, leaf_keys)
+        assert cert.spki_hash == hashlib.sha256(leaf_keys.public_key).digest()

@@ -1,0 +1,100 @@
+"""X.509 extension encode/decode tests."""
+
+from __future__ import annotations
+
+from repro.asn1 import der
+from repro.asn1.oid import OID
+from repro.pki.extensions import (
+    AuthorityInfoAccess,
+    BasicConstraints,
+    CertificatePolicies,
+    CrlDistributionPoints,
+    Extension,
+    is_reachable_url,
+)
+
+
+class TestReachability:
+    def test_http_reachable(self):
+        assert is_reachable_url("http://crl.example/x.crl")
+        assert is_reachable_url("https://crl.example/x.crl")
+
+    def test_ldap_and_file_ignored(self):
+        # Paper §3.2: only http[s] distribution points count.
+        assert not is_reachable_url("ldap://dir.example/cn=crl")
+        assert not is_reachable_url("file:///etc/crl.pem")
+
+
+class TestBasicConstraints:
+    def test_ca_roundtrip(self):
+        ext = BasicConstraints(is_ca=True, path_length=2).to_extension()
+        parsed = BasicConstraints.from_extension(ext)
+        assert parsed.is_ca and parsed.path_length == 2
+
+    def test_leaf_roundtrip(self):
+        parsed = BasicConstraints.from_extension(
+            BasicConstraints(is_ca=False).to_extension()
+        )
+        assert not parsed.is_ca and parsed.path_length is None
+
+    def test_critical_flag(self):
+        assert BasicConstraints(is_ca=True).to_extension().critical
+
+
+class TestCrlDistributionPoints:
+    def test_roundtrip(self):
+        urls = ("http://crl.a.example/1.crl", "http://crl.b.example/2.crl")
+        ext = CrlDistributionPoints(urls).to_extension()
+        assert CrlDistributionPoints.from_extension(ext).urls == urls
+
+    def test_reachable_filter(self):
+        cdp = CrlDistributionPoints(
+            ("ldap://x/crl", "http://crl.example/a.crl")
+        )
+        assert cdp.reachable_urls == ("http://crl.example/a.crl",)
+
+    def test_empty(self):
+        assert CrlDistributionPoints().reachable_urls == ()
+
+
+class TestAuthorityInfoAccess:
+    def test_roundtrip_ocsp_and_issuers(self):
+        aia = AuthorityInfoAccess(
+            ocsp_urls=("http://ocsp.example/q",),
+            ca_issuer_urls=("http://ca.example/ca.crt",),
+        )
+        parsed = AuthorityInfoAccess.from_extension(aia.to_extension())
+        assert parsed.ocsp_urls == aia.ocsp_urls
+        assert parsed.ca_issuer_urls == aia.ca_issuer_urls
+
+    def test_reachable_ocsp_filter(self):
+        aia = AuthorityInfoAccess(ocsp_urls=("ldap://x", "http://o.example/q"))
+        assert aia.reachable_ocsp_urls == ("http://o.example/q",)
+
+
+class TestCertificatePolicies:
+    def test_ev_detection(self):
+        assert CertificatePolicies((OID.EV_VERISIGN,)).is_ev
+        assert CertificatePolicies((OID.EV_CABFORUM,)).is_ev
+
+    def test_dv_not_ev(self):
+        assert not CertificatePolicies((OID.DV_CABFORUM,)).is_ev
+
+    def test_roundtrip(self):
+        policies = CertificatePolicies((OID.EV_VERISIGN, OID.DV_CABFORUM))
+        parsed = CertificatePolicies.from_extension(policies.to_extension())
+        assert parsed.policy_oids == policies.policy_oids
+
+
+class TestRawExtension:
+    def test_roundtrip_with_critical(self):
+        ext = Extension("1.2.3.4", critical=True, value=b"\x05\x00")
+        parsed = Extension.from_der_node(der.decode_all(ext.to_der()))
+        assert parsed == ext
+
+    def test_roundtrip_non_critical_omits_default(self):
+        ext = Extension("1.2.3.4", critical=False, value=b"\x05\x00")
+        encoded = ext.to_der()
+        # DER: default values must be omitted.
+        assert der.encode_boolean(False) not in encoded
+        assert Extension.from_der_node(der.decode_all(encoded)) == ext

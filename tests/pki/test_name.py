@@ -1,0 +1,61 @@
+"""Distinguished name tests."""
+
+from __future__ import annotations
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.asn1 import der
+from repro.pki.name import Name
+
+
+class TestNameConstruction:
+    def test_make_with_all_fields(self):
+        name = Name.make("example.com", organization="Example Inc", country="US")
+        assert name.common_name == "example.com"
+        assert name.organization == "Example Inc"
+
+    def test_make_cn_only(self):
+        name = Name.make("example.com")
+        assert name.common_name == "example.com"
+        assert name.organization is None
+
+    def test_equality_is_structural(self):
+        assert Name.make("a", organization="o") == Name.make("a", organization="o")
+        assert Name.make("a") != Name.make("b")
+
+    def test_order_matters(self):
+        # Chain building matches issuer/subject exactly, including order.
+        a = Name((("2.5.4.3", "x"), ("2.5.4.10", "y")))
+        b = Name((("2.5.4.10", "y"), ("2.5.4.3", "x")))
+        assert a != b
+
+    def test_hashable(self):
+        assert len({Name.make("a"), Name.make("a"), Name.make("b")}) == 2
+
+    def test_str_rendering(self):
+        text = str(Name.make("example.com", organization="Org"))
+        assert "commonName=example.com" in text
+        assert "organizationName=Org" in text
+
+
+class TestNameDer:
+    def test_roundtrip(self):
+        name = Name.make("example.com", organization="Example", country="US")
+        node = der.decode_all(name.to_der())
+        assert Name.from_der_node(node) == name
+
+    def test_empty_name_roundtrip(self):
+        name = Name(())
+        assert Name.from_der_node(der.decode_all(name.to_der())) == name
+
+    @given(
+        st.text(
+            alphabet=st.characters(min_codepoint=32, max_codepoint=0x2FF),
+            min_size=1,
+            max_size=40,
+        )
+    )
+    def test_roundtrip_property(self, cn):
+        name = Name.make(cn)
+        assert Name.from_der_node(der.decode_all(name.to_der())) == name

@@ -1,0 +1,53 @@
+"""Serial number policy tests."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.pki.serial import RandomLongSerialPolicy, SequentialSerialPolicy
+
+
+class TestSequential:
+    def test_monotone(self):
+        policy = SequentialSerialPolicy(start=10)
+        assert [policy.next_serial() for _ in range(3)] == [10, 11, 12]
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            SequentialSerialPolicy(start=-1)
+
+    def test_encoded_bytes_small(self):
+        policy = SequentialSerialPolicy(start=1000)
+        assert policy.approx_encoded_bytes <= 3
+
+
+class TestRandomLong:
+    def test_width(self):
+        policy = RandomLongSerialPolicy(random.Random(1), bits=160)
+        serial = policy.next_serial()
+        assert serial.bit_length() <= 160
+        assert policy.approx_encoded_bytes == 21
+
+    def test_no_collisions(self):
+        policy = RandomLongSerialPolicy(random.Random(1), bits=16)
+        serials = {policy.next_serial() for _ in range(1000)}
+        assert len(serials) == 1000
+
+    def test_deterministic_given_rng(self):
+        a = RandomLongSerialPolicy(random.Random(7))
+        b = RandomLongSerialPolicy(random.Random(7))
+        assert [a.next_serial() for _ in range(5)] == [
+            b.next_serial() for _ in range(5)
+        ]
+
+    def test_bits_floor(self):
+        with pytest.raises(ValueError):
+            RandomLongSerialPolicy(random.Random(1), bits=4)
+
+    def test_long_serials_inflate_crl_entries(self):
+        """Paper footnote 11: long serials mean bigger CRL entries."""
+        from repro.revocation.sizing import representative_entry_size
+
+        assert representative_entry_size(21) > representative_entry_size(4) + 10

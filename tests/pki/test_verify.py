@@ -1,0 +1,135 @@
+"""Chain verification tests (§3.1 semantics)."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.ca.authority import CertificateAuthority
+from repro.pki.keys import KeyPair
+from repro.pki.verify import VerificationStatus, verify_certificate, verify_chain
+
+UTC = datetime.timezone.utc
+NB = datetime.datetime(2014, 1, 1, tzinfo=UTC)
+NA = datetime.datetime(2016, 1, 1, tzinfo=UTC)
+
+
+@pytest.fixture(scope="module")
+def hierarchy():
+    root = CertificateAuthority.create_root("Root", "verify/root", NB, NA)
+    intermediate = root.create_intermediate(
+        "Intermediate", "verify/int", NB, NA, include_crl=False, include_ocsp=False
+    )
+    leaf_keys = KeyPair.generate("verify/leaf")
+    leaf = intermediate.issue_leaf(
+        "site.example", leaf_keys.public_key, NB, NA,
+        include_crl=False, include_ocsp=False,
+    )
+    return root, intermediate, leaf
+
+
+class TestVerifyCertificate:
+    def test_valid_link(self, hierarchy):
+        root, intermediate, leaf = hierarchy
+        status = verify_certificate(leaf, intermediate.certificate)
+        assert status is VerificationStatus.OK
+
+    def test_issuer_name_mismatch(self, hierarchy):
+        root, intermediate, leaf = hierarchy
+        assert (
+            verify_certificate(leaf, root.certificate)
+            is VerificationStatus.ISSUER_MISMATCH
+        )
+
+    def test_bad_signature(self, hierarchy):
+        root, intermediate, leaf = hierarchy
+        # Forge an issuer with the right name but the wrong key.
+        impostor = CertificateAuthority.create_root(
+            "Intermediate", "verify/impostor", NB, NA
+        )
+        assert (
+            verify_certificate(leaf, impostor.certificate)
+            is VerificationStatus.BAD_SIGNATURE
+        )
+
+    def test_non_ca_issuer_rejected(self, hierarchy):
+        root, intermediate, leaf = hierarchy
+        leaf2_keys = KeyPair.generate("verify/leaf2")
+        leaf2 = intermediate.issue_leaf(
+            "other.example", leaf2_keys.public_key, NB, NA,
+            include_crl=False, include_ocsp=False,
+        )
+        # leaf trying to act as issuer of leaf2: names won't even match,
+        # so build one whose issuer name equals leaf's subject.
+        from repro.pki.certificate import CertificateBuilder
+        from repro.pki.name import Name
+
+        forged = (
+            CertificateBuilder()
+            .subject(Name.make("victim.example"))
+            .issuer(leaf.subject)
+            .serial_number(99)
+            .public_key(leaf2_keys.public_key)
+            .validity(NB, NA)
+            .sign(KeyPair.generate("verify/leaf"))
+        )
+        assert verify_certificate(forged, leaf) is VerificationStatus.NOT_A_CA
+
+    def test_date_checking(self, hierarchy):
+        root, intermediate, leaf = hierarchy
+        late = datetime.datetime(2017, 6, 1, tzinfo=UTC)
+        early = datetime.datetime(2013, 6, 1, tzinfo=UTC)
+        assert (
+            verify_certificate(leaf, intermediate.certificate, at=late)
+            is VerificationStatus.EXPIRED
+        )
+        assert (
+            verify_certificate(leaf, intermediate.certificate, at=early)
+            is VerificationStatus.NOT_YET_VALID
+        )
+        # The paper's pipeline ignores dates:
+        assert (
+            verify_certificate(
+                leaf, intermediate.certificate, at=late, check_dates=False
+            )
+            is VerificationStatus.OK
+        )
+
+
+class TestVerifyChain:
+    def test_full_chain_ok(self, hierarchy):
+        root, intermediate, leaf = hierarchy
+        chain = [leaf, intermediate.certificate, root.certificate]
+        roots = {root.certificate.fingerprint}
+        assert verify_chain(chain, roots) is VerificationStatus.OK
+
+    def test_untrusted_root(self, hierarchy):
+        root, intermediate, leaf = hierarchy
+        chain = [leaf, intermediate.certificate, root.certificate]
+        assert verify_chain(chain, set()) is VerificationStatus.UNTRUSTED_ROOT
+
+    def test_empty_chain(self):
+        assert verify_chain([], set()) is VerificationStatus.EMPTY_CHAIN
+
+    def test_broken_middle_link(self, hierarchy):
+        root, intermediate, leaf = hierarchy
+        other_root = CertificateAuthority.create_root("Other", "verify/other", NB, NA)
+        chain = [leaf, intermediate.certificate, other_root.certificate]
+        roots = {other_root.certificate.fingerprint}
+        assert verify_chain(chain, roots) is VerificationStatus.ISSUER_MISMATCH
+
+    def test_chain_with_dates(self, hierarchy):
+        root, intermediate, leaf = hierarchy
+        chain = [leaf, intermediate.certificate, root.certificate]
+        roots = {root.certificate.fingerprint}
+        status = verify_chain(
+            chain, roots, at=datetime.datetime(2015, 1, 1, tzinfo=UTC),
+            check_dates=True,
+        )
+        assert status is VerificationStatus.OK
+        status = verify_chain(
+            chain, roots, at=datetime.datetime(2020, 1, 1, tzinfo=UTC),
+            check_dates=True,
+        )
+        assert status is VerificationStatus.EXPIRED

@@ -1,0 +1,162 @@
+"""Client-side RevocationChecker tests with a stub fetcher."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.pki.certificate import CertificateBuilder
+from repro.pki.keys import KeyPair
+from repro.pki.name import Name
+from repro.revocation.checker import CheckOutcome, RevocationChecker
+from repro.revocation.crl import CertificateRevocationList, RevokedEntry
+from repro.revocation.ocsp import CertStatus, OcspResponse
+
+UTC = datetime.timezone.utc
+NOW = datetime.datetime(2015, 3, 1, 12, 0, tzinfo=UTC)
+
+
+class StubFetcher:
+    """RevocationFetcher backed by dictionaries."""
+
+    def __init__(self):
+        self.crls = {}
+        self.ocsp = {}
+
+    def fetch_crl(self, url):
+        return self.crls.get(url)
+
+    def fetch_ocsp(self, url, issuer_key_hash, serial_number, use_get=True):
+        return self.ocsp.get((url, serial_number))
+
+
+@pytest.fixture(scope="module")
+def ca_keys():
+    return KeyPair.generate("checker-ca")
+
+
+def make_cert(ca_keys, crl_url=None, ocsp_url=None, serial=9):
+    builder = (
+        CertificateBuilder()
+        .subject(Name.make("c.example"))
+        .issuer(Name.make("Checker CA"))
+        .serial_number(serial)
+        .public_key(KeyPair.generate("leaf").public_key)
+        .validity(NOW - datetime.timedelta(days=30), NOW + datetime.timedelta(days=300))
+    )
+    if crl_url:
+        builder.crl_urls([crl_url])
+    if ocsp_url:
+        builder.ocsp_urls([ocsp_url])
+    return builder.sign(ca_keys)
+
+
+def make_crl(ca_keys, serials):
+    return CertificateRevocationList.build(
+        issuer=Name.make("Checker CA"),
+        issuer_keys=ca_keys,
+        entries=[RevokedEntry(s, NOW - datetime.timedelta(days=1)) for s in serials],
+        this_update=NOW - datetime.timedelta(hours=1),
+        next_update=NOW + datetime.timedelta(hours=23),
+    )
+
+
+def make_ocsp(ca_keys, serial, status):
+    return OcspResponse.build(
+        responder_keys=ca_keys,
+        cert_status=status,
+        issuer_key_hash=ca_keys.key_id,
+        serial_number=serial,
+        this_update=NOW - datetime.timedelta(hours=1),
+        next_update=NOW + datetime.timedelta(days=3),
+    )
+
+
+class TestCrlChecks:
+    def test_good(self, ca_keys):
+        fetcher = StubFetcher()
+        fetcher.crls["http://c/x.crl"] = make_crl(ca_keys, [1, 2])
+        cert = make_cert(ca_keys, crl_url="http://c/x.crl", serial=9)
+        result = RevocationChecker(fetcher).check_crl(cert, NOW)
+        assert result.outcome is CheckOutcome.GOOD
+        assert result.protocol == "crl"
+        assert result.bytes_downloaded > 0
+
+    def test_revoked(self, ca_keys):
+        fetcher = StubFetcher()
+        fetcher.crls["http://c/x.crl"] = make_crl(ca_keys, [9])
+        cert = make_cert(ca_keys, crl_url="http://c/x.crl", serial=9)
+        assert (
+            RevocationChecker(fetcher).check_crl(cert, NOW).outcome
+            is CheckOutcome.REVOKED
+        )
+
+    def test_unavailable(self, ca_keys):
+        cert = make_cert(ca_keys, crl_url="http://c/x.crl")
+        result = RevocationChecker(StubFetcher()).check_crl(cert, NOW)
+        assert result.outcome is CheckOutcome.UNAVAILABLE
+
+    def test_expired_crl_is_unavailable(self, ca_keys):
+        fetcher = StubFetcher()
+        fetcher.crls["http://c/x.crl"] = make_crl(ca_keys, [])
+        cert = make_cert(ca_keys, crl_url="http://c/x.crl")
+        late = NOW + datetime.timedelta(days=2)
+        assert (
+            RevocationChecker(fetcher).check_crl(cert, late).outcome
+            is CheckOutcome.UNAVAILABLE
+        )
+
+    def test_no_info(self, ca_keys):
+        cert = make_cert(ca_keys)
+        result = RevocationChecker(StubFetcher()).check_crl(cert, NOW)
+        assert result.outcome is CheckOutcome.NO_INFO
+
+
+class TestOcspChecks:
+    def test_good(self, ca_keys):
+        fetcher = StubFetcher()
+        fetcher.ocsp[("http://o/q", 9)] = make_ocsp(ca_keys, 9, CertStatus.GOOD)
+        cert = make_cert(ca_keys, ocsp_url="http://o/q", serial=9)
+        result = RevocationChecker(fetcher).check_ocsp(cert, ca_keys.key_id, NOW)
+        assert result.outcome is CheckOutcome.GOOD
+
+    def test_revoked(self, ca_keys):
+        fetcher = StubFetcher()
+        fetcher.ocsp[("http://o/q", 9)] = make_ocsp(ca_keys, 9, CertStatus.REVOKED)
+        cert = make_cert(ca_keys, ocsp_url="http://o/q", serial=9)
+        result = RevocationChecker(fetcher).check_ocsp(cert, ca_keys.key_id, NOW)
+        assert result.outcome is CheckOutcome.REVOKED
+
+    def test_unknown(self, ca_keys):
+        fetcher = StubFetcher()
+        fetcher.ocsp[("http://o/q", 9)] = make_ocsp(ca_keys, 9, CertStatus.UNKNOWN)
+        cert = make_cert(ca_keys, ocsp_url="http://o/q", serial=9)
+        result = RevocationChecker(fetcher).check_ocsp(cert, ca_keys.key_id, NOW)
+        assert result.outcome is CheckOutcome.UNKNOWN
+        assert not result.is_definitive
+
+    def test_unavailable(self, ca_keys):
+        cert = make_cert(ca_keys, ocsp_url="http://o/q")
+        result = RevocationChecker(StubFetcher()).check_ocsp(
+            cert, ca_keys.key_id, NOW
+        )
+        assert result.outcome is CheckOutcome.UNAVAILABLE
+
+
+class TestStapleChecks:
+    def test_missing_staple(self, ca_keys):
+        result = RevocationChecker(StubFetcher()).check_staple(None, NOW)
+        assert result.outcome is CheckOutcome.UNAVAILABLE
+
+    def test_revoked_staple(self, ca_keys):
+        staple = make_ocsp(ca_keys, 9, CertStatus.REVOKED)
+        result = RevocationChecker(StubFetcher()).check_staple(staple, NOW)
+        assert result.outcome is CheckOutcome.REVOKED
+        assert result.protocol == "staple"
+
+    def test_expired_staple_unavailable(self, ca_keys):
+        staple = make_ocsp(ca_keys, 9, CertStatus.GOOD)
+        late = NOW + datetime.timedelta(days=30)
+        result = RevocationChecker(StubFetcher()).check_staple(staple, late)
+        assert result.outcome is CheckOutcome.UNAVAILABLE

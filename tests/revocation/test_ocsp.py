@@ -1,0 +1,114 @@
+"""OCSP request/response tests."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.pki.keys import KeyPair
+from repro.revocation.ocsp import (
+    CertStatus,
+    OcspRequest,
+    OcspResponse,
+    OcspResponseStatus,
+)
+from repro.revocation.reason import ReasonCode
+
+UTC = datetime.timezone.utc
+THIS = datetime.datetime(2015, 3, 1, tzinfo=UTC)
+NEXT = THIS + datetime.timedelta(days=4)
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return KeyPair.generate("ocsp-test")
+
+
+def make_response(keys, status=CertStatus.GOOD, **kwargs) -> OcspResponse:
+    return OcspResponse.build(
+        responder_keys=keys,
+        cert_status=status,
+        issuer_key_hash=keys.key_id,
+        serial_number=kwargs.pop("serial", 77),
+        this_update=THIS,
+        next_update=NEXT,
+        **kwargs,
+    )
+
+
+class TestRequest:
+    def test_roundtrip(self, keys):
+        request = OcspRequest(issuer_key_hash=keys.key_id, serial_number=123)
+        parsed = OcspRequest.from_der(request.to_der())
+        assert parsed.issuer_key_hash == keys.key_id
+        assert parsed.serial_number == 123
+
+    def test_get_flag_preserved(self, keys):
+        request = OcspRequest(keys.key_id, 1, use_get=False)
+        parsed = OcspRequest.from_der(request.to_der(), use_get=False)
+        assert not parsed.use_get
+
+
+class TestResponse:
+    def test_good_roundtrip(self, keys):
+        response = make_response(keys)
+        parsed = OcspResponse.from_der(response.to_der())
+        assert parsed.cert_status is CertStatus.GOOD
+        assert parsed.serial_number == 77
+        assert parsed.is_successful
+        assert parsed.this_update == THIS and parsed.next_update == NEXT
+
+    def test_revoked_roundtrip_with_reason(self, keys):
+        revoked_at = THIS - datetime.timedelta(days=2)
+        response = make_response(
+            keys,
+            status=CertStatus.REVOKED,
+            revocation_time=revoked_at,
+            revocation_reason=ReasonCode.KEY_COMPROMISE,
+        )
+        parsed = OcspResponse.from_der(response.to_der())
+        assert parsed.cert_status is CertStatus.REVOKED
+        assert parsed.revocation_time == revoked_at
+        assert parsed.revocation_reason is ReasonCode.KEY_COMPROMISE
+
+    def test_unknown_roundtrip(self, keys):
+        parsed = OcspResponse.from_der(
+            make_response(keys, status=CertStatus.UNKNOWN).to_der()
+        )
+        assert parsed.cert_status is CertStatus.UNKNOWN
+
+    def test_signature_verifies(self, keys):
+        response = make_response(keys)
+        assert response.verify_signature(keys.public_key)
+        assert not response.verify_signature(KeyPair.generate("x").public_key)
+
+    def test_expiry(self, keys):
+        response = make_response(keys)
+        assert not response.is_expired(THIS + datetime.timedelta(days=1))
+        assert response.is_expired(NEXT + datetime.timedelta(seconds=1))
+
+    def test_error_response(self):
+        error = OcspResponse.error(OcspResponseStatus.TRY_LATER)
+        assert not error.is_successful
+        assert error.response_status is OcspResponseStatus.TRY_LATER
+
+    def test_error_response_roundtrip(self):
+        error = OcspResponse.error(OcspResponseStatus.INTERNAL_ERROR)
+        parsed = OcspResponse.from_der(error.to_der())
+        assert parsed.response_status is OcspResponseStatus.INTERNAL_ERROR
+
+    def test_bad_window_rejected(self, keys):
+        with pytest.raises(ValueError):
+            OcspResponse.build(
+                responder_keys=keys,
+                cert_status=CertStatus.GOOD,
+                issuer_key_hash=keys.key_id,
+                serial_number=1,
+                this_update=NEXT,
+                next_update=THIS,
+            )
+
+    def test_response_is_small(self, keys):
+        """Paper §5.2: OCSP responses are typically under 1 KB."""
+        assert make_response(keys).encoded_size < 1024

@@ -1,0 +1,46 @@
+"""Reason code tests."""
+
+from __future__ import annotations
+
+from repro.revocation.reason import (
+    CRLSET_REASON_CODES,
+    ReasonCode,
+    is_crlset_eligible,
+)
+
+
+class TestReasonCodes:
+    def test_rfc_values(self):
+        assert ReasonCode.UNSPECIFIED == 0
+        assert ReasonCode.KEY_COMPROMISE == 1
+        assert ReasonCode.CA_COMPROMISE == 2
+        assert ReasonCode.REMOVE_FROM_CRL == 8
+        assert ReasonCode.AA_COMPROMISE == 10
+
+    def test_value_7_not_defined(self):
+        assert 7 not in {int(code) for code in ReasonCode}
+
+    def test_labels(self):
+        assert ReasonCode.KEY_COMPROMISE.label == "KeyCompromise"
+        assert ReasonCode.UNSPECIFIED.label == "Unspecified"
+
+
+class TestCrlsetEligibility:
+    def test_no_reason_is_eligible(self):
+        # The vast majority of revocations carry no reason code (§4.2),
+        # and those are admitted to CRLSets.
+        assert is_crlset_eligible(None)
+
+    def test_eligible_codes(self):
+        for code in CRLSET_REASON_CODES:
+            assert is_crlset_eligible(code)
+
+    def test_ineligible_codes(self):
+        for code in (
+            ReasonCode.SUPERSEDED,
+            ReasonCode.CESSATION_OF_OPERATION,
+            ReasonCode.AFFILIATION_CHANGED,
+            ReasonCode.PRIVILEGE_WITHDRAWN,
+            ReasonCode.CERTIFICATE_HOLD,
+        ):
+            assert not is_crlset_eligible(code)

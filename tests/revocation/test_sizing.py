@@ -1,0 +1,139 @@
+"""DER size arithmetic must agree exactly with real encodings."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.pki.keys import KeyPair
+from repro.pki.name import Name
+from repro.revocation.crl import CertificateRevocationList, RevokedEntry
+from repro.revocation.sizing import (
+    estimated_crl_size,
+    length_octets,
+    representative_entry_size,
+    tlv_size,
+)
+
+UTC = datetime.timezone.utc
+THIS = datetime.datetime(2014, 6, 15, 12, 0, tzinfo=UTC)
+NEXT = THIS + datetime.timedelta(days=1)
+
+
+class TestPrimitives:
+    def test_length_octets(self):
+        assert length_octets(0) == 1
+        assert length_octets(127) == 1
+        assert length_octets(128) == 2
+        assert length_octets(255) == 2
+        assert length_octets(256) == 3
+        assert length_octets(65536) == 4
+
+    def test_tlv_size(self):
+        assert tlv_size(0) == 2
+        assert tlv_size(127) == 129
+        assert tlv_size(128) == 131
+
+    def test_representative_entry_size_positive_widths(self):
+        sizes = [representative_entry_size(w) for w in (1, 4, 8, 21)]
+        assert sizes == sorted(sizes)
+        with pytest.raises(ValueError):
+            representative_entry_size(0)
+
+    def test_reason_adds_bytes(self):
+        assert representative_entry_size(4, True) > representative_entry_size(4)
+
+
+class TestEstimateMatchesEncoding:
+    def _build(self, n_entries: int, serial_base: int):
+        keys = KeyPair.generate("sizing")
+        name = Name.make("Sizing CA", organization="Sizing CA")
+        entries = [
+            RevokedEntry(serial_base + i, THIS - datetime.timedelta(days=2))
+            for i in range(n_entries)
+        ]
+        crl = CertificateRevocationList.build(
+            issuer=name,
+            issuer_keys=keys,
+            entries=entries,
+            this_update=THIS,
+            next_update=NEXT,
+            crl_number=1,
+        )
+        return crl, name, keys
+
+    @pytest.mark.parametrize("n_entries", [0, 1, 5, 100, 1000])
+    def test_exact_for_materialized(self, n_entries):
+        crl, name, keys = self._build(n_entries, serial_base=1000)
+        materialized = sum(len(e.to_der()) for e in crl.entries)
+        estimate = estimated_crl_size(
+            issuer=name,
+            signature_size=keys.backend.signature_size,
+            signature_algorithm_oid=keys.backend.algorithm_oid,
+            materialized_entry_bytes=materialized,
+            hidden_entry_count=0,
+            hidden_entry_size=0,
+            crl_number=1,
+        )
+        assert estimate == len(crl.to_der())
+
+    def test_hidden_entries_equivalent_to_real_ones(self):
+        """hidden_count x hidden_size must equal actually encoding that
+        many fixed-width entries."""
+        serial_width = 4
+        hidden_size = representative_entry_size(serial_width)
+        # Serial chosen to occupy exactly `serial_width` content bytes.
+        serial = (1 << (serial_width * 8 - 2)) | 1
+        crl, name, keys = self._build(0, serial_base=0)
+        real_entries = [
+            RevokedEntry(serial + 2 * i, THIS - datetime.timedelta(days=2))
+            for i in range(500)
+        ]
+        real = CertificateRevocationList.build(
+            issuer=name,
+            issuer_keys=keys,
+            entries=real_entries,
+            this_update=THIS,
+            next_update=NEXT,
+            crl_number=1,
+        )
+        estimate = estimated_crl_size(
+            issuer=name,
+            signature_size=keys.backend.signature_size,
+            signature_algorithm_oid=keys.backend.algorithm_oid,
+            materialized_entry_bytes=0,
+            hidden_entry_count=500,
+            hidden_entry_size=hidden_size,
+            crl_number=1,
+        )
+        assert estimate == len(real.to_der())
+
+    @given(st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=30, deadline=None)
+    def test_monotone_in_hidden_count(self, hidden):
+        name = Name.make("Sizing CA")
+        base = estimated_crl_size(
+            issuer=name, signature_size=256,
+            signature_algorithm_oid="1.2.840.113549.1.1.11",
+            materialized_entry_bytes=0, hidden_entry_count=hidden,
+            hidden_entry_size=25,
+        )
+        bigger = estimated_crl_size(
+            issuer=name, signature_size=256,
+            signature_algorithm_oid="1.2.840.113549.1.1.11",
+            materialized_entry_bytes=0, hidden_entry_count=hidden + 1,
+            hidden_entry_size=25,
+        )
+        assert bigger > base
+
+    def test_negative_inputs_rejected(self):
+        with pytest.raises(ValueError):
+            estimated_crl_size(
+                issuer=Name.make("x"), signature_size=256,
+                signature_algorithm_oid="1.2.840.113549.1.1.11",
+                materialized_entry_bytes=-1, hidden_entry_count=0,
+                hidden_entry_size=0,
+            )

@@ -1,0 +1,108 @@
+"""Staple cache behaviour: the mechanism behind Figure 3."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.pki.keys import KeyPair
+from repro.revocation.ocsp import CertStatus, OcspResponse
+from repro.revocation.stapling import StapleCache, StaplePolicy
+
+UTC = datetime.timezone.utc
+T0 = datetime.datetime(2015, 3, 1, 12, 0, tzinfo=UTC)
+
+
+@pytest.fixture(scope="module")
+def keys():
+    return KeyPair.generate("staple-test")
+
+
+def response(keys, status=CertStatus.GOOD, valid_days=3):
+    return OcspResponse.build(
+        responder_keys=keys,
+        cert_status=status,
+        issuer_key_hash=keys.key_id,
+        serial_number=5,
+        this_update=T0 - datetime.timedelta(hours=1),
+        next_update=T0 + datetime.timedelta(days=valid_days),
+    )
+
+
+class TestColdCache:
+    def test_first_request_gets_no_staple(self, keys):
+        cache = StapleCache()
+        fresh = response(keys)
+        assert cache.get_staple(T0, lambda: fresh) is None
+
+    def test_background_fetch_completes(self, keys):
+        cache = StapleCache(fetch_delay=datetime.timedelta(seconds=2))
+        fresh = response(keys)
+        assert cache.get_staple(T0, lambda: fresh) is None
+        later = T0 + datetime.timedelta(seconds=3)
+        assert cache.get_staple(later, lambda: fresh) is fresh
+
+    def test_request_before_fetch_completes_still_unstapled(self, keys):
+        cache = StapleCache(fetch_delay=datetime.timedelta(seconds=10))
+        fresh = response(keys)
+        assert cache.get_staple(T0, lambda: fresh) is None
+        soon = T0 + datetime.timedelta(seconds=1)
+        assert cache.get_staple(soon, lambda: fresh) is None
+
+    def test_responder_down_no_staple_ever(self, keys):
+        cache = StapleCache()
+        assert cache.get_staple(T0, lambda: None) is None
+        later = T0 + datetime.timedelta(seconds=10)
+        assert cache.get_staple(later, lambda: None) is None
+
+
+class TestWarmCache:
+    def test_warm_cache_staples_immediately(self, keys):
+        cache = StapleCache()
+        staple = response(keys)
+        cache.warm(staple)
+        assert cache.get_staple(T0, lambda: None) is staple
+
+    def test_expired_staple_triggers_refetch(self, keys):
+        cache = StapleCache(fetch_delay=datetime.timedelta(seconds=1))
+        old = response(keys, valid_days=1)
+        cache.warm(old)
+        much_later = T0 + datetime.timedelta(days=2)
+        fresh = response(keys)
+        fresh = OcspResponse.build(
+            responder_keys=keys,
+            cert_status=CertStatus.GOOD,
+            issuer_key_hash=keys.key_id,
+            serial_number=5,
+            this_update=much_later - datetime.timedelta(hours=1),
+            next_update=much_later + datetime.timedelta(days=3),
+        )
+        assert cache.get_staple(much_later, lambda: fresh) is None  # stale
+        after = much_later + datetime.timedelta(seconds=2)
+        assert cache.get_staple(after, lambda: fresh) is fresh
+
+
+class TestPolicy:
+    def test_stock_nginx_refuses_revoked_staple(self, keys):
+        cache = StapleCache(policy=StaplePolicy.GOOD_ONLY)
+        cache.warm(response(keys, status=CertStatus.REVOKED))
+        assert cache.get_staple(T0, lambda: None) is None
+
+    def test_modified_nginx_staples_revoked(self, keys):
+        # The paper modified nginx to staple any status (footnote 16).
+        cache = StapleCache(policy=StaplePolicy.ANY_STATUS)
+        revoked = response(keys, status=CertStatus.REVOKED)
+        cache.warm(revoked)
+        assert cache.get_staple(T0, lambda: None) is revoked
+
+    def test_good_only_admits_good_background_fetch(self, keys):
+        cache = StapleCache(
+            policy=StaplePolicy.GOOD_ONLY,
+            fetch_delay=datetime.timedelta(seconds=1),
+        )
+        revoked = response(keys, status=CertStatus.REVOKED)
+        assert cache.get_staple(T0, lambda: revoked) is None
+        later = T0 + datetime.timedelta(seconds=5)
+        # The fetched response was revoked -> never cached under GOOD_ONLY.
+        assert cache.get_staple(later, lambda: revoked) is None

@@ -1,0 +1,94 @@
+"""HiddenPopulation schedule tests."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.scan.hidden import HiddenPopulation, weekday_factor
+
+START = datetime.date(2013, 1, 1)
+END = datetime.date(2015, 3, 31)
+HB = datetime.date(2014, 4, 7)
+
+
+class TestSchedule:
+    def test_exact_target_at_end(self):
+        population = HiddenPopulation(10_000, START, END, heartbleed_date=HB)
+        assert population.count_at(END) == 10_000
+
+    def test_count_before_window_is_initial(self):
+        population = HiddenPopulation(10_000, START, END)
+        assert population.count_at(START - datetime.timedelta(days=30)) == (
+            population.initial_count
+        )
+
+    def test_count_after_window_clamps(self):
+        population = HiddenPopulation(10_000, START, END)
+        later = END + datetime.timedelta(days=100)
+        assert population.count_at(later) == 10_000
+
+    def test_counts_never_negative(self):
+        population = HiddenPopulation(500, START, END, heartbleed_date=HB)
+        day = START
+        while day <= END:
+            assert population.count_at(day) >= 0
+            day += datetime.timedelta(days=31)
+
+    def test_weekly_pattern_in_additions(self):
+        population = HiddenPopulation(100_000, START, END)
+        weekdays, weekends = [], []
+        day = datetime.date(2013, 6, 3)  # a Monday, pre-Heartbleed
+        for i in range(28):
+            additions = population.additions_on(day + datetime.timedelta(days=i))
+            if (day + datetime.timedelta(days=i)).weekday() < 5:
+                weekdays.append(additions)
+            else:
+                weekends.append(additions)
+        assert sum(weekdays) / len(weekdays) > 1.8 * sum(weekends) / len(weekends)
+
+    def test_heartbleed_burst(self):
+        population = HiddenPopulation(100_000, START, END, heartbleed_date=HB)
+        # Compare the same weekday before and right after Heartbleed.
+        before = population.additions_on(HB - datetime.timedelta(days=14))
+        after = population.additions_on(HB)
+        assert after > 3 * before
+
+    def test_zero_target(self):
+        population = HiddenPopulation(0, START, END)
+        assert population.count_at(END) == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HiddenPopulation(-1, START, END)
+        with pytest.raises(ValueError):
+            HiddenPopulation(10, END, START)
+        with pytest.raises(ValueError):
+            HiddenPopulation(10, START, END, churn=0.1, growth=0.5)
+
+    @given(st.integers(min_value=0, max_value=2_000_000))
+    @settings(max_examples=20, deadline=None)
+    def test_exactness_property(self, target):
+        population = HiddenPopulation(target, START, END, heartbleed_date=HB)
+        assert population.count_at(END) == target
+
+    @given(st.integers(min_value=100, max_value=50_000))
+    @settings(max_examples=10, deadline=None)
+    def test_conservation_property(self, target):
+        """initial + sum(additions) - sum(removals) == count_at(end)."""
+        population = HiddenPopulation(target, START, END)
+        total = population.initial_count
+        day = START
+        while day <= END:
+            total += population.additions_on(day) - population.removals_on(day)
+            day += datetime.timedelta(days=1)
+        assert total == target
+
+
+def test_weekday_factor_shape():
+    monday = datetime.date(2014, 6, 2)
+    saturday = datetime.date(2014, 6, 7)
+    assert weekday_factor(monday) > 2 * weekday_factor(saturday)

@@ -1,0 +1,90 @@
+"""Direct tests for record predicates and calibration validation."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.scan.calibration import Calibration
+from repro.scan.records import IntermediateRecord, LeafRecord
+
+D = datetime.date
+
+
+@pytest.fixture()
+def record() -> LeafRecord:
+    return LeafRecord(
+        cert_id=1,
+        brand="X",
+        intermediate_id=0,
+        serial_number=5,
+        not_before=D(2014, 1, 1),
+        not_after=D(2015, 1, 1),
+        birth=D(2014, 1, 10),
+        death=D(2014, 11, 1),
+        is_ev=False,
+        crl_url="http://crl.x.example/0.crl",
+        ocsp_url=None,
+        revoked_at=D(2014, 6, 1),
+    )
+
+
+class TestLeafRecord:
+    def test_fresh_boundaries_inclusive(self, record):
+        assert record.is_fresh(D(2014, 1, 1))
+        assert record.is_fresh(D(2015, 1, 1))
+        assert not record.is_fresh(D(2015, 1, 2))
+        assert not record.is_fresh(D(2013, 12, 31))
+
+    def test_alive_boundaries(self, record):
+        assert record.is_alive(D(2014, 1, 10))
+        assert record.is_alive(D(2014, 11, 1))
+        assert not record.is_alive(D(2014, 1, 9))
+
+    def test_revocation_predicates(self, record):
+        assert record.is_revoked
+        assert record.is_revoked_by(D(2014, 6, 1))
+        assert not record.is_revoked_by(D(2014, 5, 31))
+
+    def test_pointer_predicates(self, record):
+        assert record.has_crl and not record.has_ocsp
+        assert record.has_revocation_info
+
+    def test_validity_days(self, record):
+        assert record.validity_days == 365
+
+
+class TestIntermediateRecord:
+    def test_revocation_info(self):
+        record = IntermediateRecord(
+            intermediate_id=0,
+            brand="X",
+            subject="X CA",
+            spki_hash=b"\x00" * 32,
+            has_crl=False,
+            has_ocsp=False,
+            not_before=D(2010, 1, 1),
+            not_after=D(2020, 1, 1),
+        )
+        assert not record.has_revocation_info
+
+
+class TestCalibrationValidation:
+    def test_scale_bounds(self):
+        with pytest.raises(ValueError):
+            Calibration(scale=0.0)
+        with pytest.raises(ValueError):
+            Calibration(scale=1.5)
+        Calibration(scale=1.0)  # full paper scale is legal
+
+    def test_scan_count_floor(self):
+        with pytest.raises(ValueError):
+            Calibration(scan_count=1)
+
+    def test_crawl_window_ordering(self):
+        with pytest.raises(ValueError):
+            Calibration(
+                crawl_start=D(2015, 1, 1),
+                crawl_end=D(2014, 1, 1),
+            )

@@ -1,0 +1,28 @@
+"""CLI tests."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig2" in out and "table2" in out
+
+    def test_run_single(self, capsys):
+        assert main(["run", "fig11", "--scale", "0.0005"]) == 0
+        out = capsys.readouterr().out
+        assert "Bloom" in out
+        assert "paper vs measured" in out
+
+    def test_run_unknown(self, capsys):
+        assert main(["run", "fig99"]) == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])

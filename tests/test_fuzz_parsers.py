@@ -1,0 +1,141 @@
+"""Fuzz tests: the wire-format parsers must fail closed.
+
+A client parsing attacker-supplied bytes (a certificate chain, a CRL, an
+OCSP response) must either produce a structured object or raise
+``Asn1Error`` -- never crash with an internal exception.  Hypothesis
+feeds each parser random bytes and structured mutations of valid
+encodings.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.asn1.der import Asn1Error
+from repro.pki.certificate import Certificate, CertificateBuilder
+from repro.pki.keys import KeyPair
+from repro.pki.name import Name
+from repro.revocation.crl import CertificateRevocationList, RevokedEntry
+from repro.revocation.ocsp import CertStatus, OcspResponse
+
+UTC = datetime.timezone.utc
+NB = datetime.datetime(2014, 1, 1, tzinfo=UTC)
+NA = datetime.datetime(2016, 1, 1, tzinfo=UTC)
+
+
+@pytest.fixture(scope="module")
+def valid_cert_der() -> bytes:
+    keys = KeyPair.generate("fuzz-ca")
+    return (
+        CertificateBuilder()
+        .subject(Name.make("fuzz.example"))
+        .issuer(Name.make("Fuzz CA"))
+        .serial_number(7)
+        .public_key(keys.public_key)
+        .validity(NB, NA)
+        .crl_urls(["http://crl.fuzz.example/0.crl"])
+        .sign(keys)
+    ).to_der()
+
+
+@pytest.fixture(scope="module")
+def valid_crl_der() -> bytes:
+    keys = KeyPair.generate("fuzz-crl")
+    return CertificateRevocationList.build(
+        issuer=Name.make("Fuzz CA"),
+        issuer_keys=keys,
+        entries=[RevokedEntry(5, NB)],
+        this_update=NB,
+        next_update=NB + datetime.timedelta(days=1),
+    ).to_der()
+
+
+@pytest.fixture(scope="module")
+def valid_ocsp_der() -> bytes:
+    keys = KeyPair.generate("fuzz-ocsp")
+    return OcspResponse.build(
+        responder_keys=keys,
+        cert_status=CertStatus.GOOD,
+        issuer_key_hash=keys.key_id,
+        serial_number=5,
+        this_update=NB,
+        next_update=NB + datetime.timedelta(days=1),
+    ).to_der()
+
+
+class TestRandomBytes:
+    @given(st.binary(max_size=200))
+    @settings(max_examples=150)
+    def test_certificate_parser_fails_closed(self, blob):
+        try:
+            Certificate.from_der(blob)
+        except Asn1Error:
+            pass
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=150)
+    def test_crl_parser_fails_closed(self, blob):
+        try:
+            CertificateRevocationList.from_der(blob)
+        except Asn1Error:
+            pass
+
+    @given(st.binary(max_size=200))
+    @settings(max_examples=150)
+    def test_ocsp_parser_fails_closed(self, blob):
+        try:
+            OcspResponse.from_der(blob)
+        except Asn1Error:
+            pass
+
+
+class TestMutatedValidEncodings:
+    @given(st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_certificate_bitflips(self, valid_cert_der, data):
+        blob = bytearray(valid_cert_der)
+        position = data.draw(st.integers(0, len(blob) - 1))
+        blob[position] ^= data.draw(st.integers(1, 255))
+        try:
+            parsed = Certificate.from_der(bytes(blob))
+        except Asn1Error:
+            return
+        # If it still parses, it must re-encode without crashing.
+        parsed.to_der()
+
+    @given(st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_crl_truncations(self, valid_crl_der, data):
+        cut = data.draw(st.integers(0, len(valid_crl_der) - 1))
+        try:
+            CertificateRevocationList.from_der(valid_crl_der[:cut])
+        except Asn1Error:
+            return
+
+    @given(st.data())
+    @settings(max_examples=100, deadline=None)
+    def test_ocsp_bitflips(self, valid_ocsp_der, data):
+        blob = bytearray(valid_ocsp_der)
+        position = data.draw(st.integers(0, len(blob) - 1))
+        blob[position] ^= data.draw(st.integers(1, 255))
+        try:
+            OcspResponse.from_der(bytes(blob))
+        except Asn1Error:
+            return
+
+    def test_tampered_cert_fails_signature(self, valid_cert_der):
+        """A parse-surviving mutation must still fail verification."""
+        keys = KeyPair.generate("fuzz-ca")
+        original = Certificate.from_der(valid_cert_der)
+        assert original.verify_signature(keys.public_key)
+        blob = bytearray(valid_cert_der)
+        # Flip the serial-number content byte (INTEGER 7 in the TBS).
+        serial_offset = valid_cert_der.index(b"\x02\x01\x07") + 2
+        blob[serial_offset] ^= 0x01
+        tampered = Certificate.from_der(bytes(blob))
+        assert tampered.serial_number != original.serial_number
+        assert not tampered.verify_signature(keys.public_key)
