@@ -1,0 +1,254 @@
+"""End-to-end pipeline scaling benchmark.
+
+Times the two legs the incremental artifact engine replaced -- the naive
+per-day CRL-crawl rescans behind Figures 5/6/9 versus the event-timeline
+index -- and the full ``run_all`` experiment sweep at increasing corpus
+scales, sequential and parallel.  Results land in ``BENCH_pipeline.json``
+at the repository root (committed, so regressions are diffable).
+
+Standalone (no pytest, unlike the figure benches)::
+
+    PYTHONPATH=src python benchmarks/bench_pipeline_scaling.py           # full run
+    PYTHONPATH=src python benchmarks/bench_pipeline_scaling.py --smoke   # scale 0.002 only
+    PYTHONPATH=src python benchmarks/bench_pipeline_scaling.py --check   # CI guard
+
+``--check`` re-times the scale-0.002 legs and fails (exit 1) if the
+crawl-path speedup over the naive leg drops below ``MIN_SPEEDUP``, or if
+``run_all`` regresses more than ``MAX_REGRESSION`` against the committed
+baseline after normalising both runs by the same machine's naive-leg time
+(so a slower CI box does not trip the guard).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+
+from repro.core.pipeline import MeasurementStudy  # noqa: E402
+from repro.experiments.runner import run_all  # noqa: E402
+from repro.scan.calibration import Calibration  # noqa: E402
+from repro.scan.crawler import CrlCrawler  # noqa: E402
+
+BASELINE_PATH = REPO_ROOT / "BENCH_pipeline.json"
+SCALES = (0.002, 0.01, 0.02)
+SMOKE_SCALE = 0.002
+#: --check fails if the fast crawl path is less than this many times
+#: faster than the retained naive implementations.
+MIN_SPEEDUP = 3.0
+#: --check fails if normalised run_all time regresses more than this.
+MAX_REGRESSION = 0.25
+
+
+def _time(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def bench_crawl_figures_path(scale: float) -> dict:
+    """Figure 5/6/9 inputs: naive per-day rescans vs the crawl index."""
+    study = MeasurementStudy(calibration=Calibration(scale=scale))
+    ecosystem = study.ecosystem
+    end = study.calibration.measurement_end
+
+    naive_crawler = CrlCrawler(ecosystem)
+    naive_seconds, naive_results = _time(
+        lambda: (
+            naive_crawler.daily_total_additions_naive(),
+            naive_crawler.sizes_at_naive(end),
+            naive_crawler.entry_counts_at_naive(end),
+        )
+    )
+
+    # Fast leg pays for its own series builds: invalidate them first.
+    for crl in ecosystem.crls:
+        crl.invalidate_series()
+    fast_crawler = CrlCrawler(ecosystem)
+    fast_seconds, fast_results = _time(
+        lambda: (
+            fast_crawler.daily_total_additions(),
+            fast_crawler.sizes_at(end),
+            fast_crawler.entry_counts_at(end),
+        )
+    )
+
+    assert fast_results == naive_results, "fast path diverged from naive path"
+    return {
+        "scale": scale,
+        "naive_seconds": round(naive_seconds, 4),
+        "fast_seconds": round(fast_seconds, 4),
+        "speedup": round(naive_seconds / fast_seconds, 2),
+    }
+
+
+def bench_run_all(scale: float, parallel: int | None = None) -> dict:
+    if parallel:
+        # Parallel runs share a warm artifact cache, the intended
+        # deployment: workers unpickle the substrate instead of
+        # regenerating it per process.
+        with tempfile.TemporaryDirectory() as cache_dir:
+            study = MeasurementStudy(
+                calibration=Calibration(scale=scale), cache_dir=cache_dir
+            )
+            substrate_seconds, _ = _time(lambda: study.ecosystem)
+            sweep_seconds, results = _time(
+                lambda: run_all(study, parallel=parallel)
+            )
+    else:
+        study = MeasurementStudy(calibration=Calibration(scale=scale))
+        substrate_seconds, _ = _time(lambda: study.ecosystem)
+        sweep_seconds, results = _time(lambda: run_all(study, parallel=parallel))
+    return {
+        "scale": scale,
+        "substrate_seconds": round(substrate_seconds, 2),
+        "run_all_seconds": round(sweep_seconds, 2),
+        "experiments": len(results),
+        "parallel": parallel,
+    }
+
+
+#: ``run_all`` wall time measured on the pre-index code (the naive
+#: crawl/figures path and per-consumer timeline rebuilds), same machine
+#: class as the committed baseline.  The naive leg of
+#: ``crawl_figures_path`` re-measures that code's hot path on every run.
+PRE_OPTIMIZATION_REFERENCE = {"scale": 0.002, "run_all_seconds": 19.5}
+
+
+def full_run(scales=SCALES, parallel: int | None = 4) -> dict:
+    report = {
+        "before": PRE_OPTIMIZATION_REFERENCE,
+        "crawl_figures_path": bench_crawl_figures_path(SMOKE_SCALE),
+        "run_all": [],
+    }
+    for scale in scales:
+        entry = bench_run_all(scale)
+        report["run_all"].append(entry)
+        print(
+            f"scale {scale}: substrate {entry['substrate_seconds']}s, "
+            f"run_all {entry['run_all_seconds']}s"
+        )
+    if parallel:
+        entry = bench_run_all(scales[-1], parallel=parallel)
+        report["run_all"].append(entry)
+        print(
+            f"scale {scales[-1]} (parallel={parallel}): "
+            f"run_all {entry['run_all_seconds']}s"
+        )
+    path = report["crawl_figures_path"]
+    print(
+        f"crawl/figures path at scale {path['scale']}: "
+        f"naive {path['naive_seconds']}s -> fast {path['fast_seconds']}s "
+        f"({path['speedup']}x)"
+    )
+    return report
+
+
+def check_against_baseline() -> int:
+    """CI guard: smoke-bench scale 0.002 and compare with the baseline."""
+    if not BASELINE_PATH.exists():
+        print(f"no baseline at {BASELINE_PATH}; run without --check first")
+        return 1
+    baseline = json.loads(BASELINE_PATH.read_text())
+
+    crawl = bench_crawl_figures_path(SMOKE_SCALE)
+    print(
+        f"crawl/figures path: naive {crawl['naive_seconds']}s -> "
+        f"fast {crawl['fast_seconds']}s ({crawl['speedup']}x, floor {MIN_SPEEDUP}x)"
+    )
+    failures = []
+    if crawl["speedup"] < MIN_SPEEDUP:
+        failures.append(
+            f"crawl-path speedup {crawl['speedup']}x below the "
+            f"{MIN_SPEEDUP}x floor"
+        )
+
+    # Best of two runs knocks down scheduler noise on shared runners.
+    current = min(
+        (bench_run_all(SMOKE_SCALE) for _ in range(2)),
+        key=lambda entry: entry["run_all_seconds"],
+    )
+    baseline_entry = next(
+        (
+            entry
+            for entry in baseline.get("run_all", [])
+            if entry["scale"] == SMOKE_SCALE and not entry.get("parallel")
+        ),
+        None,
+    )
+    if baseline_entry is None:
+        failures.append(f"baseline has no sequential scale-{SMOKE_SCALE} entry")
+    else:
+        # Two views of the same regression: raw wall time (right when the
+        # machine matches the baseline's) and wall time normalised by this
+        # machine's own naive-leg run (right when it doesn't).  Either
+        # alone is noisy -- the naive leg is short and jittery, raw time
+        # punishes slower hardware -- so only fail when BOTH exceed the
+        # limit: a real slowdown moves them together.
+        raw = (
+            current["run_all_seconds"] / baseline_entry["run_all_seconds"] - 1.0
+        )
+        normalised = (
+            (current["run_all_seconds"] / crawl["naive_seconds"])
+            / (
+                baseline_entry["run_all_seconds"]
+                / baseline["crawl_figures_path"]["naive_seconds"]
+            )
+            - 1.0
+        )
+        regression = min(raw, normalised)
+        print(
+            f"run_all at scale {SMOKE_SCALE}: {current['run_all_seconds']}s "
+            f"(raw {raw:+.1%}, normalised {normalised:+.1%}, "
+            f"limit +{MAX_REGRESSION:.0%} on min of the two)"
+        )
+        if regression > MAX_REGRESSION:
+            failures.append(
+                f"run_all regressed {regression:+.1%} vs committed baseline"
+            )
+
+    for failure in failures:
+        print(f"FAIL: {failure}")
+    return 1 if failures else 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke",
+        action="store_true",
+        help=f"bench scale {SMOKE_SCALE} only; do not rewrite the baseline",
+    )
+    parser.add_argument(
+        "--check",
+        action="store_true",
+        help="CI guard: fail on regression vs the committed baseline",
+    )
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=BASELINE_PATH,
+        help="where to write the JSON report (full runs only)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.check:
+        return check_against_baseline()
+    if args.smoke:
+        report = full_run(scales=(SMOKE_SCALE,), parallel=None)
+        print(json.dumps(report, indent=2))
+        return 0
+    report = full_run()
+    args.output.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

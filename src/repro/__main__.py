@@ -32,6 +32,19 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("experiment", help="experiment id, e.g. fig2, table2, all")
     run.add_argument("--scale", type=float, default=0.002)
     run.add_argument("--seed", type=int, default=20151028)
+    run.add_argument(
+        "--parallel",
+        type=int,
+        default=None,
+        metavar="N",
+        help="run 'all' across N worker processes (results identical to sequential)",
+    )
+    run.add_argument(
+        "--cache-dir",
+        default=None,
+        metavar="DIR",
+        help="cache generated ecosystems here, keyed on the calibration digest",
+    )
 
     report = sub.add_parser("report", help="print the EXPERIMENTS.md body")
     report.add_argument("--scale", type=float, default=0.002)
@@ -45,9 +58,21 @@ def main(argv: list[str] | None = None) -> int:
             print(f"{experiment_id:10s} {module.TITLE}")
         return 0
     if args.command == "run":
-        study = MeasurementStudy(scale=args.scale, seed=args.seed)
+        if args.cache_dir is not None:
+            from pathlib import Path
+
+            cache_dir = Path(args.cache_dir)
+            if cache_dir.exists() and not cache_dir.is_dir():
+                print(
+                    f"--cache-dir {args.cache_dir!r} is not a directory",
+                    file=sys.stderr,
+                )
+                return 2
+        study = MeasurementStudy(
+            scale=args.scale, seed=args.seed, cache_dir=args.cache_dir
+        )
         if args.experiment == "all":
-            results = run_all(study)
+            results = run_all(study, parallel=args.parallel)
         else:
             try:
                 results = [run_experiment(args.experiment, study)]

@@ -18,6 +18,7 @@ from dataclasses import dataclass, field
 __all__ = [
     "Asn1Error",
     "DecodedValue",
+    "SequenceAssembler",
     "Tag",
     "decode",
     "decode_all",
@@ -32,6 +33,7 @@ __all__ = [
     "encode_oid",
     "encode_printable_string",
     "encode_sequence",
+    "encode_sequence_many",
     "encode_set",
     "encode_tlv",
     "encode_utc_time",
@@ -82,8 +84,17 @@ def encode_tlv(tag: int, value: bytes) -> bytes:
     return bytes([tag]) + encode_length(len(value)) + value
 
 
+#: Complete TLV encodings for the small non-negative INTEGERs that dominate
+#: CRL bodies (version numbers, CRL numbers, short serials).
+_SMALL_INTEGERS = tuple(
+    bytes([Tag.INTEGER, 1, value]) for value in range(0x80)
+)
+
+
 def encode_integer(value: int, tag: int = Tag.INTEGER) -> bytes:
     """Encode a (possibly large) two's-complement INTEGER."""
+    if tag == Tag.INTEGER and 0 <= value < 0x80:
+        return _SMALL_INTEGERS[value]
     if value == 0:
         return encode_tlv(tag, b"\x00")
     nbytes = (value.bit_length() + 8) // 8  # +8 guarantees a sign bit
@@ -147,22 +158,80 @@ def encode_ia5_string(value: str) -> bytes:
     return encode_tlv(Tag.IA5_STRING, value.encode("ascii"))
 
 
+#: UTCTime content is always 13 octets, so the TLV header is a constant.
+_UTC_TIME_HEADER = bytes([Tag.UTC_TIME, 13])
+#: GeneralizedTime content (as emitted here) is always 15 octets.
+_GENERALIZED_TIME_HEADER = bytes([Tag.GENERALIZED_TIME, 15])
+
+
 def encode_utc_time(when: datetime.datetime) -> bytes:
     """Encode a UTCTime (two-digit year; valid for 1950-2049)."""
     if not 1950 <= when.year <= 2049:
         raise Asn1Error(f"UTCTime cannot represent year {when.year}")
-    return encode_tlv(Tag.UTC_TIME, when.strftime("%y%m%d%H%M%SZ").encode("ascii"))
+    text = (
+        f"{when.year % 100:02d}{when.month:02d}{when.day:02d}"
+        f"{when.hour:02d}{when.minute:02d}{when.second:02d}Z"
+    )
+    return _UTC_TIME_HEADER + text.encode("ascii")
 
 
 def encode_generalized_time(when: datetime.datetime) -> bytes:
     """Encode a GeneralizedTime (four-digit year)."""
-    return encode_tlv(
-        Tag.GENERALIZED_TIME, when.strftime("%Y%m%d%H%M%SZ").encode("ascii")
+    text = (
+        f"{when.year:04d}{when.month:02d}{when.day:02d}"
+        f"{when.hour:02d}{when.minute:02d}{when.second:02d}Z"
     )
+    return _GENERALIZED_TIME_HEADER + text.encode("ascii")
 
 
 def encode_sequence(*children: bytes) -> bytes:
     return encode_tlv(Tag.SEQUENCE, b"".join(children))
+
+
+def encode_sequence_many(children) -> bytes:
+    """Encode a SEQUENCE from an iterable of pre-encoded children.
+
+    Bulk path for large bodies (CRL entry lists): children are gathered
+    into a single :class:`bytearray` and the TLV header is prepended once,
+    avoiding the per-call tuple packing and intermediate joins of
+    :func:`encode_sequence`.  Byte-identical to
+    ``encode_sequence(*children)``.
+    """
+    body = bytearray()
+    for child in children:
+        body += child
+    out = bytearray([Tag.SEQUENCE])
+    out += encode_length(len(body))
+    out += body
+    return bytes(out)
+
+
+class SequenceAssembler:
+    """Incrementally assemble one SEQUENCE body on a single bytearray.
+
+    Use for hot loops that build large constructed values: ``append()``
+    pre-encoded children, then ``finish()`` to get the TLV.  The running
+    ``content_length`` is exposed so callers can track encoded sizes
+    without materialising the value.
+    """
+
+    __slots__ = ("_body",)
+
+    def __init__(self) -> None:
+        self._body = bytearray()
+
+    def append(self, child: bytes) -> None:
+        self._body += child
+
+    @property
+    def content_length(self) -> int:
+        return len(self._body)
+
+    def finish(self, tag: int = Tag.SEQUENCE) -> bytes:
+        out = bytearray([tag])
+        out += encode_length(len(self._body))
+        out += self._body
+        return bytes(out)
 
 
 def encode_set(*children: bytes) -> bytes:

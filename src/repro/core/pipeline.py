@@ -17,12 +17,14 @@ from __future__ import annotations
 
 import datetime
 from functools import cached_property
+from pathlib import Path
 
 from repro.core.timelines import RevocationSeries, revocation_series
 from repro.crlset.builder import CrlSetBuilder, CrlSetHistory
 from repro.crlset.coverage import CoverageReport, analyze_coverage
 from repro.crlset.dynamics import DynamicsReport, analyze_dynamics
 from repro.scan.calibration import Calibration, PaperTargets
+from repro.scan.crawl_index import CrawlIndex
 from repro.scan.crawler import CrlCrawler
 from repro.scan.ecosystem import Ecosystem
 from repro.scan.scanner import Rapid7Scanner, ScanSnapshot
@@ -36,22 +38,45 @@ __all__ = ["MeasurementStudy"]
 
 
 class MeasurementStudy:
-    """Reproduces the paper's measurements over a synthetic ecosystem."""
+    """Reproduces the paper's measurements over a synthetic ecosystem.
+
+    ``cache_dir`` opts into the on-disk artifact cache: the generated
+    ecosystem is stored keyed on the calibration digest, so repeated runs
+    with the same scale/seed/calibration skip regeneration entirely.
+    """
 
     def __init__(
         self,
         scale: float = 0.002,
         seed: int = 20151028,
         calibration: Calibration | None = None,
+        cache_dir: str | Path | None = None,
     ) -> None:
         self.calibration = calibration or Calibration(scale=scale, seed=seed)
         self.targets: PaperTargets = self.calibration.targets
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
 
     # -- substrate ----------------------------------------------------------
 
     @cached_property
     def ecosystem(self) -> Ecosystem:
+        if self.cache_dir is not None:
+            from repro.scan.datastore import ArtifactCache
+
+            cache = ArtifactCache(self.cache_dir)
+            cached = cache.load_ecosystem(self.calibration)
+            if cached is not None:
+                return cached
+            ecosystem = Ecosystem(self.calibration)
+            cache.store_ecosystem(self.calibration, ecosystem)
+            return ecosystem
         return Ecosystem(self.calibration)
+
+    @cached_property
+    def crawl_index(self) -> CrawlIndex:
+        """One set of per-CRL event timelines, shared by the crawler, the
+        CRLSet builder, and the dynamics analysis."""
+        return CrawlIndex(self.ecosystem)
 
     @cached_property
     def scanner(self) -> Rapid7Scanner:
@@ -59,7 +84,7 @@ class MeasurementStudy:
 
     @cached_property
     def crawler(self) -> CrlCrawler:
-        return CrlCrawler(self.ecosystem)
+        return CrlCrawler(self.ecosystem, index=self.crawl_index)
 
     @cached_property
     def tls_scanner(self) -> TlsHandshakeScanner:
@@ -156,10 +181,12 @@ class MeasurementStudy:
 
     @cached_property
     def crlset_history(self) -> CrlSetHistory:
-        return CrlSetBuilder(self.ecosystem).run()
+        return CrlSetBuilder(self.ecosystem, index=self.crawl_index).run()
 
     def crlset_coverage(self) -> CoverageReport:
         return analyze_coverage(self.ecosystem, self.crlset_history)
 
     def crlset_dynamics(self) -> DynamicsReport:
-        return analyze_dynamics(self.ecosystem, self.crlset_history)
+        return analyze_dynamics(
+            self.ecosystem, self.crlset_history, crawler=self.crawler
+        )

@@ -57,6 +57,9 @@ def render_cdf(
 ) -> str:
     """Key quantiles of a :class:`repro.core.stats.Cdf`."""
     lines = [title] if title else []
+    if len(cdf) == 0:
+        lines.append("  (empty population)")
+        return "\n".join(lines)
     for q in quantiles:
         lines.append(f"  p{int(q * 100):>2}: {value_format.format(cdf.quantile(q))}")
     return "\n".join(lines)

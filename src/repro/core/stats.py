@@ -23,6 +23,9 @@ class Cdf:
     values: tuple[float, ...]
     fractions: tuple[float, ...]
 
+    def __len__(self) -> int:
+        return len(self.values)
+
     def quantile(self, q: float) -> float:
         """Smallest value whose cumulative fraction reaches ``q``."""
         if not 0.0 <= q <= 1.0:

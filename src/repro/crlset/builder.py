@@ -16,6 +16,13 @@ parent that shrank the CRLSet by a quarter (Fig 8).
 The builder runs one chronological sweep over the study window and
 records, per entry, when it first appeared in and was removed from the
 CRLSet -- the raw material for Figures 8, 9, and 10.
+
+The sweep synchronises membership incrementally: on build days where the
+set of included CRLs is unchanged, only the entries whose underlying
+crawled state changed since the last build are reconsidered, instead of
+re-unioning every included CRL's active set.  ``run(incremental=False)``
+keeps the original full-rebuild path as a reference; the two are
+asserted identical in ``tests/crlset/test_builder_analyses.py``.
 """
 
 from __future__ import annotations
@@ -28,6 +35,7 @@ from dataclasses import dataclass
 from repro.crlset.format import CrlSetSnapshot, serial_to_bytes
 from repro.revocation.reason import is_crlset_eligible
 from repro.scan.calibration import Calibration
+from repro.scan.crawl_index import CrawlIndex
 from repro.scan.crl_model import EcosystemCrl
 from repro.scan.ecosystem import Ecosystem
 
@@ -125,13 +133,17 @@ class CrlSetBuilder:
         apply_reason_filter: bool = True,
         max_entries_override: int | None = None,
         size_cap_override: int | None = None,
+        index: CrawlIndex | None = None,
     ) -> None:
         """The three ``*_override``/``apply_*`` knobs exist for the
         ablation benches: they disable, respectively, the reason-code
         filter (rule 4), the per-CRL entry drop threshold (rule 3), and
-        the 250 KB cap (rule 1)."""
+        the 250 KB cap (rule 1).  ``index`` shares one
+        :class:`CrawlIndex` (and hence the per-CRL event timelines) with
+        the crawler and dynamics analysis."""
         self.ecosystem = ecosystem
         self.calibration: Calibration = ecosystem.calibration
+        self.index = index if index is not None else CrawlIndex(ecosystem)
         self.removal_brand = removal_brand
         self.apply_reason_filter = apply_reason_filter
         self.max_entries = (
@@ -179,7 +191,13 @@ class CrlSetBuilder:
         self,
         start: datetime.date | None = None,
         end: datetime.date | None = None,
+        incremental: bool = True,
     ) -> CrlSetHistory:
+        """Sweep the build window.
+
+        ``incremental=False`` forces the original full member-set rebuild
+        on every build day (reference path for equality tests).
+        """
         cal = self.calibration
         start = start or cal.crlset_build_start
         end = end or cal.measurement_end
@@ -246,6 +264,13 @@ class CrlSetBuilder:
 
         day = start
         removal_applied = False
+        #: included-URL set as of the last build day (None forces a full
+        #: rebuild: first day, or the parent-removal discontinuity).
+        prev_included: frozenset[str] | None = None
+        #: key -> url for entries whose crawled state changed since the
+        #: last build day (the only membership candidates when the
+        #: included-URL set is unchanged).
+        pending: dict[tuple[bytes, int], str] = {}
         while day <= end:
             in_gap = cal.crlset_gap_start <= day < cal.crlset_gap_end
             added_today = 0
@@ -256,10 +281,12 @@ class CrlSetBuilder:
                 track = tracks[url]
                 track.active.add(key)
                 track.byte_size += entry_size(key)
+                pending[key] = url
             for url, key in removes_by_day.get(day, ()):
                 track = tracks[url]
                 track.active.discard(key)
                 track.byte_size -= entry_size(key)
+                pending[key] = url
 
             # 2. the parent-removal event.
             if not removal_applied and day >= cal.crlset_parent_removal_date:
@@ -267,12 +294,25 @@ class CrlSetBuilder:
                     if track.crl.brand == self.removal_brand:
                         track.parent_removed = True
                 removal_applied = True
+                prev_included = None  # inclusion set changes discontinuously
 
-            # 3. on build days, recompute inclusion and the member set.
+            # 3. on build days, recompute inclusion and sync the member set.
             if not in_gap:
-                added_today, removed_today = self._rebuild(
-                    tracks, members, histories, entry_size, day
-                )
+                included_urls = self._included_urls(tracks, day)
+                if (
+                    incremental
+                    and prev_included is not None
+                    and included_urls == prev_included
+                ):
+                    added_today, removed_today = self._sync_pending(
+                        tracks, members, histories, pending, included_urls, day
+                    )
+                else:
+                    added_today, removed_today = self._sync_full(
+                        tracks, members, histories, included_urls, day
+                    )
+                prev_included = included_urls
+                pending.clear()
                 for track in tracks.values():
                     if track.included:
                         parents_ever.add(track.crl.issuer_key_hash)
@@ -304,16 +344,10 @@ class CrlSetBuilder:
             parents_ever=frozenset(parents_ever),
         )
 
-    def _rebuild(
-        self,
-        tracks: dict[str, _CrlTrack],
-        members: set[tuple[bytes, int]],
-        histories: dict[tuple[bytes, int], EntryHistory],
-        entry_size,
-        day: datetime.date,
-    ) -> tuple[int, int]:
-        """Recompute CRL inclusion (rules 1 and 3) and sync membership."""
-        cal = self.calibration
+    def _included_urls(
+        self, tracks: dict[str, _CrlTrack], day: datetime.date
+    ) -> frozenset[str]:
+        """Recompute CRL inclusion (rules 1 and 3) and flag the tracks."""
         candidates = [
             track
             for track in tracks.values()
@@ -329,16 +363,26 @@ class CrlSetBuilder:
         while candidates and total > budget:
             dropped = candidates.pop()  # most entries
             total -= dropped.byte_size
-        included_urls = {track.crl.url for track in candidates}
+        included_urls = frozenset(track.crl.url for track in candidates)
+        for track in tracks.values():
+            track.included = track.crl.url in included_urls
+        return included_urls
 
-        added = 0
-        removed = 0
+    def _sync_full(
+        self,
+        tracks: dict[str, _CrlTrack],
+        members: set[tuple[bytes, int]],
+        histories: dict[tuple[bytes, int], EntryHistory],
+        included_urls: frozenset[str],
+        day: datetime.date,
+    ) -> tuple[int, int]:
+        """Rebuild membership as the union of every included active set."""
         new_members: set[tuple[bytes, int]] = set()
         for url in included_urls:
             new_members |= tracks[url].active
-        for track in tracks.values():
-            track.included = track.crl.url in included_urls
 
+        added = 0
+        removed = 0
         for key in new_members - members:
             history = histories[key]
             if history.first_appeared is None:
@@ -350,4 +394,38 @@ class CrlSetBuilder:
             removed += 1
         members.clear()
         members.update(new_members)
+        return added, removed
+
+    def _sync_pending(
+        self,
+        tracks: dict[str, _CrlTrack],
+        members: set[tuple[bytes, int]],
+        histories: dict[tuple[bytes, int], EntryHistory],
+        pending: dict[tuple[bytes, int], str],
+        included_urls: frozenset[str],
+        day: datetime.date,
+    ) -> tuple[int, int]:
+        """Delta path: the included-URL set is unchanged since the last
+        build day, so membership can only have changed for entries whose
+        crawled state changed in between.  Each key lives on exactly one
+        CRL, so its membership is simply its presence on that (included)
+        CRL's active set.  Produces states and counts identical to
+        :meth:`_sync_full`."""
+        added = 0
+        removed = 0
+        for key, url in pending.items():
+            if url not in included_urls:
+                continue
+            if key in tracks[url].active:
+                if key not in members:
+                    members.add(key)
+                    history = histories[key]
+                    if history.first_appeared is None:
+                        history.first_appeared = day
+                    history.removed_at = None
+                    added += 1
+            elif key in members:
+                members.discard(key)
+                histories[key].removed_at = day
+                removed += 1
         return added, removed

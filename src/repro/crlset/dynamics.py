@@ -78,9 +78,13 @@ def analyze_dynamics(
     ecosystem: Ecosystem,
     history: CrlSetHistory,
     crawl_window_only: bool = True,
+    crawler: CrlCrawler | None = None,
 ) -> DynamicsReport:
+    """``crawler`` lets callers share one :class:`CrlCrawler` (and its
+    :class:`~repro.scan.crawl_index.CrawlIndex` timelines) instead of
+    re-walking ``ecosystem.crls`` here."""
     cal = ecosystem.calibration
-    crawler = CrlCrawler(ecosystem)
+    crawler = crawler if crawler is not None else CrlCrawler(ecosystem)
     crl_additions = crawler.daily_total_additions()
 
     if crawl_window_only:

@@ -1,6 +1,17 @@
-"""Run every experiment and render the paper-vs-measured report."""
+"""Run every experiment and render the paper-vs-measured report.
+
+``run_all(parallel=N)`` fans the experiments out across a process pool.
+Each worker builds its own :class:`MeasurementStudy` from the same
+calibration (the substrate is deterministic for a fixed calibration, and
+the one stateful RNG -- the stapling scanner's -- is seeded per study and
+consumed by a single experiment), so the results are identical to the
+sequential path regardless of worker count; a test enforces this.
+"""
 
 from __future__ import annotations
+
+import concurrent.futures
+import os
 
 from repro.core.pipeline import MeasurementStudy
 from repro.experiments import (
@@ -20,6 +31,7 @@ from repro.experiments import (
     table2,
 )
 from repro.experiments.common import ExperimentResult
+from repro.scan.calibration import Calibration
 
 __all__ = ["ALL_EXPERIMENTS", "run_all", "run_experiment"]
 
@@ -58,9 +70,52 @@ def run_experiment(
     return module.run(study)
 
 
-def run_all(study: MeasurementStudy | None = None) -> list[ExperimentResult]:
+# Per-worker study, built once by the pool initializer.  Each worker pays
+# for the substrate once and then serves any number of experiments.
+_WORKER_STUDY: MeasurementStudy | None = None
+
+
+def _init_worker(
+    calibration: Calibration, cache_dir: str | None
+) -> None:  # pragma: no cover - runs in worker processes
+    global _WORKER_STUDY
+    _WORKER_STUDY = MeasurementStudy(
+        calibration=calibration, cache_dir=cache_dir
+    )
+
+
+def _run_in_worker(
+    experiment_id: str,
+) -> ExperimentResult:  # pragma: no cover - runs in worker processes
+    assert _WORKER_STUDY is not None, "pool initializer did not run"
+    return ALL_EXPERIMENTS[experiment_id].run(_WORKER_STUDY)
+
+
+def run_all(
+    study: MeasurementStudy | None = None,
+    parallel: int | None = None,
+) -> list[ExperimentResult]:
+    """Run every experiment, in declaration order.
+
+    ``parallel=N`` (N >= 2) uses a process pool of N workers.  When the
+    study has a ``cache_dir`` the workers share its artifact cache, so
+    the ecosystem is generated at most once across the pool.
+    """
     study = study or MeasurementStudy()
-    return [module.run(study) for module in ALL_EXPERIMENTS.values()]
+    order = list(ALL_EXPERIMENTS)
+    if parallel is None or parallel <= 1:
+        return [ALL_EXPERIMENTS[eid].run(study) for eid in order]
+
+    workers = min(parallel, len(order), os.cpu_count() or 1)
+    cache_dir = str(study.cache_dir) if study.cache_dir is not None else None
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_init_worker,
+        initargs=(study.calibration, cache_dir),
+    ) as pool:
+        # map() preserves submission order, so results come back in the
+        # same order the sequential path produces them.
+        return list(pool.map(_run_in_worker, order))
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

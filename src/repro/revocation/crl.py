@@ -9,6 +9,7 @@ encoding is implemented for real so the study's CRL byte-size measurements
 from __future__ import annotations
 
 import datetime
+import os
 from dataclasses import dataclass
 
 from repro.asn1 import der
@@ -20,6 +21,10 @@ from repro.revocation.reason import ReasonCode
 __all__ = ["CertificateRevocationList", "RevokedEntry"]
 
 _UTC = datetime.timezone.utc
+
+#: When set, every arithmetic ``encoded_size`` is cross-checked against a
+#: full re-encoding (slow; for debugging the DER fast path only).
+_DER_CHECK = bool(os.environ.get("REPRO_DER_CHECK"))
 
 
 def _encode_time(when: datetime.datetime) -> bytes:
@@ -87,17 +92,31 @@ class CertificateRevocationList:
     def __len__(self) -> int:
         return len(self.entries)
 
-    def serial_numbers(self) -> set[int]:
-        return {entry.serial_number for entry in self.entries}
+    def _serial_index(self) -> dict[int, RevokedEntry]:
+        """serial -> entry, built once per instance.
+
+        The dataclass is frozen and ``entries`` is a tuple, so the index
+        can never go stale; mutation means constructing a new CRL, which
+        starts with a fresh (unbuilt) index.
+        """
+        index = self.__dict__.get("_serial_index_cache")
+        if index is None:
+            index = {entry.serial_number: entry for entry in self.entries}
+            object.__setattr__(self, "_serial_index_cache", index)
+        return index
+
+    def serial_numbers(self) -> frozenset[int]:
+        cached = self.__dict__.get("_serials_cache")
+        if cached is None:
+            cached = frozenset(self._serial_index())
+            object.__setattr__(self, "_serials_cache", cached)
+        return cached
 
     def is_revoked(self, serial_number: int) -> bool:
-        return any(e.serial_number == serial_number for e in self.entries)
+        return serial_number in self._serial_index()
 
     def entry_for(self, serial_number: int) -> RevokedEntry | None:
-        for entry in self.entries:
-            if entry.serial_number == serial_number:
-                return entry
-        return None
+        return self._serial_index().get(serial_number)
 
     def is_expired(self, at: datetime.datetime) -> bool:
         """True once ``nextUpdate`` has passed; clients must refetch."""
@@ -118,7 +137,7 @@ class CertificateRevocationList:
         ]
         if self.entries:
             parts.append(
-                der.encode_sequence(*(entry.to_der() for entry in self.entries))
+                der.encode_sequence_many(entry.to_der() for entry in self.entries)
             )
         crl_number_ext = der.encode_sequence(
             der.encode_oid(OID.CRL_NUMBER),
@@ -137,8 +156,43 @@ class CertificateRevocationList:
 
     @property
     def encoded_size(self) -> int:
-        """Byte size of the DER encoding (what clients download)."""
-        return len(self.to_der())
+        """Byte size of the DER encoding (what clients download).
+
+        Computed with exact DER length arithmetic (no encoding); set the
+        ``REPRO_DER_CHECK`` environment variable to cross-check every
+        result against ``len(to_der())``.
+        """
+        cached = self.__dict__.get("_encoded_size_cache")
+        if cached is None:
+            # Deferred import: sizing imports RevokedEntry from this module.
+            from repro.revocation.sizing import CrlSizeModel, revoked_entry_size
+
+            model = CrlSizeModel(
+                issuer=self.issuer,
+                signature_size=len(self.signature),
+                signature_algorithm_oid=self.signature_algorithm_oid,
+                crl_number=self.crl_number,
+                this_update=self.this_update,
+                next_update=self.next_update,
+            )
+            entry_bytes = sum(
+                revoked_entry_size(
+                    entry.serial_number,
+                    with_reason=entry.reason is not None,
+                    generalized_time=entry.revocation_date.year > 2049,
+                )
+                for entry in self.entries
+            )
+            cached = model.size(entry_bytes)
+            if _DER_CHECK:
+                actual = len(self.to_der())
+                if cached != actual:
+                    raise AssertionError(
+                        f"DER fast path size {cached} != encoded {actual} "
+                        f"for CRL {self.url or self.crl_number}"
+                    )
+            object.__setattr__(self, "_encoded_size_cache", cached)
+        return cached
 
     def verify_signature(
         self, issuer_public_key: bytes, backend: SignatureBackend | None = None

@@ -7,11 +7,23 @@ count* and their byte size is computed with exact DER length arithmetic
 instead of encoding.  DER is deterministic, so the arithmetic is exact --
 ``tests/revocation/test_sizing.py`` asserts it equals ``len(to_der())``
 for fully materialised CRLs.
+
+Fast paths used by the incremental crawl engine:
+
+- :func:`revoked_entry_size` computes one entry's encoded size from its
+  serial number alone (no encoding);
+- :class:`CrlSizeModel` caches a CRL's fixed overhead (issuer name,
+  algorithm, extension block) once, so a daily size series costs one
+  addition per day instead of re-encoding the TBS.
+
+Both are property-tested byte-identical to the slow ``to_der()`` path in
+``tests/revocation/test_der_fastpath.py``.
 """
 
 from __future__ import annotations
 
 import datetime
+from functools import lru_cache
 
 from repro.asn1 import der
 from repro.pki.name import Name
@@ -19,9 +31,11 @@ from repro.revocation.crl import RevokedEntry
 from repro.revocation.reason import ReasonCode
 
 __all__ = [
+    "CrlSizeModel",
     "estimated_crl_size",
     "length_octets",
     "representative_entry_size",
+    "revoked_entry_size",
     "tlv_size",
 ]
 
@@ -38,6 +52,48 @@ def tlv_size(content_length: int) -> int:
     return 1 + length_octets(content_length) + content_length
 
 
+#: Encoded size of the reasonCode crlEntryExtensions block.  Reason codes
+#: are 0-10, so the inner ENUMERATED is always one content octet and the
+#: whole block has a fixed size; computed from the real encoders once.
+_REASON_EXT_SIZE = len(
+    der.encode_sequence(
+        der.encode_sequence(
+            der.encode_oid("2.5.29.21"),
+            der.encode_octet_string(
+                der.encode_tlv(der.Tag.ENUMERATED, b"\x00")
+            ),
+        )
+    )
+)
+
+#: UTCTime TLV is 15 bytes, GeneralizedTime TLV is 17 (fixed-width fields).
+_UTC_TIME_SIZE = 15
+_GENERALIZED_TIME_SIZE = 17
+
+
+def revoked_entry_size(
+    serial_number: int,
+    with_reason: bool = False,
+    generalized_time: bool = False,
+) -> int:
+    """Exact encoded size of one CRL entry, without encoding it.
+
+    ``generalized_time`` selects the 17-byte GeneralizedTime form used for
+    revocation dates past 2049 (cf. ``repro.revocation.crl._encode_time``).
+    """
+    if serial_number >= 0:
+        serial_tlv = tlv_size(serial_number.bit_length() // 8 + 1)
+    else:  # negative serials never occur in practice; fall back to encoding
+        serial_tlv = len(der.encode_integer(serial_number))
+    content = (
+        serial_tlv
+        + (_GENERALIZED_TIME_SIZE if generalized_time else _UTC_TIME_SIZE)
+        + (_REASON_EXT_SIZE if with_reason else 0)
+    )
+    return tlv_size(content)
+
+
+@lru_cache(maxsize=None)
 def representative_entry_size(
     serial_bytes: int, with_reason: bool = False
 ) -> int:
@@ -59,6 +115,64 @@ def representative_entry_size(
     return len(entry.to_der())
 
 
+class CrlSizeModel:
+    """Incremental, exact CRL byte-size arithmetic.
+
+    Precomputes every fixed-size component of a CRL's DER encoding
+    (version, algorithm identifier, issuer name, thisUpdate/nextUpdate,
+    crlNumber extension block, signature BIT STRING) once; ``size()`` then
+    needs only the current total of entry bytes.  A daily size series
+    therefore updates from the previous day's entry-byte total plus the
+    delta entries instead of re-encoding the full TBS.
+
+    Mirrors :meth:`CertificateRevocationList.to_der` structurally.
+    """
+
+    __slots__ = ("_fixed_tbs_content", "_algorithm", "_signature_bits")
+
+    def __init__(
+        self,
+        issuer: Name,
+        signature_size: int,
+        signature_algorithm_oid: str,
+        crl_number: int = 1,
+        this_update: datetime.datetime | None = None,
+        next_update: datetime.datetime | None = None,
+    ) -> None:
+        algorithm = len(
+            der.encode_sequence(
+                der.encode_oid(signature_algorithm_oid), der.encode_null()
+            )
+        )
+        version = len(der.encode_integer(1))
+        issuer_len = len(issuer.to_der())
+        times = sum(
+            _GENERALIZED_TIME_SIZE
+            if when is not None and when.year > 2049
+            else _UTC_TIME_SIZE
+            for when in (this_update, next_update)
+        )
+        crl_number_ext = len(
+            der.encode_sequence(
+                der.encode_oid("2.5.29.20"),
+                der.encode_octet_string(der.encode_integer(crl_number)),
+            )
+        )
+        ext_block = tlv_size(tlv_size(crl_number_ext))  # [0] EXPLICIT SEQUENCE
+        self._fixed_tbs_content = version + algorithm + issuer_len + times + ext_block
+        self._algorithm = algorithm
+        self._signature_bits = tlv_size(1 + signature_size)  # BIT STRING pad
+
+    def size(self, entry_bytes: int) -> int:
+        """Exact CRL size with ``entry_bytes`` of revokedCertificates
+        content (0 means the optional SEQUENCE is omitted entirely)."""
+        if entry_bytes < 0:
+            raise ValueError("entry_bytes must be non-negative")
+        entries_seq = tlv_size(entry_bytes) if entry_bytes else 0
+        tbs = tlv_size(self._fixed_tbs_content + entries_seq)
+        return tlv_size(tbs + self._algorithm + self._signature_bits)
+
+
 def estimated_crl_size(
     issuer: Name,
     signature_size: int,
@@ -72,31 +186,16 @@ def estimated_crl_size(
     ``materialized_entry_bytes`` of real entries plus ``hidden_entry_count``
     synthetic entries of ``hidden_entry_size`` bytes each.
 
-    Mirrors :meth:`CertificateRevocationList.to_der` structurally.
+    One-shot convenience over :class:`CrlSizeModel`.
     """
     if hidden_entry_count < 0 or materialized_entry_bytes < 0:
         raise ValueError("entry sizes must be non-negative")
-    algorithm = len(
-        der.encode_sequence(der.encode_oid(signature_algorithm_oid), der.encode_null())
+    model = CrlSizeModel(
+        issuer=issuer,
+        signature_size=signature_size,
+        signature_algorithm_oid=signature_algorithm_oid,
+        crl_number=crl_number,
     )
-    version = len(der.encode_integer(1))
-    issuer_len = len(issuer.to_der())
-    times = 2 * len(
-        der.encode_utc_time(
-            datetime.datetime(2014, 6, 15, tzinfo=datetime.timezone.utc)
-        )
+    return model.size(
+        materialized_entry_bytes + hidden_entry_count * hidden_entry_size
     )
-    entries_content = materialized_entry_bytes + hidden_entry_count * hidden_entry_size
-    entries_seq = tlv_size(entries_content) if entries_content else 0
-    crl_number_ext = len(
-        der.encode_sequence(
-            der.encode_oid("2.5.29.20"),
-            der.encode_octet_string(der.encode_integer(crl_number)),
-        )
-    )
-    ext_block = tlv_size(tlv_size(crl_number_ext))  # [0] EXPLICIT SEQUENCE
-    tbs_content = version + algorithm + issuer_len + times + entries_seq + ext_block
-    tbs = tlv_size(tbs_content)
-    signature_bits = tlv_size(1 + signature_size)  # BIT STRING pad byte
-    outer_content = tbs + algorithm + signature_bits
-    return tlv_size(outer_content)

@@ -4,6 +4,12 @@ The paper downloaded each of its 2,800 CRLs once per day from October 2,
 2014 to March 31, 2015.  :class:`CrlCrawler` produces the same artefact
 from the synthetic ecosystem: per-CRL daily entry counts, additions, and
 (on demand) byte sizes and entry identity sets.
+
+All per-day queries go through the shared :class:`CrawlIndex`
+(precomputed event timelines, O(log n) per lookup).  The ``*_naive``
+methods keep the original per-day rescan semantics as reference
+implementations; they back the equality tests and the "before" leg of
+``benchmarks/bench_pipeline_scaling.py``.
 """
 
 from __future__ import annotations
@@ -12,6 +18,7 @@ import datetime
 from dataclasses import dataclass
 
 from repro.scan.calibration import Calibration
+from repro.scan.crawl_index import CrawlIndex
 from repro.scan.crl_model import EcosystemCrl
 from repro.scan.ecosystem import Ecosystem
 
@@ -31,34 +38,90 @@ class CrlDailyObservation:
 class CrlCrawler:
     """Crawls every ecosystem CRL daily over the crawl window."""
 
-    def __init__(self, ecosystem: Ecosystem) -> None:
+    def __init__(
+        self, ecosystem: Ecosystem, index: CrawlIndex | None = None
+    ) -> None:
         self.ecosystem = ecosystem
         self.calibration: Calibration = ecosystem.calibration
+        self.index = index if index is not None else CrawlIndex(ecosystem)
 
     def crawl_day(self, date: datetime.date) -> list[CrlDailyObservation]:
         return [
             CrlDailyObservation(
                 url=crl.url,
                 date=date,
-                entry_count=crl.entry_count(date),
-                additions=crl.additions_on(date),
+                entry_count=crl.series.entry_count(date),
+                additions=crl.series.additions_on(date),
             )
             for crl in self.ecosystem.crls
         ]
 
     def daily_total_additions(self) -> dict[datetime.date, int]:
         """Figure 9's upper series: new CRL entries per crawl day."""
-        return {
-            date: sum(crl.additions_on(date) for crl in self.ecosystem.crls)
-            for date in self.calibration.crawl_dates
-        }
+        return self.index.daily_total_additions()
 
     def sizes_at(self, date: datetime.date) -> dict[str, int]:
         """Byte size of every CRL as published on ``date`` (Figures 5-6)."""
-        return {crl.url: crl.size_bytes(date) for crl in self.ecosystem.crls}
+        return self.index.sizes_at(date)
 
     def entry_counts_at(self, date: datetime.date) -> dict[str, int]:
-        return {crl.url: crl.entry_count(date) for crl in self.ecosystem.crls}
+        return self.index.entry_counts_at(date)
 
     def crls(self) -> list[EcosystemCrl]:
         return list(self.ecosystem.crls)
+
+    # -- reference implementations (pre-index semantics) -------------------
+
+    def daily_total_additions_naive(self) -> dict[datetime.date, int]:
+        """Per-day rescan of every entry; O(days x entries)."""
+        return {
+            date: sum(
+                self._additions_on_naive(crl, date) for crl in self.ecosystem.crls
+            )
+            for date in self.calibration.crawl_dates
+        }
+
+    def sizes_at_naive(self, date: datetime.date) -> dict[str, int]:
+        """Re-encode every visible entry; the pre-index Figure 5/6 path."""
+        from repro.revocation.sizing import (
+            estimated_crl_size,
+            representative_entry_size,
+        )
+
+        sizes = {}
+        for crl in self.ecosystem.crls:
+            materialized = sum(
+                len(EcosystemCrl._to_revoked_entry(entry).to_der())
+                for entry in crl.entries
+                if entry.visible_on(date)
+            )
+            hidden = crl.hidden.count_at(date) if crl.hidden is not None else 0
+            sizes[crl.url] = estimated_crl_size(
+                issuer=crl.issuer_name,
+                signature_size=crl.signature_size,
+                signature_algorithm_oid=crl.signature_algorithm_oid,
+                materialized_entry_bytes=materialized,
+                hidden_entry_count=hidden,
+                hidden_entry_size=representative_entry_size(crl.serial_bytes),
+            )
+        return sizes
+
+    def entry_counts_at_naive(self, date: datetime.date) -> dict[str, int]:
+        return {
+            crl.url: self._entry_count_naive(crl, date)
+            for crl in self.ecosystem.crls
+        }
+
+    @staticmethod
+    def _entry_count_naive(crl: EcosystemCrl, date: datetime.date) -> int:
+        count = sum(1 for entry in crl.entries if entry.visible_on(date))
+        if crl.hidden is not None:
+            count += crl.hidden.count_at(date)
+        return count
+
+    @staticmethod
+    def _additions_on_naive(crl: EcosystemCrl, date: datetime.date) -> int:
+        count = sum(1 for entry in crl.entries if entry.revoked_at == date)
+        if crl.hidden is not None:
+            count += crl.hidden.additions_on(date)
+        return count

@@ -15,7 +15,7 @@ from dataclasses import dataclass, field
 from repro.pki.name import Name
 from repro.revocation.crl import CertificateRevocationList, RevokedEntry
 from repro.revocation.reason import ReasonCode
-from repro.revocation.sizing import estimated_crl_size, representative_entry_size
+from repro.scan.crawl_index import CrlSeries
 from repro.scan.hidden import HiddenPopulation
 
 __all__ = ["CrlEntryRecord", "EcosystemCrl"]
@@ -62,9 +62,36 @@ class EcosystemCrl:
     hidden: HiddenPopulation | None = None
     #: Leaf Set certificates whose CRL pointer names this URL.
     assigned_cert_count: int = 0
+    #: lazily built event timeline (see :attr:`series`).
+    _series: CrlSeries | None = field(
+        default=None, init=False, repr=False, compare=False
+    )
+
+    def __setattr__(self, name: str, value) -> None:
+        object.__setattr__(self, name, value)
+        if name in ("entries", "hidden", "serial_bytes"):
+            object.__setattr__(self, "_series", None)
 
     def add_entry(self, entry: CrlEntryRecord) -> None:
         self.entries.append(entry)
+        self._series = None  # timeline is stale; rebuilt on next query
+
+    # -- event timeline ------------------------------------------------------
+
+    @property
+    def series(self) -> CrlSeries:
+        """The precomputed event timeline.
+
+        Invalidated by ``add_entry`` and by reassigning ``entries``/
+        ``hidden``; mutating entry records in place requires an explicit
+        ``invalidate_series()``.
+        """
+        if self._series is None:
+            self._series = CrlSeries(self)
+        return self._series
+
+    def invalidate_series(self) -> None:
+        self._series = None
 
     # -- daily views ---------------------------------------------------------
 
@@ -72,35 +99,16 @@ class EcosystemCrl:
         return [entry for entry in self.entries if entry.visible_on(day)]
 
     def entry_count(self, day: datetime.date) -> int:
-        count = sum(1 for entry in self.entries if entry.visible_on(day))
-        if self.hidden is not None:
-            count += self.hidden.count_at(day)
-        return count
+        return self.series.entry_count(day)
 
     def additions_on(self, day: datetime.date) -> int:
-        count = sum(1 for entry in self.entries if entry.revoked_at == day)
-        if self.hidden is not None:
-            count += self.hidden.additions_on(day)
-        return count
+        return self.series.additions_on(day)
 
     # -- sizing --------------------------------------------------------------
 
     def size_bytes(self, day: datetime.date) -> int:
         """Exact DER size of this CRL as published on ``day``."""
-        materialized = sum(
-            len(self._to_revoked_entry(entry).to_der())
-            for entry in self.entries
-            if entry.visible_on(day)
-        )
-        hidden_count = self.hidden.count_at(day) if self.hidden is not None else 0
-        return estimated_crl_size(
-            issuer=self.issuer_name,
-            signature_size=self.signature_size,
-            signature_algorithm_oid=self.signature_algorithm_oid,
-            materialized_entry_bytes=materialized,
-            hidden_entry_count=hidden_count,
-            hidden_entry_size=representative_entry_size(self.serial_bytes),
-        )
+        return self.series.size_bytes(day)
 
     # -- real encoding (materialised entries only) ---------------------------
 

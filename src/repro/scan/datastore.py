@@ -13,25 +13,97 @@ Layout of an export directory::
     scans.json           cert-ids observed per weekly scan
     crl_series.csv       per-CRL daily entry counts over the crawl window
     crlset_daily.csv     CRLSet entry counts / additions / removals per day
+
+:class:`ArtifactCache` is the opt-in on-disk cache behind
+``MeasurementStudy(cache_dir=...)``: generated ecosystems are pickled
+keyed on a digest of the full calibration, so repeated runs with the same
+scale/seed/calibration skip regeneration.
 """
 
 from __future__ import annotations
 
 import csv
+import dataclasses
 import datetime
+import hashlib
 import json
+import os
+import pickle
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.pipeline import MeasurementStudy
+from repro.scan.calibration import Calibration
+from repro.scan.ecosystem import Ecosystem
 
-__all__ = ["ExportedStudy", "export_study", "load_export"]
+__all__ = [
+    "ArtifactCache",
+    "ExportedStudy",
+    "calibration_digest",
+    "export_study",
+    "load_export",
+]
 
 _DATE = "%Y-%m-%d"
 
 
 def _iso(day: datetime.date) -> str:
     return day.strftime(_DATE)
+
+
+# -- artifact cache ----------------------------------------------------------
+
+
+def calibration_digest(calibration: Calibration) -> str:
+    """Stable hex digest over every calibration field.
+
+    Any calibration change -- not just scale/seed -- must miss the cache,
+    so the digest covers the full field dict (scalars and dates only, so
+    ``repr`` is deterministic across processes).
+    """
+    payload = repr(sorted(dataclasses.asdict(calibration).items()))
+    return hashlib.sha256(payload.encode()).hexdigest()[:20]
+
+
+class ArtifactCache:
+    """Pickle cache for expensive study substrates.
+
+    Writes are atomic (temp file + ``os.replace``) so a crashed or
+    concurrent run can never leave a truncated pickle behind; unreadable
+    entries are treated as misses.
+    """
+
+    def __init__(self, directory: str | Path) -> None:
+        self.directory = Path(directory)
+
+    def ecosystem_path(self, calibration: Calibration) -> Path:
+        digest = calibration_digest(calibration)
+        return self.directory / f"ecosystem-{digest}.pkl"
+
+    def load_ecosystem(self, calibration: Calibration) -> Ecosystem | None:
+        path = self.ecosystem_path(calibration)
+        try:
+            with open(path, "rb") as handle:
+                return pickle.load(handle)
+        except Exception:
+            # A cache read must never fail a run: missing, unreadable,
+            # truncated, or garbage entries (pickle raises arbitrary
+            # exception types on corrupt input) are all misses.
+            return None
+
+    def store_ecosystem(
+        self, calibration: Calibration, ecosystem: Ecosystem
+    ) -> Path:
+        path = self.ecosystem_path(calibration)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            with open(tmp, "wb") as handle:
+                pickle.dump(ecosystem, handle, protocol=pickle.HIGHEST_PROTOCOL)
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+        return path
 
 
 def export_study(study: MeasurementStudy, directory: str | Path) -> Path:

@@ -548,6 +548,9 @@ class Ecosystem:
                 )
             for entry in fifo:
                 crl.add_entry(entry)
+            # The FIFO sweep finalised cert_not_after on entries already
+            # appended; drop any timeline built against interim state.
+            crl.invalidate_series()
 
     def _make_synthetic_entry(
         self, state: _BrandState, revoked_at: datetime.date

@@ -83,6 +83,22 @@ class TestBuilderRules:
         assert a.daily_entry_counts == b.daily_entry_counts
         assert a.final_snapshot.parents == b.final_snapshot.parents
 
+    def test_incremental_sweep_equals_full_rebuild(self, history, ecosystem):
+        full = CrlSetBuilder(ecosystem).run(incremental=False)
+        assert full.daily_entry_counts == history.daily_entry_counts
+        assert full.daily_additions == history.daily_additions
+        assert full.daily_removals == history.daily_removals
+        assert full.covered_urls == history.covered_urls
+        assert full.dropped_urls == history.dropped_urls
+        assert full.parents_ever == history.parents_ever
+        assert full.final_snapshot.parents == history.final_snapshot.parents
+        key = lambda h: (h.crl_url, h.serial)
+        assert {
+            key(h): (h.first_appeared, h.removed_at) for h in full.entry_histories
+        } == {
+            key(h): (h.first_appeared, h.removed_at) for h in history.entry_histories
+        }
+
 
 class TestCoverage:
     def test_tiny_overall_coverage(self, coverage):
