@@ -6,6 +6,11 @@ Usage::
     python -m repro run fig2 [--scale S]     # regenerate one figure/table
     python -m repro run all [--scale S]      # regenerate everything
     python -m repro report [--scale S]       # EXPERIMENTS.md body to stdout
+    python -m repro --fault-profile chaos    # run everything degraded
+
+Fault injection (docs/ROBUSTNESS.md): ``--fault-profile`` names an entry
+in :data:`repro.net.faults.PROFILES` and ``--fault-seed`` pins the fault
+RNG, so two runs with the same seed produce byte-identical reports.
 """
 
 from __future__ import annotations
@@ -16,6 +21,26 @@ import sys
 from repro import ALL_EXPERIMENTS, MeasurementStudy, run_all, run_experiment
 
 
+def _add_fault_arguments(
+    parser: argparse.ArgumentParser, dest_prefix: str = ""
+) -> None:
+    parser.add_argument(
+        "--fault-profile",
+        dest=f"{dest_prefix}fault_profile",
+        default=None,
+        metavar="NAME",
+        help="inject faults from this profile (none, flaky, chaos)",
+    )
+    parser.add_argument(
+        "--fault-seed",
+        dest=f"{dest_prefix}fault_seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="seed for the fault-injection RNG (default: the study seed)",
+    )
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -24,7 +49,8 @@ def _build_parser() -> argparse.ArgumentParser:
             "Revocation in the Web's PKI' (IMC 2015)"
         ),
     )
-    sub = parser.add_subparsers(dest="command", required=True)
+    _add_fault_arguments(parser)
+    sub = parser.add_subparsers(dest="command", required=False)
 
     sub.add_parser("list", help="list available experiments")
 
@@ -45,6 +71,7 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="cache generated ecosystems here, keyed on the calibration digest",
     )
+    _add_fault_arguments(run, dest_prefix="run_")
 
     report = sub.add_parser("report", help="print the EXPERIMENTS.md body")
     report.add_argument("--scale", type=float, default=0.002)
@@ -52,12 +79,42 @@ def _build_parser() -> argparse.ArgumentParser:
 
 
 def main(argv: list[str] | None = None) -> int:
-    args = _build_parser().parse_args(argv)
+    parser = _build_parser()
+    args = parser.parse_args(argv)
+    fault_profile = args.fault_profile
+    fault_seed = args.fault_seed
+    if args.command is None:
+        # `python -m repro --fault-profile chaos` is the documented smoke
+        # invocation: run everything under the named profile.
+        if fault_profile is None and fault_seed is None:
+            parser.error("a command is required (list, run, report)")
+        args.command = "run"
+        args.experiment = "all"
+        args.scale = 0.002
+        args.seed = 20151028
+        args.parallel = None
+        args.cache_dir = None
+    else:
+        # Flags given after `run` win over ones given before it.
+        if getattr(args, "run_fault_profile", None) is not None:
+            fault_profile = args.run_fault_profile
+        if getattr(args, "run_fault_seed", None) is not None:
+            fault_seed = args.run_fault_seed
     if args.command == "list":
         for experiment_id, module in ALL_EXPERIMENTS.items():
             print(f"{experiment_id:10s} {module.TITLE}")
         return 0
     if args.command == "run":
+        if fault_profile is not None:
+            from repro.net.faults import PROFILES
+
+            if fault_profile not in PROFILES:
+                print(
+                    f"unknown fault profile {fault_profile!r}; "
+                    f"known: {sorted(PROFILES)}",
+                    file=sys.stderr,
+                )
+                return 2
         if args.cache_dir is not None:
             from pathlib import Path
 
@@ -69,7 +126,11 @@ def main(argv: list[str] | None = None) -> int:
                 )
                 return 2
         study = MeasurementStudy(
-            scale=args.scale, seed=args.seed, cache_dir=args.cache_dir
+            scale=args.scale,
+            seed=args.seed,
+            cache_dir=args.cache_dir,
+            fault_profile=fault_profile,
+            fault_seed=fault_seed,
         )
         if args.experiment == "all":
             results = run_all(study, parallel=args.parallel)
@@ -80,12 +141,17 @@ def main(argv: list[str] | None = None) -> int:
                 print(exc, file=sys.stderr)
                 return 2
         failures = 0
+        crashes = 0
         for result in results:
             print(result.render())
             print()
             failures += sum(1 for c in result.comparisons if not c.shape_holds)
+            crashes += 0 if result.ok else 1
+        if crashes:
+            print(f"{crashes} experiment(s) CRASHED", file=sys.stderr)
         if failures:
             print(f"{failures} shape comparison(s) FAILED", file=sys.stderr)
+        if crashes or failures:
             return 1
         return 0
     if args.command == "report":

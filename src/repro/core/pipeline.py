@@ -16,6 +16,7 @@ Typical use::
 from __future__ import annotations
 
 import datetime
+import os
 from functools import cached_property
 from pathlib import Path
 
@@ -51,10 +52,24 @@ class MeasurementStudy:
         seed: int = 20151028,
         calibration: Calibration | None = None,
         cache_dir: str | Path | None = None,
+        fault_profile: str | None = None,
+        fault_seed: int | None = None,
     ) -> None:
         self.calibration = calibration or Calibration(scale=scale, seed=seed)
         self.targets: PaperTargets = self.calibration.targets
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        # Fault injection (docs/ROBUSTNESS.md).  The profile names an
+        # entry in repro.net.faults.PROFILES; REPRO_FAULT_PROFILE lets CI
+        # run the whole suite degraded without touching call sites.  The
+        # settings deliberately do not enter the calibration digest: the
+        # generated ecosystem is identical, only the simulated clients'
+        # network weather changes.
+        if fault_profile is None:
+            fault_profile = os.environ.get("REPRO_FAULT_PROFILE", "none")
+        self.fault_profile = fault_profile
+        self.fault_seed = (
+            fault_seed if fault_seed is not None else self.calibration.seed
+        )
 
     # -- substrate ----------------------------------------------------------
 

@@ -1,0 +1,314 @@
+"""Availability under failure: fault probability x retry policy sweep.
+
+An extension of §6.1: the paper tests browsers against *static*
+unavailability (NXDOMAIN, 404, no response, OCSP ``unknown``); follow-up
+measurement work shows responder availability is probabilistic and
+time-varying.  This experiment drives a dedicated PKI through the
+seeded fault-injection layer (:mod:`repro.net.faults`) and reports, per
+(fault probability, retry policy) cell:
+
+* **success rate** -- fraction of connections that obtained a definitive
+  (good/revoked) answer from OCSP or the CRL fallback;
+* **added latency** -- mean revocation-checking latency per connection,
+  including what failed attempts, timeouts, and backoff cost;
+* **soft-fail exposure** -- fraction of *revoked* certificates whose
+  checks came back non-definitive, i.e. connections a soft-fail browser
+  (the common default, §6.1) would accept with a revoked certificate.
+
+Everything is driven by ``study.fault_seed``, so runs are reproducible;
+``study.fault_profile`` adds one extra row measured under the named
+profile (the CLI's ``--fault-profile``).
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.ca.authority import CertificateAuthority
+from repro.core.pipeline import MeasurementStudy
+from repro.core.report import format_table
+from repro.experiments.common import ExperimentResult
+from repro.net.cache import ClientCache
+from repro.net.clock import SimClock
+from repro.net.endpoints import CrlEndpoint, OcspEndpoint
+from repro.net.faults import FaultKind, FaultPlan, FaultSpec, plan_from_profile
+from repro.net.fetcher import NetworkFetcher, RetryPolicy
+from repro.net.transport import FailureMode, Network
+from repro.revocation.checker import RevocationChecker
+
+EXPERIMENT_ID = "availability"
+TITLE = "Revocation availability under fault injection (§6.1 extension)"
+
+_UTC = datetime.timezone.utc
+_NOW = datetime.datetime(2015, 4, 15, 9, 0, tzinfo=_UTC)
+_NOT_BEFORE = datetime.datetime(2014, 6, 1, tzinfo=_UTC)
+_NOT_AFTER = datetime.datetime(2016, 6, 1, tzinfo=_UTC)
+
+#: fault probabilities swept (per-request chance of a transport fault).
+PROBABILITIES = (0.0, 0.1, 0.3, 0.5)
+#: seconds of simulated time between consecutive connections, so the
+#: circuit breaker's reset window actually elapses during a leg.
+_STEP = datetime.timedelta(seconds=30)
+_N_LEAVES = 36
+_N_REVOKED = 12
+
+
+def _build_pki(seed: int):
+    """One root CA serving CRL + OCSP for ``_N_LEAVES`` leaves."""
+    from repro.pki.keys import KeyPair
+
+    ca = CertificateAuthority.create_root(
+        common_name="Availability CA",
+        seed=f"availability/{seed}/root",
+        not_before=_NOT_BEFORE,
+        not_after=_NOT_AFTER,
+        crl_base_url="http://crl.availability.example",
+        ocsp_url="http://ocsp.availability.example/q",
+    )
+    leaves = []
+    for i in range(_N_LEAVES):
+        keys = KeyPair.generate(f"availability/{seed}/leaf{i}")
+        leaf = ca.issue_leaf(
+            common_name=f"site{i}.availability.example",
+            public_key=keys.public_key,
+            not_before=_NOT_BEFORE,
+            not_after=_NOT_AFTER,
+        )
+        leaves.append(leaf)
+        if i < _N_REVOKED:
+            ca.revoke(leaf.serial_number, _NOW - datetime.timedelta(days=30))
+    return ca, leaves
+
+
+def _wire_network(ca: CertificateAuthority, plan: FaultPlan | None) -> Network:
+    network = Network(faults=plan, timeout=datetime.timedelta(seconds=5))
+    publisher = ca.crl_publisher
+    for url in publisher.urls:
+        network.register(
+            url,
+            CrlEndpoint(
+                lambda at, publisher=publisher, url=url: publisher.encode(
+                    url, at
+                ).to_der()
+            ),
+        )
+    network.register(ca.ocsp_url, OcspEndpoint(ca.ocsp_responder.respond))
+    return network
+
+
+def _sweep_plan(probability: float, seed: int) -> FaultPlan | None:
+    """Timeout-dominated flakiness with a sprinkle of 404s and slowness,
+    matching the §6.1 mode mix but probabilistic."""
+    if probability == 0.0:
+        return None
+    plan = FaultPlan(seed=seed)
+    plan.add(
+        "*", FaultSpec(FaultKind.FLAKY, probability=probability * 0.7)
+    )
+    plan.add(
+        "*",
+        FaultSpec(
+            FaultKind.FLAKY,
+            probability=probability * 0.3,
+            mode=FailureMode.HTTP_404,
+        ),
+    )
+    plan.add(
+        "*",
+        FaultSpec(
+            FaultKind.SLOW,
+            probability=probability,
+            extra_latency=datetime.timedelta(milliseconds=500),
+        ),
+    )
+    return plan
+
+
+def _run_leg(
+    label: str,
+    ca: CertificateAuthority,
+    leaves,
+    plan: FaultPlan | None,
+    policy: RetryPolicy,
+    fetcher_seed: int,
+) -> dict:
+    network = _wire_network(ca, plan)
+    clock = SimClock(_NOW)
+    definitive = 0
+    exposed_revoked = 0
+    latency = datetime.timedelta(0)
+    attempts = 0
+    stats_total: dict[str, float] = {}
+    for i, leaf in enumerate(leaves):
+        # Each connection is an independent client (fresh caches and
+        # breaker state), as in a population of browsers: a warm shared
+        # CRL cache would otherwise mask every later fault.
+        fetcher = NetworkFetcher(
+            network,
+            clock_now=lambda: clock.now,
+            cache=ClientCache(),
+            retry_policy=policy,
+            seed=fetcher_seed * 1_000 + i,
+        )
+        checker = RevocationChecker(fetcher)
+        at = clock.advance(_STEP)
+        result = checker.check_ocsp(leaf, ca.issuer_key_hash, at)
+        if not result.is_definitive:
+            # Fall back to the CRL, as CRL-capable clients do (§6.1).
+            fallback = checker.check_crl(leaf, at)
+            latency += result.latency
+            attempts += result.attempts
+            result = fallback
+        latency += result.latency
+        attempts += result.attempts
+        if result.is_definitive:
+            definitive += 1
+        elif i < _N_REVOKED:
+            exposed_revoked += 1
+        for key, value in fetcher.stats.as_dict().items():
+            stats_total[key] = stats_total.get(key, 0) + value
+    n = len(leaves)
+    return {
+        "label": label,
+        "success_rate": definitive / n,
+        "mean_latency_ms": (latency / n) / datetime.timedelta(milliseconds=1),
+        "soft_fail_exposure": exposed_revoked / _N_REVOKED,
+        "mean_attempts": attempts / n,
+        "stats": stats_total,
+        "faulted_requests": network.faulted_requests,
+    }
+
+
+def run(study: MeasurementStudy) -> ExperimentResult:
+    seed = study.fault_seed
+    ca, leaves = _build_pki(seed)
+    policies = {
+        "no-retry": RetryPolicy.no_retry(),
+        "retry": RetryPolicy.aggressive(),
+    }
+
+    cells: dict[tuple[float, str], dict] = {}
+    for probability in PROBABILITIES:
+        for name, policy in policies.items():
+            plan = _sweep_plan(probability, seed)
+            cells[(probability, name)] = _run_leg(
+                f"p={probability:.1f}/{name}",
+                ca,
+                leaves,
+                plan,
+                policy,
+                fetcher_seed=seed,
+            )
+
+    profile_row = None
+    if study.fault_profile != "none":
+        profile_row = _run_leg(
+            f"profile={study.fault_profile}",
+            ca,
+            leaves,
+            plan_from_profile(study.fault_profile, seed=seed),
+            policies["retry"],
+            fetcher_seed=seed,
+        )
+
+    rows = []
+    for (probability, name), leg in cells.items():
+        rows.append(
+            (
+                f"{probability:.1f}",
+                name,
+                f"{leg['success_rate']:.2f}",
+                f"{leg['mean_latency_ms']:,.0f}",
+                f"{leg['soft_fail_exposure']:.2f}",
+                f"{leg['mean_attempts']:.1f}",
+            )
+        )
+    if profile_row is not None:
+        rows.append(
+            (
+                profile_row["label"],
+                "retry",
+                f"{profile_row['success_rate']:.2f}",
+                f"{profile_row['mean_latency_ms']:,.0f}",
+                f"{profile_row['soft_fail_exposure']:.2f}",
+                f"{profile_row['mean_attempts']:.1f}",
+            )
+        )
+    rendered = format_table(
+        [
+            "fault p",
+            "policy",
+            "success",
+            "latency (ms)",
+            "exposure",
+            "attempts",
+        ],
+        rows,
+        title=(
+            f"Revocation-check availability, {_N_LEAVES} connections "
+            f"({_N_REVOKED} revoked), fault seed {seed}"
+        ),
+    )
+    rendered += (
+        "\n\nsuccess = definitive good/revoked answer (OCSP, then CRL "
+        "fallback);\nexposure = revoked certificates a soft-fail client "
+        "would accept;\nlatency includes timeout budgets and retry backoff "
+        "(docs/ROBUSTNESS.md)."
+    )
+
+    result = ExperimentResult(
+        EXPERIMENT_ID,
+        TITLE,
+        rendered,
+        data={
+            "cells": {
+                f"{probability:.1f}/{name}": leg
+                for (probability, name), leg in cells.items()
+            },
+            "profile": profile_row,
+            "fault_seed": seed,
+            "fault_profile": study.fault_profile,
+        },
+    )
+
+    clean = cells[(0.0, "retry")]
+    worst_nr = cells[(0.5, "no-retry")]
+    mid_nr = cells[(0.3, "no-retry")]
+    mid_r = cells[(0.3, "retry")]
+    result.compare(
+        "success rate with healthy endpoints",
+        "1.00 (every check definitive)",
+        f"{clean['success_rate']:.2f}",
+        shape_holds=clean["success_rate"] == 1.0,
+    )
+    result.compare(
+        "availability degrades with fault probability",
+        "monotone decrease (Korzhitskii & Carlsson)",
+        f"{worst_nr['success_rate']:.2f} @ p=0.5 vs "
+        f"{clean['success_rate']:.2f} @ p=0",
+        shape_holds=worst_nr["success_rate"] < clean["success_rate"],
+    )
+    result.compare(
+        "retries recover transient failures",
+        "retry >= no-retry at p=0.3",
+        f"{mid_r['success_rate']:.2f} vs {mid_nr['success_rate']:.2f}",
+        shape_holds=mid_r["success_rate"] >= mid_nr["success_rate"],
+    )
+    result.compare(
+        "failed fetches cost latency",
+        "faulted runs slower than clean (timeouts are not free)",
+        f"{mid_nr['mean_latency_ms']:,.0f} ms vs "
+        f"{clean['mean_latency_ms']:,.0f} ms",
+        shape_holds=mid_nr["mean_latency_ms"] > clean["mean_latency_ms"],
+    )
+    result.compare(
+        "soft-fail exposure not worsened by retries",
+        "retry exposure <= no-retry exposure at p=0.5",
+        f"{cells[(0.5, 'retry')]['soft_fail_exposure']:.2f} vs "
+        f"{worst_nr['soft_fail_exposure']:.2f}",
+        shape_holds=(
+            cells[(0.5, "retry")]["soft_fail_exposure"]
+            <= worst_nr["soft_fail_exposure"]
+        ),
+    )
+    return result

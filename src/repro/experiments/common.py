@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["Comparison", "ExperimentResult"]
+__all__ = ["Comparison", "ExperimentResult", "failure_result"]
 
 
 @dataclass(frozen=True)
@@ -20,13 +20,23 @@ class Comparison:
 
 @dataclass
 class ExperimentResult:
-    """Output of one experiment run."""
+    """Output of one experiment run.
+
+    ``error`` is the structured failure record the runner attaches when
+    an experiment raises: the run as a whole completes and the report
+    shows the failure in place of the figure (docs/ROBUSTNESS.md).
+    """
 
     experiment_id: str
     title: str
     rendered: str
     data: dict = field(default_factory=dict)
     comparisons: list[Comparison] = field(default_factory=list)
+    error: dict | None = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
     def compare(
         self, metric: str, paper: object, measured: object, shape_holds: bool = True
@@ -58,3 +68,23 @@ class ExperimentResult:
             parts.append("")
             parts.append(self.comparison_table())
         return "\n".join(parts)
+
+
+def failure_result(experiment_id: str, title: str, exc: BaseException) -> ExperimentResult:
+    """Capture a crashed experiment as a structured failure record."""
+    import traceback
+
+    tb = traceback.format_exception(type(exc), exc, exc.__traceback__)
+    error = {
+        "type": type(exc).__name__,
+        "message": str(exc),
+        "traceback": "".join(tb),
+    }
+    rendered = (
+        f"EXPERIMENT FAILED: {error['type']}: {error['message']}\n"
+        "(the remaining experiments completed; see the traceback in "
+        "result.error['traceback'])"
+    )
+    return ExperimentResult(
+        experiment_id, title, rendered, data={"error": error}, error=error
+    )

@@ -6,6 +6,11 @@ calibration (the substrate is deterministic for a fixed calibration, and
 the one stateful RNG -- the stapling scanner's -- is seeded per study and
 consumed by a single experiment), so the results are identical to the
 sequential path regardless of worker count; a test enforces this.
+
+Experiments are error-isolated: a crash in one figure is captured into a
+structured failure record (:func:`repro.experiments.common.failure_result`)
+and the remaining experiments still run.  Pass ``isolate_errors=False``
+to re-raise instead (useful under a debugger).
 """
 
 from __future__ import annotations
@@ -15,6 +20,7 @@ import os
 
 from repro.core.pipeline import MeasurementStudy
 from repro.experiments import (
+    availability,
     fig2,
     fig3,
     fig4,
@@ -30,7 +36,7 @@ from repro.experiments import (
     table1,
     table2,
 )
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, failure_result
 from repro.scan.calibration import Calibration
 
 __all__ = ["ALL_EXPERIMENTS", "run_all", "run_experiment"]
@@ -52,6 +58,7 @@ ALL_EXPERIMENTS = {
         fig9,
         fig10,
         fig11,
+        availability,
     )
 }
 
@@ -70,17 +77,31 @@ def run_experiment(
     return module.run(study)
 
 
+def _run_isolated(experiment_id: str, study: MeasurementStudy) -> ExperimentResult:
+    module = ALL_EXPERIMENTS[experiment_id]
+    try:
+        return module.run(study)
+    except Exception as exc:
+        return failure_result(experiment_id, module.TITLE, exc)
+
+
 # Per-worker study, built once by the pool initializer.  Each worker pays
 # for the substrate once and then serves any number of experiments.
 _WORKER_STUDY: MeasurementStudy | None = None
 
 
 def _init_worker(
-    calibration: Calibration, cache_dir: str | None
+    calibration: Calibration,
+    cache_dir: str | None,
+    fault_profile: str,
+    fault_seed: int | None,
 ) -> None:  # pragma: no cover - runs in worker processes
     global _WORKER_STUDY
     _WORKER_STUDY = MeasurementStudy(
-        calibration=calibration, cache_dir=cache_dir
+        calibration=calibration,
+        cache_dir=cache_dir,
+        fault_profile=fault_profile,
+        fault_seed=fault_seed,
     )
 
 
@@ -88,12 +109,13 @@ def _run_in_worker(
     experiment_id: str,
 ) -> ExperimentResult:  # pragma: no cover - runs in worker processes
     assert _WORKER_STUDY is not None, "pool initializer did not run"
-    return ALL_EXPERIMENTS[experiment_id].run(_WORKER_STUDY)
+    return _run_isolated(experiment_id, _WORKER_STUDY)
 
 
 def run_all(
     study: MeasurementStudy | None = None,
     parallel: int | None = None,
+    isolate_errors: bool = True,
 ) -> list[ExperimentResult]:
     """Run every experiment, in declaration order.
 
@@ -104,6 +126,8 @@ def run_all(
     study = study or MeasurementStudy()
     order = list(ALL_EXPERIMENTS)
     if parallel is None or parallel <= 1:
+        if isolate_errors:
+            return [_run_isolated(eid, study) for eid in order]
         return [ALL_EXPERIMENTS[eid].run(study) for eid in order]
 
     workers = min(parallel, len(order), os.cpu_count() or 1)
@@ -111,7 +135,12 @@ def run_all(
     with concurrent.futures.ProcessPoolExecutor(
         max_workers=workers,
         initializer=_init_worker,
-        initargs=(study.calibration, cache_dir),
+        initargs=(
+            study.calibration,
+            cache_dir,
+            study.fault_profile,
+            study.fault_seed,
+        ),
     ) as pool:
         # map() preserves submission order, so results come back in the
         # same order the sequential path produces them.

@@ -12,15 +12,38 @@ from repro.net.dns import DnsError, Resolver
 from repro.net.transport import FailureMode, LinkProfile, Network, TransferStats
 from repro.net.cache import ClientCache
 from repro.net.endpoints import CrlEndpoint, Endpoint, OcspEndpoint, StaticEndpoint
-from repro.net.fetcher import NetworkFetcher
+from repro.net.faults import (
+    FaultDecision,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    PROFILES,
+    plan_from_profile,
+)
+from repro.net.fetcher import (
+    CircuitBreaker,
+    FetchOutcome,
+    FetchResult,
+    FetchStats,
+    NetworkFetcher,
+    RetryPolicy,
+)
 from repro.net.tls import HandshakeResult, TlsClient, TlsServer
 
 __all__ = [
+    "CircuitBreaker",
     "ClientCache",
     "CrlEndpoint",
     "DnsError",
     "Endpoint",
     "FailureMode",
+    "FaultDecision",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "FetchOutcome",
+    "FetchResult",
+    "FetchStats",
     "HandshakeResult",
     "HttpRequest",
     "HttpResponse",
@@ -29,7 +52,10 @@ __all__ = [
     "Network",
     "NetworkFetcher",
     "OcspEndpoint",
+    "PROFILES",
+    "plan_from_profile",
     "Resolver",
+    "RetryPolicy",
     "SimClock",
     "StaticEndpoint",
     "TlsClient",

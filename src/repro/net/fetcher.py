@@ -1,25 +1,232 @@
 """A :class:`~repro.revocation.checker.RevocationFetcher` over the
-simulated network, with client-side caching and cost accounting."""
+simulated network, with client-side caching, retries, a per-host circuit
+breaker, and cost accounting.
+
+Every attempt -- including failed ones -- is charged to the fetcher's
+counters: a timeout costs the network's timeout budget, a DNS failure
+costs one RTT, and backoff pauses between retries cost their wait time.
+This is what lets §5.2-style cost numbers include broken endpoints
+instead of silently undercounting them (docs/ROBUSTNESS.md).
+"""
 
 from __future__ import annotations
 
 import datetime
+import enum
+import random
+from dataclasses import dataclass, field
 
 from repro.net.cache import ClientCache
 from repro.net.dns import DnsError
-from repro.net.http import HttpRequest
-from repro.net.transport import Network, TimeoutError_
+from repro.net.http import HttpRequest, split_url
+from repro.net.transport import Network, TimeoutError_, TransferStats
 from repro.revocation.crl import CertificateRevocationList
 from repro.revocation.ocsp import OcspRequest, OcspResponse
 
-__all__ = ["NetworkFetcher"]
+__all__ = [
+    "CircuitBreaker",
+    "FetchOutcome",
+    "FetchResult",
+    "FetchStats",
+    "NetworkFetcher",
+    "RetryPolicy",
+]
+
+
+class FetchOutcome(enum.Enum):
+    """Why a fetch ended the way it did."""
+
+    OK = "ok"
+    TIMEOUT = "timeout"
+    DNS_FAILURE = "dns_failure"
+    HTTP_ERROR = "http_error"
+    PARSE_ERROR = "parse_error"
+    BREAKER_OPEN = "breaker_open"
+    NEGATIVE_CACHED = "negative_cached"
+
+    @property
+    def is_transport_failure(self) -> bool:
+        return self in (FetchOutcome.TIMEOUT, FetchOutcome.DNS_FAILURE)
+
+
+@dataclass(frozen=True)
+class FetchResult:
+    """One fetch's value plus its failure classification and cost."""
+
+    value: object | None
+    outcome: FetchOutcome
+    attempts: int = 1
+    latency: datetime.timedelta = datetime.timedelta(0)
+    bytes_downloaded: int = 0
+    from_cache: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.outcome is FetchOutcome.OK and self.value is not None
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry/backoff behaviour for one logical fetch.
+
+    ``max_attempts`` caps tries (1 = no retry); backoff before attempt
+    ``n+1`` is ``backoff_base * backoff_factor**(n-1)``, stretched by up
+    to ``jitter`` (a fraction, drawn from the fetcher's seeded RNG).
+    ``negative_cache_ttl`` remembers exhausted failures so immediate
+    re-fetches of a dead URL are answered locally.
+    """
+
+    max_attempts: int = 3
+    backoff_base: datetime.timedelta = datetime.timedelta(milliseconds=200)
+    backoff_factor: float = 2.0
+    jitter: float = 0.1
+    retry_http_errors: bool = True
+    retry_parse_errors: bool = True
+    negative_cache_ttl: datetime.timedelta | None = None
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    @classmethod
+    def no_retry(cls) -> "RetryPolicy":
+        return cls(max_attempts=1)
+
+    @classmethod
+    def aggressive(cls) -> "RetryPolicy":
+        """Retry hard and remember dead endpoints (availability study)."""
+        return cls(
+            max_attempts=4,
+            negative_cache_ttl=datetime.timedelta(minutes=5),
+        )
+
+    def should_retry(self, outcome: FetchOutcome, attempt: int) -> bool:
+        if attempt >= self.max_attempts:
+            return False
+        if outcome.is_transport_failure:
+            return True
+        if outcome is FetchOutcome.HTTP_ERROR:
+            return self.retry_http_errors
+        if outcome is FetchOutcome.PARSE_ERROR:
+            return self.retry_parse_errors
+        return False
+
+    def backoff(self, attempt: int, rng: random.Random) -> datetime.timedelta:
+        """Pause before attempt ``attempt + 1`` (``attempt`` >= 1)."""
+        pause = self.backoff_base * (self.backoff_factor ** (attempt - 1))
+        return pause * (1.0 + self.jitter * rng.random())
+
+
+class CircuitBreaker:
+    """Per-host consecutive-failure breaker.
+
+    After ``failure_threshold`` consecutive exhausted fetches to a host
+    the breaker opens and rejects requests locally (no network cost
+    beyond bookkeeping) until ``reset_after`` of simulated time has
+    passed; the next request is then a half-open probe whose result
+    closes or re-opens the circuit.
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        reset_after: datetime.timedelta = datetime.timedelta(minutes=1),
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.reset_after = reset_after
+        self._consecutive: dict[str, int] = {}
+        self._opened_at: dict[str, datetime.datetime] = {}
+
+    def allow(self, host: str, at: datetime.datetime) -> bool:
+        opened = self._opened_at.get(host)
+        if opened is None:
+            return True
+        if at >= opened + self.reset_after:
+            return True  # half-open probe
+        return False
+
+    def is_open(self, host: str) -> bool:
+        return host in self._opened_at
+
+    def record_success(self, host: str) -> None:
+        self._consecutive.pop(host, None)
+        self._opened_at.pop(host, None)
+
+    def record_failure(self, host: str, at: datetime.datetime) -> None:
+        count = self._consecutive.get(host, 0) + 1
+        self._consecutive[host] = count
+        if count >= self.failure_threshold:
+            self._opened_at[host] = at
+
+
+@dataclass
+class FetchStats:
+    """Running totals over every attempt the fetcher made."""
+
+    fetches: int = 0  # logical fetches that hit the wire (or tried to)
+    attempts: int = 0  # individual request attempts
+    retries: int = 0
+    successes: int = 0
+    failures: int = 0  # logical fetches that exhausted their attempts
+    timeouts: int = 0
+    dns_failures: int = 0
+    http_errors: int = 0
+    parse_errors: int = 0
+    breaker_rejections: int = 0
+    negative_cache_hits: int = 0
+    bytes_downloaded: int = 0
+    latency_total: datetime.timedelta = field(default_factory=lambda: datetime.timedelta(0))
+    backoff_total: datetime.timedelta = field(default_factory=lambda: datetime.timedelta(0))
+
+    def as_dict(self) -> dict:
+        return {
+            "fetches": self.fetches,
+            "attempts": self.attempts,
+            "retries": self.retries,
+            "successes": self.successes,
+            "failures": self.failures,
+            "timeouts": self.timeouts,
+            "dns_failures": self.dns_failures,
+            "http_errors": self.http_errors,
+            "parse_errors": self.parse_errors,
+            "breaker_rejections": self.breaker_rejections,
+            "negative_cache_hits": self.negative_cache_hits,
+            "bytes_downloaded": self.bytes_downloaded,
+            "latency_total_ms": self.latency_total / datetime.timedelta(milliseconds=1),
+            "backoff_total_ms": self.backoff_total / datetime.timedelta(milliseconds=1),
+        }
+
+
+class _NegativeEntry:
+    """ClientCache-compatible tombstone for an exhausted fetch."""
+
+    def __init__(self, outcome: FetchOutcome, expires: datetime.datetime) -> None:
+        self.outcome = outcome
+        self.next_update = expires  # eviction key used by ClientCache
+
+    def is_expired(self, at: datetime.datetime) -> bool:
+        return at > self.next_update
+
+
+_OUTCOME_COUNTERS = {
+    FetchOutcome.TIMEOUT: "timeouts",
+    FetchOutcome.DNS_FAILURE: "dns_failures",
+    FetchOutcome.HTTP_ERROR: "http_errors",
+    FetchOutcome.PARSE_ERROR: "parse_errors",
+}
 
 
 class NetworkFetcher:
     """Fetches CRLs and OCSP responses through a :class:`Network`.
 
     Keeps running totals of bytes and latency so experiments can report
-    the client-side cost of revocation checking (§5.2).
+    the client-side cost of revocation checking (§5.2); retry/backoff,
+    negative caching, and the circuit breaker make the cost of *broken*
+    endpoints explicit instead of free.
     """
 
     def __init__(
@@ -27,32 +234,43 @@ class NetworkFetcher:
         network: Network,
         clock_now: "callable",
         cache: ClientCache | None = None,
+        retry_policy: RetryPolicy | None = None,
+        breaker: CircuitBreaker | None = None,
+        seed: int = 0,
     ) -> None:
         self._network = network
         self._now = clock_now
         self.cache = cache if cache is not None else ClientCache()
-        self.bytes_downloaded = 0
-        self.latency_total = datetime.timedelta(0)
-        self.fetches = 0
+        self.retry_policy = retry_policy or RetryPolicy()
+        self.breaker = breaker or CircuitBreaker()
+        self._rng = random.Random(f"fetcher/{seed}")
+        self.stats = FetchStats()
+        self._negative: ClientCache = ClientCache()
+
+    # Legacy counter names, kept for existing callers.
+    @property
+    def bytes_downloaded(self) -> int:
+        return self.stats.bytes_downloaded
+
+    @property
+    def latency_total(self) -> datetime.timedelta:
+        return self.stats.latency_total
+
+    @property
+    def fetches(self) -> int:
+        return self.stats.fetches
+
+    # -- public API --------------------------------------------------------
 
     def fetch_crl(self, url: str) -> CertificateRevocationList | None:
-        at = self._now()
-        cached = self.cache.get(("crl", url), at)
-        if cached is not None:
-            return cached
-        try:
-            response, stats = self._network.get(url, at)
-        except (DnsError, TimeoutError_, ValueError):
-            return None
-        self._account(stats)
-        if not response.ok:
-            return None
-        try:
-            crl = CertificateRevocationList.from_der(response.body, url=url)
-        except Exception:
-            return None
-        self.cache.put(("crl", url), crl)
-        return crl
+        return self.fetch_crl_result(url).value
+
+    def fetch_crl_result(self, url: str) -> FetchResult:
+        return self._fetch(
+            key=("crl", url),
+            request=HttpRequest("GET", url),
+            parse=lambda body: CertificateRevocationList.from_der(body, url=url),
+        )
 
     def fetch_ocsp(
         self,
@@ -61,34 +279,144 @@ class NetworkFetcher:
         serial_number: int,
         use_get: bool = True,
     ) -> OcspResponse | None:
-        at = self._now()
-        key = ("ocsp", url, issuer_key_hash, serial_number)
-        cached = self.cache.get(key, at)
-        if cached is not None:
-            return cached
+        return self.fetch_ocsp_result(
+            url, issuer_key_hash, serial_number, use_get=use_get
+        ).value
+
+    def fetch_ocsp_result(
+        self,
+        url: str,
+        issuer_key_hash: bytes,
+        serial_number: int,
+        use_get: bool = True,
+    ) -> FetchResult:
         ocsp_request = OcspRequest(
             issuer_key_hash=issuer_key_hash,
             serial_number=serial_number,
             use_get=use_get,
         )
-        method = "GET" if use_get else "POST"
-        request = HttpRequest(method, url, body=ocsp_request.to_der())
+        return self._fetch(
+            key=("ocsp", url, issuer_key_hash, serial_number),
+            request=HttpRequest(
+                "GET" if use_get else "POST", url, body=ocsp_request.to_der()
+            ),
+            parse=OcspResponse.from_der,
+            # Unsuccessful OCSP statuses (tryLater, unauthorized, ...)
+            # parse fine but must not be cached as answers.
+            cacheable=lambda parsed: parsed.is_successful,
+        )
+
+    # -- engine ------------------------------------------------------------
+
+    def _fetch(
+        self,
+        key: tuple,
+        request: HttpRequest,
+        parse,
+        cacheable=lambda parsed: True,
+    ) -> FetchResult:
+        at = self._now()
+        cached = self.cache.get(key, at)
+        if cached is not None:
+            return FetchResult(cached, FetchOutcome.OK, attempts=0, from_cache=True)
+        tombstone = self._negative.get(key, at)
+        if tombstone is not None:
+            self.stats.negative_cache_hits += 1
+            return FetchResult(
+                None, FetchOutcome.NEGATIVE_CACHED, attempts=0, from_cache=True
+            )
+
+        try:
+            host, _ = split_url(request.url)
+        except ValueError:
+            # Non-HTTP pointer (e.g. an ldap:// distribution point): not
+            # fetchable here, classified like an unresolvable name.
+            self.stats.fetches += 1
+            self.stats.failures += 1
+            self.stats.dns_failures += 1
+            return FetchResult(None, FetchOutcome.DNS_FAILURE, attempts=0)
+        if not self.breaker.allow(host, at):
+            self.stats.breaker_rejections += 1
+            return FetchResult(None, FetchOutcome.BREAKER_OPEN, attempts=0)
+
+        self.stats.fetches += 1
+        policy = self.retry_policy
+        latency = datetime.timedelta(0)
+        nbytes = 0
+        outcome = FetchOutcome.TIMEOUT
+        parsed = None
+        attempt = 0
+        while True:
+            attempt += 1
+            self.stats.attempts += 1
+            outcome, parsed, stats = self._attempt(request, at, parse)
+            if stats is not None:
+                latency += stats.latency
+                nbytes += stats.bytes_down
+            if outcome is FetchOutcome.OK:
+                break
+            counter = _OUTCOME_COUNTERS.get(outcome)
+            if counter is not None:
+                setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+            if not policy.should_retry(outcome, attempt):
+                break
+            pause = policy.backoff(attempt, self._rng)
+            latency += pause
+            self.stats.backoff_total += pause
+            self.stats.retries += 1
+
+        self.stats.latency_total += latency
+        self.stats.bytes_downloaded += nbytes
+        if outcome is FetchOutcome.OK:
+            self.stats.successes += 1
+            self.breaker.record_success(host)
+            if cacheable(parsed):
+                self.cache.put(key, parsed)
+            return FetchResult(
+                parsed,
+                outcome,
+                attempts=attempt,
+                latency=latency,
+                bytes_downloaded=nbytes,
+            )
+        self.stats.failures += 1
+        self.breaker.record_failure(host, at)
+        if policy.negative_cache_ttl is not None:
+            self._negative.put(
+                key, _NegativeEntry(outcome, at + policy.negative_cache_ttl)
+            )
+        return FetchResult(
+            None, outcome, attempts=attempt, latency=latency, bytes_downloaded=nbytes
+        )
+
+    def _attempt(
+        self, request: HttpRequest, at: datetime.datetime, parse
+    ) -> tuple[FetchOutcome, object | None, TransferStats | None]:
         try:
             response, stats = self._network.request(request, at)
-        except (DnsError, TimeoutError_, ValueError):
-            return None
-        self._account(stats)
+        except DnsError as exc:
+            return FetchOutcome.DNS_FAILURE, None, self._exc_stats(exc, request)
+        except TimeoutError_ as exc:
+            return FetchOutcome.TIMEOUT, None, self._exc_stats(exc, request)
+        except ValueError:
+            return FetchOutcome.DNS_FAILURE, None, None
         if not response.ok:
-            return None
+            return FetchOutcome.HTTP_ERROR, None, stats
         try:
-            parsed = OcspResponse.from_der(response.body)
+            parsed = parse(response.body)
         except Exception:
-            return None
-        if parsed.is_successful:
-            self.cache.put(key, parsed)
-        return parsed
+            return FetchOutcome.PARSE_ERROR, None, stats
+        return FetchOutcome.OK, parsed, stats
 
-    def _account(self, stats) -> None:
-        self.bytes_downloaded += stats.bytes_down
-        self.latency_total += stats.latency
-        self.fetches += 1
+    def _exc_stats(self, exc: Exception, request: HttpRequest) -> TransferStats:
+        # Networks attach the attempt's cost to the exception; fall back
+        # to charging the static budget for stub networks that don't.
+        stats = getattr(exc, "stats", None)
+        if stats is not None:
+            return stats
+        if isinstance(exc, TimeoutError_):
+            latency = getattr(self._network, "timeout", datetime.timedelta(seconds=10))
+        else:
+            profile = getattr(self._network, "profile", None)
+            latency = profile.rtt if profile is not None else datetime.timedelta(0)
+        return TransferStats(latency=latency, bytes_down=0, bytes_up=len(request.body))

@@ -8,7 +8,14 @@ fetching revocation information (§5.2: the median certificate's CRL is
 
 Failure injection covers the paper's four "unavailable" modes (§6.1):
 NXDOMAIN, HTTP 404, no response (timeout), and -- at the OCSP layer --
-``unknown`` status responses.
+``unknown`` status responses.  Beyond these static switches, a seeded
+:class:`~repro.net.faults.FaultPlan` can be installed to drive
+probabilistic and time-varying faults (see :mod:`repro.net.faults` and
+docs/ROBUSTNESS.md).
+
+Failed requests are not free: DNS failures cost one RTT and timeouts
+cost the full ``timeout`` budget.  Both exception types carry a
+``stats`` attribute so callers can charge the cost to their accounting.
 """
 
 from __future__ import annotations
@@ -33,7 +40,14 @@ class FailureMode(enum.Enum):
 
 
 class TimeoutError_(Exception):
-    """The endpoint never responded."""
+    """The endpoint never responded.
+
+    ``stats`` carries the cost of waiting out the timeout budget.
+    """
+
+    def __init__(self, url: str, stats: "TransferStats | None" = None) -> None:
+        super().__init__(url)
+        self.stats = stats
 
 
 @dataclass(frozen=True)
@@ -71,17 +85,28 @@ class TransferStats:
 
 
 class Network:
-    """Routes requests from clients to registered endpoints."""
+    """Routes requests from clients to registered endpoints.
+
+    ``timeout`` is the per-request budget a client waits before giving
+    up; it is what a NO_RESPONSE failure costs the caller.
+    """
 
     def __init__(
-        self, resolver: Resolver | None = None, profile: LinkProfile | None = None
+        self,
+        resolver: Resolver | None = None,
+        profile: LinkProfile | None = None,
+        faults: "FaultPlan | None" = None,
+        timeout: datetime.timedelta = datetime.timedelta(seconds=10),
     ) -> None:
         self.resolver = resolver or Resolver()
         self.profile = profile or LinkProfile()
+        self.faults = faults
+        self.timeout = timeout
         self._endpoints: dict[tuple[str, str], "Endpoint"] = {}
-        self._failures: dict[str, FailureMode] = {}
+        self._failures: dict[tuple[str, str], FailureMode] = {}
         self.total_bytes = 0
         self.total_requests = 0
+        self.faulted_requests = 0
 
     # -- wiring ------------------------------------------------------------
 
@@ -90,48 +115,97 @@ class Network:
         self.resolver.register(host, f"10.0.0.{(len(self._endpoints) % 250) + 1}")
         self._endpoints[(host, path)] = endpoint
 
+    def install_faults(self, plan: "FaultPlan | None") -> None:
+        """Attach (or remove, with ``None``) a fault plan."""
+        self.faults = plan
+
     def set_failure(self, url: str, mode: FailureMode) -> None:
         """Inject a failure mode for all requests to ``url``."""
         host, path = split_url(url)
-        self._failures[f"{host}{path}"] = mode
-        if mode is FailureMode.NXDOMAIN:
+        self._failures[(host, path)] = mode
+        self._sync_poisoning(host)
+
+    def clear_failure(self, url: str) -> None:
+        host, path = split_url(url)
+        self._failures.pop((host, path), None)
+        self._sync_poisoning(host)
+
+    def _sync_poisoning(self, host: str) -> None:
+        # DNS failures are host-wide: the host stays poisoned as long as
+        # *any* of its paths is set to NXDOMAIN.  Recomputing from the
+        # failure map (rather than healing on every non-NXDOMAIN set)
+        # keeps an NXDOMAIN on one path from being clobbered by a
+        # different mode set on a sibling path.
+        if any(
+            h == host and mode is FailureMode.NXDOMAIN
+            for (h, _), mode in self._failures.items()
+        ):
             self.resolver.poison(host)
         else:
             self.resolver.heal(host)
 
-    def clear_failure(self, url: str) -> None:
-        host, path = split_url(url)
-        self._failures.pop(f"{host}{path}", None)
-        self.resolver.heal(host)
-
     # -- request path ------------------------------------------------------
+
+    def _failed_stats(self, latency: datetime.timedelta, nbytes_up: int) -> TransferStats:
+        return TransferStats(latency=latency, bytes_down=0, bytes_up=nbytes_up)
 
     def request(
         self, request: HttpRequest, at: datetime.datetime
     ) -> tuple[HttpResponse, TransferStats]:
         """Dispatch a request; raises :class:`DnsError` or
-        :class:`TimeoutError_` for those failure modes."""
+        :class:`TimeoutError_` for those failure modes.  Both exceptions
+        carry a ``stats`` attribute with the cost of the failed attempt.
+        """
         host, path = split_url(request.url)
-        mode = self._failures.get(f"{host}{path}", FailureMode.NONE)
+        mode = self._failures.get((host, path), FailureMode.NONE)
         self.total_requests += 1
+
+        decision = None
+        if self.faults is not None:
+            decision = self.faults.decide(request.url, at)
+            if not decision.is_noop:
+                self.faulted_requests += 1
+            if mode is FailureMode.NONE:
+                mode = decision.mode
+        extra_latency = decision.extra_latency if decision else datetime.timedelta(0)
+
+        nbytes_up = len(request.body)
         if mode is FailureMode.NXDOMAIN:
-            raise DnsError(f"NXDOMAIN: {host}")
-        self.resolver.resolve(host)
+            exc = DnsError(f"NXDOMAIN: {host}")
+            exc.stats = self._failed_stats(self.profile.rtt, nbytes_up)
+            raise exc
+        try:
+            self.resolver.resolve(host)
+        except DnsError as exc:
+            exc.stats = self._failed_stats(self.profile.rtt, nbytes_up)
+            raise
         if mode is FailureMode.NO_RESPONSE:
-            raise TimeoutError_(request.url)
+            raise TimeoutError_(
+                request.url,
+                stats=self._failed_stats(self.timeout + extra_latency, nbytes_up),
+            )
         if mode is FailureMode.HTTP_404:
             response = HttpResponse(HttpStatus.NOT_FOUND)
         else:
+            serve_at = at
+            if decision is not None and decision.serve_at is not None:
+                serve_at = decision.serve_at
             endpoint = self._endpoints.get((host, path))
             if endpoint is None:
                 response = HttpResponse(HttpStatus.NOT_FOUND)
             else:
-                response = endpoint.handle(request, at)
+                response = endpoint.handle(request, serve_at)
+            if decision is not None and decision.body_edits and response.body:
+                response = HttpResponse(
+                    response.status,
+                    decision.edit_body(response.body),
+                    response.headers,
+                )
         nbytes = len(response.body)
         stats = TransferStats(
-            latency=self.profile.transfer_time(nbytes),
+            latency=self.profile.transfer_time(nbytes) + extra_latency,
             bytes_down=nbytes,
-            bytes_up=len(request.body),
+            bytes_up=nbytes_up,
         )
         self.total_bytes += nbytes
         return response, stats

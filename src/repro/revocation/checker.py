@@ -7,14 +7,19 @@ what to do on failure) lives in :mod:`repro.browsers.policy`.
 
 The checker talks to the network through the :class:`RevocationFetcher`
 protocol, implemented by the simulated network (:mod:`repro.net`), so the
-same checker code runs in unit tests with a stub fetcher.
+same checker code runs in unit tests with a stub fetcher.  Fetchers that
+also implement the richer ``fetch_crl_result`` / ``fetch_ocsp_result``
+methods (:class:`repro.net.fetcher.NetworkFetcher`) get their failures
+classified into :class:`FailureClass` instead of collapsed into ``None``,
+so callers can distinguish a soft-failable outage from a hard parse
+error and account retries/latency per check.
 """
 
 from __future__ import annotations
 
 import datetime
 import enum
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from typing import Protocol
 
 from repro.pki.certificate import Certificate
@@ -24,6 +29,7 @@ from repro.revocation.ocsp import CertStatus, OcspResponse
 __all__ = [
     "CheckOutcome",
     "CheckResult",
+    "FailureClass",
     "RevocationChecker",
     "RevocationFetcher",
 ]
@@ -54,16 +60,66 @@ class CheckOutcome(enum.Enum):
     NO_INFO = "no_info"
 
 
+class FailureClass(enum.Enum):
+    """Why a check came back non-definitive (§6.1's unavailability modes
+    plus the fault-injection layer's, docs/ROBUSTNESS.md)."""
+
+    NONE = "none"
+    #: timeout / no response from the endpoint.
+    TIMEOUT = "timeout"
+    #: the revocation server's domain name does not resolve.
+    DNS = "dns"
+    #: HTTP-level error (404 and friends).
+    HTTP = "http"
+    #: body received but undecodable (truncated/corrupted DER).
+    MALFORMED = "malformed"
+    #: payload decoded but its nextUpdate window has closed.
+    STALE = "stale"
+    #: the client's circuit breaker refused to try.
+    BREAKER_OPEN = "breaker_open"
+    #: a previous failure was negatively cached.
+    NEGATIVE_CACHED = "negative_cached"
+    #: the certificate carries no pointer for this protocol.
+    NO_POINTER = "no_pointer"
+    #: transport-less fetcher returned None without classification.
+    UNCLASSIFIED = "unclassified"
+
+
 @dataclass(frozen=True)
 class CheckResult:
     outcome: CheckOutcome
     protocol: str = ""  # "crl", "ocsp", or "staple"
     bytes_downloaded: int = 0
     latency: datetime.timedelta = datetime.timedelta(0)
+    #: set when the outcome is UNKNOWN/UNAVAILABLE/NO_INFO.
+    failure: FailureClass = FailureClass.NONE
+    #: request attempts made across every URL tried (retries included).
+    attempts: int = 0
 
     @property
     def is_definitive(self) -> bool:
         return self.outcome in (CheckOutcome.GOOD, CheckOutcome.REVOKED)
+
+    @property
+    def is_soft_failure(self) -> bool:
+        """A failure a soft-fail browser silently accepts (§6.1): the
+        information was unavailable, so no definitive answer exists."""
+        return self.outcome in (CheckOutcome.UNAVAILABLE, CheckOutcome.UNKNOWN)
+
+    @property
+    def is_hard_failure(self) -> bool:
+        """Unavailable in a way no fallback can fix for this protocol."""
+        return self.outcome is CheckOutcome.UNAVAILABLE
+
+
+_FETCH_FAILURE_CLASSES = {
+    "timeout": FailureClass.TIMEOUT,
+    "dns_failure": FailureClass.DNS,
+    "http_error": FailureClass.HTTP,
+    "parse_error": FailureClass.MALFORMED,
+    "breaker_open": FailureClass.BREAKER_OPEN,
+    "negative_cached": FailureClass.NEGATIVE_CACHED,
+}
 
 
 class RevocationChecker:
@@ -72,28 +128,95 @@ class RevocationChecker:
     def __init__(self, fetcher: RevocationFetcher) -> None:
         self._fetcher = fetcher
 
+    # -- fetch adapters ----------------------------------------------------
+
+    def _fetch_crl(self, url: str):
+        """Returns (crl | None, FailureClass, attempts, latency, bytes)."""
+        rich = getattr(self._fetcher, "fetch_crl_result", None)
+        if rich is None:
+            crl = self._fetcher.fetch_crl(url)
+            failure = FailureClass.NONE if crl is not None else FailureClass.UNCLASSIFIED
+            return crl, failure, 0, datetime.timedelta(0), 0
+        result = rich(url)
+        return self._unpack(result)
+
+    def _fetch_ocsp(self, url, issuer_key_hash, serial_number, use_get):
+        rich = getattr(self._fetcher, "fetch_ocsp_result", None)
+        if rich is None:
+            response = self._fetcher.fetch_ocsp(
+                url, issuer_key_hash, serial_number, use_get=use_get
+            )
+            failure = (
+                FailureClass.NONE if response is not None else FailureClass.UNCLASSIFIED
+            )
+            return response, failure, 0, datetime.timedelta(0), 0
+        result = rich(url, issuer_key_hash, serial_number, use_get=use_get)
+        return self._unpack(result)
+
+    @staticmethod
+    def _unpack(result):
+        failure = (
+            FailureClass.NONE
+            if result.ok
+            else _FETCH_FAILURE_CLASSES.get(
+                result.outcome.value, FailureClass.UNCLASSIFIED
+            )
+        )
+        return (
+            result.value,
+            failure,
+            result.attempts,
+            result.latency,
+            result.bytes_downloaded,
+        )
+
+    # -- checks ------------------------------------------------------------
+
     def check_crl(
         self, certificate: Certificate, at: datetime.datetime
     ) -> CheckResult:
         """Check via the certificate's CRL distribution points."""
         urls = certificate.crl_urls
         if not urls:
-            return CheckResult(CheckOutcome.NO_INFO, protocol="crl")
+            return CheckResult(
+                CheckOutcome.NO_INFO, protocol="crl", failure=FailureClass.NO_POINTER
+            )
+        attempts = 0
+        latency = datetime.timedelta(0)
+        nbytes = 0
+        last_failure = FailureClass.UNCLASSIFIED
         for url in urls:
-            crl = self._fetcher.fetch_crl(url)
+            crl, failure, tries, cost, down = self._fetch_crl(url)
+            attempts += tries
+            latency += cost
+            nbytes += down
             if crl is None:
+                last_failure = failure
                 continue
             if crl.is_expired(at):
+                last_failure = FailureClass.STALE
                 continue
             size = crl.encoded_size
-            if crl.is_revoked(certificate.serial_number):
-                return CheckResult(
-                    CheckOutcome.REVOKED, protocol="crl", bytes_downloaded=size
-                )
-            return CheckResult(
-                CheckOutcome.GOOD, protocol="crl", bytes_downloaded=size
+            outcome = (
+                CheckOutcome.REVOKED
+                if crl.is_revoked(certificate.serial_number)
+                else CheckOutcome.GOOD
             )
-        return CheckResult(CheckOutcome.UNAVAILABLE, protocol="crl")
+            return CheckResult(
+                outcome,
+                protocol="crl",
+                bytes_downloaded=max(nbytes, size),
+                latency=latency,
+                attempts=attempts,
+            )
+        return CheckResult(
+            CheckOutcome.UNAVAILABLE,
+            protocol="crl",
+            bytes_downloaded=nbytes,
+            latency=latency,
+            failure=last_failure,
+            attempts=attempts,
+        )
 
     def check_ocsp(
         self,
@@ -105,31 +228,71 @@ class RevocationChecker:
         """Check via the certificate's OCSP responders."""
         urls = certificate.ocsp_urls
         if not urls:
-            return CheckResult(CheckOutcome.NO_INFO, protocol="ocsp")
-        for url in urls:
-            response = self._fetcher.fetch_ocsp(
-                url, issuer_key_hash, certificate.serial_number, use_get=use_get
+            return CheckResult(
+                CheckOutcome.NO_INFO, protocol="ocsp", failure=FailureClass.NO_POINTER
             )
-            if response is None or not response.is_successful:
+        attempts = 0
+        latency = datetime.timedelta(0)
+        nbytes = 0
+        last_failure = FailureClass.UNCLASSIFIED
+        for url in urls:
+            response, failure, tries, cost, down = self._fetch_ocsp(
+                url, issuer_key_hash, certificate.serial_number, use_get
+            )
+            attempts += tries
+            latency += cost
+            nbytes += down
+            if response is None:
+                last_failure = failure
+                continue
+            if not response.is_successful:
+                last_failure = FailureClass.HTTP
                 continue
             if response.is_expired(at):
+                last_failure = FailureClass.STALE
                 continue
             return CheckResult(
                 self._classify(response),
                 protocol="ocsp",
-                bytes_downloaded=response.encoded_size,
+                bytes_downloaded=max(nbytes, response.encoded_size),
+                latency=latency,
+                attempts=attempts,
             )
-        return CheckResult(CheckOutcome.UNAVAILABLE, protocol="ocsp")
+        return CheckResult(
+            CheckOutcome.UNAVAILABLE,
+            protocol="ocsp",
+            bytes_downloaded=nbytes,
+            latency=latency,
+            failure=last_failure,
+            attempts=attempts,
+        )
 
     def check_staple(
         self, staple: OcspResponse | None, at: datetime.datetime
     ) -> CheckResult:
         """Classify a stapled OCSP response delivered in the handshake."""
         if staple is None:
-            return CheckResult(CheckOutcome.UNAVAILABLE, protocol="staple")
-        if not staple.is_successful or staple.is_expired(at):
-            return CheckResult(CheckOutcome.UNAVAILABLE, protocol="staple")
-        return CheckResult(self._classify(staple), protocol="staple")
+            return CheckResult(
+                CheckOutcome.UNAVAILABLE,
+                protocol="staple",
+                failure=FailureClass.NO_POINTER,
+            )
+        if not staple.is_successful:
+            return CheckResult(
+                CheckOutcome.UNAVAILABLE,
+                protocol="staple",
+                failure=FailureClass.MALFORMED,
+            )
+        if staple.is_expired(at):
+            return CheckResult(
+                CheckOutcome.UNAVAILABLE,
+                protocol="staple",
+                failure=FailureClass.STALE,
+            )
+        result = CheckResult(self._classify(staple), protocol="staple")
+        if result.outcome is CheckOutcome.UNKNOWN:
+            result = replace(result, failure=FailureClass.UNCLASSIFIED)
+        return result
 
     @staticmethod
     def _classify(response: OcspResponse) -> CheckOutcome:

@@ -37,6 +37,7 @@ class TestExperimentRegistry:
             "fig9",
             "fig10",
             "fig11",
+            "availability",
         }
 
     def test_unknown_experiment_raises(self, study):

@@ -72,6 +72,33 @@ class TestFailureInjection:
         response, _ = network.get("http://crl.example/a.crl", NOW)
         assert response.status == HttpStatus.NOT_FOUND
 
+    def test_sibling_path_does_not_heal_nxdomain(self, network):
+        # Bugfix: a non-NXDOMAIN mode on one path must not clobber an
+        # NXDOMAIN set on a sibling path of the same host (DNS failures
+        # are host-wide).
+        network.register("http://crl.example/b.crl", StaticEndpoint(b"y" * 10))
+        network.set_failure("http://crl.example/a.crl", FailureMode.NXDOMAIN)
+        network.set_failure("http://crl.example/b.crl", FailureMode.HTTP_404)
+        with pytest.raises(DnsError):
+            network.get("http://crl.example/a.crl", NOW)
+        # Clearing the NXDOMAIN path heals the host; the sibling keeps
+        # its own failure mode.
+        network.clear_failure("http://crl.example/a.crl")
+        response, _ = network.get("http://crl.example/b.crl", NOW)
+        assert response.status == HttpStatus.NOT_FOUND
+        response, _ = network.get("http://crl.example/a.crl", NOW)
+        assert response.ok
+
+    def test_failed_requests_carry_cost(self, network):
+        network.set_failure("http://crl.example/a.crl", FailureMode.NO_RESPONSE)
+        with pytest.raises(TimeoutError_) as excinfo:
+            network.get("http://crl.example/a.crl", NOW)
+        assert excinfo.value.stats.latency == network.timeout
+        network.set_failure("http://crl.example/a.crl", FailureMode.NXDOMAIN)
+        with pytest.raises(DnsError) as excinfo:
+            network.get("http://crl.example/a.crl", NOW)
+        assert excinfo.value.stats.latency == network.profile.rtt
+
 
 class TestLinkProfile:
     def test_latency_grows_with_bytes(self):

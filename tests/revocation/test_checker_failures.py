@@ -1,0 +1,184 @@
+"""RevocationChecker failure classification over a live network.
+
+Drives every static FailureMode and the new fault kinds through
+``check_crl``/``check_ocsp`` and asserts the explicit soft/hard-fail
+classification (FailureClass), retry counts, and cost accounting that
+replaced the old collapse-to-None behaviour.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.ca.authority import CertificateAuthority
+from repro.net.cache import ClientCache
+from repro.net.endpoints import CrlEndpoint, OcspEndpoint
+from repro.net.faults import FaultKind, FaultPlan, FaultSpec
+from repro.net.fetcher import NetworkFetcher, RetryPolicy
+from repro.net.transport import FailureMode, Network
+from repro.pki.keys import KeyPair
+from repro.revocation.checker import (
+    CheckOutcome,
+    FailureClass,
+    RevocationChecker,
+)
+
+UTC = datetime.timezone.utc
+NB = datetime.datetime(2014, 1, 1, tzinfo=UTC)
+NA = datetime.datetime(2016, 1, 1, tzinfo=UTC)
+NOW = datetime.datetime(2015, 3, 1, 12, 0, tzinfo=UTC)
+
+CRL_HOST_URL = "http://crl.cls.example"
+OCSP_URL = "http://ocsp.cls.example/q"
+
+
+@pytest.fixture()
+def ca():
+    return CertificateAuthority.create_root(
+        "Classify CA",
+        "classify-ca",
+        NB,
+        NA,
+        crl_base_url=CRL_HOST_URL,
+        ocsp_url=OCSP_URL,
+    )
+
+
+@pytest.fixture()
+def leaf(ca):
+    return ca.issue_leaf(
+        "c.cls.example", KeyPair.generate("cls-leaf").public_key, NB, NA
+    )
+
+
+def build(ca, plan=None, policy=None):
+    network = Network(faults=plan)
+    url = ca.crl_publisher.urls[0]
+    network.register(
+        url, CrlEndpoint(lambda at: ca.crl_publisher.encode(url, at).to_der())
+    )
+    network.register(OCSP_URL, OcspEndpoint(ca.ocsp_responder.respond))
+    fetcher = NetworkFetcher(
+        network,
+        clock_now=lambda: NOW,
+        cache=ClientCache(),
+        retry_policy=policy or RetryPolicy.no_retry(),
+    )
+    return network, RevocationChecker(fetcher), fetcher
+
+
+STATIC_CLASSES = [
+    (FailureMode.NXDOMAIN, FailureClass.DNS),
+    (FailureMode.HTTP_404, FailureClass.HTTP),
+    (FailureMode.NO_RESPONSE, FailureClass.TIMEOUT),
+]
+
+
+class TestStaticModeClassification:
+    @pytest.mark.parametrize("mode,expected", STATIC_CLASSES)
+    def test_crl(self, ca, leaf, mode, expected):
+        network, checker, fetcher = build(ca)
+        network.set_failure(leaf.crl_urls[0], mode)
+        result = checker.check_crl(leaf, NOW)
+        assert result.outcome is CheckOutcome.UNAVAILABLE
+        assert result.failure is expected
+        assert result.is_soft_failure and result.is_hard_failure
+        assert result.attempts == 1
+        assert result.latency > datetime.timedelta(0)
+
+    @pytest.mark.parametrize("mode,expected", STATIC_CLASSES)
+    def test_ocsp(self, ca, leaf, mode, expected):
+        network, checker, fetcher = build(ca)
+        network.set_failure(OCSP_URL, mode)
+        result = checker.check_ocsp(leaf, ca.issuer_key_hash, NOW)
+        assert result.outcome is CheckOutcome.UNAVAILABLE
+        assert result.failure is expected
+        assert result.attempts == 1
+
+    def test_no_pointer(self, ca):
+        bare = ca.issue_leaf(
+            "bare.cls.example",
+            KeyPair.generate("bare").public_key,
+            NB,
+            NA,
+            include_crl=False,
+            include_ocsp=False,
+        )
+        _, checker, _ = build(ca)
+        result = checker.check_crl(bare, NOW)
+        assert result.outcome is CheckOutcome.NO_INFO
+        assert result.failure is FailureClass.NO_POINTER
+
+
+class TestFaultKindClassification:
+    def _always(self, kind, **kwargs):
+        return FaultPlan(seed=1).add("*", FaultSpec(kind, **kwargs))
+
+    def test_truncated_crl_is_malformed(self, ca, leaf):
+        plan = self._always(FaultKind.TRUNCATE, truncate_fraction=0.3)
+        _, checker, fetcher = build(ca, plan=plan)
+        result = checker.check_crl(leaf, NOW)
+        assert result.outcome is CheckOutcome.UNAVAILABLE
+        assert result.failure is FailureClass.MALFORMED
+        assert fetcher.stats.parse_errors >= 1
+        # The broken bytes were still paid for.
+        assert result.bytes_downloaded > 0
+
+    def test_corrupt_ocsp_is_malformed_or_unavailable(self, ca, leaf):
+        plan = self._always(FaultKind.CORRUPT)
+        _, checker, _ = build(ca, plan=plan)
+        result = checker.check_ocsp(leaf, ca.issuer_key_hash, NOW)
+        # A flipped bit usually breaks DER parsing; wherever it lands the
+        # check must not report a definitive answer from corrupt bytes.
+        assert result.outcome in (
+            CheckOutcome.UNAVAILABLE,
+            CheckOutcome.GOOD,  # bit landed somewhere harmless
+        )
+
+    def test_stale_crl_is_stale(self, ca, leaf):
+        plan = self._always(FaultKind.STALE, stale_by=datetime.timedelta(days=60))
+        _, checker, _ = build(ca, plan=plan)
+        result = checker.check_crl(leaf, NOW)
+        assert result.outcome is CheckOutcome.UNAVAILABLE
+        assert result.failure is FailureClass.STALE
+
+    def test_stale_ocsp_is_stale(self, ca, leaf):
+        plan = self._always(FaultKind.STALE, stale_by=datetime.timedelta(days=60))
+        _, checker, _ = build(ca, plan=plan)
+        result = checker.check_ocsp(leaf, ca.issuer_key_hash, NOW)
+        assert result.outcome is CheckOutcome.UNAVAILABLE
+        assert result.failure is FailureClass.STALE
+
+    def test_retry_count_surfaces_in_result(self, ca, leaf):
+        network, checker, fetcher = build(
+            ca, policy=RetryPolicy(max_attempts=3)
+        )
+        network.set_failure(leaf.crl_urls[0], FailureMode.NO_RESPONSE)
+        result = checker.check_crl(leaf, NOW)
+        assert result.attempts == 3
+        assert result.latency >= 3 * network.timeout
+
+    def test_healthy_path_still_definitive(self, ca, leaf):
+        _, checker, _ = build(ca)
+        assert checker.check_crl(leaf, NOW).outcome is CheckOutcome.GOOD
+        assert (
+            checker.check_ocsp(leaf, ca.issuer_key_hash, NOW).outcome
+            is CheckOutcome.GOOD
+        )
+
+
+class TestLegacyFetcherCompatibility:
+    def test_plain_protocol_fetcher_still_works(self, ca, leaf):
+        class NoneFetcher:
+            def fetch_crl(self, url):
+                return None
+
+            def fetch_ocsp(self, url, issuer_key_hash, serial, use_get=True):
+                return None
+
+        checker = RevocationChecker(NoneFetcher())
+        result = checker.check_crl(leaf, NOW)
+        assert result.outcome is CheckOutcome.UNAVAILABLE
+        assert result.failure is FailureClass.UNCLASSIFIED

@@ -26,3 +26,42 @@ class TestCli:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])
+
+
+class TestFaultFlags:
+    def test_run_with_fault_profile(self, capsys):
+        assert (
+            main(
+                [
+                    "run",
+                    "availability",
+                    "--fault-profile",
+                    "chaos",
+                    "--fault-seed",
+                    "7",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "profile=chaos" in out
+        assert "fault seed 7" in out
+
+    def test_fault_flags_before_subcommand(self, capsys):
+        assert (
+            main(
+                ["--fault-profile", "flaky", "--fault-seed", "7", "run", "availability"]
+            )
+            == 0
+        )
+        assert "profile=flaky" in capsys.readouterr().out
+
+    def test_unknown_profile_fails(self, capsys):
+        assert main(["run", "availability", "--fault-profile", "mayhem"]) == 2
+        assert "unknown fault profile" in capsys.readouterr().err
+
+    def test_same_fault_seed_identical_output(self, capsys):
+        main(["run", "availability", "--fault-profile", "chaos", "--fault-seed", "7"])
+        first = capsys.readouterr().out
+        main(["run", "availability", "--fault-profile", "chaos", "--fault-seed", "7"])
+        assert capsys.readouterr().out == first
