@@ -6,6 +6,7 @@ Usage::
     python -m repro run fig2 [--scale S]     # regenerate one figure/table
     python -m repro run all [--scale S]      # regenerate everything
     python -m repro report [--scale S]       # EXPERIMENTS.md body to stdout
+    python -m repro analyze [args...]        # static-analysis gate
     python -m repro --fault-profile chaos    # run everything degraded
 
 Fault injection (docs/ROBUSTNESS.md): ``--fault-profile`` names an entry
@@ -75,10 +76,25 @@ def _build_parser() -> argparse.ArgumentParser:
 
     report = sub.add_parser("report", help="print the EXPERIMENTS.md body")
     report.add_argument("--scale", type=float, default=0.002)
+
+    sub.add_parser(
+        "analyze",
+        help="run the determinism & PKI-invariant linter "
+        "(same as python -m repro.analysis; docs/STATIC_ANALYSIS.md)",
+        add_help=False,
+    )
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "analyze":
+        # Delegate verbatim so the linter owns its own flags (--format,
+        # --baseline, ...) without colliding with the study parser's.
+        from repro.analysis.cli import main as analyze_main
+
+        return analyze_main(argv[1:])
     parser = _build_parser()
     args = parser.parse_args(argv)
     fault_profile = args.fault_profile

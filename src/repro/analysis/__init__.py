@@ -1,0 +1,35 @@
+"""AST-based determinism & PKI-invariant linter (docs/STATIC_ANALYSIS.md).
+
+The reproduction's headline property -- byte-identical reports for a
+fixed seed, across reruns, vantage points, and ``run_all(parallel=N)``
+worker counts -- rests on conventions no interpreter enforces: time
+flows through :mod:`repro.net.clock`, randomness through explicitly
+seeded ``random.Random`` instances, DER bytes through
+:mod:`repro.asn1`, and network failures through the
+:class:`~repro.revocation.checker.FailureClass` taxonomy.  This package
+checks those conventions mechanically on every commit:
+
+* :mod:`repro.analysis.engine` -- single-pass AST walker with per-node
+  rule dispatch and ``# repro: noqa RPRxxx`` suppression;
+* :mod:`repro.analysis.rules` -- the RPR001..RPR010 catalogue;
+* :mod:`repro.analysis.project` -- cross-file facts (enum members,
+  experiment registration) for the non-local rules;
+* :mod:`repro.analysis.baseline` / :mod:`repro.analysis.cache` --
+  accepted-findings file and the content-hash warm cache;
+* :mod:`repro.analysis.cli` -- the ``python -m repro.analysis`` gate.
+"""
+
+from repro.analysis.engine import ENGINE_VERSION, analyze_file, analyze_source
+from repro.analysis.findings import Finding, compute_fingerprint
+from repro.analysis.rules import ALL_RULES, default_rules, rules_catalogue
+
+__all__ = [
+    "ALL_RULES",
+    "ENGINE_VERSION",
+    "Finding",
+    "analyze_file",
+    "analyze_source",
+    "compute_fingerprint",
+    "default_rules",
+    "rules_catalogue",
+]

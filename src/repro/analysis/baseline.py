@@ -1,0 +1,63 @@
+"""Baseline files: accepted findings that do not fail the gate.
+
+A baseline is a JSON document mapping fingerprints (stable under line
+shifts, see :mod:`repro.analysis.findings`) to a human-readable sketch
+of the finding they grandfathered.  The CLI exits non-zero only for
+findings *not* in the baseline, so a legacy violation can be admitted
+explicitly while every new one still breaks the build.  This repo ships
+an empty baseline on purpose -- the tree is violation-free -- but the
+mechanism is what lets the gate be adopted by a dirtier tree without a
+flag day.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.analysis.findings import Finding
+
+__all__ = ["load_baseline", "write_baseline", "partition"]
+
+BASELINE_VERSION = 1
+
+
+def load_baseline(path: Path) -> set[str]:
+    """Fingerprints accepted by ``path``; empty set if it doesn't exist."""
+    try:
+        raw = json.loads(path.read_text(encoding="utf-8"))
+    except FileNotFoundError:
+        return set()
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise ValueError(f"baseline {path} is not valid JSON: {exc}") from exc
+    if not isinstance(raw, dict) or "fingerprints" not in raw:
+        raise ValueError(
+            f"baseline {path} lacks a 'fingerprints' key; "
+            "regenerate it with --update-baseline"
+        )
+    fingerprints = raw["fingerprints"]
+    if isinstance(fingerprints, dict):
+        return set(fingerprints)
+    return set(fingerprints)
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    """Persist every current finding as accepted, sorted for stable diffs."""
+    entries = {
+        finding.fingerprint: f"{finding.rule} {finding.path}: {finding.message}"
+        for finding in findings
+    }
+    document = {
+        "version": BASELINE_VERSION,
+        "fingerprints": dict(sorted(entries.items())),
+    }
+    path.write_text(json.dumps(document, indent=2) + "\n", encoding="utf-8")
+
+
+def partition(
+    findings: list[Finding], accepted: set[str]
+) -> tuple[list[Finding], list[Finding]]:
+    """Split into (new, baselined) preserving order."""
+    new = [f for f in findings if f.fingerprint not in accepted]
+    old = [f for f in findings if f.fingerprint in accepted]
+    return new, old

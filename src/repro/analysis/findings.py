@@ -1,0 +1,91 @@
+"""Finding model and stable fingerprints.
+
+A fingerprint identifies *what* a finding is about, not *where on the
+page* it sits: it hashes the rule, the file, the stripped source line
+text, and an occurrence counter (for identical lines repeated in one
+file) -- never the line number.  Inserting or deleting unrelated lines
+therefore does not churn the baseline, which is what lets a baseline
+file survive ordinary edits (the same trick ESLint and detekt use).
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str  # repo-relative, POSIX separators
+    line: int  # 1-based
+    col: int  # 0-based, as in the ast module
+    message: str
+    fingerprint: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "fingerprint": self.fingerprint,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "Finding":
+        return cls(
+            rule=raw["rule"],
+            path=raw["path"],
+            line=int(raw["line"]),
+            col=int(raw["col"]),
+            message=raw["message"],
+            fingerprint=raw.get("fingerprint", ""),
+        )
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col + 1}: {self.rule} {self.message}"
+
+
+def compute_fingerprint(
+    rule: str, path: str, line_text: str, occurrence: int
+) -> str:
+    payload = "|".join((rule, path, line_text.strip(), str(occurrence)))
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def assign_fingerprints(
+    findings: list[Finding], source_lines: list[str]
+) -> list[Finding]:
+    """Attach fingerprints to per-file findings, counting duplicates.
+
+    ``occurrence`` disambiguates several violations of the same rule on
+    textually identical lines: the first gets 0, the next 1, and so on,
+    in source order, so each keeps a distinct stable identity.
+    """
+    seen: dict[tuple[str, str], int] = {}
+    out: list[Finding] = []
+    for finding in sorted(findings, key=lambda f: (f.line, f.col, f.rule)):
+        if 1 <= finding.line <= len(source_lines):
+            text = source_lines[finding.line - 1]
+        else:
+            text = ""
+        key = (finding.rule, text.strip())
+        occurrence = seen.get(key, 0)
+        seen[key] = occurrence + 1
+        out.append(
+            Finding(
+                rule=finding.rule,
+                path=finding.path,
+                line=finding.line,
+                col=finding.col,
+                message=finding.message,
+                fingerprint=compute_fingerprint(
+                    finding.rule, finding.path, text, occurrence
+                ),
+            )
+        )
+    return out

@@ -1,0 +1,152 @@
+"""Cross-file facts the per-file rules need.
+
+Two rules cannot be decided from one file alone:
+
+* **RPR005** (enum-exhaustive dispatch) needs every enum's member list,
+  parsed from wherever the enum is defined;
+* **RPR007** (experiment-registered) needs the set of experiment modules
+  actually wired into ``runner.py``'s ``ALL_EXPERIMENTS``.
+
+This module does one cheap AST pre-pass over the analysed file set and
+distils it into a :class:`ProjectContext`.  Its :meth:`digest` feeds the
+per-file result cache key, so editing an enum definition correctly
+invalidates cached findings for every file that dispatches on it.
+"""
+
+from __future__ import annotations
+
+import ast
+import hashlib
+import json
+import re
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+
+__all__ = ["ProjectContext", "build_project_context"]
+
+_ENUM_BASES = {"Enum", "IntEnum", "StrEnum", "IntFlag", "Flag"}
+_EXPERIMENT_MODULE = re.compile(r"^(fig|table|section)\w*$")
+
+
+@dataclass
+class ProjectContext:
+    #: enum class name -> sorted tuple of member names.
+    enums: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: experiments dir (POSIX rel path) -> module names in ALL_EXPERIMENTS.
+    registrations: dict[str, tuple[str, ...]] = field(default_factory=dict)
+    #: experiments dirs that actually contain a runner.py.
+    runner_dirs: frozenset[str] = frozenset()
+
+    def digest(self) -> str:
+        payload = json.dumps(
+            {
+                "enums": {k: list(v) for k, v in sorted(self.enums.items())},
+                "registrations": {
+                    k: list(v) for k, v in sorted(self.registrations.items())
+                },
+                "runner_dirs": sorted(self.runner_dirs),
+            },
+            sort_keys=True,
+        )
+        return hashlib.sha256(payload.encode()).hexdigest()[:16]
+
+
+def _base_name(node: ast.expr) -> str | None:
+    if isinstance(node, ast.Name):
+        return node.id
+    if isinstance(node, ast.Attribute):
+        return node.attr
+    return None
+
+
+def _enum_members(cls: ast.ClassDef) -> tuple[str, ...]:
+    members: list[str] = []
+    for stmt in cls.body:
+        targets: list[ast.expr] = []
+        if isinstance(stmt, ast.Assign):
+            targets = stmt.targets
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets = [stmt.target]
+        for target in targets:
+            if isinstance(target, ast.Name) and not target.id.startswith("_"):
+                members.append(target.id)
+    return tuple(members)
+
+
+def collect_enums(tree: ast.AST) -> dict[str, tuple[str, ...]]:
+    enums: dict[str, tuple[str, ...]] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and any(
+            _base_name(base) in _ENUM_BASES for base in node.bases
+        ):
+            enums[node.name] = _enum_members(node)
+    return enums
+
+
+def _registered_modules(tree: ast.AST) -> tuple[str, ...] | None:
+    """Module names referenced inside the ``ALL_EXPERIMENTS`` assignment."""
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Assign) and any(
+            isinstance(t, ast.Name) and t.id == "ALL_EXPERIMENTS"
+            for t in node.targets
+        ):
+            names = {
+                sub.id
+                for sub in ast.walk(node.value)
+                if isinstance(sub, ast.Name)
+            }
+            return tuple(sorted(names))
+    return None
+
+
+def is_experiment_module(rel_path: str) -> bool:
+    path = PurePosixPath(rel_path)
+    return (
+        len(path.parts) >= 2
+        and path.parent.name == "experiments"
+        and bool(_EXPERIMENT_MODULE.match(path.stem))
+    )
+
+
+def build_project_context(
+    files: list[tuple[str, Path]]
+) -> ProjectContext:
+    """Pre-pass over ``(rel_path, abs_path)`` pairs.
+
+    Parse failures are ignored here -- the per-file pass reports them as
+    findings; this pass just extracts what it can.
+    """
+    enums: dict[str, tuple[str, ...]] = {}
+    registrations: dict[str, tuple[str, ...]] = {}
+    runner_dirs: set[str] = set()
+    for rel_path, abs_path in files:
+        posix = PurePosixPath(rel_path)
+        wants_enums = True  # enums may live anywhere
+        is_runner = posix.name == "runner.py" and posix.parent.name == "experiments"
+        if not (wants_enums or is_runner):
+            continue
+        try:
+            tree = ast.parse(abs_path.read_text(encoding="utf-8"))
+        except (OSError, SyntaxError, ValueError):
+            continue
+        found = collect_enums(tree)
+        for name, members in found.items():
+            if name in enums and enums[name] != members:
+                # Same class name defined twice with different members:
+                # keep the intersection so RPR005 never demands a member
+                # that one of the definitions lacks.
+                enums[name] = tuple(
+                    sorted(set(enums[name]) & set(members))
+                )
+            else:
+                enums.setdefault(name, members)
+        if is_runner:
+            runner_dirs.add(str(posix.parent))
+            registered = _registered_modules(tree)
+            if registered is not None:
+                registrations[str(posix.parent)] = registered
+    return ProjectContext(
+        enums=enums,
+        registrations=registrations,
+        runner_dirs=frozenset(runner_dirs),
+    )

@@ -32,6 +32,10 @@ __all__ = ["Certificate", "CertificateBuilder", "TbsCertificate"]
 
 _UTC = datetime.timezone.utc
 
+# RFC 5280 TBSCertificate context tags: version [0], extensions [3].
+_CTX_VERSION = 0
+_CTX_EXTENSIONS = 3
+
 
 def _encode_time(when: datetime.datetime) -> bytes:
     """RFC 5280: UTCTime through 2049, GeneralizedTime after."""
@@ -54,7 +58,7 @@ class TbsCertificate:
     extensions: tuple[Extension, ...] = field(default_factory=tuple)
 
     def to_der(self) -> bytes:
-        version = der.encode_context(0, der.encode_integer(2))  # v3
+        version = der.encode_context(_CTX_VERSION, der.encode_integer(2))  # v3
         algorithm = der.encode_sequence(
             der.encode_oid(self.signature_algorithm_oid), der.encode_null()
         )
@@ -73,7 +77,7 @@ class TbsCertificate:
         ]
         if self.extensions:
             ext_seq = der.encode_sequence(*(ext.to_der() for ext in self.extensions))
-            parts.append(der.encode_context(3, ext_seq))
+            parts.append(der.encode_context(_CTX_EXTENSIONS, ext_seq))
         return der.encode_sequence(*parts)
 
 

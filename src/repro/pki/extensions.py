@@ -27,6 +27,10 @@ __all__ = [
 ]
 
 _TAG_URI = 6  # GeneralName uniformResourceIdentifier [6] IA5String
+# RFC 5280 DistributionPoint context tags: distributionPoint [0] and,
+# within DistributionPointName, fullName [0].
+_CTX_DISTRIBUTION_POINT = 0
+_CTX_FULL_NAME = 0
 
 
 def is_reachable_url(url: str) -> bool:
@@ -110,8 +114,8 @@ class CrlDistributionPoints:
             general_name = der.encode_tlv(
                 der.Tag.CONTEXT | _TAG_URI, url.encode("ascii")
             )
-            full_name = der.encode_context(0, general_name)  # fullName [0]
-            dp_name = der.encode_context(0, full_name)  # distributionPoint [0]
+            full_name = der.encode_context(_CTX_FULL_NAME, general_name)
+            dp_name = der.encode_context(_CTX_DISTRIBUTION_POINT, full_name)
             points.append(der.encode_sequence(dp_name))
         return Extension(self.OID, critical=False, value=der.encode_sequence(*points))
 

@@ -29,6 +29,7 @@ from repro.revocation.ocsp import CertStatus, OcspResponse
 __all__ = [
     "CheckOutcome",
     "CheckResult",
+    "FAILURE_CATEGORY",
     "FailureClass",
     "RevocationChecker",
     "RevocationFetcher",
@@ -85,6 +86,27 @@ class FailureClass(enum.Enum):
     UNCLASSIFIED = "unclassified"
 
 
+#: Which layer each failure class blames: "transport" never reached the
+#: endpoint, "endpoint" answered but unhelpfully, "content" delivered an
+#: unusable payload, "client" refused locally (breaker/negative cache),
+#: "pointer" had nowhere to go.  The static-analysis gate (RPR005,
+#: docs/STATIC_ANALYSIS.md) verifies this dispatch stays exhaustive, so
+#: adding a FailureClass member breaks the build until it is placed here.
+# repro: exhaustive(FailureClass)
+FAILURE_CATEGORY: dict[FailureClass, str] = {
+    FailureClass.NONE: "ok",
+    FailureClass.TIMEOUT: "transport",
+    FailureClass.DNS: "transport",
+    FailureClass.HTTP: "endpoint",
+    FailureClass.MALFORMED: "content",
+    FailureClass.STALE: "content",
+    FailureClass.BREAKER_OPEN: "client",
+    FailureClass.NEGATIVE_CACHED: "client",
+    FailureClass.NO_POINTER: "pointer",
+    FailureClass.UNCLASSIFIED: "unknown",
+}
+
+
 @dataclass(frozen=True)
 class CheckResult:
     outcome: CheckOutcome
@@ -110,6 +132,11 @@ class CheckResult:
     def is_hard_failure(self) -> bool:
         """Unavailable in a way no fallback can fix for this protocol."""
         return self.outcome is CheckOutcome.UNAVAILABLE
+
+    @property
+    def failure_category(self) -> str:
+        """The blamed layer for this result's failure class."""
+        return FAILURE_CATEGORY[self.failure]
 
 
 _FETCH_FAILURE_CLASSES = {

@@ -22,6 +22,9 @@ __all__ = ["CertificateRevocationList", "RevokedEntry"]
 
 _UTC = datetime.timezone.utc
 
+# RFC 5280 TBSCertList context tag: crlExtensions [0].
+_CTX_CRL_EXTENSIONS = 0
+
 #: When set, every arithmetic ``encoded_size`` is cross-checked against a
 #: full re-encoding (slow; for debugging the DER fast path only).
 _DER_CHECK = bool(os.environ.get("REPRO_DER_CHECK"))
@@ -143,7 +146,9 @@ class CertificateRevocationList:
             der.encode_oid(OID.CRL_NUMBER),
             der.encode_octet_string(der.encode_integer(self.crl_number)),
         )
-        parts.append(der.encode_context(0, der.encode_sequence(crl_number_ext)))
+        parts.append(
+            der.encode_context(_CTX_CRL_EXTENSIONS, der.encode_sequence(crl_number_ext))
+        )
         return der.encode_sequence(*parts)
 
     def to_der(self) -> bytes:

@@ -1,0 +1,6 @@
+"""RPR001 negative: time arrives as data (a SimClock or datetime)."""
+import datetime
+
+
+def stamp(clock):
+    return clock.now + datetime.timedelta(seconds=5)

@@ -1,0 +1,7 @@
+"""RPR001 positive: reads the host clock directly."""
+import datetime
+import time
+
+
+def stamp():
+    return datetime.datetime.now(), time.time()

@@ -1,0 +1,7 @@
+"""RPR002 negative: an explicitly seeded RNG threaded as a parameter."""
+import random
+
+
+def draw(seed: int) -> float:
+    rng = random.Random(seed)
+    return rng.random()

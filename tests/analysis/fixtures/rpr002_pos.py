@@ -1,0 +1,10 @@
+"""RPR002 positive: ambient randomness from the global RNG and the OS."""
+import os
+import random
+import uuid
+
+
+def draw():
+    roll = random.randint(1, 6)
+    rng = random.Random()
+    return roll, rng.random(), os.urandom(8), uuid.uuid4()

@@ -1,0 +1,6 @@
+"""RPR003 negative: everything is sorted before it is emitted."""
+import json
+
+
+def emit(counts: dict, names) -> str:
+    return json.dumps({"unique": sorted(set(names)), "vals": sorted(counts.values())})

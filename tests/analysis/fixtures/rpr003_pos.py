@@ -1,0 +1,6 @@
+"""RPR003 positive: unordered iteration feeding a JSON artifact."""
+import json
+
+
+def emit(counts: dict, names) -> str:
+    return json.dumps({"unique": list(set(names)), "vals": list(counts.values())})

@@ -1,0 +1,8 @@
+"""RPR004 negative: named exceptions, failures surfaced to the caller."""
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except OSError as exc:
+        raise RuntimeError(f"unreadable: {path}") from exc

@@ -1,0 +1,15 @@
+"""RPR004 positive: a bare except and a silent broad except."""
+
+
+def load(path):
+    try:
+        return open(path).read()
+    except:
+        return None
+
+
+def probe(fn):
+    try:
+        fn()
+    except Exception:
+        pass

@@ -1,0 +1,16 @@
+"""RPR005 negative: the annotated dispatch covers every member."""
+import enum
+
+
+class Signal(enum.Enum):
+    RED = "red"
+    AMBER = "amber"
+    GREEN = "green"
+
+
+# repro: exhaustive(Signal)
+GO = {
+    Signal.RED: False,
+    Signal.AMBER: False,
+    Signal.GREEN: True,
+}

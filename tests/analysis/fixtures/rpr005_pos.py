@@ -1,0 +1,15 @@
+"""RPR005 positive: the annotated dispatch drops a member."""
+import enum
+
+
+class Signal(enum.Enum):
+    RED = "red"
+    AMBER = "amber"
+    GREEN = "green"
+
+
+# repro: exhaustive(Signal)
+GO = {
+    Signal.RED: False,
+    Signal.GREEN: True,
+}

@@ -1,0 +1,8 @@
+"""RPR006 negative: DER built via the named constants."""
+from repro.asn1 import der
+
+SEQUENCE_HEADER = der.encode_tlv(der.Tag.SEQUENCE, b"")
+
+
+def is_sequence(node) -> bool:
+    return node.tag == der.Tag.SEQUENCE

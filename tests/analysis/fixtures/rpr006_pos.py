@@ -1,0 +1,7 @@
+"""RPR006 positive: raw DER tag bytes away from repro.asn1."""
+
+SEQUENCE_HEADER = b"\x30\x03"
+
+
+def is_sequence(node) -> bool:
+    return node.tag == 0x30

@@ -1,0 +1,4 @@
+"""RPR007 negative fixture experiment: properly registered."""
+
+EXPERIMENT_ID = "fig99"
+TITLE = "A registered figure"

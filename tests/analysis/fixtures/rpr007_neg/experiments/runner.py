@@ -1,0 +1,5 @@
+"""Runner with fig99 wired into ALL_EXPERIMENTS."""
+
+from experiments import fig99
+
+ALL_EXPERIMENTS = {"fig99": fig99}

@@ -1,0 +1,4 @@
+"""RPR007 positive fixture experiment: never registered in runner.py."""
+
+EXPERIMENT_ID = "fig99"
+TITLE = "An unregistered figure"

@@ -1,0 +1,3 @@
+"""Runner that forgot to register fig99."""
+
+ALL_EXPERIMENTS = {}

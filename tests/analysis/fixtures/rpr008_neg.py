@@ -1,0 +1,6 @@
+"""RPR008 negative: tolerance-based comparison."""
+import math
+
+
+def saturated(rate: float) -> bool:
+    return math.isclose(rate, 1.0)

@@ -1,0 +1,5 @@
+"""RPR008 positive: exact equality on a float expression."""
+
+
+def saturated(rate: float) -> bool:
+    return rate == 1.0

@@ -1,0 +1,7 @@
+"""RPR009 negative: construct the container inside the call."""
+
+
+def collect(item, bucket=None):
+    bucket = list(bucket or ())
+    bucket.append(item)
+    return bucket

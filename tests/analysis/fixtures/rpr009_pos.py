@@ -1,0 +1,6 @@
+"""RPR009 positive: a mutable default aliased across calls."""
+
+
+def collect(item, bucket=[]):
+    bucket.append(item)
+    return bucket

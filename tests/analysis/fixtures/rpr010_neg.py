@@ -1,0 +1,6 @@
+"""RPR010 negative: the RNG is built where it is consumed."""
+import random
+
+
+def jitter(seed: int) -> float:
+    return random.Random(seed).random()

@@ -1,0 +1,8 @@
+"""RPR010 positive: a module-level RNG every worker would share."""
+import random
+
+_RNG = random.Random(42)
+
+
+def jitter() -> float:
+    return _RNG.random()

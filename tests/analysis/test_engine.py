@@ -1,0 +1,133 @@
+"""Engine mechanics: fingerprints, baseline, noqa, cache, parse errors."""
+
+from __future__ import annotations
+
+import json
+
+from repro.analysis.baseline import load_baseline, partition, write_baseline
+from repro.analysis.cache import ResultCache
+from repro.analysis.engine import ENGINE_VERSION, analyze_source
+from repro.analysis.findings import Finding
+from repro.analysis.rules import default_rules
+
+VIOLATION = "import time\n\n\ndef f():\n    return time.time()\n"
+
+
+def _analyze(source: str, rel_path: str = "repro/sample.py"):
+    return analyze_source(source, rel_path, default_rules())
+
+
+class TestFingerprints:
+    def test_stable_under_line_shift(self):
+        before = _analyze(VIOLATION)
+        after = _analyze("# a comment\n\n\n" + VIOLATION)
+        assert [f.rule for f in before] == ["RPR001"]
+        assert [f.fingerprint for f in before] == [
+            f.fingerprint for f in after
+        ]
+        assert before[0].line != after[0].line
+
+    def test_identical_lines_get_distinct_fingerprints(self):
+        twice = (
+            "import time\n\n\ndef f():\n"
+            "    a = time.time()\n"
+            "    a = time.time()\n"
+            "    return a\n"
+        )
+        findings = _analyze(twice)
+        assert len(findings) == 2
+        assert findings[0].fingerprint != findings[1].fingerprint
+
+    def test_fingerprint_differs_across_files(self):
+        one = _analyze(VIOLATION, "repro/a.py")
+        two = _analyze(VIOLATION, "repro/b.py")
+        assert one[0].fingerprint != two[0].fingerprint
+
+
+class TestBaseline:
+    def test_round_trip(self, tmp_path):
+        findings = _analyze(VIOLATION)
+        path = tmp_path / "baseline.json"
+        write_baseline(path, findings)
+        accepted = load_baseline(path)
+        new, baselined = partition(findings, accepted)
+        assert new == []
+        assert baselined == findings
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "nope.json") == set()
+
+    def test_baseline_survives_line_shift(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, _analyze(VIOLATION))
+        shifted = _analyze("# new header comment\n" + VIOLATION)
+        new, baselined = partition(shifted, load_baseline(path))
+        assert new == [] and len(baselined) == 1
+
+    def test_new_violation_not_masked(self, tmp_path):
+        path = tmp_path / "baseline.json"
+        write_baseline(path, _analyze(VIOLATION))
+        grown = VIOLATION + "\n\ndef g():\n    return time.monotonic()\n"
+        new, _ = partition(_analyze(grown), load_baseline(path))
+        assert [f.rule for f in new] == ["RPR001"]
+        assert "monotonic" in new[0].message
+
+
+class TestNoqa:
+    def test_line_noqa_suppresses(self):
+        src = VIOLATION.replace(
+            "time.time()", "time.time()  # repro: noqa RPR001"
+        )
+        assert _analyze(src) == []
+
+    def test_noqa_other_rule_does_not_suppress(self):
+        src = VIOLATION.replace(
+            "time.time()", "time.time()  # repro: noqa RPR006"
+        )
+        assert [f.rule for f in _analyze(src)] == ["RPR001"]
+
+    def test_blanket_noqa_suppresses(self):
+        src = VIOLATION.replace("time.time()", "time.time()  # repro: noqa")
+        assert _analyze(src) == []
+
+
+class TestParseErrors:
+    def test_syntax_error_is_a_finding(self):
+        findings = _analyze("def broken(:\n")
+        assert [f.rule for f in findings] == ["RPR000"]
+        assert findings[0].fingerprint
+
+
+class TestResultCache:
+    def _cache(self, tmp_path, project_digest="p1"):
+        return ResultCache(
+            tmp_path / "cache", ENGINE_VERSION, "cfg1", project_digest
+        )
+
+    def test_hit_requires_matching_content_hash(self, tmp_path):
+        cache = self._cache(tmp_path)
+        findings = _analyze(VIOLATION)
+        cache.store("repro/sample.py", "hash-a", findings)
+        assert cache.load("repro/sample.py", "hash-a") == findings
+        assert cache.load("repro/sample.py", "hash-b") is None
+
+    def test_project_digest_invalidates(self, tmp_path):
+        self._cache(tmp_path).store("repro/sample.py", "hash-a", [])
+        other = self._cache(tmp_path, project_digest="p2")
+        assert other.load("repro/sample.py", "hash-a") is None
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = self._cache(tmp_path)
+        cache.store("repro/sample.py", "hash-a", [])
+        for entry in (tmp_path / "cache").glob("*.json"):
+            entry.write_text("{not json")
+        assert cache.load("repro/sample.py", "hash-a") is None
+
+    def test_empty_findings_are_cached(self, tmp_path):
+        cache = self._cache(tmp_path)
+        cache.store("repro/clean.py", "hash-a", [])
+        assert cache.load("repro/clean.py", "hash-a") == []
+
+    def test_findings_round_trip_serialisation(self):
+        finding = Finding("RPR001", "a.py", 3, 7, "msg", "fp")
+        assert Finding.from_dict(json.loads(json.dumps(finding.as_dict()))) == finding

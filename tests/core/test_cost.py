@@ -33,7 +33,7 @@ class TestSessionCost:
     def test_none_mode_is_free(self, comparison):
         none = comparison["none"]
         assert none.checks == 0
-        assert none.blocking_latency_s == 0.0
+        assert none.blocking_latency_s == pytest.approx(0.0)
 
     def test_ocsp_bytes_accounting(self, comparison):
         ocsp = comparison["ocsp"]

@@ -24,9 +24,9 @@ class TestCdf:
 
     def test_fraction_at_or_below(self):
         cdf = Cdf.from_values([1, 2, 3, 4])
-        assert cdf.fraction_at_or_below(2) == 0.5
-        assert cdf.fraction_at_or_below(0) == 0.0
-        assert cdf.fraction_at_or_below(10) == 1.0
+        assert cdf.fraction_at_or_below(2) == pytest.approx(0.5)
+        assert cdf.fraction_at_or_below(0) == pytest.approx(0.0)
+        assert cdf.fraction_at_or_below(10) == pytest.approx(1.0)
 
     def test_quantile_validation(self):
         cdf = Cdf.from_values([1])
@@ -49,8 +49,8 @@ class TestWeightedCdf:
         pairs = [(1.0, 1)] * 9 + [(1000.0, 1000)]
         raw = Cdf.from_values([value for value, _ in pairs])
         weighted = weighted_cdf(pairs)
-        assert raw.median == 1.0
-        assert weighted.median == 1000.0
+        assert raw.median == pytest.approx(1.0)
+        assert weighted.median == pytest.approx(1000.0)
 
     def test_zero_weights_dropped(self):
         cdf = weighted_cdf([(5.0, 0), (7.0, 2)])
@@ -80,7 +80,7 @@ class TestWeightedCdf:
 class TestScalars:
     def test_median(self):
         assert median([1, 2, 3]) == 2
-        assert median([1, 2, 3, 4]) == 2.5
+        assert median([1, 2, 3, 4]) == pytest.approx(2.5)
         with pytest.raises(ValueError):
             median([])
 

@@ -42,8 +42,8 @@ class TestRevocationSeries:
         ]
         series = revocation_series(leaves, D(2014, 5, 1), D(2014, 7, 1), step_days=31)
         # Before the revocation: 0/2; after: 1/2.
-        assert series.fresh_revoked_all[0] == 0.0
-        assert series.fresh_revoked_all[-1] == 0.5
+        assert series.fresh_revoked_all[0] == pytest.approx(0.0)
+        assert series.fresh_revoked_all[-1] == pytest.approx(0.5)
 
     def test_alive_differs_from_fresh(self):
         # Revoked cert taken down immediately: still fresh, not alive.
@@ -55,8 +55,8 @@ class TestRevocationSeries:
             leaf(1, D(2014, 1, 1), D(2015, 1, 1), D(2014, 1, 1), D(2014, 12, 30)),
         ]
         series = revocation_series(leaves, D(2014, 8, 1), D(2014, 8, 1))
-        assert series.fresh_revoked_all[0] == 0.5
-        assert series.alive_revoked_all[0] == 0.0
+        assert series.fresh_revoked_all[0] == pytest.approx(0.5)
+        assert series.alive_revoked_all[0] == pytest.approx(0.0)
 
     def test_ev_series_subset(self):
         leaves = [
@@ -67,13 +67,13 @@ class TestRevocationSeries:
             leaf(1, D(2014, 1, 1), D(2015, 1, 1), D(2014, 1, 1), D(2014, 12, 1)),
         ]
         series = revocation_series(leaves, D(2014, 6, 1), D(2014, 6, 1))
-        assert series.fresh_revoked_ev[0] == 1.0
-        assert series.fresh_revoked_all[0] == 0.5
+        assert series.fresh_revoked_ev[0] == pytest.approx(1.0)
+        assert series.fresh_revoked_all[0] == pytest.approx(0.5)
 
     def test_empty_denominator_is_zero(self):
         leaves = [leaf(0, D(2014, 1, 1), D(2014, 2, 1), D(2014, 1, 1), D(2014, 2, 1))]
         series = revocation_series(leaves, D(2015, 1, 1), D(2015, 1, 1))
-        assert series.fresh_revoked_all[0] == 0.0
+        assert series.fresh_revoked_all[0] == pytest.approx(0.0)
 
     def test_peak_finder(self):
         leaves = [
@@ -84,7 +84,7 @@ class TestRevocationSeries:
         ]
         series = revocation_series(leaves, D(2014, 5, 1), D(2014, 7, 1), step_days=31)
         peak_day, peak_value = series.peak_fresh_revoked()
-        assert peak_value == 1.0 and peak_day >= D(2014, 6, 1)
+        assert peak_value == pytest.approx(1.0) and peak_day >= D(2014, 6, 1)
 
     def test_bad_range_rejected(self):
         with pytest.raises(ValueError):

@@ -50,7 +50,7 @@ class TestMembership:
 
     def test_fill_ratio_grows(self):
         bloom = BloomFilter(m_bits=1 << 12, k=3)
-        assert bloom.fill_ratio == 0.0
+        assert bloom.fill_ratio == pytest.approx(0.0)
         bloom.update(f"{i}".encode() for i in range(100))
         assert 0.0 < bloom.fill_ratio < 1.0
 
@@ -76,8 +76,8 @@ class TestAnalytics:
         assert rates[0] < rates[1] < rates[2]
 
     def test_fp_rate_edge_cases(self):
-        assert false_positive_rate(1024, 0) == 0.0
-        assert false_positive_rate(0, 10) == 1.0
+        assert false_positive_rate(1024, 0) == pytest.approx(0.0)
+        assert false_positive_rate(0, 10) == pytest.approx(1.0)
 
     def test_capacity_inverse_of_fp_rate(self):
         m = 2 * 1024 * 1024 * 8

@@ -33,7 +33,8 @@ class TestSerials:
     def test_minimal_encoding(self):
         assert serial_to_bytes(0) == b"\x00"
         assert serial_to_bytes(255) == b"\xff"
-        assert serial_to_bytes(256) == b"\x01\x00"
+        # CRLSet serials are big-endian ints, not DER tag bytes.
+        assert serial_to_bytes(256) == b"\x01\x00"  # repro: noqa RPR006
 
     def test_negative_rejected(self):
         with pytest.raises(ValueError):

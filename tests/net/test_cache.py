@@ -33,7 +33,7 @@ class TestCache:
         cache.put("k", value)
         assert cache.get("k", NOW) is value
         assert cache.hits == 1 and cache.misses == 1
-        assert cache.hit_rate == 0.5
+        assert cache.hit_rate == pytest.approx(0.5)
 
     def test_expired_entry_evicted(self):
         cache = ClientCache()

@@ -7,6 +7,7 @@ import datetime
 
 import pytest
 
+from repro.asn1 import der
 from repro.net.dns import DnsError
 from repro.net.endpoints import StaticEndpoint
 from repro.net.faults import (
@@ -22,7 +23,7 @@ from repro.net.transport import FailureMode, Network, TimeoutError_
 UTC = datetime.timezone.utc
 NOW = datetime.datetime(2015, 4, 15, 12, 0, tzinfo=UTC)
 URL = "http://crl.faulty.example/a.crl"
-BODY = b"\x30\x82" + b"x" * 998
+BODY = der.encode_tlv(der.Tag.SEQUENCE, b"x" * 996)
 
 
 def make_network(plan: FaultPlan | None) -> Network:

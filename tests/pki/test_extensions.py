@@ -88,12 +88,12 @@ class TestCertificatePolicies:
 
 class TestRawExtension:
     def test_roundtrip_with_critical(self):
-        ext = Extension("1.2.3.4", critical=True, value=b"\x05\x00")
+        ext = Extension("1.2.3.4", critical=True, value=der.encode_null())
         parsed = Extension.from_der_node(der.decode_all(ext.to_der()))
         assert parsed == ext
 
     def test_roundtrip_non_critical_omits_default(self):
-        ext = Extension("1.2.3.4", critical=False, value=b"\x05\x00")
+        ext = Extension("1.2.3.4", critical=False, value=der.encode_null())
         encoded = ext.to_der()
         # DER: default values must be omitted.
         assert der.encode_boolean(False) not in encoded

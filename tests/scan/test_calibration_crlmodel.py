@@ -43,7 +43,7 @@ class TestCalibration:
     def test_paper_targets_frozen_values(self):
         targets = PaperTargets()
         assert targets.leaf_set_size == 5_067_476
-        assert targets.crlset_coverage_fraction == 0.0035
+        assert targets.crlset_coverage_fraction == pytest.approx(0.0035)
         assert targets.total_crl_entries == 11_461_935
 
 
