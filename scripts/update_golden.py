@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""Regenerate the golden report digests after an intentional change.
+
+Usage (from the repo root)::
+
+    PYTHONPATH=src python scripts/update_golden.py
+
+Reruns every experiment at the pinned calibration (scale 0.002, seed
+20151028, no faults) and rewrites ``tests/experiments/golden/``.  Commit
+the diff together with the change that caused it -- the point of the
+golden file is that report-byte changes are always a reviewed diff
+(tests/experiments/test_golden.py).
+"""
+
+from __future__ import annotations
+
+import json
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO_ROOT / "src"))
+sys.path.insert(0, str(REPO_ROOT))
+
+from tests.experiments.test_golden import (  # noqa: E402
+    GOLDEN_PATH,
+    compute_digests,
+    golden_payload,
+)
+
+
+def main() -> int:
+    old = None
+    if GOLDEN_PATH.exists():
+        old = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))["digests"]
+    digests = compute_digests()
+    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
+    GOLDEN_PATH.write_text(
+        json.dumps(golden_payload(digests), indent=2, sort_keys=True) + "\n",
+        encoding="utf-8",
+    )
+    changed = (
+        sorted(digests)
+        if old is None
+        else [eid for eid in digests if old.get(eid) != digests[eid]]
+    )
+    print(f"wrote {GOLDEN_PATH.relative_to(REPO_ROOT)}")
+    print(
+        f"{len(changed)} digest(s) changed: {', '.join(changed) or '(none)'}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

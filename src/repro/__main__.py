@@ -7,11 +7,18 @@ Usage::
     python -m repro run all [--scale S]      # regenerate everything
     python -m repro report [--scale S]       # EXPERIMENTS.md body to stdout
     python -m repro analyze [args...]        # static-analysis gate
+    python -m repro trace trace.jsonl        # roll up a recorded trace
     python -m repro --fault-profile chaos    # run everything degraded
 
 Fault injection (docs/ROBUSTNESS.md): ``--fault-profile`` names an entry
 in :data:`repro.net.faults.PROFILES` and ``--fault-seed`` pins the fault
 RNG, so two runs with the same seed produce byte-identical reports.
+
+Observability (docs/OBSERVABILITY.md): ``run --trace-out trace.jsonl``
+records spans and metrics while the experiments run and writes them as
+JSONL; ``trace`` renders the roll-up (summary, top spans, per-experiment
+flame-table).  Tracing never changes a report byte, and sequential
+traces are byte-identical per seed.
 """
 
 from __future__ import annotations
@@ -72,10 +79,31 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="cache generated ecosystems here, keyed on the calibration digest",
     )
+    run.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="record spans + metrics while running and write them as JSONL",
+    )
     _add_fault_arguments(run, dest_prefix="run_")
 
     report = sub.add_parser("report", help="print the EXPERIMENTS.md body")
     report.add_argument("--scale", type=float, default=0.002)
+
+    trace = sub.add_parser(
+        "trace", help="roll up a trace recorded with run --trace-out"
+    )
+    trace.add_argument("trace_file", metavar="FILE", help="trace JSONL file")
+    trace.add_argument(
+        "--format", choices=("text", "json"), default="text", dest="trace_format"
+    )
+    trace.add_argument(
+        "--limit",
+        type=int,
+        default=15,
+        metavar="N",
+        help="rows in the top-spans table (default 15)",
+    )
 
     sub.add_parser(
         "analyze",
@@ -110,6 +138,7 @@ def main(argv: list[str] | None = None) -> int:
         args.seed = 20151028
         args.parallel = None
         args.cache_dir = None
+        args.trace_out = None
     else:
         # Flags given after `run` win over ones given before it.
         if getattr(args, "run_fault_profile", None) is not None:
@@ -141,12 +170,18 @@ def main(argv: list[str] | None = None) -> int:
                     file=sys.stderr,
                 )
                 return 2
+        obs = None
+        if args.trace_out is not None:
+            from repro.obs import Observability
+
+            obs = Observability(enabled=True)
         study = MeasurementStudy(
             scale=args.scale,
             seed=args.seed,
             cache_dir=args.cache_dir,
             fault_profile=fault_profile,
             fault_seed=fault_seed,
+            obs=obs,
         )
         if args.experiment == "all":
             results = run_all(study, parallel=args.parallel)
@@ -156,6 +191,18 @@ def main(argv: list[str] | None = None) -> int:
             except KeyError as exc:
                 print(exc, file=sys.stderr)
                 return 2
+        if args.trace_out is not None:
+            study.obs.write_jsonl(
+                args.trace_out,
+                header={
+                    "experiment": args.experiment,
+                    "scale": args.scale,
+                    "seed": args.seed,
+                    "fault_profile": study.fault_profile,
+                    "fault_seed": study.fault_seed,
+                    "parallel": args.parallel or 1,
+                },
+            )
         failures = 0
         crashes = 0
         for result in results:
@@ -175,6 +222,19 @@ def main(argv: list[str] | None = None) -> int:
 
         sys.argv = ["reportgen", str(args.scale)]
         reportgen.main()
+        return 0
+    if args.command == "trace":
+        from repro.obs import report as trace_report
+
+        try:
+            records = trace_report.load_records(args.trace_file)
+        except (OSError, ValueError) as exc:
+            print(exc, file=sys.stderr)
+            return 2
+        if args.trace_format == "json":
+            print(trace_report.render_json(records, limit=args.limit))
+        else:
+            print(trace_report.render_text(records, limit=args.limit))
         return 0
     return 2
 

@@ -1,11 +1,14 @@
 """Cross-file facts the per-file rules need.
 
-Two rules cannot be decided from one file alone:
+Three rules cannot be decided from one file alone:
 
 * **RPR005** (enum-exhaustive dispatch) needs every enum's member list,
   parsed from wherever the enum is defined;
 * **RPR007** (experiment-registered) needs the set of experiment modules
-  actually wired into ``runner.py``'s ``ALL_EXPERIMENTS``.
+  actually wired into ``runner.py``'s ``ALL_EXPERIMENTS``;
+* **RPR011** (seeded-hypothesis) needs to know which directories are
+  covered by a ``conftest.py`` that registers *and* loads a
+  ``derandomize=True`` hypothesis profile.
 
 This module does one cheap AST pre-pass over the analysed file set and
 distils it into a :class:`ProjectContext`.  Its :meth:`digest` feeds the
@@ -36,6 +39,10 @@ class ProjectContext:
     registrations: dict[str, tuple[str, ...]] = field(default_factory=dict)
     #: experiments dirs that actually contain a runner.py.
     runner_dirs: frozenset[str] = frozenset()
+    #: dirs (POSIX rel paths) whose conftest.py registers and loads a
+    #: derandomize=True hypothesis profile; tests under them are
+    #: deterministic without per-test decorators (RPR011).
+    derandomized_roots: frozenset[str] = frozenset()
 
     def digest(self) -> str:
         payload = json.dumps(
@@ -45,6 +52,7 @@ class ProjectContext:
                     k: list(v) for k, v in sorted(self.registrations.items())
                 },
                 "runner_dirs": sorted(self.runner_dirs),
+                "derandomized_roots": sorted(self.derandomized_roots),
             },
             sort_keys=True,
         )
@@ -99,6 +107,32 @@ def _registered_modules(tree: ast.AST) -> tuple[str, ...] | None:
     return None
 
 
+def _registers_derandomized_profile(tree: ast.AST) -> bool:
+    """True when a conftest both registers and loads a hypothesis profile
+    with ``derandomize=True``.
+
+    Matched structurally (``settings.register_profile(...,
+    derandomize=True)`` + ``settings.load_profile(...)``) rather than
+    through the import map: conftests are executed by pytest, not
+    imported by the analysed code, and the two-call idiom is what the
+    hypothesis docs prescribe.
+    """
+    registered = loaded = False
+    for node in ast.walk(tree):
+        if not (isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute)):
+            continue
+        if node.func.attr == "register_profile" and any(
+            kw.arg == "derandomize"
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is True
+            for kw in node.keywords
+        ):
+            registered = True
+        elif node.func.attr == "load_profile":
+            loaded = True
+    return registered and loaded
+
+
 def is_experiment_module(rel_path: str) -> bool:
     path = PurePosixPath(rel_path)
     return (
@@ -119,16 +153,20 @@ def build_project_context(
     enums: dict[str, tuple[str, ...]] = {}
     registrations: dict[str, tuple[str, ...]] = {}
     runner_dirs: set[str] = set()
+    derandomized_roots: set[str] = set()
     for rel_path, abs_path in files:
         posix = PurePosixPath(rel_path)
         wants_enums = True  # enums may live anywhere
         is_runner = posix.name == "runner.py" and posix.parent.name == "experiments"
-        if not (wants_enums or is_runner):
+        is_conftest = posix.name == "conftest.py"
+        if not (wants_enums or is_runner or is_conftest):
             continue
         try:
             tree = ast.parse(abs_path.read_text(encoding="utf-8"))
         except (OSError, SyntaxError, ValueError):
             continue
+        if is_conftest and _registers_derandomized_profile(tree):
+            derandomized_roots.add(str(posix.parent))
         found = collect_enums(tree)
         for name, members in found.items():
             if name in enums and enums[name] != members:
@@ -149,4 +187,5 @@ def build_project_context(
         enums=enums,
         registrations=registrations,
         runner_dirs=frozenset(runner_dirs),
+        derandomized_roots=frozenset(derandomized_roots),
     )

@@ -1,4 +1,4 @@
-"""The repo-specific rule catalogue (RPR001..RPR010).
+"""The repo-specific rule catalogue (RPR001..RPR011).
 
 Each rule enforces one invariant the reproduction's determinism or PKI
 correctness depends on; docs/STATIC_ANALYSIS.md ties every rule back to
@@ -647,6 +647,69 @@ class SharedWorkerRngRule(Rule):
                 return
 
 
+# --------------------------------------------------------------------------
+# RPR011 -- seeded hypothesis
+# --------------------------------------------------------------------------
+
+_GIVEN = "hypothesis.given"
+_SEED = "hypothesis.seed"
+_SETTINGS = "hypothesis.settings"
+
+
+class UnseededHypothesisRule(Rule):
+    code = "RPR011"
+    name = "seeded-hypothesis"
+    summary = (
+        "@given tests must be derandomized: @seed(...), "
+        "@settings(derandomize=True), or an ancestor conftest loading a "
+        "derandomize=True profile"
+    )
+    node_types = (ast.FunctionDef, ast.AsyncFunctionDef)
+
+    def check(self, node: ast.AST, ctx: FileContext) -> None:
+        has_given = False
+        derandomized = False
+        for decorator in node.decorator_list:
+            target = decorator.func if isinstance(decorator, ast.Call) else decorator
+            resolved = ctx.imports.resolve(target)
+            if resolved == _GIVEN:
+                has_given = True
+            elif resolved == _SEED:
+                derandomized = True
+            elif (
+                resolved == _SETTINGS
+                and isinstance(decorator, ast.Call)
+                and any(
+                    kw.arg == "derandomize"
+                    and isinstance(kw.value, ast.Constant)
+                    and kw.value.value is True
+                    for kw in decorator.keywords
+                )
+            ):
+                derandomized = True
+        if not has_given or derandomized:
+            return
+        if self._covered_by_conftest(ctx):
+            return
+        ctx.report(
+            node,
+            self.code,
+            "@given test draws different examples every run; add "
+            "@seed(...) or @settings(derandomize=True), or register+load "
+            "a derandomize=True hypothesis profile in an ancestor "
+            "conftest.py",
+        )
+
+    @staticmethod
+    def _covered_by_conftest(ctx: FileContext) -> bool:
+        directory = PurePosixPath(ctx.rel_path).parent
+        return any(
+            directory == PurePosixPath(root)
+            or directory.is_relative_to(root)
+            for root in ctx.project.derandomized_roots
+        )
+
+
 ALL_RULES: tuple[type[Rule], ...] = (
     WallClockRule,
     AmbientRandomnessRule,
@@ -658,6 +721,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     FloatEqualityRule,
     MutableDefaultRule,
     SharedWorkerRngRule,
+    UnseededHypothesisRule,
 )
 
 

@@ -24,6 +24,7 @@ from repro.core.timelines import RevocationSeries, revocation_series
 from repro.crlset.builder import CrlSetBuilder, CrlSetHistory
 from repro.crlset.coverage import CoverageReport, analyze_coverage
 from repro.crlset.dynamics import DynamicsReport, analyze_dynamics
+from repro.obs import Observability, obs_from_env
 from repro.scan.calibration import Calibration, PaperTargets
 from repro.scan.crawl_index import CrawlIndex
 from repro.scan.crawler import CrlCrawler
@@ -54,10 +55,16 @@ class MeasurementStudy:
         cache_dir: str | Path | None = None,
         fault_profile: str | None = None,
         fault_seed: int | None = None,
+        obs: Observability | None = None,
     ) -> None:
         self.calibration = calibration or Calibration(scale=scale, seed=seed)
         self.targets: PaperTargets = self.calibration.targets
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        # Observability (docs/OBSERVABILITY.md).  Defaults to the shared
+        # disabled instance unless REPRO_TRACE is set; like fault settings
+        # it never enters the calibration digest -- tracing must not change
+        # a single report byte.
+        self.obs = obs if obs is not None else obs_from_env()
         # Fault injection (docs/ROBUSTNESS.md).  The profile names an
         # entry in repro.net.faults.PROFILES; REPRO_FAULT_PROFILE lets CI
         # run the whole suite degraded without touching call sites.  The
@@ -78,7 +85,7 @@ class MeasurementStudy:
         if self.cache_dir is not None:
             from repro.scan.datastore import ArtifactCache
 
-            cache = ArtifactCache(self.cache_dir)
+            cache = ArtifactCache(self.cache_dir, obs=self.obs)
             cached = cache.load_ecosystem(self.calibration)
             if cached is not None:
                 return cached
@@ -95,7 +102,7 @@ class MeasurementStudy:
 
     @cached_property
     def scanner(self) -> Rapid7Scanner:
-        return Rapid7Scanner(self.ecosystem)
+        return Rapid7Scanner(self.ecosystem, obs=self.obs)
 
     @cached_property
     def crawler(self) -> CrlCrawler:
@@ -103,7 +110,7 @@ class MeasurementStudy:
 
     @cached_property
     def tls_scanner(self) -> TlsHandshakeScanner:
-        return TlsHandshakeScanner(self.ecosystem)
+        return TlsHandshakeScanner(self.ecosystem, obs=self.obs)
 
     # -- §3: dataset --------------------------------------------------------
 

@@ -27,12 +27,13 @@ import datetime
 from repro.ca.authority import CertificateAuthority
 from repro.core.pipeline import MeasurementStudy
 from repro.core.report import format_table
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, stage
 from repro.net.cache import ClientCache
 from repro.net.clock import SimClock
 from repro.net.endpoints import CrlEndpoint, OcspEndpoint
 from repro.net.faults import FaultKind, FaultPlan, FaultSpec, plan_from_profile
-from repro.net.fetcher import NetworkFetcher, RetryPolicy
+from repro.net.fetcher import FetchStats, NetworkFetcher, RetryPolicy
+from repro.obs import NULL_OBS, Observability
 from repro.net.transport import FailureMode, Network
 from repro.revocation.checker import FailureClass, RevocationChecker
 
@@ -152,6 +153,7 @@ def _run_leg(
     plan: FaultPlan | None,
     policy: RetryPolicy,
     fetcher_seed: int,
+    obs: Observability = NULL_OBS,
 ) -> dict:
     network = _wire_network(ca, plan)
     clock = SimClock(_NOW)
@@ -160,7 +162,7 @@ def _run_leg(
     recoverable = 0
     latency = datetime.timedelta(0)
     attempts = 0
-    stats_total: dict[str, float] = {}
+    leg_stats = FetchStats()
     failure_categories: dict[str, int] = {}
     for i, leaf in enumerate(leaves):
         # Each connection is an independent client (fresh caches and
@@ -172,6 +174,7 @@ def _run_leg(
             cache=ClientCache(),
             retry_policy=policy,
             seed=fetcher_seed * 1_000 + i,
+            obs=obs,
         )
         checker = RevocationChecker(fetcher)
         at = clock.advance(_STEP)
@@ -193,8 +196,11 @@ def _run_leg(
                 recoverable += 1
             if i < _N_REVOKED:
                 exposed_revoked += 1
-        for key, value in fetcher.stats.as_dict().items():
-            stats_total[key] = stats_total.get(key, 0) + value
+        leg_stats.merge(fetcher.stats)
+    if obs.enabled:
+        # One gauge family per leg: gauges are last-write, so the label
+        # keeps the eight sweep cells (and the profile row) apart.
+        leg_stats.publish(obs.metrics, leg=label)
     n = len(leaves)
     return {
         "label": label,
@@ -202,7 +208,7 @@ def _run_leg(
         "mean_latency_ms": (latency / n) / datetime.timedelta(milliseconds=1),
         "soft_fail_exposure": exposed_revoked / _N_REVOKED,
         "mean_attempts": attempts / n,
-        "stats": stats_total,
+        "stats": leg_stats.as_dict(),
         "faulted_requests": network.faulted_requests,
         # Breakdown of non-definitive checks by the blamed layer
         # (checker.FAILURE_CATEGORY) and how many of them were transient
@@ -224,25 +230,31 @@ def run(study: MeasurementStudy) -> ExperimentResult:
     for probability in PROBABILITIES:
         for name, policy in policies.items():
             plan = _sweep_plan(probability, seed)
-            cells[(probability, name)] = _run_leg(
-                f"p={probability:.1f}/{name}",
-                ca,
-                leaves,
-                plan,
-                policy,
-                fetcher_seed=seed,
-            )
+            label = f"p={probability:.1f}/{name}"
+            with stage(study, "leg", leg=label):
+                cells[(probability, name)] = _run_leg(
+                    label,
+                    ca,
+                    leaves,
+                    plan,
+                    policy,
+                    fetcher_seed=seed,
+                    obs=study.obs,
+                )
 
     profile_row = None
     if study.fault_profile != "none":
-        profile_row = _run_leg(
-            f"profile={study.fault_profile}",
-            ca,
-            leaves,
-            plan_from_profile(study.fault_profile, seed=seed),
-            policies["retry"],
-            fetcher_seed=seed,
-        )
+        label = f"profile={study.fault_profile}"
+        with stage(study, "leg", leg=label):
+            profile_row = _run_leg(
+                label,
+                ca,
+                leaves,
+                plan_from_profile(study.fault_profile, seed=seed),
+                policies["retry"],
+                fetcher_seed=seed,
+                obs=study.obs,
+            )
 
     rows = []
     for (probability, name), leg in cells.items():

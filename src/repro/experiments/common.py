@@ -4,7 +4,18 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
-__all__ = ["Comparison", "ExperimentResult", "failure_result"]
+__all__ = ["Comparison", "ExperimentResult", "failure_result", "stage"]
+
+
+def stage(study, name: str, **attrs):
+    """A named stage span inside an experiment's ``run``.
+
+    Usage: ``with stage(study, "revocation_series"): ...`` -- nests under
+    the runner's ``experiment`` span, so the flame-table shows where each
+    experiment spent its steps (docs/OBSERVABILITY.md).  Free when
+    tracing is disabled.
+    """
+    return study.obs.tracer.span("stage", stage=name, **attrs)
 
 
 @dataclass(frozen=True)
@@ -70,8 +81,19 @@ class ExperimentResult:
         return "\n".join(parts)
 
 
-def failure_result(experiment_id: str, title: str, exc: BaseException) -> ExperimentResult:
-    """Capture a crashed experiment as a structured failure record."""
+def failure_result(
+    experiment_id: str,
+    title: str,
+    exc: BaseException,
+    partial_trace: list[dict] | None = None,
+) -> ExperimentResult:
+    """Capture a crashed experiment as a structured failure record.
+
+    ``partial_trace`` is the tracing records emitted while the experiment
+    ran (when tracing is enabled): the spans the experiment got through --
+    open spans mark where it died -- so a failure in a long run can be
+    diagnosed from the result alone (docs/OBSERVABILITY.md).
+    """
     import traceback
 
     tb = traceback.format_exception(type(exc), exc, exc.__traceback__)
@@ -80,6 +102,8 @@ def failure_result(experiment_id: str, title: str, exc: BaseException) -> Experi
         "message": str(exc),
         "traceback": "".join(tb),
     }
+    if partial_trace is not None:
+        error["partial_trace"] = partial_trace
     rendered = (
         f"EXPERIMENT FAILED: {error['type']}: {error['message']}\n"
         "(the remaining experiments completed; see the traceback in "

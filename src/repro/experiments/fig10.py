@@ -5,14 +5,15 @@ from __future__ import annotations
 from repro.core.pipeline import MeasurementStudy
 from repro.core.report import render_cdf
 from repro.core.stats import Cdf
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, stage
 
 EXPERIMENT_ID = "fig10"
 TITLE = "Days of vulnerability: appearance lag and early removal (Figure 10)"
 
 
 def run(study: MeasurementStudy) -> ExperimentResult:
-    dynamics = study.crlset_dynamics()
+    with stage(study, "crlset_dynamics"):
+        dynamics = study.crlset_dynamics()
     targets = study.targets
 
     appear = Cdf.from_values(float(d) for d in dynamics.days_to_appear)

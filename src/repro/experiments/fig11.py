@@ -9,7 +9,7 @@ from repro.crlset.bloom import (
     capacity_at_fp_rate,
     false_positive_rate,
 )
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, stage
 
 EXPERIMENT_ID = "fig11"
 TITLE = "Bloom filters as a CRLSet replacement (Figure 11, §7.4)"
@@ -25,7 +25,8 @@ _POPULATIONS = (10_000, 30_000, 100_000, 300_000, 1_000_000, 3_000_000, 10_000_0
 
 
 def run(study: MeasurementStudy) -> ExperimentResult:
-    dynamics = study.crlset_dynamics()
+    with stage(study, "crlset_dynamics"):
+        dynamics = study.crlset_dynamics()
     total_revocations = study.ecosystem.total_crl_entries(
         study.calibration.measurement_end
     )

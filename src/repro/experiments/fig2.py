@@ -6,7 +6,7 @@ import datetime
 
 from repro.core.pipeline import MeasurementStudy
 from repro.core.report import render_series
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, stage
 
 EXPERIMENT_ID = "fig2"
 TITLE = "Fresh/alive certificates revoked over time (Figure 2)"
@@ -15,7 +15,8 @@ _PRE_HEARTBLEED = datetime.date(2014, 3, 5)
 
 
 def run(study: MeasurementStudy) -> ExperimentResult:
-    series = study.revocation_series()
+    with stage(study, "revocation_series"):
+        series = study.revocation_series()
     targets = study.targets
 
     final = len(series.dates) - 1

@@ -4,15 +4,17 @@ from __future__ import annotations
 
 from repro.core.pipeline import MeasurementStudy
 from repro.core.report import format_table, render_series
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, stage
 
 EXPERIMENT_ID = "fig3"
 TITLE = "OCSP Stapling deployment and probe experiment (Figure 3, §4.3)"
 
 
 def run(study: MeasurementStudy) -> ExperimentResult:
-    summary = study.stapling_summary
-    probes = study.stapling_probes()
+    with stage(study, "stapling_summary"):
+        summary = study.stapling_summary
+    with stage(study, "stapling_probes"):
+        probes = study.stapling_probes()
     targets = study.targets
 
     probe_rendered = render_series(

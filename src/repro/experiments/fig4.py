@@ -6,14 +6,15 @@ import datetime
 
 from repro.core.pipeline import MeasurementStudy
 from repro.core.report import format_table
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, stage
 
 EXPERIMENT_ID = "fig4"
 TITLE = "Revocation information in new certificates over time (Figure 4)"
 
 
 def run(study: MeasurementStudy) -> ExperimentResult:
-    series = study.revocation_info_by_issue_month()
+    with stage(study, "revocation_info_by_issue_month"):
+        series = study.revocation_info_by_issue_month()
     months = sorted(series)
 
     rows = [

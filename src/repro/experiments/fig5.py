@@ -6,7 +6,7 @@ import numpy as np
 
 from repro.core.pipeline import MeasurementStudy
 from repro.core.report import format_table
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, stage
 
 EXPERIMENT_ID = "fig5"
 TITLE = "CRL entries vs CRL size scatter (Figure 5)"
@@ -14,8 +14,9 @@ TITLE = "CRL entries vs CRL size scatter (Figure 5)"
 
 def run(study: MeasurementStudy) -> ExperimentResult:
     at = study.calibration.measurement_end
-    sizes = study.crl_sizes(at)
-    counts = study.crl_entry_counts(at)
+    with stage(study, "crl_sizes"):
+        sizes = study.crl_sizes(at)
+        counts = study.crl_entry_counts(at)
 
     points = [
         (counts[url], sizes[url]) for url in sizes if counts[url] > 0

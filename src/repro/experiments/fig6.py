@@ -5,7 +5,7 @@ from __future__ import annotations
 from repro.core.pipeline import MeasurementStudy
 from repro.core.report import render_cdf
 from repro.core.stats import Cdf, weighted_cdf
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, stage
 
 EXPERIMENT_ID = "fig6"
 TITLE = "CRL size distribution, raw vs weighted (Figure 6)"
@@ -13,7 +13,8 @@ TITLE = "CRL size distribution, raw vs weighted (Figure 6)"
 
 def run(study: MeasurementStudy) -> ExperimentResult:
     at = study.calibration.measurement_end
-    sizes = study.crl_sizes(at)
+    with stage(study, "crl_sizes"):
+        sizes = study.crl_sizes(at)
     crls = {crl.url: crl for crl in study.ecosystem.crls}
 
     raw = Cdf.from_values(sizes.values())

@@ -5,14 +5,15 @@ from __future__ import annotations
 from repro.core.pipeline import MeasurementStudy
 from repro.core.report import format_table, render_cdf
 from repro.core.stats import Cdf
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, stage
 
 EXPERIMENT_ID = "fig7"
 TITLE = "CRLSet coverage (Figure 7, §7.2)"
 
 
 def run(study: MeasurementStudy) -> ExperimentResult:
-    report = study.crlset_coverage()
+    with stage(study, "crlset_coverage"):
+        report = study.crlset_coverage()
     targets = study.targets
 
     cdf_all = Cdf.from_values(report.per_crl_coverage_all)

@@ -6,14 +6,15 @@ import datetime
 
 from repro.core.pipeline import MeasurementStudy
 from repro.core.report import render_series
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, stage
 
 EXPERIMENT_ID = "fig8"
 TITLE = "CRLSet size over time (Figure 8)"
 
 
 def run(study: MeasurementStudy) -> ExperimentResult:
-    dynamics = study.crlset_dynamics()
+    with stage(study, "crlset_dynamics"):
+        dynamics = study.crlset_dynamics()
     series = dynamics.entry_count_series
     cal = study.calibration
 

@@ -4,14 +4,15 @@ from __future__ import annotations
 
 from repro.core.pipeline import MeasurementStudy
 from repro.core.report import format_table
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, stage
 
 EXPERIMENT_ID = "fig9"
 TITLE = "Daily new revocations: CRLs vs CRLSets (Figure 9)"
 
 
 def run(study: MeasurementStudy) -> ExperimentResult:
-    dynamics = study.crlset_dynamics()
+    with stage(study, "crlset_dynamics"):
+        dynamics = study.crlset_dynamics()
     cal = study.calibration
 
     crl = dynamics.crl_daily_additions

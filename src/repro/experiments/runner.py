@@ -37,6 +37,7 @@ from repro.experiments import (
     table2,
 )
 from repro.experiments.common import ExperimentResult, failure_result
+from repro.obs import NULL_OBS, Observability
 from repro.scan.calibration import Calibration
 
 __all__ = ["ALL_EXPERIMENTS", "run_all", "run_experiment"]
@@ -74,15 +75,35 @@ def run_experiment(
             f"known: {sorted(ALL_EXPERIMENTS)}"
         ) from None
     study = study or MeasurementStudy()
-    return module.run(study)
+    return _run_raw(experiment_id, study)
+
+
+def _run_raw(experiment_id: str, study: MeasurementStudy) -> ExperimentResult:
+    """Run one experiment under an ``experiment`` span; errors propagate."""
+    module = ALL_EXPERIMENTS[experiment_id]
+    with study.obs.tracer.span("experiment", experiment=experiment_id) as span:
+        result = module.run(study)
+        span.set("outcome", "ok")
+        return result
 
 
 def _run_isolated(experiment_id: str, study: MeasurementStudy) -> ExperimentResult:
     module = ALL_EXPERIMENTS[experiment_id]
-    try:
-        return module.run(study)
-    except Exception as exc:
-        return failure_result(experiment_id, module.TITLE, exc)
+    obs = study.obs
+    mark = obs.tracer.mark() if obs.enabled else 0
+    with obs.tracer.span("experiment", experiment=experiment_id) as span:
+        try:
+            result = module.run(study)
+        except Exception as exc:
+            span.set("outcome", "error")
+            # The experiment span is still open here, so the partial
+            # trace shows exactly which spans the crash interrupted.
+            partial = obs.tracer.records_since(mark) if obs.enabled else None
+            return failure_result(
+                experiment_id, module.TITLE, exc, partial_trace=partial
+            )
+        span.set("outcome", "ok")
+        return result
 
 
 # Per-worker study, built once by the pool initializer.  Each worker pays
@@ -95,6 +116,7 @@ def _init_worker(
     cache_dir: str | None,
     fault_profile: str,
     fault_seed: int | None,
+    obs_enabled: bool,
 ) -> None:  # pragma: no cover - runs in worker processes
     global _WORKER_STUDY
     _WORKER_STUDY = MeasurementStudy(
@@ -102,14 +124,53 @@ def _init_worker(
         cache_dir=cache_dir,
         fault_profile=fault_profile,
         fault_seed=fault_seed,
+        obs=Observability(enabled=True) if obs_enabled else NULL_OBS,
     )
 
 
 def _run_in_worker(
     experiment_id: str,
-) -> ExperimentResult:  # pragma: no cover - runs in worker processes
+):  # pragma: no cover - runs in worker processes
+    """Run one experiment; ship its trace segment back with the result.
+
+    The worker's tracer and metrics registry accumulate across every
+    experiment it serves, so each call exports only the records since its
+    own mark (the segment) plus the registry's *cumulative* state tagged
+    with its mutation count -- the parent keeps the highest-count export
+    per worker, which is that worker's complete contribution.
+    """
     assert _WORKER_STUDY is not None, "pool initializer did not run"
-    return _run_isolated(experiment_id, _WORKER_STUDY)
+    obs = _WORKER_STUDY.obs
+    if not obs.enabled:
+        return _run_isolated(experiment_id, _WORKER_STUDY), None, None, 0, 0
+    mark = obs.tracer.mark()
+    result = _run_isolated(experiment_id, _WORKER_STUDY)
+    segment = obs.tracer.export_segment(mark)
+    return result, segment, obs.metrics.export(), obs.metrics.op_count, os.getpid()
+
+
+def _merge_worker_traces(
+    obs: Observability, outputs: list[tuple]
+) -> None:
+    """Fold worker trace segments and metrics into the parent study's obs.
+
+    Worker pids are normalised to ``w0``, ``w1``, ... in first-seen
+    declaration order, and segments are imported in declaration order, so
+    the merged trace depends on the scheduler only through which pid ran
+    which experiment -- not through timing (docs/OBSERVABILITY.md).
+    """
+    workers: dict[int, str] = {}
+    best_metrics: dict[int, tuple[int, list[dict]]] = {}
+    for _, segment, metrics_export, op_count, token in outputs:
+        label = workers.setdefault(token, f"w{len(workers)}")
+        if segment:
+            obs.tracer.import_segment(segment, worker=label)
+        if metrics_export:
+            seen = best_metrics.get(token)
+            if seen is None or op_count > seen[0]:
+                best_metrics[token] = (op_count, metrics_export)
+    for token in sorted(best_metrics, key=lambda pid: workers[pid]):
+        obs.metrics.merge(best_metrics[token][1])
 
 
 def run_all(
@@ -128,7 +189,7 @@ def run_all(
     if parallel is None or parallel <= 1:
         if isolate_errors:
             return [_run_isolated(eid, study) for eid in order]
-        return [ALL_EXPERIMENTS[eid].run(study) for eid in order]
+        return [_run_raw(eid, study) for eid in order]
 
     workers = min(parallel, len(order), os.cpu_count() or 1)
     cache_dir = str(study.cache_dir) if study.cache_dir is not None else None
@@ -140,11 +201,16 @@ def run_all(
             cache_dir,
             study.fault_profile,
             study.fault_seed,
+            study.obs.enabled,
         ),
     ) as pool:
         # map() preserves submission order, so results come back in the
         # same order the sequential path produces them.
-        return list(pool.map(_run_in_worker, order))
+        outputs = list(pool.map(_run_in_worker, order))
+    results = [output[0] for output in outputs]
+    if study.obs.enabled:
+        _merge_worker_traces(study.obs, outputs)
+    return results
 
 
 def main() -> None:  # pragma: no cover - CLI convenience

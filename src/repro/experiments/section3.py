@@ -4,14 +4,15 @@ from __future__ import annotations
 
 from repro.core.pipeline import MeasurementStudy
 from repro.core.report import format_table
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, stage
 
 EXPERIMENT_ID = "section3"
 TITLE = "Dataset composition (paper §3)"
 
 
 def run(study: MeasurementStudy) -> ExperimentResult:
-    summary = study.dataset_summary()
+    with stage(study, "dataset_summary"):
+        summary = study.dataset_summary()
     targets = study.targets
     scale = study.calibration.scale
 

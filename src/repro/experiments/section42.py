@@ -12,7 +12,7 @@ from collections import Counter
 
 from repro.core.pipeline import MeasurementStudy
 from repro.core.report import format_table
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, stage
 from repro.revocation.reason import is_crlset_eligible
 
 EXPERIMENT_ID = "section42"
@@ -20,9 +20,10 @@ TITLE = "Reasons for revocation (paper §4.2)"
 
 
 def run(study: MeasurementStudy) -> ExperimentResult:
-    revocations = [
-        leaf for leaf in study.ecosystem.leaves if leaf.is_revoked
-    ]
+    with stage(study, "collect_revocations"):
+        revocations = [
+            leaf for leaf in study.ecosystem.leaves if leaf.is_revoked
+        ]
     counts = Counter(
         "(no reason code)" if leaf.revocation_reason is None
         else leaf.revocation_reason.label

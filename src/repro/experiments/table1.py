@@ -5,7 +5,7 @@ from __future__ import annotations
 from repro.ca.profiles import PAPER_CA_PROFILES
 from repro.core.pipeline import MeasurementStudy
 from repro.core.report import format_table
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, stage
 
 EXPERIMENT_ID = "table1"
 TITLE = "Per-CA CRL statistics (Table 1)"
@@ -27,7 +27,8 @@ TABLE1_BRANDS = (
 def run(study: MeasurementStudy) -> ExperimentResult:
     at = study.calibration.measurement_end
     eco = study.ecosystem
-    sizes = study.crl_sizes(at)
+    with stage(study, "crl_sizes"):
+        sizes = study.crl_sizes(at)
     profiles = {p.name: p for p in PAPER_CA_PROFILES}
 
     rows = []

@@ -8,7 +8,7 @@ from repro.browsers.table2 import (
     render_table2,
 )
 from repro.core.pipeline import MeasurementStudy
-from repro.experiments.common import ExperimentResult
+from repro.experiments.common import ExperimentResult, stage
 
 EXPERIMENT_ID = "table2"
 TITLE = "Browser test results (Table 2)"
@@ -17,8 +17,9 @@ TITLE = "Browser test results (Table 2)"
 def run(study: MeasurementStudy) -> ExperimentResult:
     # Table 2 is independent of the scan ecosystem: it runs the 244-case
     # suite against the 30 browser/OS models.
-    matrix = compute_table2()
-    mismatches = diff_against_paper(matrix)
+    with stage(study, "compute_table2"):
+        matrix = compute_table2()
+        mismatches = diff_against_paper(matrix)
     rendered = render_table2(matrix)
     if mismatches:
         rendered += "\n\nMISMATCHES vs paper:\n" + "\n".join(

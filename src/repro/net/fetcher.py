@@ -20,6 +20,7 @@ from repro.net.cache import ClientCache
 from repro.net.dns import DnsError
 from repro.net.http import HttpRequest, split_url
 from repro.net.transport import Network, TimeoutError_, TransferStats
+from repro.obs import NULL_OBS, Observability
 from repro.revocation.crl import CertificateRevocationList
 from repro.revocation.ocsp import OcspRequest, OcspResponse
 
@@ -133,11 +134,13 @@ class CircuitBreaker:
         self,
         failure_threshold: int = 5,
         reset_after: datetime.timedelta = datetime.timedelta(minutes=1),
+        obs: Observability | None = None,
     ) -> None:
         if failure_threshold < 1:
             raise ValueError("failure_threshold must be >= 1")
         self.failure_threshold = failure_threshold
         self.reset_after = reset_after
+        self.obs = obs if obs is not None else NULL_OBS
         self._consecutive: dict[str, int] = {}
         self._opened_at: dict[str, datetime.datetime] = {}
 
@@ -146,6 +149,9 @@ class CircuitBreaker:
         if opened is None:
             return True
         if at >= opened + self.reset_after:
+            if self.obs.enabled:
+                self.obs.tracer.event("breaker.half_open", host=host)
+                self.obs.metrics.counter("breaker.half_open", host=host).inc()
             return True  # half-open probe
         return False
 
@@ -153,14 +159,23 @@ class CircuitBreaker:
         return host in self._opened_at
 
     def record_success(self, host: str) -> None:
+        was_open = host in self._opened_at
         self._consecutive.pop(host, None)
         self._opened_at.pop(host, None)
+        if was_open and self.obs.enabled:
+            self.obs.tracer.event("breaker.close", host=host)
+            self.obs.metrics.counter("breaker.closed", host=host).inc()
 
     def record_failure(self, host: str, at: datetime.datetime) -> None:
         count = self._consecutive.get(host, 0) + 1
         self._consecutive[host] = count
         if count >= self.failure_threshold:
+            newly_open = host not in self._opened_at
             self._opened_at[host] = at
+            if self.obs.enabled:
+                name = "breaker.open" if newly_open else "breaker.reopen"
+                self.obs.tracer.event(name, host=host, failures=count)
+                self.obs.metrics.counter(name + "ed", host=host).inc()
 
 
 @dataclass
@@ -200,6 +215,37 @@ class FetchStats:
             "backoff_total_ms": self.backoff_total / datetime.timedelta(milliseconds=1),
         }
 
+    def publish(self, metrics, **labels) -> None:
+        """Wire the running totals into a metrics registry as gauges.
+
+        Use distinct ``labels`` per fetcher (experiment leg, component):
+        gauges are last-write instruments, so publishing two fetchers'
+        totals under the same labels would overwrite, not add.
+        """
+        for name, value in self.as_dict().items():
+            metrics.gauge(f"fetch_stats.{name}", **labels).set(value)
+
+    def merge(self, other: FetchStats) -> None:
+        """Accumulate another fetcher's totals into this one.
+
+        Lets a caller that spins up many short-lived fetchers (one per
+        simulated client) keep one aggregate to ``publish``.
+        """
+        self.fetches += other.fetches
+        self.attempts += other.attempts
+        self.retries += other.retries
+        self.successes += other.successes
+        self.failures += other.failures
+        self.timeouts += other.timeouts
+        self.dns_failures += other.dns_failures
+        self.http_errors += other.http_errors
+        self.parse_errors += other.parse_errors
+        self.breaker_rejections += other.breaker_rejections
+        self.negative_cache_hits += other.negative_cache_hits
+        self.bytes_downloaded += other.bytes_downloaded
+        self.latency_total += other.latency_total
+        self.backoff_total += other.backoff_total
+
 
 class _NegativeEntry:
     """ClientCache-compatible tombstone for an exhausted fetch."""
@@ -237,12 +283,14 @@ class NetworkFetcher:
         retry_policy: RetryPolicy | None = None,
         breaker: CircuitBreaker | None = None,
         seed: int = 0,
+        obs: Observability | None = None,
     ) -> None:
         self._network = network
         self._now = clock_now
+        self.obs = obs if obs is not None else NULL_OBS
         self.cache = cache if cache is not None else ClientCache()
         self.retry_policy = retry_policy or RetryPolicy()
-        self.breaker = breaker or CircuitBreaker()
+        self.breaker = breaker or CircuitBreaker(obs=self.obs)
         self._rng = random.Random(f"fetcher/{seed}")
         self.stats = FetchStats()
         self._negative: ClientCache = ClientCache()
@@ -316,12 +364,17 @@ class NetworkFetcher:
         cacheable=lambda parsed: True,
     ) -> FetchResult:
         at = self._now()
+        obs = self.obs
         cached = self.cache.get(key, at)
         if cached is not None:
+            if obs.enabled:
+                obs.metrics.counter("fetch.client_cache_hits", kind=key[0]).inc()
             return FetchResult(cached, FetchOutcome.OK, attempts=0, from_cache=True)
         tombstone = self._negative.get(key, at)
         if tombstone is not None:
             self.stats.negative_cache_hits += 1
+            if obs.enabled:
+                obs.metrics.counter("fetch.negative_cache_hits", kind=key[0]).inc()
             return FetchResult(
                 None, FetchOutcome.NEGATIVE_CACHED, attempts=0, from_cache=True
             )
@@ -334,10 +387,16 @@ class NetworkFetcher:
             self.stats.fetches += 1
             self.stats.failures += 1
             self.stats.dns_failures += 1
-            return FetchResult(None, FetchOutcome.DNS_FAILURE, attempts=0)
+            result = FetchResult(None, FetchOutcome.DNS_FAILURE, attempts=0)
+            if obs.enabled:
+                self._observe(key[0], request.url, result)
+            return result
         if not self.breaker.allow(host, at):
             self.stats.breaker_rejections += 1
-            return FetchResult(None, FetchOutcome.BREAKER_OPEN, attempts=0)
+            result = FetchResult(None, FetchOutcome.BREAKER_OPEN, attempts=0)
+            if obs.enabled:
+                self._observe(key[0], request.url, result)
+            return result
 
         self.stats.fetches += 1
         policy = self.retry_policy
@@ -372,22 +431,52 @@ class NetworkFetcher:
             self.breaker.record_success(host)
             if cacheable(parsed):
                 self.cache.put(key, parsed)
-            return FetchResult(
+            result = FetchResult(
                 parsed,
                 outcome,
                 attempts=attempt,
                 latency=latency,
                 bytes_downloaded=nbytes,
             )
+            if obs.enabled:
+                self._observe(key[0], request.url, result)
+            return result
         self.stats.failures += 1
         self.breaker.record_failure(host, at)
         if policy.negative_cache_ttl is not None:
             self._negative.put(
                 key, _NegativeEntry(outcome, at + policy.negative_cache_ttl)
             )
-        return FetchResult(
+        result = FetchResult(
             None, outcome, attempts=attempt, latency=latency, bytes_downloaded=nbytes
         )
+        if obs.enabled:
+            self._observe(key[0], request.url, result)
+        return result
+
+    def _observe(self, kind: str, url: str, result: FetchResult) -> None:
+        """Wire one fetch's cost into the span log and the metrics
+        registry (the per-fetch increments that sum to FetchStats)."""
+        latency_ms = result.latency / datetime.timedelta(milliseconds=1)
+        self.obs.tracer.event(
+            "fetch",
+            kind=kind,
+            url=url,
+            outcome=result.outcome.value,
+            attempts=result.attempts,
+            latency_ms=latency_ms,
+            bytes=result.bytes_downloaded,
+        )
+        metrics = self.obs.metrics
+        metrics.counter("fetch.fetches", kind=kind).inc()
+        metrics.counter("fetch.attempts", kind=kind).inc(result.attempts)
+        metrics.counter(
+            "fetch.outcomes", kind=kind, outcome=result.outcome.value
+        ).inc()
+        metrics.counter("fetch.bytes_downloaded", kind=kind).inc(
+            result.bytes_downloaded
+        )
+        metrics.histogram("fetch.latency_ms", kind=kind).observe(latency_ms)
 
     def _attempt(
         self, request: HttpRequest, at: datetime.datetime, parse

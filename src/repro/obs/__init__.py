@@ -1,0 +1,79 @@
+"""``repro.obs`` -- deterministic tracing + metrics for the whole stack.
+
+One :class:`Observability` object per process bundles the span tracer
+(:mod:`repro.obs.trace`) and the metrics registry
+(:mod:`repro.obs.metrics`).  :class:`~repro.core.pipeline.MeasurementStudy`
+owns one and threads it through every instrumented component: the scan
+simulator, :class:`~repro.net.fetcher.NetworkFetcher`, the circuit
+breaker, the artifact cache, ``run_all``, and each experiment module.
+
+Disabled (the default) it is a shared no-op -- report bytes are
+identical with tracing on or off, and the overhead is one attribute
+check per instrumentation site.  Enable it per study
+(``MeasurementStudy(obs=Observability(enabled=True))``), via the CLI
+(``python -m repro run all --trace-out trace.jsonl``), or for a whole
+test run with ``REPRO_TRACE=1``.  See docs/OBSERVABILITY.md for the
+span model and the determinism contract.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.trace import NullSpan, SpanHandle, Tracer
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_OBS",
+    "NullSpan",
+    "Observability",
+    "SpanHandle",
+    "Tracer",
+    "obs_from_env",
+]
+
+#: set (to anything non-empty) to enable tracing on every study that is
+#: not given an explicit Observability -- how CI traces the whole suite.
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+
+class Observability:
+    """A tracer plus a metrics registry sharing one enabled flag."""
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self.tracer = Tracer(enabled=enabled)
+        self.metrics = MetricsRegistry(enabled=enabled)
+
+    def export_records(self) -> list[dict]:
+        """Spans first (trace order), then metrics (sorted): the JSONL body."""
+        return self.tracer.records() + self.metrics.export()
+
+    def write_jsonl(self, path: str | Path, header: dict | None = None) -> Path:
+        path = Path(path)
+        lines = []
+        if header is not None:
+            lines.append(json.dumps({"type": "meta", **header}, sort_keys=True))
+        lines.extend(
+            json.dumps(record, sort_keys=True)
+            for record in self.export_records()
+        )
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        return path
+
+
+#: the shared disabled instance; instrumented components default to it.
+NULL_OBS = Observability(enabled=False)
+
+
+def obs_from_env() -> Observability:
+    """A fresh enabled Observability if ``REPRO_TRACE`` is set, else NULL_OBS."""
+    if os.environ.get(TRACE_ENV_VAR):
+        return Observability(enabled=True)
+    return NULL_OBS

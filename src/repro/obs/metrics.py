@@ -1,0 +1,165 @@
+"""Counter/gauge/histogram metrics with a single registry.
+
+One :class:`MetricsRegistry` per process (the study's, or a ``run_all``
+worker's).  Instruments are keyed on ``(kind, name, sorted labels)`` and
+export in sorted order, so a roll-up report is deterministic regardless
+of the order instruments were touched.  Like the tracer, the registry is
+zero-cost when disabled: every accessor returns a shared no-op
+instrument.
+
+Worker registries are merged into the parent's with :meth:`merge`:
+counters and histogram count/sum add, histogram min/max combine, gauges
+take the maximum -- all order-independent, so a parallel run rolls up to
+the same totals as a sequential one.
+"""
+
+from __future__ import annotations
+
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+
+
+def _label_key(labels: dict) -> tuple:
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """Monotonically increasing total."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int | float = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up")
+        self.value += amount
+
+
+class Gauge:
+    """Last-set value (sizes, high-water marks)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value: int | float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Distribution summary: count, sum, min, max."""
+
+    __slots__ = ("count", "total", "min", "max")
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.total = 0
+        self.min: int | float | None = None
+        self.max: int | float | None = None
+
+    def observe(self, value: int | float) -> None:
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+
+class _NullInstrument:
+    """Shared no-op stand-in for every instrument when disabled."""
+
+    __slots__ = ()
+
+    def inc(self, amount: int | float = 1) -> None:
+        pass
+
+    def set(self, value: int | float) -> None:
+        pass
+
+    def observe(self, value: int | float) -> None:
+        pass
+
+
+_NULL = _NullInstrument()
+
+
+class MetricsRegistry:
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._instruments: dict[tuple, Counter | Gauge | Histogram] = {}
+        #: total mutation-capable accesses; lets run_all pick each
+        #: worker's most recent (cumulative) export deterministically.
+        self.op_count = 0
+
+    def _get(self, kind: str, cls, name: str, labels: dict):
+        if not self.enabled:
+            return _NULL
+        self.op_count += 1
+        key = (kind, name, _label_key(labels))
+        instrument = self._instruments.get(key)
+        if instrument is None:
+            instrument = self._instruments[key] = cls()
+        return instrument
+
+    def counter(self, name: str, **labels) -> Counter:
+        return self._get("counter", Counter, name, labels)
+
+    def gauge(self, name: str, **labels) -> Gauge:
+        return self._get("gauge", Gauge, name, labels)
+
+    def histogram(self, name: str, **labels) -> Histogram:
+        return self._get("histogram", Histogram, name, labels)
+
+    # -- export / merge ----------------------------------------------------
+
+    def export(self) -> list[dict]:
+        """Sorted, JSON-ready records (``{"type": "metric", ...}``)."""
+        records = []
+        for (kind, name, labels) in sorted(self._instruments):
+            instrument = self._instruments[(kind, name, labels)]
+            record = {
+                "type": "metric",
+                "kind": kind,
+                "name": name,
+                "labels": dict(labels),
+            }
+            if kind == "histogram":
+                record.update(
+                    count=instrument.count,
+                    sum=instrument.total,
+                    min=instrument.min,
+                    max=instrument.max,
+                )
+            else:
+                record["value"] = instrument.value
+            records.append(record)
+        return records
+
+    def merge(self, records: list[dict]) -> None:
+        """Fold an exported registry into this one (order-independent)."""
+        for record in records:
+            kind = record["kind"]
+            labels = record["labels"]
+            if kind == "counter":
+                self.counter(record["name"], **labels).inc(record["value"])
+            elif kind == "gauge":
+                gauge = self.gauge(record["name"], **labels)
+                gauge.set(max(gauge.value, record["value"]))
+            elif kind == "histogram":
+                histogram = self.histogram(record["name"], **labels)
+                histogram.count += record["count"]
+                histogram.total += record["sum"]
+                for bound in ("min", "max"):
+                    value = record[bound]
+                    if value is None:
+                        continue
+                    current = getattr(histogram, bound)
+                    if current is None:
+                        setattr(histogram, bound, value)
+                    elif bound == "min":
+                        histogram.min = min(current, value)
+                    else:
+                        histogram.max = max(current, value)

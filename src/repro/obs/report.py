@@ -1,0 +1,257 @@
+"""Roll-up analysis over a trace JSONL file.
+
+``python -m repro trace trace.jsonl`` drives this module: a trace
+written by ``--trace-out`` (spans + metrics + a meta header) is distilled
+into a summary, a top-spans table (where the steps, simulated latency,
+and bytes went, grouped by span name), and a per-experiment flame-table
+(the span tree under each ``experiment`` root, aggregated by name at
+each depth).  Everything is computed from the records alone, so the
+report is as deterministic as the trace (docs/OBSERVABILITY.md).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.core.report import format_table
+
+__all__ = [
+    "flame_table",
+    "load_records",
+    "render_json",
+    "render_text",
+    "summarize",
+    "top_spans",
+]
+
+#: span attributes understood as costs and summed into the roll-ups.
+_COST_ATTRS = ("latency_ms", "bytes")
+
+
+def load_records(path: str | Path) -> list[dict]:
+    records = []
+    for line_no, line in enumerate(
+        Path(path).read_text(encoding="utf-8").splitlines(), start=1
+    ):
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            records.append(json.loads(line))
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path}:{line_no}: not JSON: {exc}") from exc
+    return records
+
+
+def _spans(records: list[dict]) -> list[dict]:
+    return [record for record in records if record.get("type") == "span"]
+
+
+def _steps(span: dict) -> int:
+    if span["end"] is None:
+        return 0
+    return span["end"] - span["start"]
+
+
+def summarize(records: list[dict]) -> dict:
+    spans = _spans(records)
+    metrics = [record for record in records if record.get("type") == "metric"]
+    meta = next(
+        (record for record in records if record.get("type") == "meta"), None
+    )
+    experiments = {}
+    for span in spans:
+        if span["name"] != "experiment":
+            continue
+        experiment_id = span["attrs"].get("experiment", "?")
+        experiments[experiment_id] = {
+            "steps": _steps(span),
+            "outcome": span["attrs"].get("outcome", "open"),
+            "worker": span["attrs"].get("worker", "w0"),
+        }
+    counters = {}
+    for record in metrics:
+        if record["kind"] != "counter":
+            continue
+        label = "".join(
+            f"{{{key}={value}}}"
+            for key, value in sorted(record["labels"].items())
+        )
+        counters[record["name"] + label] = record["value"]
+    return {
+        "meta": {k: v for k, v in (meta or {}).items() if k != "type"},
+        "spans": len(spans),
+        "open_spans": sum(1 for span in spans if span["end"] is None),
+        "total_steps": max(
+            (span["end"] for span in spans if span["end"] is not None),
+            default=0,
+        ),
+        "experiments": {k: experiments[k] for k in sorted(experiments)},
+        "counters": {k: counters[k] for k in sorted(counters)},
+    }
+
+
+def top_spans(records: list[dict], limit: int = 15) -> list[dict]:
+    """Aggregate spans by name: count, steps, and summed cost attributes."""
+    groups: dict[str, dict] = {}
+    for span in _spans(records):
+        group = groups.setdefault(
+            span["name"],
+            {"name": span["name"], "count": 0, "steps": 0}
+            | {attr: 0 for attr in _COST_ATTRS},
+        )
+        group["count"] += 1
+        group["steps"] += _steps(span)
+        for attr in _COST_ATTRS:
+            value = span["attrs"].get(attr)
+            if isinstance(value, (int, float)) and not isinstance(value, bool):
+                group[attr] += value
+    ranked = sorted(
+        groups.values(), key=lambda g: (-g["steps"], -g["count"], g["name"])
+    )
+    return ranked[:limit]
+
+
+def flame_table(records: list[dict]) -> list[dict]:
+    """Per-experiment span trees, aggregated by name at each depth.
+
+    Returns one entry per ``experiment`` root span (in trace order),
+    each with ``frames``: depth-indented rows of (name, count, steps,
+    latency_ms, bytes) covering every descendant span.
+    """
+    spans = _spans(records)
+    children: dict[int, list[dict]] = {}
+    for span in spans:
+        children.setdefault(span["parent"], []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda span: span["start"])
+
+    def aggregate(parent_ids: list[int], depth: int, frames: list[dict]) -> None:
+        mine = [
+            span for pid in parent_ids for span in children.get(pid, [])
+        ]
+        by_name: dict[str, list[dict]] = {}
+        for span in mine:
+            by_name.setdefault(span["name"], []).append(span)
+        for name in sorted(by_name):
+            group = by_name[name]
+            frame = {
+                "depth": depth,
+                "name": name,
+                "count": len(group),
+                "steps": sum(_steps(span) for span in group),
+            }
+            for attr in _COST_ATTRS:
+                frame[attr] = sum(
+                    span["attrs"][attr]
+                    for span in group
+                    if isinstance(span["attrs"].get(attr), (int, float))
+                    and not isinstance(span["attrs"].get(attr), bool)
+                )
+            frames.append(frame)
+            aggregate([span["id"] for span in group], depth + 1, frames)
+
+    tables = []
+    for span in spans:
+        if span["name"] != "experiment":
+            continue
+        frames: list[dict] = []
+        aggregate([span["id"]], 1, frames)
+        tables.append(
+            {
+                "experiment": span["attrs"].get("experiment", "?"),
+                "steps": _steps(span),
+                "worker": span["attrs"].get("worker", "w0"),
+                "outcome": span["attrs"].get("outcome", "open"),
+                "frames": frames,
+            }
+        )
+    return tables
+
+
+def render_json(records: list[dict], limit: int = 15) -> str:
+    return json.dumps(
+        {
+            "summary": summarize(records),
+            "top_spans": top_spans(records, limit),
+            "experiments": flame_table(records),
+        },
+        indent=2,
+        sort_keys=True,
+    )
+
+
+def render_text(records: list[dict], limit: int = 15) -> str:
+    summary = summarize(records)
+    parts = []
+    meta = summary["meta"]
+    if meta:
+        parts.append(
+            "trace: "
+            + ", ".join(f"{key}={meta[key]}" for key in sorted(meta))
+        )
+    parts.append(
+        f"{summary['spans']} span(s), {summary['open_spans']} open, "
+        f"{summary['total_steps']} step(s)"
+    )
+    if summary["experiments"]:
+        parts.append("")
+        parts.append(
+            format_table(
+                ["experiment", "steps", "outcome", "worker"],
+                [
+                    (eid, entry["steps"], entry["outcome"], entry["worker"])
+                    for eid, entry in summary["experiments"].items()
+                ],
+                title="per-experiment spans",
+            )
+        )
+    ranked = top_spans(records, limit)
+    if ranked:
+        parts.append("")
+        parts.append(
+            format_table(
+                ["span", "count", "steps", "latency_ms", "bytes"],
+                [
+                    (
+                        group["name"],
+                        group["count"],
+                        group["steps"],
+                        f"{group['latency_ms']:,.0f}",
+                        group["bytes"],
+                    )
+                    for group in ranked
+                ],
+                title=f"top spans by steps (limit {limit})",
+            )
+        )
+    tables = flame_table(records)
+    if tables:
+        parts.append("")
+        parts.append("flame-table (span tree per experiment)")
+        for table in tables:
+            parts.append(
+                f"  {table['experiment']} [{table['outcome']}, "
+                f"{table['steps']} steps, {table['worker']}]"
+            )
+            for frame in table["frames"]:
+                indent = "    " * frame["depth"]
+                parts.append(
+                    f"  {indent}{frame['name']}  x{frame['count']}  "
+                    f"{frame['steps']} steps  "
+                    f"{frame['latency_ms']:,.0f} ms  {frame['bytes']} B"
+                )
+    if summary["counters"]:
+        parts.append("")
+        parts.append(
+            format_table(
+                ["counter", "value"],
+                [
+                    (name, value)
+                    for name, value in summary["counters"].items()
+                ],
+                title="counters",
+            )
+        )
+    return "\n".join(parts)

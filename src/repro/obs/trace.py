@@ -1,0 +1,235 @@
+"""Deterministic span-based tracing.
+
+Spans are clocked by a **monotonic step counter**, not the host clock:
+every span start/end increments the tracer's counter, so a trace is a
+pure function of the work performed and two runs with the same seed
+produce byte-identical JSONL (docs/OBSERVABILITY.md).  Components that
+own simulated time attach it as ordinary attributes (``sim_start`` /
+``latency_ms``); the step counter is what orders and nests spans.
+
+The tracer is **zero-cost when disabled**: ``span()`` and ``event()``
+return/record nothing, and hot paths additionally guard on
+``tracer.enabled`` so a disabled run does not even build attribute
+dicts.  Tracing is observational only -- it never touches an RNG or a
+report, so enabling it cannot change any artifact byte.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["NullSpan", "SpanHandle", "Tracer"]
+
+#: attribute values must serialise deterministically.
+_ATTR_TYPES = (str, int, float, bool, type(None))
+
+
+def _clean_attrs(attributes: dict) -> dict:
+    for value in attributes.values():
+        if not isinstance(value, _ATTR_TYPES):
+            raise TypeError(
+                f"span attribute values must be str/int/float/bool/None, "
+                f"got {type(value).__name__}"
+            )
+    return attributes
+
+
+class NullSpan:
+    """No-op span handle returned by a disabled tracer."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc_info) -> bool:
+        return False
+
+    def set(self, key: str, value) -> None:
+        pass
+
+
+_NULL_SPAN = NullSpan()
+
+
+class SpanHandle:
+    """A live span: a context manager that stamps start/end steps."""
+
+    __slots__ = ("_tracer", "record")
+
+    def __init__(self, tracer: "Tracer", record: dict) -> None:
+        self._tracer = tracer
+        self.record = record
+
+    def __enter__(self) -> "SpanHandle":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        if exc_type is not None and "error" not in self.record["attrs"]:
+            self.record["attrs"]["error"] = exc_type.__name__
+        self._tracer._close(self.record)
+        return False
+
+    def set(self, key: str, value) -> None:
+        self.record["attrs"].update(_clean_attrs({key: value}))
+
+
+class Tracer:
+    """Collects spans into an in-memory, deterministic event log.
+
+    Single-threaded by design: each process (the main study, each
+    ``run_all`` worker) owns exactly one tracer, and parallel workers'
+    segments are merged deterministically by
+    :meth:`import_segment`.
+    """
+
+    def __init__(self, enabled: bool = False) -> None:
+        self.enabled = enabled
+        self._records: list[dict] = []
+        self._stack: list[dict] = []
+        self._steps = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def _tick(self) -> int:
+        step = self._steps
+        self._steps += 1
+        return step
+
+    def span(self, name: str, **attributes) -> SpanHandle | NullSpan:
+        """Open a span; use as a context manager."""
+        if not self.enabled:
+            return _NULL_SPAN
+        record = {
+            "type": "span",
+            "id": len(self._records),
+            "parent": self._stack[-1]["id"] if self._stack else None,
+            "name": name,
+            "start": self._tick(),
+            "end": None,
+            "attrs": _clean_attrs(attributes),
+        }
+        self._records.append(record)
+        self._stack.append(record)
+        return SpanHandle(self, record)
+
+    def _close(self, record: dict) -> None:
+        # Unwind to the closed span: an exception may skip inner exits.
+        while self._stack:
+            top = self._stack.pop()
+            if top["end"] is None:
+                top["end"] = self._tick()
+            if top is record:
+                break
+
+    def event(self, name: str, **attributes) -> None:
+        """A zero-duration span (state transitions, cache hits)."""
+        if not self.enabled:
+            return
+        step = self._tick()
+        self._records.append(
+            {
+                "type": "span",
+                "id": len(self._records),
+                "parent": self._stack[-1]["id"] if self._stack else None,
+                "name": name,
+                "start": step,
+                "end": step,
+                "attrs": _clean_attrs(attributes),
+            }
+        )
+
+    # -- export ------------------------------------------------------------
+
+    def mark(self) -> int:
+        """Position marker for :meth:`records_since` / :meth:`export_segment`."""
+        return len(self._records)
+
+    def records_since(self, mark: int) -> list[dict]:
+        """Deep-copied snapshot of records appended after ``mark``.
+
+        Spans still open (e.g. captured mid-failure) have ``end: None``
+        -- that is what makes a *partial* trace recognisable.
+        """
+        return [
+            {**record, "attrs": dict(record["attrs"])}
+            for record in self._records[mark:]
+        ]
+
+    def records(self) -> list[dict]:
+        return self.records_since(0)
+
+    def export_segment(self, mark: int) -> list[dict]:
+        """Records after ``mark``, rebased so ids and steps start at 0.
+
+        Worker processes ship segments to the parent, whose tracer
+        renumbers them onto its own counters via :meth:`import_segment`.
+        """
+        segment = self.records_since(mark)
+        if not segment:
+            return segment
+        id_base = min(record["id"] for record in segment)
+        step_base = min(record["start"] for record in segment)
+        known = {record["id"] for record in segment}
+        for record in segment:
+            record["id"] -= id_base
+            record["parent"] = (
+                record["parent"] - id_base
+                if record["parent"] in known
+                else None
+            )
+            record["start"] -= step_base
+            if record["end"] is not None:
+                record["end"] -= step_base
+        return segment
+
+    def import_segment(
+        self, segment: list[dict], worker: str | None = None
+    ) -> None:
+        """Splice a rebased segment into this tracer's log.
+
+        Ids and steps are renumbered onto this tracer's counters, so a
+        merged trace is totally ordered no matter which process produced
+        each segment.  ``worker`` is stamped onto the segment's root
+        spans (parent ``None``) for attribution.
+        """
+        if not segment:
+            return
+        id_base = len(self._records)
+        step_span = 1 + max(
+            max(record["start"] for record in segment),
+            max(
+                record["end"]
+                for record in segment
+                if record["end"] is not None
+            )
+            if any(record["end"] is not None for record in segment)
+            else 0,
+        )
+        step_base = self._steps
+        self._steps += step_span
+        for record in segment:
+            copied = {**record, "attrs": dict(record["attrs"])}
+            copied["id"] += id_base
+            if copied["parent"] is None:
+                if worker is not None:
+                    copied["attrs"]["worker"] = worker
+            else:
+                copied["parent"] += id_base
+            copied["start"] += step_base
+            if copied["end"] is not None:
+                copied["end"] += step_base
+            self._records.append(copied)
+
+    def write_jsonl(self, path: str | Path, header: dict | None = None) -> Path:
+        """One JSON object per line, keys sorted: byte-stable per seed."""
+        path = Path(path)
+        lines = []
+        if header is not None:
+            lines.append(json.dumps({"type": "meta", **header}, sort_keys=True))
+        lines.extend(
+            json.dumps(record, sort_keys=True) for record in self.records()
+        )
+        path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+        return path

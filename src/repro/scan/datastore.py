@@ -33,6 +33,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.pipeline import MeasurementStudy
+from repro.obs import NULL_OBS, Observability
 from repro.scan.calibration import Calibration
 from repro.scan.ecosystem import Ecosystem
 
@@ -73,8 +74,11 @@ class ArtifactCache:
     entries are treated as misses.
     """
 
-    def __init__(self, directory: str | Path) -> None:
+    def __init__(
+        self, directory: str | Path, obs: Observability | None = None
+    ) -> None:
         self.directory = Path(directory)
+        self.obs = obs if obs is not None else NULL_OBS
 
     def ecosystem_path(self, calibration: Calibration) -> Path:
         digest = calibration_digest(calibration)
@@ -82,19 +86,33 @@ class ArtifactCache:
 
     def load_ecosystem(self, calibration: Calibration) -> Ecosystem | None:
         path = self.ecosystem_path(calibration)
+        digest = calibration_digest(calibration)
         try:
             with open(path, "rb") as handle:
-                return pickle.load(handle)
+                loaded = pickle.load(handle)
         except Exception:
             # A cache read must never fail a run: missing, unreadable,
             # truncated, or garbage entries (pickle raises arbitrary
             # exception types on corrupt input) are all misses.
+            if self.obs.enabled:
+                self.obs.tracer.event("artifact_cache.miss", calibration=digest)
+                self.obs.metrics.counter("artifact_cache.misses").inc()
             return None
+        if self.obs.enabled:
+            self.obs.tracer.event("artifact_cache.hit", calibration=digest)
+            self.obs.metrics.counter("artifact_cache.hits").inc()
+        return loaded
 
     def store_ecosystem(
         self, calibration: Calibration, ecosystem: Ecosystem
     ) -> Path:
         path = self.ecosystem_path(calibration)
+        if self.obs.enabled:
+            self.obs.tracer.event(
+                "artifact_cache.store",
+                calibration=calibration_digest(calibration),
+            )
+            self.obs.metrics.counter("artifact_cache.stores").inc()
         self.directory.mkdir(parents=True, exist_ok=True)
         tmp = path.with_suffix(f".tmp.{os.getpid()}")
         try:

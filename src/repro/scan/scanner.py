@@ -10,6 +10,7 @@ from __future__ import annotations
 import datetime
 from dataclasses import dataclass
 
+from repro.obs import NULL_OBS, Observability
 from repro.scan.calibration import Calibration
 from repro.scan.ecosystem import Ecosystem
 
@@ -33,18 +34,29 @@ class ScanSnapshot:
 class Rapid7Scanner:
     """Runs the weekly scan series against an ecosystem."""
 
-    def __init__(self, ecosystem: Ecosystem) -> None:
+    def __init__(
+        self, ecosystem: Ecosystem, obs: Observability | None = None
+    ) -> None:
         self.ecosystem = ecosystem
         self.calibration: Calibration = ecosystem.calibration
+        self.obs = obs if obs is not None else NULL_OBS
 
     def scan(self, date: datetime.date) -> ScanSnapshot:
         alive = frozenset(
             leaf.cert_id for leaf in self.ecosystem.leaves if leaf.is_alive(date)
         )
+        if self.obs.enabled:
+            self.obs.tracer.event(
+                "scan.snapshot", date=date.isoformat(), alive=len(alive)
+            )
+            self.obs.metrics.counter("scan.certs_observed").inc(len(alive))
         return ScanSnapshot(date=date, cert_ids=alive)
 
     def run_all(self) -> list[ScanSnapshot]:
-        return [self.scan(date) for date in self.calibration.scan_dates]
+        with self.obs.tracer.span(
+            "scan.series", scans=len(self.calibration.scan_dates)
+        ):
+            return [self.scan(date) for date in self.calibration.scan_dates]
 
     def birth_death_table(
         self, snapshots: list[ScanSnapshot]

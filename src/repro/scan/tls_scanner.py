@@ -16,6 +16,7 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.obs import NULL_OBS, Observability
 from repro.scan.calibration import Calibration
 from repro.scan.ecosystem import Ecosystem
 from repro.scan.records import LeafRecord
@@ -83,10 +84,16 @@ class StaplingSummary:
 class TlsHandshakeScanner:
     """Simulates the full-IPv4 TLS handshake scan of March 28, 2015."""
 
-    def __init__(self, ecosystem: Ecosystem, seed: int = 7) -> None:
+    def __init__(
+        self,
+        ecosystem: Ecosystem,
+        seed: int = 7,
+        obs: Observability | None = None,
+    ) -> None:
         self.ecosystem = ecosystem
         self.calibration: Calibration = ecosystem.calibration
         self._rng = random.Random(seed)
+        self.obs = obs if obs is not None else NULL_OBS
 
     def _fresh_advertised(self) -> list[LeafRecord]:
         end = self.calibration.measurement_end
@@ -99,6 +106,8 @@ class TlsHandshakeScanner:
     def summary(self) -> StaplingSummary:
         """One-connection-per-server scan statistics (§4.3)."""
         leaves = self._fresh_advertised()
+        if self.obs.enabled:
+            self.obs.tracer.event("tls_scan.summary", certs=len(leaves))
         servers_total = sum(leaf.server_count for leaf in leaves)
         servers_stapling = sum(leaf.stapling_servers for leaf in leaves)
         certs_any = sum(1 for leaf in leaves if leaf.stapling_servers > 0)
@@ -132,6 +141,12 @@ class TlsHandshakeScanner:
         """
         cal = self.calibration
         rng = self._rng
+        if self.obs.enabled:
+            self.obs.tracer.event(
+                "tls_scan.probe_experiment",
+                server_sample=server_sample,
+                probes=probes,
+            )
         first_seen: list[int] = []  # probe index (1-based) of first staple
         for _ in range(server_sample):
             if rng.random() >= cal.staple_cold_probability:

@@ -1,0 +1,6 @@
+"""Negative fixture: this conftest derandomizes the whole directory."""
+
+from hypothesis import settings
+
+settings.register_profile("repro", derandomize=True)
+settings.load_profile("repro")

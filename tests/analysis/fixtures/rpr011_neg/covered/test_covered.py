@@ -1,0 +1,9 @@
+"""Negative fixture: bare @given is fine under a derandomized conftest."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+
+@given(st.integers())
+def test_addition_commutes(x):
+    assert x + 1 == 1 + x

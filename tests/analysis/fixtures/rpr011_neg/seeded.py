@@ -1,0 +1,10 @@
+"""Negative fixture: @seed pins the example stream."""
+
+from hypothesis import given, seed
+from hypothesis import strategies as st
+
+
+@seed(20151028)
+@given(st.integers())
+def test_addition_commutes(x):
+    assert x + 1 == 1 + x

@@ -1,0 +1,14 @@
+"""Negative fixture: @settings(derandomize=True) on the test itself."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+
+@settings(derandomize=True)
+@given(st.integers())
+def test_addition_commutes(x):
+    assert x + 1 == 1 + x
+
+
+def test_not_a_property_test():
+    assert True  # no @given, rule must not even look

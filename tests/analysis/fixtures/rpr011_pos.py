@@ -1,0 +1,9 @@
+"""Positive fixture: a @given test with no derandomization anywhere."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+
+@given(st.integers())
+def test_addition_commutes(x):
+    assert x + 1 == 1 + x

@@ -10,9 +10,17 @@ from __future__ import annotations
 import datetime
 
 import pytest
+from hypothesis import settings
 
 from repro import MeasurementStudy
 from repro.scan.calibration import Calibration
+
+# Derandomize every hypothesis test in the suite: examples are derived
+# from the test function, not a per-run entropy source, so two runs
+# execute identical example streams.  The RPR011 lint rule treats this
+# profile as covering the whole tests/ tree (docs/STATIC_ANALYSIS.md).
+settings.register_profile("repro", derandomize=True)
+settings.load_profile("repro")
 
 
 @pytest.fixture(scope="session")

@@ -12,7 +12,13 @@ import pytest
 from repro.core.pipeline import MeasurementStudy
 from repro.experiments import availability
 from repro.experiments.common import failure_result
-from repro.experiments.runner import ALL_EXPERIMENTS, run_all, run_experiment
+from repro.experiments.runner import (
+    ALL_EXPERIMENTS,
+    _run_isolated,
+    run_all,
+    run_experiment,
+)
+from repro.obs import Observability
 from repro.scan.calibration import Calibration
 
 
@@ -57,6 +63,45 @@ class TestErrorIsolation:
         assert not record.ok
         assert record.error["type"] == "ValueError"
         assert record.data["error"] is record.error
+        assert "partial_trace" not in record.error  # only when traced
+
+    def test_partial_trace_attached_when_tracing(self, monkeypatch):
+        # A traced run must ship the failing experiment's spans with the
+        # failure record: the open `experiment` span and whatever stages
+        # completed mark exactly where the crash happened.
+        def boom(study):
+            with study.obs.tracer.span("stage", stage="doomed"):
+                raise RuntimeError("injected crash")
+
+        monkeypatch.setattr(ALL_EXPERIMENTS["table2"], "run", boom)
+        obs = Observability(enabled=True)
+        study = MeasurementStudy(scale=0.0005, obs=obs)
+        result = _run_isolated("table2", study)
+        assert not result.ok
+        partial = result.error["partial_trace"]
+        names = [span["name"] for span in partial]
+        assert names == ["experiment", "stage"]
+        experiment_span, stage_span = partial
+        assert experiment_span["attrs"]["outcome"] == "error"
+        assert experiment_span["end"] is None  # open at capture time
+        assert stage_span["attrs"]["error"] == "RuntimeError"
+        # The tracer's own log still closes the span afterwards.
+        closed = [
+            span
+            for span in obs.tracer.records()
+            if span["name"] == "experiment"
+        ]
+        assert closed[0]["end"] is not None
+
+    def test_no_partial_trace_when_tracing_disabled(self, monkeypatch):
+        def boom(_study):
+            raise RuntimeError("injected crash")
+
+        monkeypatch.setattr(ALL_EXPERIMENTS["table2"], "run", boom)
+        study = MeasurementStudy(scale=0.0005)
+        result = _run_isolated("table2", study)
+        assert not result.ok
+        assert "partial_trace" not in result.error
 
 
 class TestFaultDeterminism:

@@ -1,0 +1,87 @@
+"""Golden-report lockdown: per-seed digests of every experiment render.
+
+The whole study is deterministic for a fixed calibration, so the exact
+bytes of each experiment's report are part of the contract: any change
+to them -- a refactor that perturbs an RNG draw, a formatting tweak, an
+accidental float reorder -- must show up as a reviewed diff of
+``tests/experiments/golden/``, not slip through silently.
+
+When a change is intentional, regenerate with::
+
+    PYTHONPATH=src python scripts/update_golden.py
+
+The golden study pins ``fault_profile="none"`` so the digests hold under
+CI's ``REPRO_FAULT_PROFILE`` matrix, and builds its own study (never the
+session fixture): experiments that consume the study's stateful RNG
+would otherwise see a different stream depending on test order.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from pathlib import Path
+
+import pytest
+
+from repro import MeasurementStudy
+from repro.experiments.runner import ALL_EXPERIMENTS, run_all
+
+GOLDEN_PATH = (
+    Path(__file__).parent / "golden" / "reports-scale0.002-seed20151028.json"
+)
+
+
+def compute_digests() -> dict[str, str]:
+    """One sequential run of everything at the pinned calibration."""
+    study = MeasurementStudy(scale=0.002, seed=20151028, fault_profile="none")
+    results = run_all(study)
+    crashed = [r.experiment_id for r in results if not r.ok]
+    assert not crashed, f"experiments crashed: {crashed}"
+    return {
+        result.experiment_id: hashlib.sha256(
+            result.render().encode("utf-8")
+        ).hexdigest()
+        for result in results
+    }
+
+
+def golden_payload(digests: dict[str, str]) -> dict:
+    return {
+        "scale": 0.002,
+        "seed": 20151028,
+        "fault_profile": "none",
+        "digests": digests,
+    }
+
+
+# Tolerate a missing file at import so scripts/update_golden.py can be
+# used to create it in the first place; the tests then fail loudly.
+_GOLDEN = (
+    json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
+    if GOLDEN_PATH.exists()
+    else {"scale": None, "seed": None, "fault_profile": None, "digests": {}}
+)
+
+
+@pytest.fixture(scope="module")
+def digests() -> dict[str, str]:
+    return compute_digests()
+
+
+def test_golden_covers_every_experiment():
+    assert sorted(_GOLDEN["digests"]) == sorted(ALL_EXPERIMENTS)
+
+
+def test_golden_pins_the_calibration():
+    assert _GOLDEN["scale"] == pytest.approx(0.002)
+    assert _GOLDEN["seed"] == 20151028
+    assert _GOLDEN["fault_profile"] == "none"
+
+
+@pytest.mark.parametrize("experiment_id", sorted(ALL_EXPERIMENTS))
+def test_report_matches_golden(digests, experiment_id):
+    assert digests[experiment_id] == _GOLDEN["digests"][experiment_id], (
+        f"{experiment_id}'s report changed; if intentional, regenerate "
+        "with: PYTHONPATH=src python scripts/update_golden.py"
+    )

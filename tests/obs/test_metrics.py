@@ -1,0 +1,101 @@
+"""Metrics registry unit tests: instruments, export order, merging."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, _NullInstrument
+
+
+class TestDisabled:
+    def test_all_accessors_return_shared_null(self):
+        registry = MetricsRegistry(enabled=False)
+        assert isinstance(registry.counter("c"), _NullInstrument)
+        assert isinstance(registry.gauge("g"), _NullInstrument)
+        assert isinstance(registry.histogram("h"), _NullInstrument)
+        assert registry.export() == []
+        assert registry.op_count == 0
+
+
+class TestInstruments:
+    def test_counter_accumulates_and_rejects_negative(self):
+        registry = MetricsRegistry(enabled=True)
+        counter = registry.counter("fetches", kind="crl")
+        counter.inc()
+        counter.inc(4)
+        assert counter.value == 5
+        with pytest.raises(ValueError, match="only go up"):
+            counter.inc(-1)
+
+    def test_labels_key_distinct_instruments(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("fetches", kind="crl").inc()
+        registry.counter("fetches", kind="ocsp").inc(2)
+        assert registry.counter("fetches", kind="crl").value == 1
+        assert registry.counter("fetches", kind="ocsp").value == 2
+
+    def test_histogram_tracks_count_sum_min_max(self):
+        registry = MetricsRegistry(enabled=True)
+        histogram = registry.histogram("latency")
+        for value in (5, 1, 9):
+            histogram.observe(value)
+        assert (histogram.count, histogram.total) == (3, 15)
+        assert (histogram.min, histogram.max) == (1, 9)
+
+
+class TestExport:
+    def test_export_is_sorted_and_json_ready(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.gauge("z").set(3)
+        registry.counter("a", kind="crl").inc()
+        records = registry.export()
+        assert [(r["kind"], r["name"]) for r in records] == [
+            ("counter", "a"),
+            ("gauge", "z"),
+        ]
+        assert records[0]["labels"] == {"kind": "crl"}
+
+    def test_op_count_increases_with_touches(self):
+        registry = MetricsRegistry(enabled=True)
+        before = registry.op_count
+        registry.counter("a").inc()
+        registry.counter("a").inc()
+        assert registry.op_count == before + 2
+
+
+class TestMerge:
+    def test_merge_adds_counters_and_histograms_maxes_gauges(self):
+        worker = MetricsRegistry(enabled=True)
+        worker.counter("fetches").inc(3)
+        worker.gauge("high_water").set(7)
+        worker.histogram("latency").observe(2)
+        worker.histogram("latency").observe(10)
+
+        parent = MetricsRegistry(enabled=True)
+        parent.counter("fetches").inc(1)
+        parent.gauge("high_water").set(9)
+        parent.histogram("latency").observe(5)
+        parent.merge(worker.export())
+
+        assert parent.counter("fetches").value == 4
+        assert parent.gauge("high_water").value == 9
+        histogram = parent.histogram("latency")
+        assert (histogram.count, histogram.total) == (3, 17)
+        assert (histogram.min, histogram.max) == (2, 10)
+
+    def test_merge_is_order_independent(self):
+        def worker(seed):
+            registry = MetricsRegistry(enabled=True)
+            registry.counter("fetches").inc(seed)
+            registry.histogram("latency").observe(seed * 2)
+            registry.gauge("peak").set(seed)
+            return registry.export()
+
+        a, b = worker(3), worker(5)
+        left = MetricsRegistry(enabled=True)
+        left.merge(a)
+        left.merge(b)
+        right = MetricsRegistry(enabled=True)
+        right.merge(b)
+        right.merge(a)
+        assert left.export() == right.export()

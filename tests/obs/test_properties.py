@@ -1,0 +1,241 @@
+"""Property tests (derandomized hypothesis) locking down the invariants
+the observability layer reports on.
+
+Three families:
+
+* **FetchStats accounting** -- however the fault dice land, the running
+  totals must balance: every logical fetch is exactly one success or
+  failure, failed attempts still charge latency, and the cumulative
+  totals only ever grow.
+* **Metrics wiring** -- the counters the fetcher publishes must agree
+  with its own ``FetchStats``, and registry merging must be order
+  independent.
+* **Span trees** -- any program of opens/closes/events yields a
+  well-formed trace: dense ids, existing parents, properly nested
+  strictly-increasing steps.
+
+All ``@given`` tests run under the ``repro`` derandomized hypothesis
+profile (tests/conftest.py), so the whole suite stays reproducible; the
+RPR011 lint rule enforces this for any future hypothesis test.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ca.authority import CertificateAuthority
+from repro.net.cache import ClientCache
+from repro.net.endpoints import CrlEndpoint, OcspEndpoint
+from repro.net.faults import FaultKind, FaultPlan, FaultSpec
+from repro.net.fetcher import NetworkFetcher, RetryPolicy
+from repro.net.transport import FailureMode, Network
+from repro.obs import Observability
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import Tracer
+
+UTC = datetime.timezone.utc
+NOW = datetime.datetime(2015, 3, 1, 12, 0, tzinfo=UTC)
+ZERO = datetime.timedelta(0)
+
+_CA = CertificateAuthority.create_root(
+    "Property CA",
+    "property-ca",
+    datetime.datetime(2014, 1, 1, tzinfo=UTC),
+    datetime.datetime(2016, 1, 1, tzinfo=UTC),
+    crl_base_url="http://crl.property.example",
+    ocsp_url="http://ocsp.property.example/q",
+)
+_CRL_URL = _CA.crl_publisher.urls[0]
+_OCSP_URL = "http://ocsp.property.example/q"
+_MISSING_URL = "http://missing.property.example/crl"
+
+#: one drawn step of the fetch program.
+_STEP = st.sampled_from(("crl", "ocsp", "missing"))
+
+
+def _fetcher(probability: float, fault_seed: int, aggressive: bool, obs=None):
+    plan = None
+    if probability > 0:
+        plan = FaultPlan(seed=fault_seed)
+        plan.add("*", FaultSpec(FaultKind.FLAKY, probability=probability * 0.6))
+        plan.add(
+            "*",
+            FaultSpec(
+                FaultKind.FLAKY,
+                probability=probability * 0.4,
+                mode=FailureMode.HTTP_404,
+            ),
+        )
+    network = Network(faults=plan, timeout=datetime.timedelta(seconds=5))
+    network.register(
+        _CRL_URL,
+        CrlEndpoint(lambda at: _CA.crl_publisher.encode(_CRL_URL, at).to_der()),
+    )
+    network.register(_OCSP_URL, OcspEndpoint(_CA.ocsp_responder.respond))
+    policy = RetryPolicy.aggressive() if aggressive else RetryPolicy.no_retry()
+    return NetworkFetcher(
+        network,
+        clock_now=lambda: NOW,
+        cache=ClientCache(),
+        retry_policy=policy,
+        seed=fault_seed,
+        obs=obs,
+    )
+
+
+def _run_program(fetcher, program):
+    for step in program:
+        if step == "crl":
+            fetcher.fetch_crl_result(_CRL_URL)
+        elif step == "ocsp":
+            fetcher.fetch_ocsp_result(_OCSP_URL, _CA.issuer_key_hash, 1)
+        else:
+            fetcher.fetch_crl_result(_MISSING_URL)
+
+
+class TestFetchStatsInvariants:
+    @settings(derandomize=True, max_examples=25, deadline=None)
+    @given(
+        probability=st.floats(min_value=0.0, max_value=0.9),
+        fault_seed=st.integers(min_value=0, max_value=2**16),
+        aggressive=st.booleans(),
+        program=st.lists(_STEP, min_size=1, max_size=12),
+    )
+    def test_totals_balance(self, probability, fault_seed, aggressive, program):
+        fetcher = _fetcher(probability, fault_seed, aggressive)
+        _run_program(fetcher, program)
+        stats = fetcher.stats
+        # Every logical fetch resolves to exactly one success or failure;
+        # breaker rejections and negative-cache hits are refusals to
+        # fetch, not fetches.
+        assert stats.fetches == stats.successes + stats.failures
+        assert stats.attempts >= stats.successes
+        assert stats.attempts <= stats.fetches * fetcher.retry_policy.max_attempts
+        assert stats.retries <= stats.attempts
+        for name, value in stats.as_dict().items():
+            assert value >= 0, name
+        assert stats.latency_total >= ZERO
+        assert stats.backoff_total >= ZERO
+
+    @settings(derandomize=True, max_examples=15, deadline=None)
+    @given(
+        probability=st.floats(min_value=0.0, max_value=0.9),
+        fault_seed=st.integers(min_value=0, max_value=2**16),
+        program=st.lists(_STEP, min_size=1, max_size=10),
+    )
+    def test_totals_are_monotone(self, probability, fault_seed, program):
+        fetcher = _fetcher(probability, fault_seed, aggressive=True)
+        previous = fetcher.stats.as_dict()
+        for step in program:
+            _run_program(fetcher, [step])
+            current = fetcher.stats.as_dict()
+            for name, value in current.items():
+                assert value >= previous[name], name
+            previous = current
+
+
+class TestMetricsAgreeWithStats:
+    @settings(derandomize=True, max_examples=15, deadline=None)
+    @given(
+        probability=st.floats(min_value=0.0, max_value=0.9),
+        fault_seed=st.integers(min_value=0, max_value=2**16),
+        program=st.lists(_STEP, min_size=1, max_size=10),
+    )
+    def test_fetch_counters_match(self, probability, fault_seed, program):
+        obs = Observability(enabled=True)
+        fetcher = _fetcher(probability, fault_seed, aggressive=True, obs=obs)
+        _run_program(fetcher, program)
+        stats = fetcher.stats
+        by_name: dict[str, float] = {}
+        for record in obs.metrics.export():
+            if record["kind"] == "counter":
+                by_name[record["name"]] = (
+                    by_name.get(record["name"], 0) + record["value"]
+                )
+        assert by_name.get("fetch.fetches", 0) == stats.fetches
+        assert by_name.get("fetch.attempts", 0) == stats.attempts
+        assert by_name.get("fetch.bytes_downloaded", 0) == stats.bytes_downloaded
+        assert (
+            by_name.get("fetch.negative_cache_hits", 0)
+            == stats.negative_cache_hits
+        )
+
+    @settings(derandomize=True, max_examples=20, deadline=None)
+    @given(
+        increments=st.lists(
+            st.tuples(
+                st.sampled_from(("a", "b", "c")),
+                st.integers(min_value=0, max_value=100),
+            ),
+            max_size=20,
+        )
+    )
+    def test_merge_order_independent(self, increments):
+        half = len(increments) // 2
+        exports = []
+        for chunk in (increments[:half], increments[half:]):
+            registry = MetricsRegistry(enabled=True)
+            for name, amount in chunk:
+                registry.counter(name).inc(amount)
+                registry.histogram("h", series=name).observe(amount)
+            exports.append(registry.export())
+        forward = MetricsRegistry(enabled=True)
+        backward = MetricsRegistry(enabled=True)
+        for export in exports:
+            forward.merge(export)
+        for export in reversed(exports):
+            backward.merge(export)
+        assert forward.export() == backward.export()
+
+
+#: a nesting program: "(" opens a span, ")" closes the innermost open
+#: span (ignored when nothing is open), "." records an event.
+_PROGRAM = st.lists(st.sampled_from("()."), max_size=40)
+
+
+def _execute(program) -> Tracer:
+    tracer = Tracer(enabled=True)
+    open_spans = []
+    for op in program:
+        if op == "(":
+            span = tracer.span("s", depth=len(open_spans))
+            span.__enter__()
+            open_spans.append(span)
+        elif op == ")" and open_spans:
+            open_spans.pop().__exit__(None, None, None)
+        elif op == ".":
+            tracer.event("e")
+    while open_spans:
+        open_spans.pop().__exit__(None, None, None)
+    return tracer
+
+
+class TestSpanTreeWellFormed:
+    @settings(derandomize=True, max_examples=50, deadline=None)
+    @given(program=_PROGRAM)
+    def test_any_program_yields_well_formed_tree(self, program):
+        records = _execute(program).records()
+        by_id = {record["id"]: record for record in records}
+        assert sorted(by_id) == list(range(len(records)))  # dense ids
+        steps = []
+        for record in records:
+            assert record["end"] is not None  # everything was closed
+            assert record["start"] <= record["end"]
+            steps.append(record["start"])
+            if record["start"] != record["end"]:
+                steps.append(record["end"])
+            parent_id = record["parent"]
+            if parent_id is not None:
+                parent = by_id[parent_id]
+                assert parent_id < record["id"]
+                # Proper nesting: the child's interval sits inside its
+                # parent's.
+                assert parent["start"] < record["start"]
+                assert record["end"] <= parent["end"]
+        # The step counter ticks exactly once per span boundary/event.
+        assert sorted(steps) == list(range(len(steps)))
+        starts = [record["start"] for record in records]
+        assert starts == sorted(starts)  # trace order == start order

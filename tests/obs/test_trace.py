@@ -1,0 +1,143 @@
+"""Tracer unit tests: spans, nesting, segments, and determinism."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs import NULL_OBS, Observability
+from repro.obs.trace import NullSpan, Tracer
+
+
+class TestDisabled:
+    def test_span_returns_shared_null_span(self):
+        tracer = Tracer(enabled=False)
+        span = tracer.span("anything", certs=3)
+        assert isinstance(span, NullSpan)
+        assert tracer.records() == []
+
+    def test_event_records_nothing(self):
+        tracer = Tracer(enabled=False)
+        tracer.event("hit", kind="crl")
+        assert tracer.records() == []
+
+    def test_null_obs_is_disabled(self):
+        assert not NULL_OBS.enabled
+        assert not NULL_OBS.tracer.enabled
+        assert not NULL_OBS.metrics.enabled
+
+
+class TestSpans:
+    def test_nesting_parent_child(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.event("leaf")
+        outer, inner, leaf = tracer.records()
+        assert outer["parent"] is None
+        assert inner["parent"] == outer["id"]
+        assert leaf["parent"] == inner["id"]
+        assert outer["start"] < inner["start"] < leaf["start"]
+        assert leaf["end"] <= inner["end"] < outer["end"]
+
+    def test_set_attaches_attributes(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("s", kind="crl") as span:
+            span.set("count", 7)
+        (record,) = tracer.records()
+        assert record["attrs"] == {"kind": "crl", "count": 7}
+
+    def test_non_scalar_attribute_rejected(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(TypeError, match="attribute values"):
+            tracer.span("s", bad=[1, 2])
+
+    def test_exception_closes_span_and_tags_error(self):
+        tracer = Tracer(enabled=True)
+        with pytest.raises(ValueError):
+            with tracer.span("outer"):
+                with tracer.span("inner"):
+                    raise ValueError("boom")
+        outer, inner = tracer.records()
+        # The exception skipped inner's normal exit; closing outer must
+        # still stamp inner's end (stack unwinding).
+        assert inner["end"] is not None
+        assert outer["end"] is not None
+        assert outer["attrs"]["error"] == "ValueError"
+
+    def test_event_is_zero_duration(self):
+        tracer = Tracer(enabled=True)
+        tracer.event("hit")
+        (record,) = tracer.records()
+        assert record["start"] == record["end"]
+
+
+class TestSegments:
+    def _worker_segment(self, names):
+        tracer = Tracer(enabled=True)
+        tracer.event("noise")  # pre-mark records must not leak
+        mark = tracer.mark()
+        for name in names:
+            with tracer.span("experiment", experiment=name):
+                tracer.event("stage")
+        return tracer.export_segment(mark)
+
+    def test_export_rebases_ids_and_steps(self):
+        segment = self._worker_segment(["fig2"])
+        assert segment[0]["id"] == 0
+        assert segment[0]["start"] == 0
+        assert segment[0]["parent"] is None
+        assert segment[1]["parent"] == 0
+
+    def test_import_renumbers_and_stamps_worker(self):
+        parent = Tracer(enabled=True)
+        parent.event("local")
+        parent.import_segment(self._worker_segment(["fig2"]), worker="w1")
+        parent.import_segment(self._worker_segment(["fig3"]), worker="w2")
+        records = parent.records()
+        ids = [record["id"] for record in records]
+        assert ids == list(range(len(records)))
+        roots = [r for r in records if r["name"] == "experiment"]
+        assert [r["attrs"]["worker"] for r in roots] == ["w1", "w2"]
+        starts = [r["start"] for r in records]
+        assert starts == sorted(starts)
+
+    def test_records_since_snapshot_is_isolated(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("s"):
+            snapshot = tracer.records_since(0)
+        assert snapshot[0]["end"] is None  # open at snapshot time
+        assert tracer.records()[0]["end"] is not None
+        snapshot[0]["attrs"]["mutated"] = True
+        assert "mutated" not in tracer.records()[0]["attrs"]
+
+
+class TestJsonl:
+    def test_write_jsonl_round_trips_with_header(self, tmp_path):
+        tracer = Tracer(enabled=True)
+        with tracer.span("s", kind="crl"):
+            pass
+        path = tracer.write_jsonl(tmp_path / "t.jsonl", header={"seed": 1})
+        lines = path.read_text().splitlines()
+        assert json.loads(lines[0]) == {"type": "meta", "seed": 1}
+        assert json.loads(lines[1])["name"] == "s"
+
+    def test_same_work_same_bytes(self, tmp_path):
+        def run(path):
+            tracer = Tracer(enabled=True)
+            for i in range(3):
+                with tracer.span("outer", i=i):
+                    tracer.event("inner")
+            return tracer.write_jsonl(path).read_bytes()
+
+        assert run(tmp_path / "a.jsonl") == run(tmp_path / "b.jsonl")
+
+
+class TestObservability:
+    def test_export_records_spans_then_metrics(self):
+        obs = Observability(enabled=True)
+        obs.metrics.counter("c").inc()
+        obs.tracer.event("e")
+        records = obs.export_records()
+        assert [r["type"] for r in records] == ["span", "metric"]
