@@ -2,13 +2,26 @@
 
 Usage::
 
-    python -m repro list                     # available experiments
-    python -m repro run fig2 [--scale S]     # regenerate one figure/table
-    python -m repro run all [--scale S]      # regenerate everything
-    python -m repro report [--scale S]       # EXPERIMENTS.md body to stdout
-    python -m repro analyze [args...]        # static-analysis gate
-    python -m repro trace trace.jsonl        # roll up a recorded trace
-    python -m repro --fault-profile chaos    # run everything degraded
+    python -m repro list                       # available experiments
+    python -m repro run fig2 [--scale S]       # regenerate one figure/table
+    python -m repro run all [--parallel N]     # regenerate everything
+    python -m repro report [--scale S]         # EXPERIMENTS.md body to stdout
+    python -m repro analyze [args...]          # static-analysis gate
+    python -m repro trace trace.jsonl          # roll up a recorded trace
+    python -m repro trace --diff A B [--check] # structural span-diff
+    python -m repro --fault-profile chaos      # run everything degraded
+
+The CLI is a thin shell over :mod:`repro.api`, the stable programmatic
+facade: every subcommand maps onto one facade call.
+
+Shared flags: ``--fault-profile``/``--fault-seed`` may be given before
+or after the subcommand, and ``run``/``report`` share the same
+``--scale``/``--seed``/fault flags via a common parent parser.  When a
+fault flag appears both before and after the subcommand, the
+after-subcommand value wins -- a parser property, not hand-rolled
+merging: the subcommand parsers inherit the flags with
+``argparse.SUPPRESS`` defaults, so they only overwrite the top-level
+value when the flag was actually given.
 
 Fault injection (docs/ROBUSTNESS.md): ``--fault-profile`` names an entry
 in :data:`repro.net.faults.PROFILES` and ``--fault-seed`` pins the fault
@@ -17,8 +30,11 @@ RNG, so two runs with the same seed produce byte-identical reports.
 Observability (docs/OBSERVABILITY.md): ``run --trace-out trace.jsonl``
 records spans and metrics while the experiments run and writes them as
 JSONL; ``trace`` renders the roll-up (summary, top spans, per-experiment
-flame-table).  Tracing never changes a report byte, and sequential
-traces are byte-identical per seed.
+flame-table with per-span counter attribution); ``trace --diff A B``
+aligns two traces' span trees and reports the structural delta --
+``--check`` exits 1 when the diff is non-empty, which is how CI asserts
+"same seed, same behaviour".  Tracing never changes a report byte, and
+sequential traces are byte-identical per seed.
 """
 
 from __future__ import annotations
@@ -26,27 +42,51 @@ from __future__ import annotations
 import argparse
 import sys
 
-from repro import ALL_EXPERIMENTS, MeasurementStudy, run_all, run_experiment
+from repro import api
 
 
-def _add_fault_arguments(
-    parser: argparse.ArgumentParser, dest_prefix: str = ""
-) -> None:
-    parser.add_argument(
+def _fault_parent(suppress: bool) -> argparse.ArgumentParser:
+    """The shared ``--fault-profile``/``--fault-seed`` flags.
+
+    The top-level parser uses real ``None`` defaults (the attribute must
+    always exist); subcommand parsers use ``argparse.SUPPRESS`` so an
+    absent flag leaves the top-level value untouched and a present one
+    overwrites it -- "after the subcommand wins" by construction.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    default = argparse.SUPPRESS if suppress else None
+    parent.add_argument(
         "--fault-profile",
-        dest=f"{dest_prefix}fault_profile",
-        default=None,
+        default=default,
         metavar="NAME",
         help="inject faults from this profile (none, flaky, chaos)",
     )
-    parser.add_argument(
+    parent.add_argument(
         "--fault-seed",
-        dest=f"{dest_prefix}fault_seed",
         type=int,
-        default=None,
+        default=default,
         metavar="SEED",
         help="seed for the fault-injection RNG (default: the study seed)",
     )
+    return parent
+
+
+def _calibration_parent() -> argparse.ArgumentParser:
+    """The shared ``--scale``/``--seed`` calibration flags."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--scale",
+        type=float,
+        default=0.002,
+        help="ecosystem scale factor (default 0.002)",
+    )
+    parent.add_argument(
+        "--seed",
+        type=int,
+        default=20151028,
+        help="study seed (default 20151028)",
+    )
+    return parent
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -56,16 +96,17 @@ def _build_parser() -> argparse.ArgumentParser:
             "Reproduction of 'An End-to-End Measurement of Certificate "
             "Revocation in the Web's PKI' (IMC 2015)"
         ),
+        parents=[_fault_parent(suppress=False)],
     )
-    _add_fault_arguments(parser)
     sub = parser.add_subparsers(dest="command", required=False)
 
     sub.add_parser("list", help="list available experiments")
 
-    run = sub.add_parser("run", help="run one experiment (or 'all')")
+    shared = [_fault_parent(suppress=True), _calibration_parent()]
+    run = sub.add_parser(
+        "run", parents=shared, help="run one experiment (or 'all')"
+    )
     run.add_argument("experiment", help="experiment id, e.g. fig2, table2, all")
-    run.add_argument("--scale", type=float, default=0.002)
-    run.add_argument("--seed", type=int, default=20151028)
     run.add_argument(
         "--parallel",
         type=int,
@@ -85,15 +126,29 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="record spans + metrics while running and write them as JSONL",
     )
-    _add_fault_arguments(run, dest_prefix="run_")
 
-    report = sub.add_parser("report", help="print the EXPERIMENTS.md body")
-    report.add_argument("--scale", type=float, default=0.002)
+    sub.add_parser(
+        "report", parents=shared, help="print the EXPERIMENTS.md body"
+    )
 
     trace = sub.add_parser(
-        "trace", help="roll up a trace recorded with run --trace-out"
+        "trace", help="roll up or diff traces recorded with run --trace-out"
     )
-    trace.add_argument("trace_file", metavar="FILE", help="trace JSONL file")
+    trace.add_argument(
+        "trace_file", nargs="?", metavar="FILE", help="trace JSONL file"
+    )
+    trace.add_argument(
+        "--diff",
+        nargs=2,
+        metavar=("A", "B"),
+        default=None,
+        help="structurally diff two traces instead of rolling one up",
+    )
+    trace.add_argument(
+        "--check",
+        action="store_true",
+        help="with --diff: exit 1 when the diff is non-empty",
+    )
     trace.add_argument(
         "--format", choices=("text", "json"), default="text", dest="trace_format"
     )
@@ -114,24 +169,105 @@ def _build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _check_fault_profile(fault_profile: str | None) -> bool:
+    if fault_profile is None:
+        return True
+    from repro.net.faults import PROFILES
+
+    if fault_profile in PROFILES:
+        return True
+    print(
+        f"unknown fault profile {fault_profile!r}; known: {sorted(PROFILES)}",
+        file=sys.stderr,
+    )
+    return False
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    if args.cache_dir is not None:
+        from pathlib import Path
+
+        cache_dir = Path(args.cache_dir)
+        if cache_dir.exists() and not cache_dir.is_dir():
+            print(
+                f"--cache-dir {args.cache_dir!r} is not a directory",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        run = api.run_study(
+            experiment=args.experiment,
+            scale=args.scale,
+            seed=args.seed,
+            fault_profile=args.fault_profile,
+            fault_seed=args.fault_seed,
+            cache_dir=args.cache_dir,
+            parallel=args.parallel,
+            trace=args.trace_out is not None,
+        )
+    except KeyError as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.trace_out is not None:
+        run.write_trace(
+            args.trace_out, experiment=args.experiment, parallel=args.parallel
+        )
+    for result in run.results:
+        print(result.render())
+        print()
+    if run.crashes:
+        print(f"{run.crashes} experiment(s) CRASHED", file=sys.stderr)
+    if run.shape_failures:
+        print(
+            f"{run.shape_failures} shape comparison(s) FAILED", file=sys.stderr
+        )
+    return 1 if (run.crashes or run.shape_failures) else 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    if args.diff is not None and args.trace_file is not None:
+        print("give either FILE or --diff A B, not both", file=sys.stderr)
+        return 2
+    if args.diff is None and args.trace_file is None:
+        print("a trace FILE or --diff A B is required", file=sys.stderr)
+        return 2
+    if args.check and args.diff is None:
+        print("--check requires --diff", file=sys.stderr)
+        return 2
+    try:
+        if args.diff is not None:
+            a_path, b_path = args.diff
+            diff = api.diff_traces(api.load_trace(a_path), api.load_trace(b_path))
+        else:
+            records = api.load_trace(args.trace_file)
+    except (OSError, ValueError) as exc:
+        print(exc, file=sys.stderr)
+        return 2
+    if args.diff is not None:
+        print(
+            api.render_diff(
+                diff, fmt=args.trace_format, a_label=a_path, b_label=b_path
+            )
+        )
+        return 1 if (args.check and not diff.is_empty) else 0
+    print(api.render_trace(records, fmt=args.trace_format, limit=args.limit))
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "analyze":
         # Delegate verbatim so the linter owns its own flags (--format,
         # --baseline, ...) without colliding with the study parser's.
-        from repro.analysis.cli import main as analyze_main
-
-        return analyze_main(argv[1:])
+        return api.run_analysis(argv[1:])
     parser = _build_parser()
     args = parser.parse_args(argv)
-    fault_profile = args.fault_profile
-    fault_seed = args.fault_seed
     if args.command is None:
         # `python -m repro --fault-profile chaos` is the documented smoke
         # invocation: run everything under the named profile.
-        if fault_profile is None and fault_seed is None:
-            parser.error("a command is required (list, run, report)")
+        if args.fault_profile is None and args.fault_seed is None:
+            parser.error("a command is required (list, run, report, trace)")
         args.command = "run"
         args.experiment = "all"
         args.scale = 0.002
@@ -139,103 +275,28 @@ def main(argv: list[str] | None = None) -> int:
         args.parallel = None
         args.cache_dir = None
         args.trace_out = None
-    else:
-        # Flags given after `run` win over ones given before it.
-        if getattr(args, "run_fault_profile", None) is not None:
-            fault_profile = args.run_fault_profile
-        if getattr(args, "run_fault_seed", None) is not None:
-            fault_seed = args.run_fault_seed
     if args.command == "list":
-        for experiment_id, module in ALL_EXPERIMENTS.items():
-            print(f"{experiment_id:10s} {module.TITLE}")
+        for experiment_id, title in api.list_experiments().items():
+            print(f"{experiment_id:10s} {title}")
         return 0
+    if args.command in ("run", "report") and not _check_fault_profile(
+        args.fault_profile
+    ):
+        return 2
     if args.command == "run":
-        if fault_profile is not None:
-            from repro.net.faults import PROFILES
-
-            if fault_profile not in PROFILES:
-                print(
-                    f"unknown fault profile {fault_profile!r}; "
-                    f"known: {sorted(PROFILES)}",
-                    file=sys.stderr,
-                )
-                return 2
-        if args.cache_dir is not None:
-            from pathlib import Path
-
-            cache_dir = Path(args.cache_dir)
-            if cache_dir.exists() and not cache_dir.is_dir():
-                print(
-                    f"--cache-dir {args.cache_dir!r} is not a directory",
-                    file=sys.stderr,
-                )
-                return 2
-        obs = None
-        if args.trace_out is not None:
-            from repro.obs import Observability
-
-            obs = Observability(enabled=True)
-        study = MeasurementStudy(
-            scale=args.scale,
-            seed=args.seed,
-            cache_dir=args.cache_dir,
-            fault_profile=fault_profile,
-            fault_seed=fault_seed,
-            obs=obs,
-        )
-        if args.experiment == "all":
-            results = run_all(study, parallel=args.parallel)
-        else:
-            try:
-                results = [run_experiment(args.experiment, study)]
-            except KeyError as exc:
-                print(exc, file=sys.stderr)
-                return 2
-        if args.trace_out is not None:
-            study.obs.write_jsonl(
-                args.trace_out,
-                header={
-                    "experiment": args.experiment,
-                    "scale": args.scale,
-                    "seed": args.seed,
-                    "fault_profile": study.fault_profile,
-                    "fault_seed": study.fault_seed,
-                    "parallel": args.parallel or 1,
-                },
-            )
-        failures = 0
-        crashes = 0
-        for result in results:
-            print(result.render())
-            print()
-            failures += sum(1 for c in result.comparisons if not c.shape_holds)
-            crashes += 0 if result.ok else 1
-        if crashes:
-            print(f"{crashes} experiment(s) CRASHED", file=sys.stderr)
-        if failures:
-            print(f"{failures} shape comparison(s) FAILED", file=sys.stderr)
-        if crashes or failures:
-            return 1
-        return 0
+        return _cmd_run(args)
     if args.command == "report":
-        from repro.experiments import reportgen
-
-        sys.argv = ["reportgen", str(args.scale)]
-        reportgen.main()
+        sys.stdout.write(
+            api.render_report(
+                args.scale,
+                seed=args.seed,
+                fault_profile=args.fault_profile,
+                fault_seed=args.fault_seed,
+            )
+        )
         return 0
     if args.command == "trace":
-        from repro.obs import report as trace_report
-
-        try:
-            records = trace_report.load_records(args.trace_file)
-        except (OSError, ValueError) as exc:
-            print(exc, file=sys.stderr)
-            return 2
-        if args.trace_format == "json":
-            print(trace_report.render_json(records, limit=args.limit))
-        else:
-            print(trace_report.render_text(records, limit=args.limit))
-        return 0
+        return _cmd_trace(args)
     return 2
 
 

@@ -1,0 +1,221 @@
+"""Stable programmatic facade over the repro package.
+
+``repro.api`` is the supported entry surface for scripts, notebooks,
+and the CLI (``python -m repro`` is a thin shell over this module):
+running studies, rendering the EXPERIMENTS.md report, loading /
+rolling up / diffing traces, and invoking the static-analysis gate.
+Everything else under ``repro.*`` is implementation and may be
+refactored freely; the signatures here are kept stable.
+
+Typical use::
+
+    from repro import api
+
+    run = api.run_study(experiment="fig2", scale=0.0005, trace=True)
+    run.write_trace("a.jsonl", experiment="fig2")
+    diff = api.diff_traces("a.jsonl", "b.jsonl")
+    print(api.render_diff(diff))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.core.pipeline import MeasurementStudy
+from repro.experiments.common import ExperimentResult
+from repro.experiments.runner import ALL_EXPERIMENTS, run_all, run_experiment
+from repro.obs import Observability
+from repro.obs import report as _trace_report
+from repro.obs.diff import TraceDiff
+from repro.obs.diff import diff_traces as _diff_traces
+from repro.obs.diff import render_diff_json, render_diff_text
+
+__all__ = [
+    "StudyRun",
+    "TraceDiff",
+    "diff_traces",
+    "list_experiments",
+    "load_trace",
+    "render_diff",
+    "render_report",
+    "render_trace",
+    "run_analysis",
+    "run_one",
+    "run_study",
+]
+
+
+@dataclass
+class StudyRun:
+    """A completed study invocation: the study plus its results."""
+
+    study: MeasurementStudy
+    results: list[ExperimentResult]
+
+    @property
+    def crashes(self) -> int:
+        """Experiments that raised (isolated into failure records)."""
+        return sum(1 for result in self.results if not result.ok)
+
+    @property
+    def shape_failures(self) -> int:
+        """Paper-vs-measured comparisons whose shape did not hold."""
+        return sum(
+            1
+            for result in self.results
+            for comparison in result.comparisons
+            if not comparison.shape_holds
+        )
+
+    @property
+    def ok(self) -> bool:
+        return self.crashes == 0 and self.shape_failures == 0
+
+    def write_trace(
+        self,
+        path: str | Path,
+        *,
+        experiment: str = "all",
+        parallel: int | None = None,
+    ) -> Path:
+        """Write the run's trace as JSONL with the standard meta header.
+
+        Only meaningful when the study was built with ``trace=True`` (or
+        an enabled :class:`~repro.obs.Observability`); a disabled study
+        writes a header-only file.
+        """
+        study = self.study
+        return study.obs.write_jsonl(
+            path,
+            header={
+                "experiment": experiment,
+                "scale": study.calibration.scale,
+                "seed": study.calibration.seed,
+                "fault_profile": study.fault_profile,
+                "fault_seed": study.fault_seed,
+                "parallel": parallel or 1,
+            },
+        )
+
+
+def list_experiments() -> dict[str, str]:
+    """Mapping of experiment id -> title, in run (declaration) order."""
+    return {eid: module.TITLE for eid, module in ALL_EXPERIMENTS.items()}
+
+
+def run_study(
+    *,
+    experiment: str = "all",
+    scale: float = 0.002,
+    seed: int = 20151028,
+    fault_profile: str | None = None,
+    fault_seed: int | None = None,
+    cache_dir: str | Path | None = None,
+    parallel: int | None = None,
+    trace: bool = False,
+    isolate_errors: bool = True,
+) -> StudyRun:
+    """Build a study and run one experiment (or ``"all"``).
+
+    ``trace=True`` attaches an enabled tracer/metrics registry; write
+    the result with :meth:`StudyRun.write_trace`.  ``"all"`` isolates
+    per-experiment crashes into failure records (``isolate_errors``);
+    a single named experiment propagates exceptions, and an unknown id
+    raises ``KeyError``.
+    """
+    obs = Observability(enabled=True) if trace else None
+    study = MeasurementStudy(
+        scale=scale,
+        seed=seed,
+        cache_dir=cache_dir,
+        fault_profile=fault_profile,
+        fault_seed=fault_seed,
+        obs=obs,
+    )
+    if experiment == "all":
+        results = run_all(study, parallel=parallel, isolate_errors=isolate_errors)
+    else:
+        results = [run_experiment(experiment, study)]
+    return StudyRun(study=study, results=results)
+
+
+def run_one(
+    experiment_id: str,
+    study: MeasurementStudy | None = None,
+    **study_kwargs,
+) -> ExperimentResult:
+    """Run a single experiment and return its result.
+
+    Pass an existing :class:`MeasurementStudy` to reuse its substrate,
+    or keyword arguments (``scale``, ``seed``, ``fault_profile``, ...)
+    to build a fresh one.  Raises ``KeyError`` for an unknown id.
+    """
+    if study is None:
+        study = MeasurementStudy(**study_kwargs)
+    return run_experiment(experiment_id, study)
+
+
+def render_report(
+    scale: float = 0.002,
+    *,
+    seed: int = 20151028,
+    fault_profile: str | None = None,
+    fault_seed: int | None = None,
+) -> str:
+    """The EXPERIMENTS.md body (what ``python -m repro report`` prints)."""
+    from repro.experiments.reportgen import generate
+
+    return generate(
+        scale, seed=seed, fault_profile=fault_profile, fault_seed=fault_seed
+    )
+
+
+def load_trace(path: str | Path) -> list[dict]:
+    """Parse a ``run --trace-out`` JSONL file into its records."""
+    return _trace_report.load_records(path)
+
+
+def render_trace(records: list[dict], fmt: str = "text", limit: int = 15) -> str:
+    """Roll up trace records (summary, top spans, flame-table)."""
+    if fmt == "json":
+        return _trace_report.render_json(records, limit=limit)
+    return _trace_report.render_text(records, limit=limit)
+
+
+def diff_traces(
+    a: str | Path | list[dict], b: str | Path | list[dict]
+) -> TraceDiff:
+    """Structurally diff two traces (paths or pre-loaded record lists).
+
+    See :mod:`repro.obs.diff` for the alignment and attribution
+    semantics; ``diff.is_empty`` is the machine-checkable "same
+    behaviour" predicate.
+    """
+    a_records = load_trace(a) if isinstance(a, (str, Path)) else a
+    b_records = load_trace(b) if isinstance(b, (str, Path)) else b
+    return _diff_traces(a_records, b_records)
+
+
+def render_diff(
+    diff: TraceDiff,
+    fmt: str = "text",
+    a_label: str = "A",
+    b_label: str = "B",
+) -> str:
+    """Render a :class:`TraceDiff` as text or JSON."""
+    if fmt == "json":
+        return render_diff_json(diff, a_label=a_label, b_label=b_label)
+    return render_diff_text(diff, a_label=a_label, b_label=b_label)
+
+
+def run_analysis(argv: list[str] | None = None) -> int:
+    """Run the determinism & PKI-invariant linter; returns its exit code.
+
+    The documented entry point behind ``python -m repro analyze``: the
+    CLI delegates its argv verbatim so the linter owns its own flags
+    (docs/STATIC_ANALYSIS.md).
+    """
+    from repro.analysis.cli import main as analyze_main
+
+    return analyze_main(argv if argv is not None else [])

@@ -44,12 +44,21 @@ TRACE_ENV_VAR = "REPRO_TRACE"
 
 
 class Observability:
-    """A tracer plus a metrics registry sharing one enabled flag."""
+    """A tracer plus a metrics registry sharing one enabled flag.
+
+    The tracer is wired to the registry's ``counter_snapshot`` so every
+    span carries its exact counter movement (``counters``, the
+    close-minus-open delta) -- the basis for per-span attribution in the
+    flame-table and the span-diff (docs/OBSERVABILITY.md).
+    """
 
     def __init__(self, enabled: bool = False) -> None:
         self.enabled = enabled
-        self.tracer = Tracer(enabled=enabled)
         self.metrics = MetricsRegistry(enabled=enabled)
+        self.tracer = Tracer(
+            enabled=enabled,
+            counter_marks=self.metrics.counter_snapshot if enabled else None,
+        )
 
     def export_records(self) -> list[dict]:
         """Spans first (trace order), then metrics (sorted): the JSONL body."""

@@ -15,11 +15,23 @@ the same totals as a sequential one.
 
 from __future__ import annotations
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "flat_key"]
 
 
 def _label_key(labels: dict) -> tuple:
     return tuple(sorted(labels.items()))
+
+
+def flat_key(name: str, labels: dict) -> str:
+    """Canonical ``name{label=value}...`` string for one instrument.
+
+    Labels are sorted, so the key is independent of insertion order --
+    the same convention the trace roll-up and the span-diff use, which
+    is what lets a counter named in a diff be grepped in a summary.
+    """
+    return name + "".join(
+        f"{{{key}={value}}}" for key, value in sorted(labels.items())
+    )
 
 
 class Counter:
@@ -114,6 +126,22 @@ class MetricsRegistry:
         return self._get("histogram", Histogram, name, labels)
 
     # -- export / merge ----------------------------------------------------
+
+    def counter_snapshot(self) -> dict[str, int | float]:
+        """Cumulative counter values keyed by :func:`flat_key`.
+
+        The tracer calls this at span open/close to stamp **counter
+        marks** onto spans (docs/OBSERVABILITY.md): the close-minus-open
+        delta is exactly the counter movement that happened inside the
+        span, so per-span attribution is exact rather than inferred.
+        Read-only -- it does not bump ``op_count``, so marking spans
+        cannot perturb the parallel-merge bookkeeping.
+        """
+        snapshot: dict[str, int | float] = {}
+        for (kind, name, labels), instrument in self._instruments.items():
+            if kind == "counter":
+                snapshot[flat_key(name, dict(labels))] = instrument.value
+        return snapshot
 
     def export(self) -> list[dict]:
         """Sorted, JSON-ready records (``{"type": "metric", ...}``)."""

@@ -15,12 +15,16 @@ import json
 from pathlib import Path
 
 from repro.core.report import format_table
+from repro.obs.metrics import flat_key
 
 __all__ = [
+    "counters_inline",
     "flame_table",
     "load_records",
+    "owned_counters",
     "render_json",
     "render_text",
+    "span_children",
     "summarize",
     "top_spans",
 ]
@@ -54,6 +58,49 @@ def _steps(span: dict) -> int:
     return span["end"] - span["start"]
 
 
+def span_children(spans: list[dict]) -> dict[int | None, list[dict]]:
+    """Spans grouped by parent id, each sibling list in start order."""
+    children: dict[int | None, list[dict]] = {}
+    for span in spans:
+        children.setdefault(span["parent"], []).append(span)
+    for siblings in children.values():
+        siblings.sort(key=lambda span: span["start"])
+    return children
+
+
+def owned_counters(span: dict, children: dict[int | None, list[dict]]) -> dict:
+    """Counter movement *owned* by ``span``.
+
+    A span's recorded ``counters`` mark (close-minus-open snapshot,
+    stamped by the tracer) covers everything that moved while it was
+    open -- including movement inside child spans.  Owned movement
+    subtracts the direct children's recorded movement, leaving only what
+    this span itself (its own code, plus zero-width events directly
+    under it) caused.  Spans recorded before marks existed, or still
+    open, simply have no ``counters`` and own nothing.
+    """
+    owned = dict(span.get("counters") or {})
+    for child in children.get(span["id"], []):
+        for key, delta in (child.get("counters") or {}).items():
+            owned[key] = owned.get(key, 0) - delta
+    return {key: value for key, value in sorted(owned.items()) if value}
+
+
+def counters_inline(counters: dict, top: int = 3) -> str:
+    """Compact one-line rendering of a counter-movement dict.
+
+    The ``top`` movements by magnitude (ties broken by name), e.g.
+    ``fetch.fetches{kind=crl}+36 fetch.attempts{kind=crl}+41``.
+    """
+    if not counters:
+        return ""
+    ranked = sorted(counters.items(), key=lambda item: (-abs(item[1]), item[0]))
+    parts = [f"{key}{value:+g}" for key, value in ranked[:top]]
+    if len(ranked) > top:
+        parts.append(f"(+{len(ranked) - top} more)")
+    return " ".join(parts)
+
+
 def summarize(records: list[dict]) -> dict:
     spans = _spans(records)
     metrics = [record for record in records if record.get("type") == "metric"]
@@ -74,11 +121,7 @@ def summarize(records: list[dict]) -> dict:
     for record in metrics:
         if record["kind"] != "counter":
             continue
-        label = "".join(
-            f"{{{key}={value}}}"
-            for key, value in sorted(record["labels"].items())
-        )
-        counters[record["name"] + label] = record["value"]
+        counters[flat_key(record["name"], record["labels"])] = record["value"]
     return {
         "meta": {k: v for k, v in (meta or {}).items() if k != "type"},
         "spans": len(spans),
@@ -118,14 +161,14 @@ def flame_table(records: list[dict]) -> list[dict]:
 
     Returns one entry per ``experiment`` root span (in trace order),
     each with ``frames``: depth-indented rows of (name, count, steps,
-    latency_ms, bytes) covering every descendant span.
+    latency_ms, bytes, counters) covering every descendant span.
+    ``counters`` is the row's **owned counter movement** -- the counter
+    marks of the row's spans minus their direct children's
+    (:func:`owned_counters`), summed over the group -- so every counter
+    increment in the trace is attributed to exactly one row.
     """
     spans = _spans(records)
-    children: dict[int, list[dict]] = {}
-    for span in spans:
-        children.setdefault(span["parent"], []).append(span)
-    for siblings in children.values():
-        siblings.sort(key=lambda span: span["start"])
+    children = span_children(spans)
 
     def aggregate(parent_ids: list[int], depth: int, frames: list[dict]) -> None:
         mine = [
@@ -149,6 +192,13 @@ def flame_table(records: list[dict]) -> list[dict]:
                     if isinstance(span["attrs"].get(attr), (int, float))
                     and not isinstance(span["attrs"].get(attr), bool)
                 )
+            owned: dict = {}
+            for span in group:
+                for key, delta in owned_counters(span, children).items():
+                    owned[key] = owned.get(key, 0) + delta
+            frame["counters"] = {
+                key: owned[key] for key in sorted(owned) if owned[key]
+            }
             frames.append(frame)
             aggregate([span["id"] for span in group], depth + 1, frames)
 
@@ -164,6 +214,7 @@ def flame_table(records: list[dict]) -> list[dict]:
                 "steps": _steps(span),
                 "worker": span["attrs"].get("worker", "w0"),
                 "outcome": span["attrs"].get("outcome", "open"),
+                "counters": owned_counters(span, children),
                 "frames": frames,
             }
         )
@@ -237,10 +288,12 @@ def render_text(records: list[dict], limit: int = 15) -> str:
             )
             for frame in table["frames"]:
                 indent = "    " * frame["depth"]
+                owned = counters_inline(frame["counters"])
                 parts.append(
                     f"  {indent}{frame['name']}  x{frame['count']}  "
                     f"{frame['steps']} steps  "
                     f"{frame['latency_ms']:,.0f} ms  {frame['bytes']} B"
+                    + (f"  [{owned}]" if owned else "")
                 )
     if summary["counters"]:
         parts.append("")

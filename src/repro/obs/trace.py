@@ -12,6 +12,14 @@ return/record nothing, and hot paths additionally guard on
 ``tracer.enabled`` so a disabled run does not even build attribute
 dicts.  Tracing is observational only -- it never touches an RNG or a
 report, so enabling it cannot change any artifact byte.
+
+When wired to a metrics registry (``Observability`` passes the
+registry's ``counter_snapshot`` as ``counter_marks``), the tracer
+additionally records **counter marks**: every span is stamped at close
+with ``counters``, the per-counter movement between its open and close
+snapshots.  That is what makes per-span metrics attribution in the
+trace roll-up and the span-diff exact rather than inferred
+(docs/OBSERVABILITY.md).
 """
 
 from __future__ import annotations
@@ -53,6 +61,13 @@ class NullSpan:
 _NULL_SPAN = NullSpan()
 
 
+def _copy_record(record: dict) -> dict:
+    copied = {**record, "attrs": dict(record["attrs"])}
+    if "counters" in copied:
+        copied["counters"] = dict(copied["counters"])
+    return copied
+
+
 class SpanHandle:
     """A live span: a context manager that stamps start/end steps."""
 
@@ -84,11 +99,19 @@ class Tracer:
     :meth:`import_segment`.
     """
 
-    def __init__(self, enabled: bool = False) -> None:
+    def __init__(self, enabled: bool = False, counter_marks=None) -> None:
         self.enabled = enabled
         self._records: list[dict] = []
         self._stack: list[dict] = []
         self._steps = 0
+        #: optional zero-argument callable returning a cumulative counter
+        #: snapshot (``MetricsRegistry.counter_snapshot``).  When set,
+        #: every span is stamped at close with ``counters``: the
+        #: close-minus-open delta, i.e. exactly the counter movement that
+        #: happened while the span was open.  ``Observability`` wires
+        #: this; a bare tracer records no marks.
+        self._counter_marks = counter_marks
+        self._open_marks: dict[int, dict] = {}
 
     # -- recording ---------------------------------------------------------
 
@@ -112,16 +135,35 @@ class Tracer:
         }
         self._records.append(record)
         self._stack.append(record)
+        if self._counter_marks is not None:
+            self._open_marks[record["id"]] = self._counter_marks()
         return SpanHandle(self, record)
 
     def _close(self, record: dict) -> None:
         # Unwind to the closed span: an exception may skip inner exits.
+        # The stack pops innermost-first, so children are stamped with
+        # their counter marks before their parent -- a child's movement
+        # is always a subset of its parent's.
         while self._stack:
             top = self._stack.pop()
             if top["end"] is None:
                 top["end"] = self._tick()
+                self._stamp_counters(top)
             if top is record:
                 break
+
+    def _stamp_counters(self, record: dict) -> None:
+        opened = self._open_marks.pop(record["id"], None)
+        if opened is None:
+            return
+        closed = self._counter_marks()
+        moved = {
+            key: value - opened.get(key, 0)
+            for key, value in closed.items()
+            if value != opened.get(key, 0)
+        }
+        if moved:
+            record["counters"] = moved
 
     def event(self, name: str, **attributes) -> None:
         """A zero-duration span (state transitions, cache hits)."""
@@ -152,10 +194,7 @@ class Tracer:
         Spans still open (e.g. captured mid-failure) have ``end: None``
         -- that is what makes a *partial* trace recognisable.
         """
-        return [
-            {**record, "attrs": dict(record["attrs"])}
-            for record in self._records[mark:]
-        ]
+        return [_copy_record(record) for record in self._records[mark:]]
 
     def records(self) -> list[dict]:
         return self.records_since(0)
@@ -210,7 +249,7 @@ class Tracer:
         step_base = self._steps
         self._steps += step_span
         for record in segment:
-            copied = {**record, "attrs": dict(record["attrs"])}
+            copied = _copy_record(record)
             copied["id"] += id_base
             if copied["parent"] is None:
                 if worker is not None:

@@ -1,0 +1,237 @@
+"""Span-diff tests: alignment, counter attribution, and the CLI contract.
+
+The guarantee under test (ISSUE 5 / docs/OBSERVABILITY.md): same seed +
+same config => empty diff; ``none`` vs ``flaky`` fault profiles => the
+diff is non-empty and localizes to the fetcher/circuit-breaker path.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import api
+from repro.__main__ import main
+from repro.obs import Observability
+from repro.obs.diff import (
+    TraceDiff,
+    diff_traces,
+    render_diff_json,
+    render_diff_text,
+)
+from repro.obs.report import flame_table, owned_counters, span_children
+
+
+def _synthetic(extra_stage: bool = False, slow: bool = False) -> list[dict]:
+    """A small hand-driven trace with real counter marks."""
+    obs = Observability(enabled=True)
+    with obs.tracer.span("experiment", experiment="x"):
+        with obs.tracer.span("stage", stage="crawl"):
+            obs.metrics.counter("fetch.fetches", kind="crl").inc(3)
+            obs.tracer.event(
+                "fetch",
+                kind="crl",
+                outcome="ok",
+                latency_ms=250.0 if slow else 5.0,
+                bytes=10,
+            )
+        if extra_stage:
+            with obs.tracer.span("stage", stage="retry"):
+                obs.metrics.counter(
+                    "fetch.outcomes", kind="crl", outcome="timeout"
+                ).inc(2)
+    return obs.export_records()
+
+
+class TestCounterMarks:
+    def test_span_records_exact_movement(self):
+        records = _synthetic()
+        crawl = next(
+            r for r in records if r.get("attrs", {}).get("stage") == "crawl"
+        )
+        assert crawl["counters"] == {"fetch.fetches{kind=crl}": 3}
+
+    def test_parent_movement_includes_children(self):
+        records = _synthetic(extra_stage=True)
+        experiment = next(r for r in records if r["name"] == "experiment")
+        assert experiment["counters"] == {
+            "fetch.fetches{kind=crl}": 3,
+            "fetch.outcomes{kind=crl}{outcome=timeout}": 2,
+        }
+
+    def test_owned_counters_subtract_children(self):
+        records = _synthetic(extra_stage=True)
+        spans = [r for r in records if r["type"] == "span"]
+        children = span_children(spans)
+        experiment = next(r for r in spans if r["name"] == "experiment")
+        # Everything moved inside the stages, so the root owns nothing.
+        assert owned_counters(experiment, children) == {}
+
+    def test_no_movement_no_counters_key(self):
+        obs = Observability(enabled=True)
+        with obs.tracer.span("idle"):
+            pass
+        (record,) = obs.tracer.records()
+        assert "counters" not in record
+
+    def test_flame_table_threads_owned_movement(self):
+        tables = flame_table(_synthetic(extra_stage=True))
+        frames = {
+            frame["name"]: frame for frame in tables[0]["frames"]
+        }
+        # Both stage spans aggregate into one frame owning all movement.
+        assert frames["stage"]["counters"] == {
+            "fetch.fetches{kind=crl}": 3,
+            "fetch.outcomes{kind=crl}{outcome=timeout}": 2,
+        }
+        assert frames["fetch"]["counters"] == {}
+        assert tables[0]["counters"] == {}
+
+
+class TestDiffAlignment:
+    def test_identical_traces_empty_diff(self):
+        diff = diff_traces(_synthetic(), _synthetic())
+        assert diff.is_empty
+        assert "structurally identical" in render_diff_text(diff)
+
+    def test_added_subtree_reported_at_root_with_counters(self):
+        diff = diff_traces(_synthetic(), _synthetic(extra_stage=True))
+        assert not diff.is_empty
+        (added,) = diff.added
+        assert added["path"] == "experiment[experiment=x]/stage[stage=retry]"
+        assert added["counters"] == {
+            "fetch.outcomes{kind=crl}{outcome=timeout}": 2
+        }
+        assert not diff.removed
+        # The extra stage also moves the experiment's steps and the
+        # registry totals -- but no *owned* movement leaks to the root.
+        assert all("counters" not in entry for entry in diff.changed)
+
+    def test_removed_is_the_mirror_of_added(self):
+        diff = diff_traces(_synthetic(extra_stage=True), _synthetic())
+        assert [e["path"] for e in diff.removed] == [
+            "experiment[experiment=x]/stage[stage=retry]"
+        ]
+        assert not diff.added
+
+    def test_volatile_attr_change_is_changed_not_added(self):
+        diff = diff_traces(_synthetic(), _synthetic(slow=True))
+        assert not diff.added and not diff.removed
+        fetch_changes = [e for e in diff.changed if e["name"] == "fetch"]
+        assert fetch_changes[0]["attrs"]["latency_ms"] == [5.0, 250.0]
+
+    def test_metric_registry_deltas_reported(self):
+        diff = diff_traces(_synthetic(), _synthetic(extra_stage=True))
+        (entry,) = diff.metrics
+        assert entry["kind"] == "counter"
+        assert entry["metric"] == "fetch.outcomes{kind=crl}{outcome=timeout}"
+        assert (entry["a"], entry["b"], entry["delta"]) == (0, 2, 2)
+
+    def test_reorder_detected(self):
+        def spans(order):
+            records = [
+                {
+                    "type": "span",
+                    "id": 0,
+                    "parent": None,
+                    "name": "experiment",
+                    "start": 0,
+                    "end": 9,
+                    "attrs": {"experiment": "x"},
+                }
+            ]
+            for i, stage in enumerate(order):
+                records.append(
+                    {
+                        "type": "span",
+                        "id": i + 1,
+                        "parent": 0,
+                        "name": "stage",
+                        "start": 1 + 2 * i,
+                        "end": 2 + 2 * i,
+                        "attrs": {"stage": stage},
+                    }
+                )
+            return records
+
+        diff = diff_traces(spans(["a", "b"]), spans(["b", "a"]))
+        (entry,) = diff.reordered
+        assert entry["path"] == "experiment[experiment=x]"
+        assert entry["a"] == ["stage[stage=a]", "stage[stage=b]"]
+        assert entry["b"] == ["stage[stage=b]", "stage[stage=a]"]
+
+    def test_occurrence_matching_does_not_cascade(self):
+        # Two same-key siblings: inserting one must report exactly one
+        # added span, not a cascade of mismatches.
+        a = _synthetic(extra_stage=True)
+        b = _synthetic(extra_stage=True)
+        diff = diff_traces(a, b)
+        assert diff.is_empty
+
+    def test_meta_differences_reported_but_not_counted(self):
+        a = [{"type": "meta", "seed": 1}] + _synthetic()
+        b = [{"type": "meta", "seed": 2}] + _synthetic()
+        diff = diff_traces(a, b)
+        assert diff.meta == {"seed": [1, 2]}
+        assert diff.is_empty
+
+    def test_json_render_round_trips(self):
+        diff = diff_traces(_synthetic(), _synthetic(extra_stage=True))
+        payload = json.loads(render_diff_json(diff, "a.jsonl", "b.jsonl"))
+        assert payload["a"] == "a.jsonl"
+        assert payload["empty"] is False
+        assert payload["added"][0]["name"] == "stage"
+
+
+ARGS = ["run", "availability", "--scale", "0.0005", "--seed", "3"]
+
+
+@pytest.fixture(scope="module")
+def fault_traces(tmp_path_factory):
+    """Same-seed traces under the none and flaky fault profiles."""
+    base = tmp_path_factory.mktemp("diff")
+    none_a = base / "none_a.jsonl"
+    none_b = base / "none_b.jsonl"
+    flaky = base / "flaky.jsonl"
+    assert main(ARGS + ["--fault-profile", "none", "--trace-out", str(none_a)]) == 0
+    assert main(ARGS + ["--fault-profile", "none", "--trace-out", str(none_b)]) == 0
+    assert main(ARGS + ["--fault-profile", "flaky", "--trace-out", str(flaky)]) == 0
+    return none_a, none_b, flaky
+
+
+class TestGuarantee:
+    def test_same_seed_same_config_empty_diff_exit_0(self, fault_traces, capsys):
+        none_a, none_b, _ = fault_traces
+        assert main(["trace", "--diff", str(none_a), str(none_b), "--check"]) == 0
+        assert "structurally identical" in capsys.readouterr().out
+
+    def test_none_vs_flaky_nonempty_and_localized(self, fault_traces, capsys):
+        none_a, _, flaky = fault_traces
+        assert main(["trace", "--diff", str(none_a), str(flaky), "--check"]) == 1
+        out = capsys.readouterr().out
+        # The behavioural delta is attributed to the fetch path: the
+        # added profile leg carries fetch.* counter movement, and the
+        # registry deltas name the fetch counters too.
+        assert "stage[leg=profile=flaky" in out
+        assert "fetch." in out
+
+    def test_api_diff_localizes_to_fetch_path(self, fault_traces):
+        none_a, _, flaky = fault_traces
+        diff = api.diff_traces(str(none_a), str(flaky))
+        assert isinstance(diff, TraceDiff)
+        assert not diff.is_empty
+        assert diff.meta["fault_profile"] == ["none", "flaky"]
+        added_counters = {
+            key for entry in diff.added for key in entry["counters"]
+        }
+        assert any(key.startswith("fetch.") for key in added_counters)
+        assert any(
+            entry["metric"].startswith("fetch.") for entry in diff.metrics
+        )
+
+    def test_diff_is_deterministic(self, fault_traces):
+        none_a, _, flaky = fault_traces
+        first = api.render_diff(api.diff_traces(str(none_a), str(flaky)))
+        second = api.render_diff(api.diff_traces(str(none_a), str(flaky)))
+        assert first == second

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.obs.metrics import MetricsRegistry, _NullInstrument
+from repro.obs.metrics import MetricsRegistry, _NullInstrument, flat_key
 
 
 class TestDisabled:
@@ -61,6 +61,33 @@ class TestExport:
         registry.counter("a").inc()
         registry.counter("a").inc()
         assert registry.op_count == before + 2
+
+
+class TestSnapshot:
+    """counter_snapshot feeds the tracer's per-span counter marks."""
+
+    def test_flat_key_sorts_labels(self):
+        assert flat_key("fetches", {}) == "fetches"
+        assert (
+            flat_key("fetches", {"outcome": "ok", "kind": "crl"})
+            == "fetches{kind=crl}{outcome=ok}"
+        )
+
+    def test_snapshot_covers_counters_only(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("fetches", kind="crl").inc(3)
+        registry.gauge("depth").set(9)
+        registry.histogram("latency").observe(5)
+        assert registry.counter_snapshot() == {"fetches{kind=crl}": 3}
+
+    def test_snapshot_is_read_only(self):
+        registry = MetricsRegistry(enabled=True)
+        registry.counter("a").inc()
+        before = registry.op_count
+        snapshot = registry.counter_snapshot()
+        assert registry.op_count == before
+        snapshot["a"] = 999
+        assert registry.counter_snapshot() == {"a": 1}
 
 
 class TestMerge:

@@ -7,6 +7,7 @@ import json
 import pytest
 
 from repro.obs import NULL_OBS, Observability
+from repro.obs.metrics import MetricsRegistry
 from repro.obs.trace import NullSpan, Tracer
 
 
@@ -134,6 +135,56 @@ class TestJsonl:
         assert run(tmp_path / "a.jsonl") == run(tmp_path / "b.jsonl")
 
 
+class TestCounterMarks:
+    """Tracers wired to a registry stamp exact per-span counter movement."""
+
+    def _wired(self):
+        registry = MetricsRegistry(enabled=True)
+        tracer = Tracer(enabled=True, counter_marks=registry.counter_snapshot)
+        return tracer, registry
+
+    def test_movement_stamped_on_close(self):
+        tracer, registry = self._wired()
+        with tracer.span("work"):
+            registry.counter("fetches", kind="crl").inc(2)
+        (record,) = tracer.records()
+        assert record["counters"] == {"fetches{kind=crl}": 2}
+
+    def test_no_movement_omits_key(self):
+        tracer, registry = self._wired()
+        with tracer.span("idle"):
+            pass
+        (record,) = tracer.records()
+        assert "counters" not in record
+
+    def test_marks_nest_without_double_counting(self):
+        tracer, registry = self._wired()
+        with tracer.span("outer"):
+            registry.counter("a").inc(1)
+            with tracer.span("inner"):
+                registry.counter("a").inc(10)
+        outer, inner = tracer.records()
+        assert inner["counters"] == {"a": 10}
+        # The parent's mark spans the child's movement too; ownership is
+        # derived at render time (repro.obs.report.owned_counters).
+        assert outer["counters"] == {"a": 11}
+
+    def test_unwired_tracer_never_stamps(self):
+        tracer = Tracer(enabled=True)
+        with tracer.span("work"):
+            pass
+        (record,) = tracer.records()
+        assert "counters" not in record
+
+    def test_records_since_copies_counters(self):
+        tracer, registry = self._wired()
+        with tracer.span("work"):
+            registry.counter("a").inc()
+        snapshot = tracer.records_since(0)
+        snapshot[0]["counters"]["a"] = 999
+        assert tracer.records()[0]["counters"] == {"a": 1}
+
+
 class TestObservability:
     def test_export_records_spans_then_metrics(self):
         obs = Observability(enabled=True)
@@ -141,3 +192,10 @@ class TestObservability:
         obs.tracer.event("e")
         records = obs.export_records()
         assert [r["type"] for r in records] == ["span", "metric"]
+
+    def test_observability_wires_marks(self):
+        obs = Observability(enabled=True)
+        with obs.tracer.span("work"):
+            obs.metrics.counter("c").inc(3)
+        (record,) = obs.tracer.records()
+        assert record["counters"] == {"c": 3}

@@ -1,9 +1,15 @@
-"""CLI tests."""
+"""CLI tests.
+
+``main`` is a thin shell over :mod:`repro.api`; these tests cover both
+the shell (argv handling, exit codes, printed output) and the facade
+itself (``run_study``/``run_one``/``list_experiments``).
+"""
 
 from __future__ import annotations
 
 import pytest
 
+from repro import api
 from repro.__main__ import main
 
 
@@ -65,3 +71,35 @@ class TestFaultFlags:
         first = capsys.readouterr().out
         main(["run", "availability", "--fault-profile", "chaos", "--fault-seed", "7"])
         assert capsys.readouterr().out == first
+
+
+class TestApiFacade:
+    """The stable surface the CLI is a shell over."""
+
+    def test_list_experiments_matches_cli(self, capsys):
+        experiments = api.list_experiments()
+        assert "fig2" in experiments and "table2" in experiments
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for experiment_id, title in experiments.items():
+            assert experiment_id in out and title in out
+
+    def test_run_one_returns_result(self):
+        result = api.run_one("fig11", scale=0.0005)
+        assert result.ok
+        assert result.experiment_id == "fig11"
+        assert "Bloom" in result.render()
+
+    def test_run_study_unknown_raises_key_error(self):
+        with pytest.raises(KeyError):
+            api.run_study(experiment="fig99", scale=0.0005)
+
+    def test_run_study_ok_rollup(self):
+        run = api.run_study(experiment="fig11", scale=0.0005)
+        assert run.ok
+        assert run.crashes == 0 and run.shape_failures == 0
+        assert [r.experiment_id for r in run.results] == ["fig11"]
+
+    def test_all_exports_exist(self):
+        for name in api.__all__:
+            assert getattr(api, name) is not None
