@@ -1,28 +1,45 @@
 """End-to-end pipeline scaling benchmark.
 
-Times the two legs the incremental artifact engine replaced -- the naive
-per-day CRL-crawl rescans behind Figures 5/6/9 versus the event-timeline
-index -- and the full ``run_all`` experiment sweep at increasing corpus
-scales, sequential and parallel.  Results land in ``BENCH_pipeline.json``
-at the repository root (committed, so regressions are diffable).
+Times three things through :mod:`repro.api` (no internals imported):
+
+* the naive per-day CRL-crawl rescans behind Figures 5/6/9 versus the
+  event-timeline index (``crawl_figures_path``),
+* the full ``run_all`` experiment sweep at increasing corpus scales,
+  sequential (cold, substrate generated in-process) and parallel
+  (against a warm corpus store, the intended deployment),
+* the out-of-core corpus store at large scale: sharded build + persist,
+  then reload (``corpus_store``).
+
+Results land in ``BENCH_pipeline.json`` at the repository root
+(committed, so regressions are diffable).
 
 Standalone (no pytest, unlike the figure benches)::
 
     PYTHONPATH=src python benchmarks/bench_pipeline_scaling.py           # full run
     PYTHONPATH=src python benchmarks/bench_pipeline_scaling.py --smoke   # scale 0.002 only
     PYTHONPATH=src python benchmarks/bench_pipeline_scaling.py --check   # CI guard
+    PYTHONPATH=src python benchmarks/bench_pipeline_scaling.py --parallel-smoke
 
 ``--check`` re-times the scale-0.002 legs and fails (exit 1) if the
-crawl-path speedup over the naive leg drops below ``MIN_SPEEDUP``, or if
+crawl-path speedup over the naive leg drops below ``MIN_SPEEDUP``, if
 ``run_all`` regresses more than ``MAX_REGRESSION`` against the committed
-baseline after normalising both runs by the same machine's naive-leg time
-(so a slower CI box does not trip the guard).
+baseline after normalising both runs by the same machine's naive-leg
+time (so a slower CI box does not trip the guard), or if the committed
+baseline's parallel entries are slower than serial at the same scale.
+
+``--parallel-smoke`` re-measures the serial-cold versus parallel-warm
+comparison at a small scale and fails when parallel loses: a parallel
+sweep against a warm store must beat the serial cold run end-to-end
+(substrate generation included on the serial side -- the store is warm
+precisely because the build cost is paid once, not per run).
 """
 
 from __future__ import annotations
 
 import argparse
+import gc
 import json
+import os
 import sys
 import tempfile
 import time
@@ -31,14 +48,18 @@ from pathlib import Path
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
 
-from repro.core.pipeline import MeasurementStudy  # noqa: E402
-from repro.experiments.runner import run_all  # noqa: E402
-from repro.scan.calibration import Calibration  # noqa: E402
-from repro.scan.crawler import CrlCrawler  # noqa: E402
+from repro import api  # noqa: E402
 
 BASELINE_PATH = REPO_ROOT / "BENCH_pipeline.json"
 SCALES = (0.002, 0.01, 0.02)
 SMOKE_SCALE = 0.002
+#: large enough that substrate generation dominates the store-load +
+#: pool overhead even on a single-core runner; multi-core runners win
+#: by a wide margin.
+PARALLEL_SMOKE_SCALE = 0.02
+#: large-scale corpus-store leg (sharded build + persist + reload).
+BIG_SCALE = 0.5
+BIG_SHARDS = 8
 #: --check fails if the fast crawl path is less than this many times
 #: faster than the retained naive implementations.
 MIN_SPEEDUP = 3.0
@@ -54,31 +75,12 @@ def _time(fn):
 
 def bench_crawl_figures_path(scale: float) -> dict:
     """Figure 5/6/9 inputs: naive per-day rescans vs the crawl index."""
-    study = MeasurementStudy(calibration=Calibration(scale=scale))
-    ecosystem = study.ecosystem
-    end = study.calibration.measurement_end
-
-    naive_crawler = CrlCrawler(ecosystem)
-    naive_seconds, naive_results = _time(
-        lambda: (
-            naive_crawler.daily_total_additions_naive(),
-            naive_crawler.sizes_at_naive(end),
-            naive_crawler.entry_counts_at_naive(end),
-        )
-    )
-
-    # Fast leg pays for its own series builds: invalidate them first.
-    for crl in ecosystem.crls:
-        crl.invalidate_series()
-    fast_crawler = CrlCrawler(ecosystem)
-    fast_seconds, fast_results = _time(
-        lambda: (
-            fast_crawler.daily_total_additions(),
-            fast_crawler.sizes_at(end),
-            fast_crawler.entry_counts_at(end),
-        )
-    )
-
+    study = api.new_study(scale=scale)
+    naive, fast = api.crawl_figures_legs(study)
+    naive_seconds, naive_results = _time(naive)
+    # The fast leg invalidates the series caches itself, so it pays for
+    # its own index builds.
+    fast_seconds, fast_results = _time(fast)
     assert fast_results == naive_results, "fast path diverged from naive path"
     return {
         "scale": scale,
@@ -89,28 +91,59 @@ def bench_crawl_figures_path(scale: float) -> dict:
 
 
 def bench_run_all(scale: float, parallel: int | None = None) -> dict:
+    """One run_all timing entry.
+
+    Sequential entries are cold: the substrate is generated in-process
+    and ``substrate_seconds`` is that generation time.  Parallel entries
+    run against a warm corpus store -- ``substrate_seconds`` is the
+    sharded build-and-persist time (paid once, amortised across runs)
+    and ``run_all_seconds`` includes each worker's out-of-core load.
+    """
+    gc.collect()  # keep earlier legs' heaps from inflating fork cost
     if parallel:
-        # Parallel runs share a warm artifact cache, the intended
-        # deployment: workers unpickle the substrate instead of
-        # regenerating it per process.
         with tempfile.TemporaryDirectory() as cache_dir:
-            study = MeasurementStudy(
-                calibration=Calibration(scale=scale), cache_dir=cache_dir
+            substrate_seconds, _ = _time(
+                lambda: api.build_corpus(cache_dir, scale=scale, shards=4)
             )
-            substrate_seconds, _ = _time(lambda: study.ecosystem)
+            # The parent never materialises the ecosystem: run_all sees
+            # the warm store and the workers load it themselves.
+            study = api.new_study(scale=scale, cache_dir=cache_dir)
             sweep_seconds, results = _time(
-                lambda: run_all(study, parallel=parallel)
+                lambda: api.run_experiments(study, parallel=parallel)
             )
+        store_warm = True
     else:
-        study = MeasurementStudy(calibration=Calibration(scale=scale))
+        study = api.new_study(scale=scale)
         substrate_seconds, _ = _time(lambda: study.ecosystem)
-        sweep_seconds, results = _time(lambda: run_all(study, parallel=parallel))
+        sweep_seconds, results = _time(lambda: api.run_experiments(study))
+        store_warm = False
     return {
         "scale": scale,
         "substrate_seconds": round(substrate_seconds, 2),
         "run_all_seconds": round(sweep_seconds, 2),
         "experiments": len(results),
         "parallel": parallel,
+        "store_warm": store_warm,
+    }
+
+
+def bench_corpus_store(scale: float = BIG_SCALE, shards: int = BIG_SHARDS) -> dict:
+    """Sharded build + persist, then a fresh out-of-core reload."""
+    gc.collect()
+    with tempfile.TemporaryDirectory() as cache_dir:
+        build_seconds, info = _time(
+            lambda: api.build_corpus(cache_dir, scale=scale, shards=shards)
+        )
+        study = api.new_study(scale=scale, cache_dir=cache_dir)
+        load_seconds, _ = _time(lambda: study.ecosystem)
+    return {
+        "scale": scale,
+        "shards": shards,
+        "build_seconds": round(build_seconds, 2),
+        "load_seconds": round(load_seconds, 2),
+        "store_bytes": info["bytes"],
+        "leaf_count": info["leaf_count"],
+        "entry_count": info["entry_count"],
     }
 
 
@@ -121,9 +154,21 @@ def bench_run_all(scale: float, parallel: int | None = None) -> dict:
 PRE_OPTIMIZATION_REFERENCE = {"scale": 0.002, "run_all_seconds": 19.5}
 
 
-def full_run(scales=SCALES, parallel: int | None = 4) -> dict:
+def _parallel_loses(serial_entry: dict, parallel_entry: dict) -> bool:
+    """The gate: a warm-store parallel sweep must beat the serial cold
+    run end-to-end (substrate included on the serial side)."""
+    serial_total = (
+        serial_entry["substrate_seconds"] + serial_entry["run_all_seconds"]
+    )
+    return parallel_entry["run_all_seconds"] > serial_total
+
+
+def full_run(
+    scales=SCALES, parallel: int | None = 2, big_scale: float | None = BIG_SCALE
+) -> dict:
     report = {
         "before": PRE_OPTIMIZATION_REFERENCE,
+        "machine": {"cpus": os.cpu_count()},
         "crawl_figures_path": bench_crawl_figures_path(SMOKE_SCALE),
         "run_all": [],
     }
@@ -138,8 +183,17 @@ def full_run(scales=SCALES, parallel: int | None = 4) -> dict:
         entry = bench_run_all(scales[-1], parallel=parallel)
         report["run_all"].append(entry)
         print(
-            f"scale {scales[-1]} (parallel={parallel}): "
-            f"run_all {entry['run_all_seconds']}s"
+            f"scale {scales[-1]} (parallel={parallel}, warm store): "
+            f"run_all {entry['run_all_seconds']}s "
+            f"(store build {entry['substrate_seconds']}s, paid once)"
+        )
+    if big_scale:
+        store = bench_corpus_store(big_scale)
+        report["corpus_store"] = store
+        print(
+            f"corpus store at scale {big_scale}: build {store['build_seconds']}s "
+            f"({store['shards']} shards), load {store['load_seconds']}s, "
+            f"{store['store_bytes'] / 1e6:.0f} MB, {store['leaf_count']} leaves"
         )
     path = report["crawl_figures_path"]
     print(
@@ -148,6 +202,45 @@ def full_run(scales=SCALES, parallel: int | None = 4) -> dict:
         f"({path['speedup']}x)"
     )
     return report
+
+
+def parallel_smoke(
+    scale: float = PARALLEL_SMOKE_SCALE,
+    parallel: int = 2,
+    output: Path | None = None,
+) -> int:
+    """CI guard: serial-cold vs parallel-warm at a small scale."""
+    serial = bench_run_all(scale)
+    par = bench_run_all(scale, parallel=parallel)
+    serial_total = serial["substrate_seconds"] + serial["run_all_seconds"]
+    print(
+        f"scale {scale}: serial cold {serial_total:.2f}s "
+        f"(substrate {serial['substrate_seconds']}s + "
+        f"sweep {serial['run_all_seconds']}s) vs parallel={parallel} warm "
+        f"{par['run_all_seconds']}s"
+    )
+    ok = not _parallel_loses(serial, par)
+    if output is not None:
+        output.write_text(
+            json.dumps(
+                {
+                    "machine": {"cpus": os.cpu_count()},
+                    "run_all": [serial, par],
+                    "parallel_beats_serial": ok,
+                },
+                indent=2,
+            )
+            + "\n"
+        )
+        print(f"wrote {output}")
+    if not ok:
+        print(
+            "FAIL: parallel sweep against a warm store is slower than the "
+            "serial cold run"
+        )
+        return 1
+    print("OK: parallel (warm store) beats serial (cold)")
+    return 0
 
 
 def check_against_baseline() -> int:
@@ -213,6 +306,30 @@ def check_against_baseline() -> int:
                 f"run_all regressed {regression:+.1%} vs committed baseline"
             )
 
+    # The committed baseline itself must show parallel beating serial at
+    # every scale that has both entries: a slower parallel run is exactly
+    # the regression this PR's store exists to prevent.
+    serial_by_scale = {
+        entry["scale"]: entry
+        for entry in baseline.get("run_all", [])
+        if not entry.get("parallel")
+    }
+    for entry in baseline.get("run_all", []):
+        if not entry.get("parallel"):
+            continue
+        serial_entry = serial_by_scale.get(entry["scale"])
+        if serial_entry is None:
+            failures.append(
+                f"baseline has a parallel scale-{entry['scale']} entry but "
+                "no serial one to compare against"
+            )
+        elif _parallel_loses(serial_entry, entry):
+            failures.append(
+                f"baseline parallel run at scale {entry['scale']} "
+                f"({entry['run_all_seconds']}s) is slower than the serial "
+                "cold run"
+            )
+
     for failure in failures:
         print(f"FAIL: {failure}")
     return 1 if failures else 0
@@ -231,6 +348,14 @@ def main(argv: list[str] | None = None) -> int:
         help="CI guard: fail on regression vs the committed baseline",
     )
     parser.add_argument(
+        "--parallel-smoke",
+        action="store_true",
+        help=(
+            "CI guard: re-measure serial-cold vs parallel-warm at scale "
+            f"{PARALLEL_SMOKE_SCALE}; fail when parallel loses"
+        ),
+    )
+    parser.add_argument(
         "--output",
         type=Path,
         default=BASELINE_PATH,
@@ -240,9 +365,17 @@ def main(argv: list[str] | None = None) -> int:
 
     if args.check:
         return check_against_baseline()
+    if args.parallel_smoke:
+        # Only write a report when --output names somewhere other than
+        # the committed baseline (smoke modes never rewrite it).
+        output = args.output if args.output != BASELINE_PATH else None
+        return parallel_smoke(output=output)
     if args.smoke:
-        report = full_run(scales=(SMOKE_SCALE,), parallel=None)
+        report = full_run(scales=(SMOKE_SCALE,), parallel=None, big_scale=None)
         print(json.dumps(report, indent=2))
+        if args.output != BASELINE_PATH:
+            args.output.write_text(json.dumps(report, indent=2) + "\n")
+            print(f"wrote {args.output}")
         return 0
     report = full_run()
     args.output.write_text(json.dumps(report, indent=2) + "\n")

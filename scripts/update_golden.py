@@ -20,12 +20,12 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 sys.path.insert(0, str(REPO_ROOT / "src"))
-sys.path.insert(0, str(REPO_ROOT))
 
-from tests.experiments.test_golden import (  # noqa: E402
-    GOLDEN_PATH,
-    compute_digests,
-    golden_payload,
+from repro import api  # noqa: E402
+
+GOLDEN_PATH = (
+    REPO_ROOT / "tests" / "experiments" / "golden"
+    / "reports-scale0.002-seed20151028.json"
 )
 
 
@@ -33,10 +33,16 @@ def main() -> int:
     old = None
     if GOLDEN_PATH.exists():
         old = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))["digests"]
-    digests = compute_digests()
+    digests = api.golden_digests(scale=0.002, seed=20151028, fault_profile="none")
+    payload = {
+        "scale": 0.002,
+        "seed": 20151028,
+        "fault_profile": "none",
+        "digests": digests,
+    }
     GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
     GOLDEN_PATH.write_text(
-        json.dumps(golden_payload(digests), indent=2, sort_keys=True) + "\n",
+        json.dumps(payload, indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
     )
     changed = (

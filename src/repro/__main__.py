@@ -9,6 +9,9 @@ Usage::
     python -m repro analyze [args...]          # static-analysis gate
     python -m repro trace trace.jsonl          # roll up a recorded trace
     python -m repro trace --diff A B [--check] # structural span-diff
+    python -m repro corpus build DIR --shards 4  # persist the corpus store
+    python -m repro corpus inspect FILE        # one store's meta
+    python -m repro corpus stat DIR            # list stores in a directory
     python -m repro --fault-profile chaos      # run everything degraded
 
 The CLI is a thin shell over :mod:`repro.api`, the stable programmatic
@@ -160,6 +163,45 @@ def _build_parser() -> argparse.ArgumentParser:
         help="rows in the top-spans table (default 15)",
     )
 
+    corpus = sub.add_parser(
+        "corpus",
+        help="build / inspect the on-disk corpus store (docs/PERFORMANCE.md)",
+    )
+    corpus_sub = corpus.add_subparsers(dest="corpus_command", required=True)
+    build = corpus_sub.add_parser(
+        "build",
+        parents=[_calibration_parent()],
+        help="generate the ecosystem (sharded) and persist it as a store",
+    )
+    build.add_argument("directory", help="store directory (created if missing)")
+    build.add_argument(
+        "--shards",
+        type=int,
+        default=1,
+        metavar="K",
+        help="generate across K brand shards (bytes identical for any K)",
+    )
+    build.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="generate shards across N worker processes",
+    )
+    build.add_argument(
+        "--force",
+        action="store_true",
+        help="rebuild even when a readable store already exists",
+    )
+    inspect = corpus_sub.add_parser(
+        "inspect", help="print one store file's meta (seed, scale, digest)"
+    )
+    inspect.add_argument("store", help="corpus-<digest>.sqlite file")
+    stat = corpus_sub.add_parser(
+        "stat", help="list every corpus store under a directory"
+    )
+    stat.add_argument("directory", help="store directory")
+
     sub.add_parser(
         "analyze",
         help="run the determinism & PKI-invariant linter "
@@ -224,6 +266,58 @@ def _cmd_run(args: argparse.Namespace) -> int:
     return 1 if (run.crashes or run.shape_failures) else 0
 
 
+def _render_corpus_info(info: dict) -> str:
+    order = (
+        "path", "bytes", "format", "seed", "scale",
+        "leaf_count", "crl_count", "entry_count", "corpus_digest",
+    )
+    lines = [f"{key:14s} {info[key]}" for key in order if key in info]
+    lines += [
+        f"{key:14s} {value}"
+        for key, value in sorted(info.items())
+        if key not in order
+    ]
+    return "\n".join(lines)
+
+
+def _cmd_corpus(args: argparse.Namespace) -> int:
+    if args.corpus_command == "build":
+        info = api.build_corpus(
+            args.directory,
+            scale=args.scale,
+            seed=args.seed,
+            shards=args.shards,
+            workers=args.workers,
+            force=args.force,
+        )
+        print(_render_corpus_info(info))
+        return 0
+    if args.corpus_command == "inspect":
+        try:
+            info = api.corpus_info(args.store)
+        except Exception as exc:
+            print(f"unreadable store {args.store!r}: {exc}", file=sys.stderr)
+            return 2
+        print(_render_corpus_info(info))
+        return 0
+    if args.corpus_command == "stat":
+        entries = api.list_corpora(args.directory)
+        if not entries:
+            print(f"no corpus stores under {args.directory}")
+            return 0
+        for info in entries:
+            if "error" in info:
+                print(f"{info['path']}: {info['error']}")
+            else:
+                print(
+                    f"{info['path']}: scale {info['scale']} seed {info['seed']} "
+                    f"leaves {info['leaf_count']} entries {info['entry_count']} "
+                    f"({info['bytes']} bytes, digest {info['corpus_digest']})"
+                )
+        return 0
+    return 2
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     if args.diff is not None and args.trace_file is not None:
         print("give either FILE or --diff A B, not both", file=sys.stderr)
@@ -267,7 +361,9 @@ def main(argv: list[str] | None = None) -> int:
         # `python -m repro --fault-profile chaos` is the documented smoke
         # invocation: run everything under the named profile.
         if args.fault_profile is None and args.fault_seed is None:
-            parser.error("a command is required (list, run, report, trace)")
+            parser.error(
+                "a command is required (list, run, report, trace, corpus)"
+            )
         args.command = "run"
         args.experiment = "all"
         args.scale = 0.002
@@ -297,6 +393,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "trace":
         return _cmd_trace(args)
+    if args.command == "corpus":
+        return _cmd_corpus(args)
     return 2
 
 

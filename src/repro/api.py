@@ -19,6 +19,7 @@ Typical use::
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -34,13 +35,20 @@ from repro.obs.diff import render_diff_json, render_diff_text
 __all__ = [
     "StudyRun",
     "TraceDiff",
+    "build_corpus",
+    "corpus_info",
+    "crawl_figures_legs",
     "diff_traces",
+    "golden_digests",
+    "list_corpora",
     "list_experiments",
     "load_trace",
+    "new_study",
     "render_diff",
     "render_report",
     "render_trace",
     "run_analysis",
+    "run_experiments",
     "run_one",
     "run_study",
 ]
@@ -138,6 +146,170 @@ def run_study(
     else:
         results = [run_experiment(experiment, study)]
     return StudyRun(study=study, results=results)
+
+
+def new_study(
+    *,
+    scale: float = 0.002,
+    seed: int = 20151028,
+    calibration=None,
+    cache_dir: str | Path | None = None,
+    fault_profile: str | None = None,
+    fault_seed: int | None = None,
+    trace: bool = False,
+    shards: int = 1,
+    gen_workers: int | None = None,
+) -> MeasurementStudy:
+    """Build a :class:`MeasurementStudy` without running anything.
+
+    The supported way for scripts and benchmarks to get a study handle
+    (substrate, scans, crawler, ...) without importing ``repro.core``.
+    ``shards``/``gen_workers`` control sharded substrate generation; the
+    corpus bytes are identical for any shard/worker count.
+    """
+    return MeasurementStudy(
+        scale=scale,
+        seed=seed,
+        calibration=calibration,
+        cache_dir=cache_dir,
+        fault_profile=fault_profile,
+        fault_seed=fault_seed,
+        obs=Observability(enabled=True) if trace else None,
+        shards=shards,
+        gen_workers=gen_workers,
+    )
+
+
+def run_experiments(
+    study: MeasurementStudy,
+    parallel: int | None = None,
+    isolate_errors: bool = True,
+) -> list[ExperimentResult]:
+    """Run every experiment against an existing study.
+
+    Unlike :func:`run_study` this reuses the study's substrate (and its
+    warm corpus store, when it has a ``cache_dir``), which is what the
+    scaling benchmark times.
+    """
+    return run_all(study, parallel=parallel, isolate_errors=isolate_errors)
+
+
+def golden_digests(
+    *,
+    scale: float = 0.002,
+    seed: int = 20151028,
+    fault_profile: str = "none",
+) -> dict[str, str]:
+    """One sequential run of everything; sha256 of each report render.
+
+    The contract behind ``tests/experiments/golden/`` and
+    ``scripts/update_golden.py``: the study is deterministic per
+    calibration, so these digests only change when report bytes do.
+    Raises ``RuntimeError`` if any experiment crashes.
+    """
+    study = MeasurementStudy(scale=scale, seed=seed, fault_profile=fault_profile)
+    results = run_all(study)
+    crashed = [result.experiment_id for result in results if not result.ok]
+    if crashed:
+        raise RuntimeError(f"experiments crashed: {crashed}")
+    return {
+        result.experiment_id: hashlib.sha256(
+            result.render().encode("utf-8")
+        ).hexdigest()
+        for result in results
+    }
+
+
+# -- corpus store -----------------------------------------------------------
+
+
+def build_corpus(
+    directory: str | Path,
+    *,
+    scale: float = 0.002,
+    seed: int = 20151028,
+    calibration=None,
+    shards: int = 1,
+    workers: int | None = None,
+    force: bool = False,
+) -> dict:
+    """Generate the ecosystem (sharded) and persist it as a corpus store.
+
+    Returns the store's :func:`corpus_info` plus a ``rebuilt`` flag.  An
+    existing readable store for the same calibration is reused unless
+    ``force``; sharding/worker count never changes the stored bytes.
+    """
+    from repro.scan.calibration import Calibration
+    from repro.scan.datastore import ArtifactCache
+    from repro.scan.ecosystem import Ecosystem
+
+    calibration = calibration or Calibration(scale=scale, seed=seed)
+    cache = ArtifactCache(directory)
+    path = cache.ecosystem_path(calibration)
+    if not force and path.exists():
+        try:
+            info = corpus_info(path)
+        except Exception:
+            info = None  # unreadable store: rebuild it below
+        if info is not None:
+            return {**info, "rebuilt": False}
+    ecosystem = Ecosystem(calibration, shards=shards, workers=workers)
+    cache.store_ecosystem(calibration, ecosystem)
+    return {**corpus_info(path), "rebuilt": True}
+
+
+def corpus_info(path: str | Path) -> dict:
+    """A store's meta table (seed, scale, counts, digest) plus file size."""
+    from repro.scan import corpus_store
+
+    path = Path(path)
+    meta = corpus_store.read_meta(path)
+    return {**meta, "path": str(path), "bytes": path.stat().st_size}
+
+
+def list_corpora(directory: str | Path) -> list[dict]:
+    """Info for every corpus store under ``directory``."""
+    entries: list[dict] = []
+    for path in sorted(Path(directory).glob("corpus-*.sqlite")):
+        try:
+            entries.append(corpus_info(path))
+        except Exception:
+            entries.append({"path": str(path), "error": "unreadable"})
+    return entries
+
+
+def crawl_figures_legs(study: MeasurementStudy):
+    """(naive, fast) thunks computing the Figure 5/6/9 crawl inputs.
+
+    Both compute the same results over the study's ecosystem; the
+    scaling benchmark times them against each other.  The fast leg
+    invalidates the per-CRL series caches first so it pays for its own
+    index builds.
+    """
+    from repro.scan.crawler import CrlCrawler
+
+    ecosystem = study.ecosystem
+    end = study.calibration.measurement_end
+
+    def naive():
+        crawler = CrlCrawler(ecosystem)
+        return (
+            crawler.daily_total_additions_naive(),
+            crawler.sizes_at_naive(end),
+            crawler.entry_counts_at_naive(end),
+        )
+
+    def fast():
+        for crl in ecosystem.crls:
+            crl.invalidate_series()
+        crawler = CrlCrawler(ecosystem)
+        return (
+            crawler.daily_total_additions(),
+            crawler.sizes_at(end),
+            crawler.entry_counts_at(end),
+        )
+
+    return naive, fast
 
 
 def run_one(

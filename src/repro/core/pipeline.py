@@ -42,9 +42,11 @@ __all__ = ["MeasurementStudy"]
 class MeasurementStudy:
     """Reproduces the paper's measurements over a synthetic ecosystem.
 
-    ``cache_dir`` opts into the on-disk artifact cache: the generated
-    ecosystem is stored keyed on the calibration digest, so repeated runs
-    with the same scale/seed/calibration skip regeneration entirely.
+    ``cache_dir`` opts into the on-disk corpus store: the generated
+    ecosystem is persisted keyed on the calibration digest, so repeated
+    runs with the same scale/seed/calibration load out-of-core instead of
+    regenerating.  ``shards``/``gen_workers`` control sharded substrate
+    generation (corpus bytes are identical for any shard/worker count).
     """
 
     def __init__(
@@ -56,10 +58,14 @@ class MeasurementStudy:
         fault_profile: str | None = None,
         fault_seed: int | None = None,
         obs: Observability | None = None,
+        shards: int = 1,
+        gen_workers: int | None = None,
     ) -> None:
         self.calibration = calibration or Calibration(scale=scale, seed=seed)
         self.targets: PaperTargets = self.calibration.targets
         self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self.shards = shards
+        self.gen_workers = gen_workers
         # Observability (docs/OBSERVABILITY.md).  Defaults to the shared
         # disabled instance unless REPRO_TRACE is set; like fault settings
         # it never enters the calibration digest -- tracing must not change
@@ -82,17 +88,29 @@ class MeasurementStudy:
 
     @cached_property
     def ecosystem(self) -> Ecosystem:
-        if self.cache_dir is not None:
-            from repro.scan.datastore import ArtifactCache
+        with self.obs.tracer.span(
+            "substrate.ecosystem", shards=self.shards
+        ) as span:
+            if self.cache_dir is not None:
+                from repro.scan.datastore import ArtifactCache
 
-            cache = ArtifactCache(self.cache_dir, obs=self.obs)
-            cached = cache.load_ecosystem(self.calibration)
-            if cached is not None:
-                return cached
-            ecosystem = Ecosystem(self.calibration)
-            cache.store_ecosystem(self.calibration, ecosystem)
-            return ecosystem
-        return Ecosystem(self.calibration)
+                cache = ArtifactCache(self.cache_dir, obs=self.obs)
+                cached = cache.load_ecosystem(self.calibration)
+                if cached is not None:
+                    span.set("source", "store")
+                    return cached
+                ecosystem = Ecosystem(
+                    self.calibration,
+                    shards=self.shards,
+                    workers=self.gen_workers,
+                )
+                cache.store_ecosystem(self.calibration, ecosystem)
+                span.set("source", "generated")
+                return ecosystem
+            span.set("source", "generated")
+            return Ecosystem(
+                self.calibration, shards=self.shards, workers=self.gen_workers
+            )
 
     @cached_property
     def crawl_index(self) -> CrawlIndex:
@@ -160,7 +178,14 @@ class MeasurementStudy:
     ) -> RevocationSeries:
         """Figure 2."""
         end = end or self.calibration.measurement_end
-        return revocation_series(self.ecosystem.leaves, start, end, step_days)
+        eco = self.ecosystem
+        return revocation_series(
+            eco.leaves,
+            start,
+            end,
+            step_days,
+            arrays=eco.leaf_index.timeline_arrays(),
+        )
 
     @cached_property
     def stapling_summary(self) -> StaplingSummary:

@@ -71,11 +71,19 @@ def revocation_series(
     start: datetime.date,
     end: datetime.date,
     step_days: int = 7,
+    arrays: tuple[np.ndarray, ...] | None = None,
 ) -> RevocationSeries:
-    """Compute Figure 2's series between ``start`` and ``end``."""
+    """Compute Figure 2's series between ``start`` and ``end``.
+
+    ``arrays`` optionally supplies precomputed timeline columns in
+    :func:`_arrays` order (e.g. ``Ecosystem.leaf_index.timeline_arrays()``)
+    so repeated series over the same corpus skip the per-leaf extraction.
+    """
     if end < start:
         raise ValueError("end must not precede start")
-    not_before, not_after, birth, death, revoked, is_ev = _arrays(leaves)
+    not_before, not_after, birth, death, revoked, is_ev = (
+        arrays if arrays is not None else _arrays(leaves)
+    )
 
     dates: list[datetime.date] = []
     day = start

@@ -193,6 +193,18 @@ def run_all(
 
     workers = min(parallel, len(order), os.cpu_count() or 1)
     cache_dir = str(study.cache_dir) if study.cache_dir is not None else None
+    if cache_dir is not None:
+        # Warm the corpus store before spawning workers: the parent pays
+        # for (possibly sharded) generation once and each worker then
+        # loads the corpus out-of-core instead of rebuilding it.  When
+        # the store is already warm the parent deliberately does NOT
+        # materialise the ecosystem: workers read the file themselves,
+        # and a small parent heap keeps forking the pool cheap.
+        from repro.scan.datastore import ArtifactCache
+
+        cache = ArtifactCache(study.cache_dir, obs=study.obs)
+        if not cache.has_ecosystem(study.calibration):
+            study.ecosystem
     with concurrent.futures.ProcessPoolExecutor(
         max_workers=workers,
         initializer=_init_worker,

@@ -183,22 +183,42 @@ class Calibration:
     crlset_crawl_period_hours: tuple[int, int] = (4, 56)
 
     # -- derived -------------------------------------------------------------
+    # The date sequences are memoised on the instance (a frozen dataclass
+    # still has a __dict__): the generator samples issue dates against
+    # ``scan_end`` once per leaf, so rebuilding the list per access used
+    # to dominate substrate wall-clock.  ``dataclasses.asdict`` only sees
+    # fields, so the caches never enter the calibration digest.
+
+    def _memo(self, key: str, build):
+        cached = self.__dict__.get(key)
+        if cached is None:
+            cached = build()
+            object.__setattr__(self, key, cached)
+        return cached
 
     @property
-    def scan_dates(self) -> list[datetime.date]:
-        return [
-            self.scan_start + datetime.timedelta(days=self.scan_period_days * i)
-            for i in range(self.scan_count)
-        ]
+    def scan_dates(self) -> tuple[datetime.date, ...]:
+        return self._memo(
+            "_scan_dates",
+            lambda: tuple(
+                self.scan_start + datetime.timedelta(days=self.scan_period_days * i)
+                for i in range(self.scan_count)
+            ),
+        )
 
     @property
     def scan_end(self) -> datetime.date:
         return self.scan_dates[-1]
 
     @property
-    def crawl_dates(self) -> list[datetime.date]:
-        days = (self.crawl_end - self.crawl_start).days + 1
-        return [self.crawl_start + datetime.timedelta(days=i) for i in range(days)]
+    def crawl_dates(self) -> tuple[datetime.date, ...]:
+        def build() -> tuple[datetime.date, ...]:
+            days = (self.crawl_end - self.crawl_start).days + 1
+            return tuple(
+                self.crawl_start + datetime.timedelta(days=i) for i in range(days)
+            )
+
+        return self._memo("_crawl_dates", build)
 
     @property
     def crlset_size_cap_bytes(self) -> int:

@@ -1,0 +1,374 @@
+"""Columnar corpus codec.
+
+One schema serves two transports: worker processes ship generated brand
+slices back to the parent as numpy arrays (pickling a scale-0.02 corpus
+as record objects costs ~48 MB and ~20 s; the same corpus as columns is
+a few MB and milliseconds), and :mod:`repro.scan.corpus_store` persists
+the merged corpus into the on-disk SQLite artifact store.
+
+Only *generated randomness* is encoded: leaf lifecycles, observed +
+synthetic CRL entries, per-CRL assigned counts and hidden-population
+targets, and Alexa ranks.  Everything else -- roots, intermediates, CRL
+shards, URL tables -- is deterministic scaffold, rebuilt from the
+calibration in milliseconds at decode time (see
+:func:`repro.scan.shardgen.build_brand_scaffold`).
+
+Leaf columns are aligned with cert_id order and sliced per brand via
+:class:`~repro.scan.shardgen.BrandLayout`; entry columns are grouped by
+CRL in global CRL order with per-CRL counts in ``crl_entry_count``.
+Dates are stored as int32 proleptic ordinals (0 = None), serials as
+21-byte big-endian blobs (fits 160-bit random serials), reason codes as
+int8 (-1 = None).
+"""
+
+from __future__ import annotations
+
+import datetime
+import hashlib
+
+import numpy as np
+
+from repro.revocation.reason import ReasonCode
+from repro.scan.crl_model import CrlEntryRecord, EcosystemCrl
+from repro.scan.hidden import HiddenPopulation
+from repro.scan.records import LeafRecord
+
+__all__ = [
+    "CORPUS_FORMAT",
+    "concat_parts",
+    "corpus_digest",
+    "decode_brand_leaves",
+    "decode_crl_population",
+    "encode_brand_parts",
+    "encode_corpus",
+]
+
+#: bump when the array schema changes; the store treats a mismatch as a miss.
+CORPUS_FORMAT = 1
+
+_SERIAL_BYTES = 21
+
+_LEAF_COLUMNS = (
+    "leaf_not_before",
+    "leaf_not_after",
+    "leaf_birth",
+    "leaf_death",
+    "leaf_revoked",
+    "leaf_reason",
+    "leaf_is_ev",
+    "leaf_server_count",
+    "leaf_stapling",
+    "leaf_alexa",
+    "leaf_serial",
+    "leaf_intermediate",
+    "leaf_crl",
+    "leaf_has_ocsp",
+)
+_ENTRY_COLUMNS = (
+    "entry_serial",
+    "entry_revoked",
+    "entry_reason",
+    "entry_expiry",
+    "entry_cert",
+)
+_CRL_COLUMNS = ("crl_entry_count", "crl_assigned", "crl_hidden")
+ALL_COLUMNS = _LEAF_COLUMNS + _ENTRY_COLUMNS + _CRL_COLUMNS
+
+
+def _ordinal(day: datetime.date | None) -> int:
+    return 0 if day is None else day.toordinal()
+
+
+def _serial_blob(serials: list[int]) -> np.ndarray:
+    buffer = b"".join(s.to_bytes(_SERIAL_BYTES, "big") for s in serials)
+    return np.frombuffer(buffer, dtype=np.uint8).reshape(-1, _SERIAL_BYTES)
+
+
+class _DateInterner:
+    """Ordinal -> date with shared objects: a corpus spans ~2 k distinct
+    days, so interning cuts decoded-corpus memory by an order of
+    magnitude at large scales."""
+
+    def __init__(self) -> None:
+        self._cache: dict[int, datetime.date] = {}
+
+    def __call__(self, ordinal: int) -> datetime.date:
+        day = self._cache.get(ordinal)
+        if day is None:
+            day = datetime.date.fromordinal(ordinal)
+            self._cache[ordinal] = day
+        return day
+
+
+# ---------------------------------------------------------------------------
+# encode
+# ---------------------------------------------------------------------------
+
+
+def _encode_leaves(
+    leaves: list[LeafRecord], crl_index_of_url: dict[str, int]
+) -> dict[str, np.ndarray]:
+    n = len(leaves)
+    not_before = np.empty(n, np.int32)
+    not_after = np.empty(n, np.int32)
+    birth = np.empty(n, np.int32)
+    death = np.empty(n, np.int32)
+    revoked = np.empty(n, np.int32)
+    reason = np.empty(n, np.int8)
+    is_ev = np.empty(n, np.uint8)
+    server_count = np.empty(n, np.int32)
+    stapling = np.empty(n, np.int32)
+    alexa = np.empty(n, np.int32)
+    intermediate = np.empty(n, np.int32)
+    crl_ref = np.empty(n, np.int32)
+    has_ocsp = np.empty(n, np.uint8)
+    serials: list[int] = []
+    for i, leaf in enumerate(leaves):
+        not_before[i] = leaf.not_before.toordinal()
+        not_after[i] = leaf.not_after.toordinal()
+        birth[i] = leaf.birth.toordinal()
+        death[i] = leaf.death.toordinal()
+        revoked[i] = _ordinal(leaf.revoked_at)
+        reason[i] = -1 if leaf.revocation_reason is None else int(
+            leaf.revocation_reason
+        )
+        is_ev[i] = leaf.is_ev
+        server_count[i] = leaf.server_count
+        stapling[i] = leaf.stapling_servers
+        alexa[i] = leaf.alexa_rank or 0
+        intermediate[i] = leaf.intermediate_id
+        crl_ref[i] = (
+            -1 if leaf.crl_url is None else crl_index_of_url[leaf.crl_url]
+        )
+        has_ocsp[i] = leaf.ocsp_url is not None
+        serials.append(leaf.serial_number)
+    return {
+        "leaf_not_before": not_before,
+        "leaf_not_after": not_after,
+        "leaf_birth": birth,
+        "leaf_death": death,
+        "leaf_revoked": revoked,
+        "leaf_reason": reason,
+        "leaf_is_ev": is_ev,
+        "leaf_server_count": server_count,
+        "leaf_stapling": stapling,
+        "leaf_alexa": alexa,
+        "leaf_serial": _serial_blob(serials),
+        "leaf_intermediate": intermediate,
+        "leaf_crl": crl_ref,
+        "leaf_has_ocsp": has_ocsp,
+    }
+
+
+def _encode_crls(crls: list[EcosystemCrl]) -> dict[str, np.ndarray]:
+    entry_count = np.empty(len(crls), np.int32)
+    assigned = np.empty(len(crls), np.int32)
+    hidden = np.empty(len(crls), np.int64)
+    serials: list[int] = []
+    revoked: list[int] = []
+    reason: list[int] = []
+    expiry: list[int] = []
+    cert: list[int] = []
+    for i, crl in enumerate(crls):
+        entry_count[i] = len(crl.entries)
+        assigned[i] = crl.assigned_cert_count
+        hidden[i] = -1 if crl.hidden is None else crl.hidden.target_end
+        for entry in crl.entries:
+            serials.append(entry.serial_number)
+            revoked.append(entry.revoked_at.toordinal())
+            reason.append(-1 if entry.reason is None else int(entry.reason))
+            expiry.append(entry.cert_not_after.toordinal())
+            cert.append(-1 if entry.cert_id is None else entry.cert_id)
+    return {
+        "entry_serial": _serial_blob(serials),
+        "entry_revoked": np.asarray(revoked, np.int32),
+        "entry_reason": np.asarray(reason, np.int8),
+        "entry_expiry": np.asarray(expiry, np.int32),
+        "entry_cert": np.asarray(cert, np.int32),
+        "crl_entry_count": entry_count,
+        "crl_assigned": assigned,
+        "crl_hidden": hidden,
+    }
+
+
+def encode_brand_parts(state, leaves: list[LeafRecord]) -> dict[str, np.ndarray]:
+    """One brand's generated randomness as columns (worker -> parent).
+
+    ``leaf_crl`` holds *global* CRL indexes (``layout.crl_base`` +
+    local), so brand parts concatenate directly into the full corpus.
+    """
+    crl_index_of_url = {
+        crl.url: state.layout.crl_base + i for i, crl in enumerate(state.crls)
+    }
+    arrays = _encode_leaves(leaves, crl_index_of_url)
+    arrays.update(_encode_crls(state.crls))
+    return arrays
+
+
+def concat_parts(parts: list[dict[str, np.ndarray]]) -> dict[str, np.ndarray]:
+    """Concatenate per-brand parts (already in profile order) into the
+    full corpus column set."""
+    return {
+        name: np.concatenate([part[name] for part in parts])
+        for name in ALL_COLUMNS
+    }
+
+
+def encode_corpus(ecosystem) -> tuple[dict[str, np.ndarray], dict]:
+    """The full corpus as (columns, meta) for the artifact store."""
+    crl_index_of_url = {crl.url: i for i, crl in enumerate(ecosystem.crls)}
+    arrays = _encode_leaves(ecosystem.leaves, crl_index_of_url)
+    arrays.update(_encode_crls(ecosystem.crls))
+    calibration = ecosystem.calibration
+    meta = {
+        "format": CORPUS_FORMAT,
+        "seed": calibration.seed,
+        "scale": repr(calibration.scale),
+        "leaf_count": len(ecosystem.leaves),
+        "crl_count": len(ecosystem.crls),
+        "entry_count": int(arrays["crl_entry_count"].sum()),
+        "corpus_digest": corpus_digest(arrays),
+    }
+    return arrays, meta
+
+
+def corpus_digest(arrays: dict[str, np.ndarray]) -> str:
+    """Content digest over every column; byte-identity across shard
+    counts and transports is asserted against this."""
+    hasher = hashlib.sha256()
+    for name in ALL_COLUMNS:
+        array = np.ascontiguousarray(arrays[name])
+        hasher.update(name.encode())
+        hasher.update(str(array.dtype).encode())
+        hasher.update(str(array.shape).encode())
+        hasher.update(array.tobytes())
+    return hasher.hexdigest()[:20]
+
+
+# ---------------------------------------------------------------------------
+# decode
+# ---------------------------------------------------------------------------
+
+
+def decode_brand_leaves(
+    arrays: dict[str, np.ndarray],
+    state,
+    crls: list[EcosystemCrl],
+    offset: int = 0,
+) -> list[LeafRecord]:
+    """Rebuild one brand's leaf records from columns.
+
+    ``arrays`` may be the full corpus (pass the brand's ``offset`` =
+    ``layout.cert_base``) or a single brand's parts (offset 0); ``crls``
+    is always the *global* CRL list the ``leaf_crl`` indexes point into.
+    """
+    layout = state.layout
+    intern = _DateInterner()
+    not_before = arrays["leaf_not_before"]
+    not_after = arrays["leaf_not_after"]
+    birth = arrays["leaf_birth"]
+    death = arrays["leaf_death"]
+    revoked = arrays["leaf_revoked"]
+    reason = arrays["leaf_reason"]
+    is_ev = arrays["leaf_is_ev"]
+    server_count = arrays["leaf_server_count"]
+    stapling = arrays["leaf_stapling"]
+    alexa = arrays["leaf_alexa"]
+    serial = arrays["leaf_serial"]
+    intermediate = arrays["leaf_intermediate"]
+    crl_ref = arrays["leaf_crl"]
+    has_ocsp = arrays["leaf_has_ocsp"]
+
+    leaves: list[LeafRecord] = []
+    name = state.profile.name
+    for i in range(layout.cert_count):
+        row = offset + i
+        revoked_ordinal = int(revoked[row])
+        reason_value = int(reason[row])
+        crl_index = int(crl_ref[row])
+        intermediate_id = int(intermediate[row])
+        rank = int(alexa[row])
+        leaves.append(
+            LeafRecord(
+                cert_id=layout.cert_base + i,
+                brand=name,
+                intermediate_id=intermediate_id,
+                serial_number=int.from_bytes(serial[row].tobytes(), "big"),
+                not_before=intern(int(not_before[row])),
+                not_after=intern(int(not_after[row])),
+                birth=intern(int(birth[row])),
+                death=intern(int(death[row])),
+                is_ev=bool(is_ev[row]),
+                crl_url=None if crl_index < 0 else crls[crl_index].url,
+                ocsp_url=(
+                    state.ocsp_urls[intermediate_id - layout.intermediate_base]
+                    if has_ocsp[row]
+                    else None
+                ),
+                revoked_at=None if revoked_ordinal == 0 else intern(revoked_ordinal),
+                revocation_reason=(
+                    None if reason_value < 0 else ReasonCode(reason_value)
+                ),
+                server_count=int(server_count[row]),
+                stapling_servers=int(stapling[row]),
+                alexa_rank=rank or None,
+            )
+        )
+        state.leaf_ids.append(layout.cert_base + i)
+    return leaves
+
+
+def decode_crl_population(
+    arrays: dict[str, np.ndarray],
+    crls: list[EcosystemCrl],
+    calibration,
+    crl_offset: int = 0,
+    entry_offset: int = 0,
+) -> None:
+    """Attach entries, assigned counts, and hidden populations to an
+    already-scaffolded CRL list (in place).
+
+    ``crls`` here is the slice being decoded (a brand's own CRLs for
+    parts, the global list for the full corpus); offsets locate the
+    slice inside ``arrays``.
+    """
+    from repro.scan.shardgen import _SYNTH_WINDOW_START
+
+    intern = _DateInterner()
+    entry_count = arrays["crl_entry_count"]
+    assigned = arrays["crl_assigned"]
+    hidden = arrays["crl_hidden"]
+    serial = arrays["entry_serial"]
+    revoked = arrays["entry_revoked"]
+    reason = arrays["entry_reason"]
+    expiry = arrays["entry_expiry"]
+    cert = arrays["entry_cert"]
+
+    cursor = entry_offset
+    for i, crl in enumerate(crls):
+        row = crl_offset + i
+        count = int(entry_count[row])
+        entries = []
+        for j in range(cursor, cursor + count):
+            reason_value = int(reason[j])
+            cert_id = int(cert[j])
+            entries.append(
+                CrlEntryRecord(
+                    serial_number=int.from_bytes(serial[j].tobytes(), "big"),
+                    revoked_at=intern(int(revoked[j])),
+                    reason=None if reason_value < 0 else ReasonCode(reason_value),
+                    cert_not_after=intern(int(expiry[j])),
+                    cert_id=None if cert_id < 0 else cert_id,
+                )
+            )
+        cursor += count
+        crl.entries = entries  # assignment invalidates the cached series
+        crl.assigned_cert_count = int(assigned[row])
+        target = int(hidden[row])
+        if target >= 0:
+            crl.hidden = HiddenPopulation(
+                target_end=target,
+                window_start=_SYNTH_WINDOW_START,
+                window_end=calibration.measurement_end,
+                heartbleed_date=calibration.heartbleed_date,
+            )

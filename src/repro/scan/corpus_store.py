@@ -1,0 +1,109 @@
+"""On-disk corpus artifact store (SQLite, columnar).
+
+One ``corpus-<calibration_digest>.sqlite`` file per calibration holds
+the generated corpus as numpy column blobs plus a small key/value meta
+table.  The write path is crash-safe (temp file + ``os.replace``, the
+same discipline as the old pickle cache); readers open the file through
+a read-only URI, so any number of ``run_all`` workers can share one
+store without locking against each other.
+
+Compared to pickling the ecosystem (the pre-sharding cache), the store
+is ~20x smaller and ~50x faster to load: only generated randomness is
+persisted (see :mod:`repro.scan.corpus`); the deterministic scaffold is
+rebuilt from the calibration on load.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["read_corpus", "read_meta", "write_corpus"]
+
+_SCHEMA = """
+CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT NOT NULL);
+CREATE TABLE arrays (
+    name  TEXT PRIMARY KEY,
+    dtype TEXT NOT NULL,
+    shape TEXT NOT NULL,
+    data  BLOB NOT NULL
+);
+"""
+
+
+def write_corpus(
+    path: str | Path, arrays: dict[str, np.ndarray], meta: dict
+) -> Path:
+    """Atomically write (or replace) the store file at ``path``."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    tmp = path.with_suffix(f".tmp.{os.getpid()}")
+    try:
+        tmp.unlink(missing_ok=True)
+        connection = sqlite3.connect(tmp)
+        try:
+            connection.executescript(_SCHEMA)
+            connection.executemany(
+                "INSERT INTO meta (key, value) VALUES (?, ?)",
+                [(key, json.dumps(value)) for key, value in meta.items()],
+            )
+            connection.executemany(
+                "INSERT INTO arrays (name, dtype, shape, data) VALUES (?, ?, ?, ?)",
+                [
+                    (
+                        name,
+                        str(array.dtype),
+                        json.dumps(list(array.shape)),
+                        np.ascontiguousarray(array).tobytes(),
+                    )
+                    for name, array in arrays.items()
+                ],
+            )
+            connection.commit()
+        finally:
+            connection.close()
+        os.replace(tmp, path)
+    finally:
+        tmp.unlink(missing_ok=True)
+    return path
+
+
+def _connect_readonly(path: Path) -> sqlite3.Connection:
+    # mode=ro keeps concurrent run_all workers from ever taking a write
+    # lock (and from "repairing" a file another process is replacing).
+    return sqlite3.connect(f"file:{path}?mode=ro", uri=True)
+
+
+def read_meta(path: str | Path) -> dict:
+    """Just the meta table (corpus inspection without loading columns)."""
+    connection = _connect_readonly(Path(path))
+    try:
+        rows = connection.execute("SELECT key, value FROM meta").fetchall()
+    finally:
+        connection.close()
+    return {key: json.loads(value) for key, value in rows}
+
+
+def read_corpus(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
+    """Load (columns, meta); raises on any malformed or foreign file."""
+    path = Path(path)
+    connection = _connect_readonly(path)
+    try:
+        meta_rows = connection.execute("SELECT key, value FROM meta").fetchall()
+        array_rows = connection.execute(
+            "SELECT name, dtype, shape, data FROM arrays"
+        ).fetchall()
+    finally:
+        connection.close()
+    meta = {key: json.loads(value) for key, value in meta_rows}
+    arrays = {
+        name: np.frombuffer(data, dtype=np.dtype(dtype)).reshape(
+            json.loads(shape)
+        )
+        for name, dtype, shape, data in array_rows
+    }
+    return arrays, meta

@@ -15,9 +15,11 @@ Layout of an export directory::
     crlset_daily.csv     CRLSet entry counts / additions / removals per day
 
 :class:`ArtifactCache` is the opt-in on-disk cache behind
-``MeasurementStudy(cache_dir=...)``: generated ecosystems are pickled
-keyed on a digest of the full calibration, so repeated runs with the same
-scale/seed/calibration skip regeneration.
+``MeasurementStudy(cache_dir=...)``: generated ecosystems are persisted
+as columnar SQLite corpus stores (:mod:`repro.scan.corpus_store`) keyed
+on a digest of the full calibration, so repeated runs with the same
+scale/seed/calibration skip regeneration and ``run_all`` workers load
+the corpus out-of-core instead of rebuilding it.
 """
 
 from __future__ import annotations
@@ -27,13 +29,12 @@ import dataclasses
 import datetime
 import hashlib
 import json
-import os
-import pickle
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.core.pipeline import MeasurementStudy
 from repro.obs import NULL_OBS, Observability
+from repro.scan import corpus, corpus_store
 from repro.scan.calibration import Calibration
 from repro.scan.ecosystem import Ecosystem
 
@@ -67,11 +68,15 @@ def calibration_digest(calibration: Calibration) -> str:
 
 
 class ArtifactCache:
-    """Pickle cache for expensive study substrates.
+    """Out-of-core corpus cache for expensive study substrates.
 
-    Writes are atomic (temp file + ``os.replace``) so a crashed or
-    concurrent run can never leave a truncated pickle behind; unreadable
-    entries are treated as misses.
+    Each entry is a ``corpus-<digest>.sqlite`` columnar store holding only
+    the corpus's generated randomness (the deterministic scaffold is
+    rebuilt from the calibration on load).  Writes are atomic (temp file +
+    ``os.replace``) so a crashed or concurrent run can never leave a
+    truncated store behind; readers open the file read-only, and anything
+    unreadable -- missing, truncated, foreign format, stale schema -- is
+    treated as a miss.
     """
 
     def __init__(
@@ -82,18 +87,36 @@ class ArtifactCache:
 
     def ecosystem_path(self, calibration: Calibration) -> Path:
         digest = calibration_digest(calibration)
-        return self.directory / f"ecosystem-{digest}.pkl"
+        return self.directory / f"corpus-{digest}.sqlite"
+
+    def has_ecosystem(self, calibration: Calibration) -> bool:
+        """Cheap store-presence probe: meta readable and matching.
+
+        Lets ``run_all`` pre-warm the store without materialising the
+        ecosystem in the parent process (workers load it themselves;
+        a small parent heap keeps fork cheap).
+        """
+        path = self.ecosystem_path(calibration)
+        try:
+            meta = corpus_store.read_meta(path)
+            return (
+                meta.get("format") == corpus.CORPUS_FORMAT
+                and meta.get("seed") == calibration.seed
+                and meta.get("scale") == repr(calibration.scale)
+            )
+        except Exception:
+            return False
 
     def load_ecosystem(self, calibration: Calibration) -> Ecosystem | None:
         path = self.ecosystem_path(calibration)
         digest = calibration_digest(calibration)
         try:
-            with open(path, "rb") as handle:
-                loaded = pickle.load(handle)
+            arrays, meta = corpus_store.read_corpus(path)
+            loaded = Ecosystem.from_corpus(calibration, arrays, meta)
         except Exception:
             # A cache read must never fail a run: missing, unreadable,
-            # truncated, or garbage entries (pickle raises arbitrary
-            # exception types on corrupt input) are all misses.
+            # truncated, or garbage entries (sqlite and the decoder raise
+            # arbitrary exception types on corrupt input) are all misses.
             if self.obs.enabled:
                 self.obs.tracer.event("artifact_cache.miss", calibration=digest)
                 self.obs.metrics.counter("artifact_cache.misses").inc()
@@ -113,15 +136,8 @@ class ArtifactCache:
                 calibration=calibration_digest(calibration),
             )
             self.obs.metrics.counter("artifact_cache.stores").inc()
-        self.directory.mkdir(parents=True, exist_ok=True)
-        tmp = path.with_suffix(f".tmp.{os.getpid()}")
-        try:
-            with open(tmp, "wb") as handle:
-                pickle.dump(ecosystem, handle, protocol=pickle.HIGHEST_PROTOCOL)
-            os.replace(tmp, path)
-        finally:
-            tmp.unlink(missing_ok=True)
-        return path
+        arrays, meta = corpus.encode_corpus(ecosystem)
+        return corpus_store.write_corpus(path, arrays, meta)
 
 
 def export_study(study: MeasurementStudy, directory: str | Path) -> Path:

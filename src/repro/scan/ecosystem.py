@@ -7,6 +7,13 @@ certificates, a Leaf Set of certificate lifecycle records, per-CA CRLs
 events including the Heartbleed burst of April 2014, hosting/stapling
 deployment, and Alexa popularity ranks.
 
+Generation is *sharded* (docs/PERFORMANCE.md): every brand is built from
+its own seed-stable RNG substreams by :mod:`repro.scan.shardgen`, so the
+corpus is byte-identical whether it is built in one pass, split across
+``shards`` in-process groups, or farmed out to ``workers`` processes --
+and whether it comes out of the generator or back out of the on-disk
+corpus store (:meth:`from_corpus`).
+
 Calibration targets come from :class:`~repro.scan.calibration.Calibration`
 and the per-CA profiles in :mod:`repro.ca.profiles`; DESIGN.md §2 explains
 why this substitution preserves the behaviour the paper measures.
@@ -15,603 +22,289 @@ why this substitution preserves the behaviour the paper measures.
 from __future__ import annotations
 
 import datetime
-import math
-import random
 
-from repro.ca.authority import CertificateAuthority
+import numpy as np
+
 from repro.ca.profiles import PAPER_CA_PROFILES, CaProfile
 from repro.pki.certificate import Certificate, CertificateBuilder
 from repro.pki.keys import KeyPair
 from repro.pki.name import Name
-from repro.revocation.reason import ReasonCode
-from repro.revocation.sizing import representative_entry_size
+from repro.scan import shardgen
 from repro.scan.calibration import Calibration
-from repro.scan.crl_model import CrlEntryRecord, EcosystemCrl
-from repro.scan.hidden import HiddenPopulation
+from repro.scan.crl_model import EcosystemCrl
 from repro.scan.records import IntermediateRecord, LeafRecord
+from repro.scan.shardgen import BrandState
 
-__all__ = ["Ecosystem"]
+__all__ = ["Ecosystem", "LeafIndex"]
 
 _UTC = datetime.timezone.utc
 
-#: materialise individual synthetic entries only below this expected count
-#: (bigger CRLs are dropped by the CRLSet pipeline anyway, so they only
-#: need bulk counts).
-_MATERIALIZE_THRESHOLD = 15_000
+#: far-future ordinal standing in for "never revoked" in the index.
+_NEVER = datetime.date(9999, 1, 1).toordinal()
 
 
 def _dt(day: datetime.date) -> datetime.datetime:
     return datetime.datetime(day.year, day.month, day.day, tzinfo=_UTC)
 
 
-class _BrandState:
-    """Generator bookkeeping for one CA brand."""
+class LeafIndex:
+    """Columnar view of the Leaf Set for the per-scan hot loops.
 
-    def __init__(self, profile: CaProfile) -> None:
-        self.profile = profile
-        self.intermediate_cas: list[CertificateAuthority] = []
-        self.intermediate_records: list[IntermediateRecord] = []
-        self.crls: list[EcosystemCrl] = []
-        self.ocsp_urls: list[str] = []
-        self.next_serial = 1000
-        self.leaf_ids: list[int] = []
+    Built once per ecosystem (lazily); fresh/alive sweeps over a
+    scale-0.5 corpus drop from ~0.2 s of per-record predicate calls to a
+    couple of numpy mask operations.  The Leaf Set is immutable after
+    generation, so the index is never invalidated.
+    """
 
-    def allocate_serial(self, rng: random.Random) -> int:
-        if self.profile.serial_style == "random_long":
-            return rng.getrandbits(160)
-        serial = self.next_serial
-        self.next_serial += 1
-        return serial
+    def __init__(self, leaves: list[LeafRecord]) -> None:
+        n = len(leaves)
+        self.not_before = np.empty(n, np.int64)
+        self.not_after = np.empty(n, np.int64)
+        self.birth = np.empty(n, np.int64)
+        self.death = np.empty(n, np.int64)
+        self.revoked = np.empty(n, np.int64)
+        self.is_ev = np.empty(n, bool)
+        for i, leaf in enumerate(leaves):
+            self.not_before[i] = leaf.not_before.toordinal()
+            self.not_after[i] = leaf.not_after.toordinal()
+            self.birth[i] = leaf.birth.toordinal()
+            self.death[i] = leaf.death.toordinal()
+            self.revoked[i] = (
+                leaf.revoked_at.toordinal() if leaf.revoked_at else _NEVER
+            )
+            self.is_ev[i] = leaf.is_ev
+
+    def fresh_mask(self, on: datetime.date) -> np.ndarray:
+        ordinal = on.toordinal()
+        return (self.not_before <= ordinal) & (ordinal <= self.not_after)
+
+    def alive_mask(self, on: datetime.date) -> np.ndarray:
+        ordinal = on.toordinal()
+        return (self.birth <= ordinal) & (ordinal <= self.death)
+
+    def revoked_mask(self, on: datetime.date) -> np.ndarray:
+        return self.revoked <= on.toordinal()
+
+    def timeline_arrays(self):
+        """The array tuple :func:`repro.core.timelines.revocation_series`
+        consumes, in its declaration order."""
+        return (
+            self.not_before,
+            self.not_after,
+            self.birth,
+            self.death,
+            self.revoked,
+            self.is_ev,
+        )
 
 
 class Ecosystem:
-    """Deterministic synthetic PKI ecosystem (see module docstring)."""
+    """Deterministic synthetic PKI ecosystem (see module docstring).
+
+    ``shards`` groups brands for generation (the corpus never depends on
+    it); ``workers`` additionally builds those groups in parallel
+    processes, shipping columnar parts back to the parent.
+    """
 
     def __init__(
         self,
         calibration: Calibration | None = None,
         profiles: tuple[CaProfile, ...] = PAPER_CA_PROFILES,
+        *,
+        shards: int = 1,
+        workers: int | None = None,
     ) -> None:
         self.calibration = calibration or Calibration()
         self.profiles = profiles
-        self._rng = random.Random(self.calibration.seed)
+        self._scaffold()
+        if workers is not None and workers > 1:
+            self._build_from_parts(self._generate_parts_parallel(shards, workers))
+        else:
+            self._build_in_process(shards)
+        self._finalize(assign_alexa=True)
 
-        self.roots: list[Certificate] = []
-        self.root_store: frozenset[bytes] = frozenset()
-        self.brands: dict[str, _BrandState] = {}
-        self.intermediates: list[IntermediateRecord] = []
-        self.leaves: list[LeafRecord] = []
-        self.crls: list[EcosystemCrl] = []
-        self._crl_by_url: dict[str, EcosystemCrl] = {}
-        self._leaf_by_id: dict[int, LeafRecord] = {}
-        #: count of scan-visible but invalid certificates (self-signed
-        #: router certs etc.); tracked as a count, per §3.1.
-        self.invalid_cert_count = 0
+    @classmethod
+    def from_corpus(
+        cls,
+        calibration: Calibration,
+        arrays: dict,
+        meta: dict,
+        profiles: tuple[CaProfile, ...] = PAPER_CA_PROFILES,
+    ) -> Ecosystem:
+        """Rebuild an ecosystem from stored corpus columns.
 
-        self._build_roots()
-        self._build_brands()
-        self._build_leaves()
-        self._assign_revocations()
-        self._populate_synthetic_entries()
-        self._assign_alexa_ranks()
-        self._count_invalid_certs()
+        The deterministic scaffold (roots, intermediates, CRL shards,
+        URL tables) is regenerated from the calibration; only the
+        generated randomness is decoded from ``arrays``.  Raises
+        ``ValueError`` on a format/seed/scale mismatch.
+        """
+        from repro.scan import corpus
+
+        if meta.get("format") != corpus.CORPUS_FORMAT:
+            raise ValueError(f"unsupported corpus format {meta.get('format')!r}")
+        if meta.get("seed") != calibration.seed or meta.get("scale") != repr(
+            calibration.scale
+        ):
+            raise ValueError("corpus was generated under a different calibration")
+
+        self = cls.__new__(cls)
+        self.calibration = calibration
+        self.profiles = profiles
+        self._scaffold()
+        if meta.get("leaf_count") != sum(
+            layout.cert_count for layout in self._layouts
+        ):
+            raise ValueError("corpus leaf count does not match the calibration")
+        self.leaves = []
+        for profile, layout in zip(profiles, self._layouts):
+            state = self.brands[profile.name]
+            self.leaves.extend(
+                corpus.decode_brand_leaves(
+                    arrays, state, self.crls, offset=layout.cert_base
+                )
+            )
+        corpus.decode_crl_population(arrays, self.crls, calibration)
+        self._finalize(assign_alexa=False)  # ranks came out of the columns
+        return self
 
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
 
-    def _build_roots(self) -> None:
-        start = _dt(datetime.date(2006, 1, 1))
-        end = _dt(datetime.date(2030, 1, 1))
-        self._root_cas: dict[str, CertificateAuthority] = {}
-        for profile in self.profiles:
-            ca = CertificateAuthority.create_root(
-                common_name=f"{profile.name} Root CA",
-                seed=f"root/{profile.name}/{self.calibration.seed}",
-                not_before=start,
-                not_after=end,
+    def _scaffold(self) -> None:
+        """Roots, brand states, CRL shards: cheap, fully deterministic."""
+        calibration = self.calibration
+        self._layouts = shardgen.layout_brands(calibration, self.profiles)
+        self._root_cas, self.roots = shardgen.build_roots(
+            calibration, self.profiles
+        )
+        self.root_store: frozenset[bytes] = frozenset(
+            cert.fingerprint for cert in self.roots
+        )
+        self.brands: dict[str, BrandState] = {}
+        self.intermediates: list[IntermediateRecord] = []
+        self.crls: list[EcosystemCrl] = []
+        self._crl_by_url: dict[str, EcosystemCrl] = {}
+        for profile, layout in zip(self.profiles, self._layouts):
+            state = shardgen.build_brand_scaffold(
+                calibration, profile, layout, self._root_cas[profile.name]
             )
-            self._root_cas[profile.name] = ca
-            self.roots.append(ca.certificate)
-        # Extra trusted roots that issue nothing we observe (real root
-        # stores carry hundreds of mostly-idle roots).
-        extra = max(0, self.calibration.root_count - len(self.profiles))
-        for i in range(extra):
-            ca = CertificateAuthority.create_root(
-                common_name=f"Idle Root CA {i}",
-                seed=f"root/idle{i}/{self.calibration.seed}",
-                not_before=start,
-                not_after=end,
-            )
-            self.roots.append(ca.certificate)
-        self.root_store = frozenset(cert.fingerprint for cert in self.roots)
-
-    def _build_brands(self) -> None:
-        cal = self.calibration
-        rng = self._rng
-        next_intermediate_id = 0
-        for profile in self.profiles:
-            state = _BrandState(profile)
             self.brands[profile.name] = state
-            root = self._root_cas[profile.name]
-            for k in range(profile.intermediates):
-                not_before = _dt(datetime.date(2008 + (k % 5), 3, 1))
-                not_after = _dt(datetime.date(2020 + (k % 5), 3, 1))
-                child = root.create_intermediate(
-                    common_name=f"{profile.name} Issuing CA {k}",
-                    seed=f"int/{profile.name}/{k}/{cal.seed}",
-                    not_before=not_before,
-                    not_after=not_after,
-                    include_crl=False,
-                    include_ocsp=False,
+            self.intermediates.extend(state.intermediate_records)
+            self.crls.extend(state.crls)
+            self._crl_by_url.update(state.crl_by_url)
+
+    def _build_in_process(self, shards: int) -> None:
+        """Generate every brand here, in ``shards`` groups (grouping is
+        pure bookkeeping -- each brand only reads its own substreams)."""
+        calibration = self.calibration
+        plan = shardgen.plan_shards(calibration, self.profiles, shards)
+        leaves_by_brand: dict[str, list[LeafRecord]] = {}
+        for group in plan:
+            for name in group:
+                state = self.brands[name]
+                # Scaffold already built; run the remaining brand chain.
+                brand_leaves = shardgen.build_brand_leaves(calibration, state)
+                shardgen.assign_brand_revocations(
+                    calibration, state, brand_leaves
                 )
-                # Intermediate certificates' own revocation pointers follow
-                # the paper's §3.2 fractions, independent of the brand.
-                draw = rng.random()
-                if draw < cal.intermediate_neither_fraction:
-                    has_crl, has_ocsp = False, False
-                else:
-                    has_crl = rng.random() < cal.intermediate_crl_fraction
-                    has_ocsp = rng.random() < cal.intermediate_ocsp_fraction
-                    if not has_crl and not has_ocsp:
-                        has_crl = True
-                record = IntermediateRecord(
-                    intermediate_id=next_intermediate_id,
-                    brand=profile.name,
-                    subject=f"{profile.name} Issuing CA {k}",
-                    spki_hash=child.keys.key_id,
-                    has_crl=has_crl,
-                    has_ocsp=has_ocsp,
-                    not_before=not_before.date(),
-                    not_after=not_after.date(),
-                )
-                next_intermediate_id += 1
-                state.intermediate_cas.append(child)
-                state.intermediate_records.append(record)
-                state.ocsp_urls.append(
-                    f"http://ocsp.{profile.name.lower()}.example/i{k}"
-                )
-                self.intermediates.append(record)
-            self._build_brand_crls(state)
-        # A handful of intermediates get revoked during the study (the
-        # DigiNotar/Trustwave-style incidents of §1; Mozilla's OneCRL
-        # listed 8 such certificates).  Their leaves stay in the corpus --
-        # revocation status is what the clients are supposed to discover.
-        other = self.brands.get("Other")
-        if other is not None and len(other.intermediate_records) >= 2:
-            other.intermediate_records[1].revoked_at = datetime.date(2014, 7, 9)
-            other.intermediate_records[3 % len(other.intermediate_records)].revoked_at = datetime.date(2013, 12, 2)
-
-    def _build_brand_crls(self, state: _BrandState) -> None:
-        cal = self.calibration
-        rng = self._rng
-        profile = state.profile
-        shard_count = profile.scaled_crl_count(cal.scale)
-
-        # Per-shard size targets: lognormal variance around the Table 1
-        # average, normalised so the mean is exact.
-        factors = [
-            math.exp(rng.gauss(0.0, cal.shard_size_sigma)) for _ in range(shard_count)
-        ]
-        mean_factor = sum(factors) / len(factors)
-        factors = [f / mean_factor for f in factors]
-
-        plain = representative_entry_size(self._serial_bytes(profile), False)
-        with_reason = representative_entry_size(self._serial_bytes(profile), True)
-        effective_entry = 0.7 * plain + 0.3 * with_reason
-
-        for i, factor in enumerate(factors):
-            ca = state.intermediate_cas[i % len(state.intermediate_cas)]
-            record = state.intermediate_records[i % len(state.intermediate_records)]
-            target_bytes = profile.avg_crl_kb * 1024.0 * factor
-            target_entries = max(1, int((target_bytes - 400.0) / effective_entry))
-            reissue_hours = self._draw_mix(cal.crl_reissue_hours_mix)
-            crl = EcosystemCrl(
-                url=f"http://crl.{profile.name.lower()}.example/crl{i}.crl",
-                brand=profile.name,
-                intermediate_id=record.intermediate_id,
-                issuer_name=ca.name,
-                issuer_key_hash=ca.keys.key_id,
-                signature_size=ca.keys.backend.signature_size,
-                signature_algorithm_oid=ca.keys.backend.algorithm_oid,
-                serial_bytes=self._serial_bytes(profile),
-                reissue_hours=reissue_hours,
-                covered=profile.crlset_covered,
-            )
-            crl._target_entries = target_entries  # consumed in population
-            state.crls.append(crl)
-            self.crls.append(crl)
-            self._crl_by_url[crl.url] = crl
-
-    @staticmethod
-    def _serial_bytes(profile: CaProfile) -> int:
-        return 21 if profile.serial_style == "random_long" else 4
-
-    def _draw_mix(self, mix) -> object:
-        """Draw from a ((value, probability), ...) mixture."""
-        roll = self._rng.random()
-        cumulative = 0.0
-        for value, probability in mix:
-            cumulative += probability
-            if roll < cumulative:
-                return value
-        return mix[-1][0]
-
-    # -- leaves ---------------------------------------------------------
-
-    def _issue_distribution(self) -> tuple[list[datetime.date], list[float]]:
-        """Monthly issuance volume: geometric growth from 2011 onwards."""
-        cached = getattr(self, "_issue_months_weights", None)
-        if cached is not None:
-            return cached
-        cal = self.calibration
-        months: list[datetime.date] = []
-        weights: list[float] = []
-        cursor = cal.issuance_start
-        weight = 1.0
-        while cursor < cal.scan_end:
-            months.append(cursor)
-            weights.append(weight)
-            weight *= cal.monthly_growth
-            year, month = cursor.year, cursor.month + 1
-            if month > 12:
-                year, month = year + 1, 1
-            cursor = datetime.date(year, month, 1)
-        self._issue_months_weights = (months, weights)
-        return months, weights
-
-    def _sample_issue_date(self) -> tuple[datetime.date, int]:
-        """Sample (issue date, validity days), conditioned on the cert's
-        alive window overlapping the scan window (the Leaf Set is, by
-        definition, the set of certificates the scans observed)."""
-        cal = self.calibration
-        rng = self._rng
-        months, weights = self._issue_distribution()
-
-        for _ in range(40):
-            month = rng.choices(months, weights=weights)[0]
-            day = rng.randint(1, 28)
-            issue = datetime.date(month.year, month.month, day)
-            validity = self._draw_mix(cal.validity_mix)
-            not_after = issue + datetime.timedelta(days=validity)
-            # Must be advertisable within the scan window.
-            if not_after >= cal.scan_start and issue <= cal.scan_end:
-                return issue, validity
-        return cal.scan_start, 365
-
-    def _build_leaves(self) -> None:
-        cal = self.calibration
-        rng = self._rng
-        cert_id = 0
+                shardgen.populate_brand_synthetic(calibration, state)
+                leaves_by_brand[name] = brand_leaves
+        self.leaves = []
         for profile in self.profiles:
-            state = self.brands[profile.name]
-            count = profile.scaled_certs(cal.scale)
-            for _ in range(count):
-                issue, validity = self._sample_issue_date()
-                not_after = issue + datetime.timedelta(days=validity)
-                birth = issue + datetime.timedelta(
-                    days=rng.randint(0, cal.birth_lag_max_days)
-                )
-                if rng.random() < cal.early_death_fraction:
-                    # Replaced mid-life (rekeyed, reissued, site retired).
-                    death = birth + datetime.timedelta(
-                        days=rng.randint(30, max(31, validity))
-                    )
-                elif rng.random() < cal.advertise_past_expiry:
-                    death = not_after + datetime.timedelta(
-                        days=rng.randint(1, cal.expiry_overrun_max_days)
-                    )
-                else:
-                    death = not_after - datetime.timedelta(days=rng.randint(0, 21))
-                death = max(death, birth)
+            self.leaves.extend(leaves_by_brand[profile.name])
 
-                intermediate_index = rng.randrange(len(state.intermediate_cas))
-                serial = state.allocate_serial(rng)
+    def _generate_parts_parallel(self, shards: int, workers: int) -> dict:
+        """Columnar brand parts from a process pool, one task per shard."""
+        import concurrent.futures
 
-                crl_url = None
-                if state.crls and rng.random() < profile.crl_inclusion:
-                    crl = rng.choice(state.crls)
-                    crl.assigned_cert_count += 1
-                    crl_url = crl.url
-
-                ocsp_url = None
-                adoption = profile.ocsp_since
-                if profile.ocsp_ramp_days:
-                    adoption = adoption + datetime.timedelta(
-                        days=rng.randint(0, profile.ocsp_ramp_days)
-                    )
-                if issue >= adoption and (
-                    rng.random() < cal.ocsp_inclusion_after_adoption
-                ):
-                    ocsp_url = state.ocsp_urls[intermediate_index]
-
-                is_ev = rng.random() < profile.ev_fraction
-                server_count = self._draw_server_count()
-                stapling_servers = self._draw_stapling(server_count, is_ev)
-
-                record = LeafRecord(
-                    cert_id=cert_id,
-                    brand=profile.name,
-                    intermediate_id=state.intermediate_records[
-                        intermediate_index
-                    ].intermediate_id,
-                    serial_number=serial,
-                    not_before=issue,
-                    not_after=not_after,
-                    birth=birth,
-                    death=death,
-                    is_ev=is_ev,
-                    crl_url=crl_url,
-                    ocsp_url=ocsp_url,
-                    server_count=server_count,
-                    stapling_servers=stapling_servers,
-                )
-                self.leaves.append(record)
-                self._leaf_by_id[cert_id] = record
-                state.leaf_ids.append(cert_id)
-                cert_id += 1
-
-    def _draw_server_count(self) -> int:
-        low, high, _ = self._draw_mix_triple(self.calibration.server_count_mix)
-        return self._rng.randint(low, high)
-
-    def _draw_mix_triple(self, mix) -> tuple:
-        roll = self._rng.random()
-        cumulative = 0.0
-        for entry in mix:
-            cumulative += entry[-1]
-            if roll < cumulative:
-                return entry
-        return mix[-1]
-
-    def _draw_stapling(self, server_count: int, is_ev: bool) -> int:
-        cal = self.calibration
-        rng = self._rng
-        all_p = cal.ev_stapling_all_fraction if is_ev else cal.stapling_all_fraction
-        partial_p = (
-            cal.ev_stapling_partial_fraction if is_ev else cal.stapling_partial_fraction
-        )
-        roll = rng.random()
-        if roll < all_p:
-            return server_count
-        if roll < all_p + partial_p:
-            if server_count <= 1:
-                return 0
-            return rng.randint(1, server_count - 1)
-        return 0
-
-    # -- revocation ------------------------------------------------------
-
-    def _assign_revocations(self) -> None:
-        cal = self.calibration
-        rng = self._rng
-        for profile in self.profiles:
-            state = self.brands[profile.name]
-            leaf_ids = state.leaf_ids
-            target = profile.scaled_revoked(cal.scale)
-            if not leaf_ids or target == 0:
-                continue
-
-            steady_p = min(cal.steady_cap, profile.revoked_fraction * cal.steady_share)
-            steady_count = min(target, round(len(leaf_ids) * steady_p))
-            chosen = rng.sample(leaf_ids, min(len(leaf_ids), steady_count))
-            revoked: set[int] = set()
-            for cid in chosen:
-                leaf = self._leaf_by_id[cid]
-                self._revoke_leaf(leaf, self._steady_revocation_date(leaf))
-                revoked.add(cid)
-
-            remaining = target - len(revoked)
-            if remaining > 0:
-                eligible = [
-                    cid
-                    for cid in leaf_ids
-                    if cid not in revoked
-                    and self._leaf_by_id[cid].is_fresh(cal.heartbleed_date)
-                    and self._leaf_by_id[cid].is_alive(cal.heartbleed_date)
-                ]
-                # Bias toward certificates with more remaining validity:
-                # a revocation is only worth requesting if the certificate
-                # would otherwise stay valid for a while (cf. [52]).
-                weights = [
-                    max(
-                        1.0,
-                        (self._leaf_by_id[cid].not_after - cal.heartbleed_date).days,
-                    )
-                    ** 0.75
-                    for cid in eligible
-                ]
-                take = min(remaining, len(eligible))
-                picked = self._weighted_sample(eligible, weights, take)
-                for cid in picked:
-                    leaf = self._leaf_by_id[cid]
-                    offset = min(
-                        int(rng.expovariate(1.0 / cal.heartbleed_decay_days)),
-                        cal.heartbleed_window_days,
-                    )
-                    when = cal.heartbleed_date + datetime.timedelta(days=offset)
-                    when = min(when, leaf.not_after)
-                    self._revoke_leaf(leaf, when)
-                    revoked.add(cid)
-
-                # Any shortfall (tiny corpora) becomes late steady churn.
-                leftovers = [cid for cid in leaf_ids if cid not in revoked]
-                for cid in leftovers[: max(0, target - len(revoked))]:
-                    leaf = self._leaf_by_id[cid]
-                    self._revoke_leaf(leaf, self._steady_revocation_date(leaf))
-
-    def _weighted_sample(self, items: list, weights: list, k: int) -> list:
-        """Weighted sampling without replacement (Efraimidis-Spirakis)."""
-        rng = self._rng
-        keyed = [
-            (rng.random() ** (1.0 / weight), item)
-            for item, weight in zip(items, weights)
+        calibration = self.calibration
+        shards = max(shards, workers)
+        plan = [
+            group
+            for group in shardgen.plan_shards(calibration, self.profiles, shards)
+            if group
         ]
-        keyed.sort(reverse=True)
-        return [item for _, item in keyed[:k]]
-
-    def _steady_revocation_date(self, leaf: LeafRecord) -> datetime.date:
-        cal = self.calibration
-        rng = self._rng
-        start = leaf.not_before + datetime.timedelta(days=7)
-        end = min(leaf.not_after, cal.measurement_end)
-        if end <= start:
-            return start
-        span = (end - start).days
-        return start + datetime.timedelta(days=rng.randint(0, span))
-
-    def _revoke_leaf(self, leaf: LeafRecord, when: datetime.date) -> None:
-        cal = self.calibration
-        rng = self._rng
-        leaf.revoked_at = when
-        reason_name = self._draw_mix(cal.reason_mix)
-        leaf.revocation_reason = (
-            None if reason_name is None else ReasonCode[reason_name]
-        )
-        if rng.random() >= cal.keep_advertising_after_revoke:
-            # Most administrators deploy the replacement certificate right
-            # around the revocation (often just before requesting it).
-            takedown = when + datetime.timedelta(days=rng.randint(-14, 3))
-            leaf.death = max(leaf.birth, min(leaf.death, takedown))
-        if leaf.crl_url is not None:
-            self._crl_by_url[leaf.crl_url].add_entry(
-                CrlEntryRecord(
-                    serial_number=leaf.serial_number,
-                    revoked_at=when,
-                    reason=leaf.revocation_reason,
-                    cert_not_after=leaf.not_after,
-                    cert_id=leaf.cert_id,
+        parts_by_brand: dict[str, dict] = {}
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(workers, len(plan))
+        ) as pool:
+            futures = [
+                pool.submit(
+                    shardgen.build_shard_parts, calibration, group, self.profiles
                 )
+                for group in plan
+            ]
+            for future in futures:
+                parts_by_brand.update(future.result())
+        return parts_by_brand
+
+    def _build_from_parts(self, parts_by_brand: dict) -> None:
+        """Decode worker-built columnar parts into this scaffold.
+
+        Fresh brand states generated in the workers carry entries and
+        counters; our own states only have the scaffold.  Decoding per
+        brand attaches both and rebuilds the leaf records.
+        """
+        from repro.scan import corpus
+
+        calibration = self.calibration
+        self.leaves = []
+        for profile, layout in zip(self.profiles, self._layouts):
+            state = self.brands[profile.name]
+            arrays = parts_by_brand[profile.name]
+            self.leaves.extend(
+                corpus.decode_brand_leaves(arrays, state, self.crls, offset=0)
             )
+            corpus.decode_crl_population(arrays, state.crls, calibration)
 
-    # -- synthetic CRL populations ----------------------------------------
-
-    def _populate_synthetic_entries(self) -> None:
-        """Fill each CRL up to its size target with never-observed entries:
-        individually identified records on small (CRLSet-eligible) CRLs,
-        bulk :class:`HiddenPopulation` counts on big ones."""
-        cal = self.calibration
-        rng = self._rng
-        window_start = datetime.date(2013, 1, 1)
-        for crl in self.crls:
-            target = getattr(crl, "_target_entries", 0)
-            observed_end = sum(
-                1 for e in crl.entries if e.visible_on(cal.measurement_end)
-            )
-            synthetic_needed = max(0, target - observed_end)
-            if synthetic_needed == 0:
-                continue
-            if target > _MATERIALIZE_THRESHOLD:
-                crl.hidden = HiddenPopulation(
-                    target_end=synthetic_needed,
-                    window_start=window_start,
-                    window_end=cal.measurement_end,
-                    heartbleed_date=cal.heartbleed_date,
-                )
-                continue
-            state = self.brands[crl.brand]
-            schedule = HiddenPopulation(
-                target_end=synthetic_needed,
-                window_start=window_start,
-                window_end=cal.measurement_end,
-                heartbleed_date=cal.heartbleed_date,
-            )
-            # Materialised entries follow the *same* additions/removals
-            # schedule as the bulk-modelled big CRLs: entries expire in
-            # FIFO order on the schedule's removal days, so the visible
-            # count on any day matches the schedule exactly (and equals
-            # the size target at the measurement end).
-            fifo: list[CrlEntryRecord] = []
-            for _ in range(schedule.initial_count):
-                revoked_at = window_start - datetime.timedelta(
-                    days=rng.randint(1, 500)
-                )
-                fifo.append(self._make_synthetic_entry(state, revoked_at))
-            fifo.sort(key=lambda entry: entry.revoked_at)
-            cursor = 0
-            day = window_start
-            while day <= cal.measurement_end:
-                for _ in range(schedule.additions_on(day)):
-                    fifo.append(self._make_synthetic_entry(state, day))
-                for _ in range(schedule.removals_on(day)):
-                    if cursor < len(fifo):
-                        entry = fifo[cursor]
-                        entry.cert_not_after = max(
-                            entry.revoked_at, day - datetime.timedelta(days=1)
-                        )
-                        cursor += 1
-                day += datetime.timedelta(days=1)
-            # Survivors expire after the study window.
-            for entry in fifo[cursor:]:
-                entry.cert_not_after = cal.measurement_end + datetime.timedelta(
-                    days=rng.randint(30, 700)
-                )
-            for entry in fifo:
-                crl.add_entry(entry)
-            # The FIFO sweep finalised cert_not_after on entries already
-            # appended; drop any timeline built against interim state.
-            crl.invalidate_series()
-
-    def _make_synthetic_entry(
-        self, state: _BrandState, revoked_at: datetime.date
-    ) -> CrlEntryRecord:
-        rng = self._rng
-        reason_name = self._draw_mix(self.calibration.reason_mix)
-        reason = None if reason_name is None else ReasonCode[reason_name]
-        return CrlEntryRecord(
-            serial_number=state.allocate_serial(rng),
-            revoked_at=revoked_at,
-            reason=reason,
-            cert_not_after=revoked_at,  # finalised by the FIFO sweep
-            cert_id=None,
-        )
-
-    # -- popularity --------------------------------------------------------
-
-    def _assign_alexa_ranks(self) -> None:
-        cal = self.calibration
-        rng = self._rng
-        top_n = cal.scaled(1_000_000)
-        # Popular sites are alive near the end of the study and skew
-        # toward the big commercial CAs; sample among late-alive leaves.
-        candidates = [
-            leaf
-            for leaf in self.leaves
-            if leaf.death >= cal.measurement_end - datetime.timedelta(days=270)
-        ]
-        rng.shuffle(candidates)
-        for rank, leaf in enumerate(candidates[:top_n], start=1):
-            leaf.alexa_rank = rank
-
-    def _count_invalid_certs(self) -> None:
-        """§3.1: most scanned certs are invalid (self-signed devices);
-        the paper saw 38.5 M total vs a 5.07 M Leaf Set."""
+    def _finalize(self, assign_alexa: bool) -> None:
+        """Merge-time global stages + derived counts."""
+        if assign_alexa:
+            shardgen.assign_alexa_ranks(self.calibration, self.leaves)
+        #: count of scan-visible but invalid certificates (self-signed
+        #: router certs etc.); tracked as a count, per §3.1.
         targets = self.calibration.targets
         ratio = targets.unique_certs_seen / targets.leaf_set_size
         self.invalid_cert_count = int(len(self.leaves) * (ratio - 1.0))
+        self._leaf_index: LeafIndex | None = None
 
     # ------------------------------------------------------------------
     # queries
     # ------------------------------------------------------------------
 
     def leaf(self, cert_id: int) -> LeafRecord:
-        return self._leaf_by_id[cert_id]
+        leaf = self.leaves[cert_id]
+        assert leaf.cert_id == cert_id
+        return leaf
 
     def crl_for_url(self, url: str) -> EcosystemCrl:
         return self._crl_by_url[url]
 
-    def brand_state(self, name: str) -> _BrandState:
+    def brand_state(self, name: str) -> BrandState:
         return self.brands[name]
 
     @property
     def leaf_count(self) -> int:
         return len(self.leaves)
 
+    @property
+    def leaf_index(self) -> LeafIndex:
+        if self._leaf_index is None:
+            self._leaf_index = LeafIndex(self.leaves)
+        return self._leaf_index
+
     def fresh_leaves(self, on: datetime.date) -> list[LeafRecord]:
-        return [leaf for leaf in self.leaves if leaf.is_fresh(on)]
+        leaves = self.leaves
+        return [leaves[i] for i in np.nonzero(self.leaf_index.fresh_mask(on))[0]]
 
     def alive_leaves(self, on: datetime.date) -> list[LeafRecord]:
-        return [leaf for leaf in self.leaves if leaf.is_alive(on)]
+        leaves = self.leaves
+        return [leaves[i] for i in np.nonzero(self.leaf_index.alive_mask(on))[0]]
+
+    def alive_ids(self, on: datetime.date) -> list[int]:
+        """cert_ids advertised on ``on`` (cert_id == index invariant)."""
+        return np.nonzero(self.leaf_index.alive_mask(on))[0].tolist()
 
     def total_crl_entries(self, on: datetime.date) -> int:
         return sum(crl.entry_count(on) for crl in self.crls)

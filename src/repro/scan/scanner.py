@@ -42,9 +42,9 @@ class Rapid7Scanner:
         self.obs = obs if obs is not None else NULL_OBS
 
     def scan(self, date: datetime.date) -> ScanSnapshot:
-        alive = frozenset(
-            leaf.cert_id for leaf in self.ecosystem.leaves if leaf.is_alive(date)
-        )
+        # Vectorised via the ecosystem's LeafIndex: one mask comparison
+        # over precomputed date ordinals instead of a per-leaf Python loop.
+        alive = frozenset(self.ecosystem.alive_ids(date))
         if self.obs.enabled:
             self.obs.tracer.event(
                 "scan.snapshot", date=date.isoformat(), alive=len(alive)

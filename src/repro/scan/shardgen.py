@@ -1,0 +1,772 @@
+"""Sharded, seed-stable ecosystem generation.
+
+The generator's unit of work is one CA *brand*: every brand's scaffold
+(intermediates + CRL shards), leaf population, revocation assignment,
+and synthetic CRL population is a pure function of ``(calibration,
+profile)`` drawing from its own :func:`~repro.scan.streams.substream`.
+Leaf blocks of :data:`LEAF_BLOCK` certificates get their own substream
+too, so a brand's leaves never depend on how many leaves precede them.
+
+Because no stage reads a shared RNG, brands can be built in any order,
+grouped into any number of shards, and farmed out to worker processes --
+the merged corpus is byte-identical in every case (the shard-determinism
+property tests in ``tests/scan/test_shardgen.py`` assert exactly this).
+Only two steps are global and run at merge time: the Alexa rank shuffle
+(one ``"alexa"`` substream over the merged Leaf Set) and the invalid-
+certificate count (pure arithmetic).
+
+Deterministic ID geometry (:class:`BrandLayout`) replaces the old
+sequential allocators: ``cert_id`` ranges are the running sum of
+``scaled_certs`` in profile order (so ``leaves[i].cert_id == i`` after
+the merge), ``intermediate_id`` ranges the running sum of
+``profile.intermediates``, sequential serials are ``1000 + index-within-
+brand``, and synthetic CRL entries draw serials from a per-CRL band
+above :data:`SYNTH_SERIAL_BASE` -- disjoint from every leaf serial.
+"""
+
+from __future__ import annotations
+
+import bisect
+import datetime
+import math
+from dataclasses import dataclass
+from itertools import accumulate
+
+from repro.ca.authority import CertificateAuthority
+from repro.ca.profiles import PAPER_CA_PROFILES, CaProfile
+from repro.revocation.reason import ReasonCode
+from repro.revocation.sizing import representative_entry_size
+from repro.scan.calibration import Calibration
+from repro.scan.crl_model import CrlEntryRecord, EcosystemCrl
+from repro.scan.hidden import HiddenPopulation
+from repro.scan.records import IntermediateRecord, LeafRecord
+from repro.scan.streams import substream
+
+__all__ = [
+    "BrandLayout",
+    "BrandState",
+    "LEAF_BLOCK",
+    "MATERIALIZE_THRESHOLD",
+    "SYNTH_SERIAL_BASE",
+    "SYNTH_SERIAL_STRIDE",
+    "assign_alexa_ranks",
+    "build_brand",
+    "build_brand_leaves",
+    "build_brand_scaffold",
+    "build_root_ca",
+    "build_roots",
+    "layout_brands",
+    "plan_shards",
+]
+
+_UTC = datetime.timezone.utc
+
+#: leaves per RNG block: each (brand, block) pair draws from its own
+#: substream, so intra-brand generation order is partition-independent.
+LEAF_BLOCK = 4096
+
+#: materialise individual synthetic entries only below this expected
+#: count (bigger CRLs are dropped by the CRLSet pipeline anyway, so they
+#: only need bulk counts).
+MATERIALIZE_THRESHOLD = 15_000
+
+#: synthetic entries on sequential-serial brands take serials from a
+#: per-CRL band: BASE + global_crl_index * STRIDE + counter.  Leaf
+#: serials (1000 + index) never reach BASE, and a materialised CRL holds
+#: far fewer than STRIDE entries, so the bands collide with nothing.
+SYNTH_SERIAL_BASE = 10**12
+SYNTH_SERIAL_STRIDE = 10**7
+
+
+def _dt(day: datetime.date) -> datetime.datetime:
+    return datetime.datetime(day.year, day.month, day.day, tzinfo=_UTC)
+
+
+def _draw_mix(rng, mix):
+    """Draw from a ((value, probability), ...) mixture."""
+    roll = rng.random()
+    cumulative = 0.0
+    for value, probability in mix:
+        cumulative += probability
+        if roll < cumulative:
+            return value
+    return mix[-1][0]
+
+
+def _draw_mix_triple(rng, mix):
+    roll = rng.random()
+    cumulative = 0.0
+    for entry in mix:
+        cumulative += entry[-1]
+        if roll < cumulative:
+            return entry
+    return mix[-1]
+
+
+# ---------------------------------------------------------------------------
+# layout
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BrandLayout:
+    """Deterministic ID geometry for one brand.
+
+    All ranges are running sums in profile declaration order, so they
+    depend only on the profile tuple and the scale -- never on which
+    shard or process builds the brand.
+    """
+
+    name: str
+    index: int
+    cert_base: int
+    cert_count: int
+    intermediate_base: int
+    crl_base: int
+    crl_count: int
+
+
+def layout_brands(
+    calibration: Calibration, profiles: tuple[CaProfile, ...]
+) -> tuple[BrandLayout, ...]:
+    layouts = []
+    cert_base = intermediate_base = crl_base = 0
+    for index, profile in enumerate(profiles):
+        cert_count = profile.scaled_certs(calibration.scale)
+        crl_count = profile.scaled_crl_count(calibration.scale)
+        layouts.append(
+            BrandLayout(
+                name=profile.name,
+                index=index,
+                cert_base=cert_base,
+                cert_count=cert_count,
+                intermediate_base=intermediate_base,
+                crl_base=crl_base,
+                crl_count=crl_count,
+            )
+        )
+        cert_base += cert_count
+        intermediate_base += profile.intermediates
+        crl_base += crl_count
+    return tuple(layouts)
+
+
+def plan_shards(
+    calibration: Calibration,
+    profiles: tuple[CaProfile, ...],
+    shards: int,
+) -> tuple[tuple[str, ...], ...]:
+    """Partition brands into ``shards`` groups, balanced by leaf count.
+
+    Deterministic greedy bin-packing: brands in descending ``scaled_certs``
+    (ties broken by name) onto the least-loaded shard (ties broken by
+    shard index).  The partition never affects the corpus -- only which
+    worker builds what.
+    """
+    if shards < 1:
+        raise ValueError("shards must be >= 1")
+    shards = min(shards, len(profiles))
+    bins: list[list[str]] = [[] for _ in range(shards)]
+    loads = [0] * shards
+    order = sorted(
+        profiles, key=lambda p: (-p.scaled_certs(calibration.scale), p.name)
+    )
+    for profile in order:
+        target = min(range(shards), key=lambda i: (loads[i], i))
+        bins[target].append(profile.name)
+        loads[target] += profile.scaled_certs(calibration.scale)
+    declaration = {profile.name: i for i, profile in enumerate(profiles)}
+    return tuple(
+        tuple(sorted(group, key=declaration.__getitem__)) for group in bins
+    )
+
+
+# ---------------------------------------------------------------------------
+# roots + scaffold
+# ---------------------------------------------------------------------------
+
+_ROOT_NOT_BEFORE = datetime.date(2006, 1, 1)
+_ROOT_NOT_AFTER = datetime.date(2030, 1, 1)
+
+
+def build_root_ca(
+    calibration: Calibration, profile: CaProfile
+) -> CertificateAuthority:
+    return CertificateAuthority.create_root(
+        common_name=f"{profile.name} Root CA",
+        seed=f"root/{profile.name}/{calibration.seed}",
+        not_before=_dt(_ROOT_NOT_BEFORE),
+        not_after=_dt(_ROOT_NOT_AFTER),
+    )
+
+
+def build_roots(
+    calibration: Calibration, profiles: tuple[CaProfile, ...]
+) -> tuple[dict[str, CertificateAuthority], list]:
+    """(brand -> root CA, all root certificates incl. idle fillers)."""
+    root_cas = {p.name: build_root_ca(calibration, p) for p in profiles}
+    roots = [ca.certificate for ca in root_cas.values()]
+    extra = max(0, calibration.root_count - len(profiles))
+    for i in range(extra):
+        ca = CertificateAuthority.create_root(
+            common_name=f"Idle Root CA {i}",
+            seed=f"root/idle{i}/{calibration.seed}",
+            not_before=_dt(_ROOT_NOT_BEFORE),
+            not_after=_dt(_ROOT_NOT_AFTER),
+        )
+        roots.append(ca.certificate)
+    return root_cas, roots
+
+
+class BrandState:
+    """Scaffold for one CA brand: intermediates, CRL shards, URL tables."""
+
+    def __init__(self, profile: CaProfile, layout: BrandLayout) -> None:
+        self.profile = profile
+        self.layout = layout
+        self.intermediate_cas: list[CertificateAuthority] = []
+        self.intermediate_records: list[IntermediateRecord] = []
+        self.crls: list[EcosystemCrl] = []
+        self.ocsp_urls: list[str] = []
+        self.crl_by_url: dict[str, EcosystemCrl] = {}
+        #: cert_ids of this brand's leaves (contiguous by construction).
+        self.leaf_ids: list[int] = []
+
+
+def _serial_bytes(profile: CaProfile) -> int:
+    return 21 if profile.serial_style == "random_long" else 4
+
+
+def build_brand_scaffold(
+    calibration: Calibration,
+    profile: CaProfile,
+    layout: BrandLayout,
+    root_ca: CertificateAuthority,
+) -> BrandState:
+    """Intermediate CAs, their records, and the brand's CRL shards.
+
+    Draw order (one ``"scaffold"`` substream per brand): per-intermediate
+    revocation-pointer rolls, then the per-CRL lognormal size factors,
+    then one reissue-period draw per CRL.
+    """
+    cal = calibration
+    rng = substream(cal.seed, "scaffold", profile.name)
+    state = BrandState(profile, layout)
+
+    for k in range(profile.intermediates):
+        not_before = _dt(datetime.date(2008 + (k % 5), 3, 1))
+        not_after = _dt(datetime.date(2020 + (k % 5), 3, 1))
+        child = root_ca.create_intermediate(
+            common_name=f"{profile.name} Issuing CA {k}",
+            seed=f"int/{profile.name}/{k}/{cal.seed}",
+            not_before=not_before,
+            not_after=not_after,
+            include_crl=False,
+            include_ocsp=False,
+        )
+        # Intermediate certificates' own revocation pointers follow the
+        # paper's §3.2 fractions, independent of the brand.
+        draw = rng.random()
+        if draw < cal.intermediate_neither_fraction:
+            has_crl, has_ocsp = False, False
+        else:
+            has_crl = rng.random() < cal.intermediate_crl_fraction
+            has_ocsp = rng.random() < cal.intermediate_ocsp_fraction
+            if not has_crl and not has_ocsp:
+                has_crl = True
+        record = IntermediateRecord(
+            intermediate_id=layout.intermediate_base + k,
+            brand=profile.name,
+            subject=f"{profile.name} Issuing CA {k}",
+            spki_hash=child.keys.key_id,
+            has_crl=has_crl,
+            has_ocsp=has_ocsp,
+            not_before=not_before.date(),
+            not_after=not_after.date(),
+        )
+        state.intermediate_cas.append(child)
+        state.intermediate_records.append(record)
+        state.ocsp_urls.append(f"http://ocsp.{profile.name.lower()}.example/i{k}")
+
+    # A handful of intermediates get revoked during the study (the
+    # DigiNotar/Trustwave-style incidents of §1; Mozilla's OneCRL listed
+    # 8 such certificates).  Their leaves stay in the corpus --
+    # revocation status is what the clients are supposed to discover.
+    if profile.name == "Other" and len(state.intermediate_records) >= 2:
+        state.intermediate_records[1].revoked_at = datetime.date(2014, 7, 9)
+        state.intermediate_records[
+            3 % len(state.intermediate_records)
+        ].revoked_at = datetime.date(2013, 12, 2)
+
+    _build_brand_crls(cal, state, rng)
+    return state
+
+
+def _build_brand_crls(cal: Calibration, state: BrandState, rng) -> None:
+    profile = state.profile
+    shard_count = state.layout.crl_count
+
+    # Per-shard size targets: lognormal variance around the Table 1
+    # average, normalised so the mean is exact.
+    factors = [
+        math.exp(rng.gauss(0.0, cal.shard_size_sigma)) for _ in range(shard_count)
+    ]
+    mean_factor = sum(factors) / len(factors)
+    factors = [f / mean_factor for f in factors]
+
+    plain = representative_entry_size(_serial_bytes(profile), False)
+    with_reason = representative_entry_size(_serial_bytes(profile), True)
+    effective_entry = 0.7 * plain + 0.3 * with_reason
+
+    for i, factor in enumerate(factors):
+        ca = state.intermediate_cas[i % len(state.intermediate_cas)]
+        record = state.intermediate_records[i % len(state.intermediate_records)]
+        target_bytes = profile.avg_crl_kb * 1024.0 * factor
+        target_entries = max(1, int((target_bytes - 400.0) / effective_entry))
+        reissue_hours = _draw_mix(rng, cal.crl_reissue_hours_mix)
+        crl = EcosystemCrl(
+            url=f"http://crl.{profile.name.lower()}.example/crl{i}.crl",
+            brand=profile.name,
+            intermediate_id=record.intermediate_id,
+            issuer_name=ca.name,
+            issuer_key_hash=ca.keys.key_id,
+            signature_size=ca.keys.backend.signature_size,
+            signature_algorithm_oid=ca.keys.backend.algorithm_oid,
+            serial_bytes=_serial_bytes(profile),
+            reissue_hours=reissue_hours,
+            covered=profile.crlset_covered,
+        )
+        crl._target_entries = target_entries  # consumed in population
+        state.crls.append(crl)
+        state.crl_by_url[crl.url] = crl
+
+
+# ---------------------------------------------------------------------------
+# leaves
+# ---------------------------------------------------------------------------
+
+
+def _issue_distribution(cal: Calibration):
+    """Monthly issuance volume: geometric growth from 2011 onwards,
+    precomputed as cumulative weights for O(log n) sampling."""
+    months: list[datetime.date] = []
+    weights: list[float] = []
+    cursor = cal.issuance_start
+    weight = 1.0
+    scan_end = cal.scan_end
+    while cursor < scan_end:
+        months.append(cursor)
+        weights.append(weight)
+        weight *= cal.monthly_growth
+        year, month = cursor.year, cursor.month + 1
+        if month > 12:
+            year, month = year + 1, 1
+        cursor = datetime.date(year, month, 1)
+    cum_weights = list(accumulate(weights))
+    return months, cum_weights, cum_weights[-1]
+
+
+def _sample_issue_date(rng, cal, months, cum_weights, total_weight):
+    """Sample (issue date, validity days), conditioned on the cert's
+    alive window overlapping the scan window (the Leaf Set is, by
+    definition, the set of certificates the scans observed)."""
+    scan_start, scan_end = cal.scan_start, cal.scan_end
+    for _ in range(40):
+        month = months[bisect.bisect(cum_weights, rng.random() * total_weight)]
+        day = rng.randint(1, 28)
+        issue = datetime.date(month.year, month.month, day)
+        validity = _draw_mix(rng, cal.validity_mix)
+        not_after = issue + datetime.timedelta(days=validity)
+        # Must be advertisable within the scan window.
+        if not_after >= scan_start and issue <= scan_end:
+            return issue, validity
+    return scan_start, 365
+
+
+def _draw_stapling(rng, cal: Calibration, server_count: int, is_ev: bool) -> int:
+    all_p = cal.ev_stapling_all_fraction if is_ev else cal.stapling_all_fraction
+    partial_p = (
+        cal.ev_stapling_partial_fraction if is_ev else cal.stapling_partial_fraction
+    )
+    roll = rng.random()
+    if roll < all_p:
+        return server_count
+    if roll < all_p + partial_p:
+        if server_count <= 1:
+            return 0
+        return rng.randint(1, server_count - 1)
+    return 0
+
+
+def build_brand_leaves(
+    calibration: Calibration, state: BrandState
+) -> list[LeafRecord]:
+    """The brand's Leaf Set slice, in cert_id order.
+
+    Each :data:`LEAF_BLOCK`-sized block draws from its own substream, so
+    any block -- hence any brand, hence any shard -- can be generated
+    independently and still merge byte-identically.
+    """
+    cal = calibration
+    profile = state.profile
+    layout = state.layout
+    months, cum_weights, total_weight = _issue_distribution(cal)
+    count = layout.cert_count
+    n_crls = len(state.crls)
+    random_long = profile.serial_style == "random_long"
+    crl_assigned = [0] * n_crls
+    leaves: list[LeafRecord] = []
+
+    for block_start in range(0, count, LEAF_BLOCK):
+        rng = substream(
+            cal.seed, "leaves", profile.name, block_start // LEAF_BLOCK
+        )
+        for i in range(block_start, min(block_start + LEAF_BLOCK, count)):
+            issue, validity = _sample_issue_date(
+                rng, cal, months, cum_weights, total_weight
+            )
+            not_after = issue + datetime.timedelta(days=validity)
+            birth = issue + datetime.timedelta(
+                days=rng.randint(0, cal.birth_lag_max_days)
+            )
+            if rng.random() < cal.early_death_fraction:
+                # Replaced mid-life (rekeyed, reissued, site retired).
+                death = birth + datetime.timedelta(
+                    days=rng.randint(30, max(31, validity))
+                )
+            elif rng.random() < cal.advertise_past_expiry:
+                death = not_after + datetime.timedelta(
+                    days=rng.randint(1, cal.expiry_overrun_max_days)
+                )
+            else:
+                death = not_after - datetime.timedelta(days=rng.randint(0, 21))
+            death = max(death, birth)
+
+            intermediate_index = rng.randrange(len(state.intermediate_cas))
+            serial = rng.getrandbits(160) if random_long else 1000 + i
+
+            crl_url = None
+            if n_crls and rng.random() < profile.crl_inclusion:
+                crl_index = rng.randrange(n_crls)
+                crl_assigned[crl_index] += 1
+                crl_url = state.crls[crl_index].url
+
+            ocsp_url = None
+            adoption = profile.ocsp_since
+            if profile.ocsp_ramp_days:
+                adoption = adoption + datetime.timedelta(
+                    days=rng.randint(0, profile.ocsp_ramp_days)
+                )
+            if issue >= adoption and (
+                rng.random() < cal.ocsp_inclusion_after_adoption
+            ):
+                ocsp_url = state.ocsp_urls[intermediate_index]
+
+            is_ev = rng.random() < profile.ev_fraction
+            low, high, _ = _draw_mix_triple(rng, cal.server_count_mix)
+            server_count = rng.randint(low, high)
+            stapling_servers = _draw_stapling(rng, cal, server_count, is_ev)
+
+            cert_id = layout.cert_base + i
+            leaves.append(
+                LeafRecord(
+                    cert_id=cert_id,
+                    brand=profile.name,
+                    intermediate_id=state.intermediate_records[
+                        intermediate_index
+                    ].intermediate_id,
+                    serial_number=serial,
+                    not_before=issue,
+                    not_after=not_after,
+                    birth=birth,
+                    death=death,
+                    is_ev=is_ev,
+                    crl_url=crl_url,
+                    ocsp_url=ocsp_url,
+                    server_count=server_count,
+                    stapling_servers=stapling_servers,
+                )
+            )
+            state.leaf_ids.append(cert_id)
+
+    for crl, assigned in zip(state.crls, crl_assigned):
+        crl.assigned_cert_count += assigned
+    return leaves
+
+
+# ---------------------------------------------------------------------------
+# revocation
+# ---------------------------------------------------------------------------
+
+
+def _weighted_sample(rng, items: list, weights: list, k: int) -> list:
+    """Weighted sampling without replacement (Efraimidis-Spirakis)."""
+    keyed = [
+        (rng.random() ** (1.0 / weight), item)
+        for item, weight in zip(items, weights)
+    ]
+    keyed.sort(reverse=True)
+    return [item for _, item in keyed[:k]]
+
+
+def _steady_revocation_date(rng, cal: Calibration, leaf: LeafRecord):
+    start = leaf.not_before + datetime.timedelta(days=7)
+    end = min(leaf.not_after, cal.measurement_end)
+    if end <= start:
+        return start
+    span = (end - start).days
+    return start + datetime.timedelta(days=rng.randint(0, span))
+
+
+def _revoke_leaf(
+    rng, cal: Calibration, state: BrandState, leaf: LeafRecord, when
+) -> None:
+    leaf.revoked_at = when
+    reason_name = _draw_mix(rng, cal.reason_mix)
+    leaf.revocation_reason = (
+        None if reason_name is None else ReasonCode[reason_name]
+    )
+    if rng.random() >= cal.keep_advertising_after_revoke:
+        # Most administrators deploy the replacement certificate right
+        # around the revocation (often just before requesting it).
+        takedown = when + datetime.timedelta(days=rng.randint(-14, 3))
+        leaf.death = max(leaf.birth, min(leaf.death, takedown))
+    if leaf.crl_url is not None:
+        state.crl_by_url[leaf.crl_url].add_entry(
+            CrlEntryRecord(
+                serial_number=leaf.serial_number,
+                revoked_at=when,
+                reason=leaf.revocation_reason,
+                cert_not_after=leaf.not_after,
+                cert_id=leaf.cert_id,
+            )
+        )
+
+
+def assign_brand_revocations(
+    calibration: Calibration, state: BrandState, leaves: list[LeafRecord]
+) -> None:
+    """Steady-state churn + the Heartbleed burst, one substream per brand.
+
+    Mutates leaf records in place and appends observed entries to the
+    brand's CRLs; depends only on this brand's own leaves.
+    """
+    cal = calibration
+    profile = state.profile
+    target = profile.scaled_revoked(cal.scale)
+    if not leaves or target == 0:
+        return
+    rng = substream(cal.seed, "revoke", profile.name)
+
+    steady_p = min(cal.steady_cap, profile.revoked_fraction * cal.steady_share)
+    steady_count = min(target, round(len(leaves) * steady_p))
+    chosen = rng.sample(range(len(leaves)), min(len(leaves), steady_count))
+    revoked: set[int] = set()
+    for index in chosen:
+        leaf = leaves[index]
+        _revoke_leaf(
+            rng, cal, state, leaf, _steady_revocation_date(rng, cal, leaf)
+        )
+        revoked.add(index)
+
+    remaining = target - len(revoked)
+    if remaining > 0:
+        heartbleed = cal.heartbleed_date
+        eligible = [
+            index
+            for index, leaf in enumerate(leaves)
+            if index not in revoked
+            and leaf.is_fresh(heartbleed)
+            and leaf.is_alive(heartbleed)
+        ]
+        # Bias toward certificates with more remaining validity: a
+        # revocation is only worth requesting if the certificate would
+        # otherwise stay valid for a while (cf. [52]).
+        weights = [
+            max(1.0, (leaves[index].not_after - heartbleed).days) ** 0.75
+            for index in eligible
+        ]
+        take = min(remaining, len(eligible))
+        picked = _weighted_sample(rng, eligible, weights, take)
+        for index in picked:
+            leaf = leaves[index]
+            offset = min(
+                int(rng.expovariate(1.0 / cal.heartbleed_decay_days)),
+                cal.heartbleed_window_days,
+            )
+            when = heartbleed + datetime.timedelta(days=offset)
+            when = min(when, leaf.not_after)
+            _revoke_leaf(rng, cal, state, leaf, when)
+            revoked.add(index)
+
+        # Any shortfall (tiny corpora) becomes late steady churn.
+        leftovers = [i for i in range(len(leaves)) if i not in revoked]
+        for index in leftovers[: max(0, target - len(revoked))]:
+            leaf = leaves[index]
+            _revoke_leaf(
+                rng, cal, state, leaf, _steady_revocation_date(rng, cal, leaf)
+            )
+
+
+# ---------------------------------------------------------------------------
+# synthetic CRL populations
+# ---------------------------------------------------------------------------
+
+_SYNTH_WINDOW_START = datetime.date(2013, 1, 1)
+
+
+def populate_brand_synthetic(calibration: Calibration, state: BrandState) -> None:
+    """Fill each CRL up to its size target with never-observed entries:
+    individually identified records on small (CRLSet-eligible) CRLs, bulk
+    :class:`HiddenPopulation` counts on big ones.  One substream per CRL,
+    so even CRLs within a brand are order-independent."""
+    cal = calibration
+    profile = state.profile
+    for local_index, crl in enumerate(state.crls):
+        target = getattr(crl, "_target_entries", 0)
+        observed_end = sum(
+            1 for e in crl.entries if e.visible_on(cal.measurement_end)
+        )
+        synthetic_needed = max(0, target - observed_end)
+        if synthetic_needed == 0:
+            continue
+        if target > MATERIALIZE_THRESHOLD:
+            crl.hidden = HiddenPopulation(
+                target_end=synthetic_needed,
+                window_start=_SYNTH_WINDOW_START,
+                window_end=cal.measurement_end,
+                heartbleed_date=cal.heartbleed_date,
+            )
+            continue
+        rng = substream(cal.seed, "synth", profile.name, local_index)
+        serial_band = SYNTH_SERIAL_BASE + SYNTH_SERIAL_STRIDE * (
+            state.layout.crl_base + local_index
+        )
+        random_long = profile.serial_style == "random_long"
+        counter = 0
+
+        def next_serial():
+            nonlocal counter
+            if random_long:
+                return rng.getrandbits(160)
+            serial = serial_band + counter
+            counter += 1
+            return serial
+
+        def make_entry(revoked_at):
+            reason_name = _draw_mix(rng, cal.reason_mix)
+            return CrlEntryRecord(
+                serial_number=next_serial(),
+                revoked_at=revoked_at,
+                reason=None if reason_name is None else ReasonCode[reason_name],
+                cert_not_after=revoked_at,  # finalised by the FIFO sweep
+                cert_id=None,
+            )
+
+        schedule = HiddenPopulation(
+            target_end=synthetic_needed,
+            window_start=_SYNTH_WINDOW_START,
+            window_end=cal.measurement_end,
+            heartbleed_date=cal.heartbleed_date,
+        )
+        # Materialised entries follow the *same* additions/removals
+        # schedule as the bulk-modelled big CRLs: entries expire in FIFO
+        # order on the schedule's removal days, so the visible count on
+        # any day matches the schedule exactly (and equals the size
+        # target at the measurement end).
+        fifo: list[CrlEntryRecord] = []
+        for _ in range(schedule.initial_count):
+            revoked_at = _SYNTH_WINDOW_START - datetime.timedelta(
+                days=rng.randint(1, 500)
+            )
+            fifo.append(make_entry(revoked_at))
+        fifo.sort(key=lambda entry: entry.revoked_at)
+        cursor = 0
+        day = _SYNTH_WINDOW_START
+        while day <= cal.measurement_end:
+            for _ in range(schedule.additions_on(day)):
+                fifo.append(make_entry(day))
+            for _ in range(schedule.removals_on(day)):
+                if cursor < len(fifo):
+                    entry = fifo[cursor]
+                    entry.cert_not_after = max(
+                        entry.revoked_at, day - datetime.timedelta(days=1)
+                    )
+                    cursor += 1
+            day += datetime.timedelta(days=1)
+        # Survivors expire after the study window.
+        for entry in fifo[cursor:]:
+            entry.cert_not_after = cal.measurement_end + datetime.timedelta(
+                days=rng.randint(30, 700)
+            )
+        for entry in fifo:
+            crl.add_entry(entry)
+        # The FIFO sweep finalised cert_not_after on entries already
+        # appended; drop any timeline built against interim state.
+        crl.invalidate_series()
+
+
+# ---------------------------------------------------------------------------
+# whole-brand chain + merge-time stages
+# ---------------------------------------------------------------------------
+
+
+def build_brand(
+    calibration: Calibration,
+    profile: CaProfile,
+    layout: BrandLayout,
+    root_ca: CertificateAuthority | None = None,
+) -> tuple[BrandState, list[LeafRecord]]:
+    """The full per-brand chain: scaffold -> leaves -> revocations ->
+    synthetic population.  Pure in ``(calibration, profile, layout)``;
+    ``root_ca`` is itself seed-derived and rebuilt when not passed (the
+    worker path)."""
+    if root_ca is None:
+        root_ca = build_root_ca(calibration, profile)
+    state = build_brand_scaffold(calibration, profile, layout, root_ca)
+    leaves = build_brand_leaves(calibration, state)
+    assign_brand_revocations(calibration, state, leaves)
+    populate_brand_synthetic(calibration, state)
+    return state, leaves
+
+
+def assign_alexa_ranks(calibration: Calibration, leaves: list[LeafRecord]) -> None:
+    """Merge-time global stage: one ``"alexa"`` substream over the merged
+    Leaf Set (rank assignment must see every brand)."""
+    cal = calibration
+    rng = substream(cal.seed, "alexa")
+    top_n = cal.scaled(1_000_000)
+    # Popular sites are alive near the end of the study and skew toward
+    # the big commercial CAs; sample among late-alive leaves.
+    cutoff = cal.measurement_end - datetime.timedelta(days=270)
+    candidates = [leaf for leaf in leaves if leaf.death >= cutoff]
+    rng.shuffle(candidates)
+    for rank, leaf in enumerate(candidates[:top_n], start=1):
+        leaf.alexa_rank = rank
+
+
+def _shard_layouts(
+    calibration: Calibration,
+    profiles: tuple[CaProfile, ...],
+    brand_names: tuple[str, ...],
+) -> list[tuple[CaProfile, BrandLayout]]:
+    layouts = {layout.name: layout for layout in layout_brands(calibration, profiles)}
+    by_name = {profile.name: profile for profile in profiles}
+    return [(by_name[name], layouts[name]) for name in brand_names]
+
+
+def build_shard_parts(
+    calibration: Calibration,
+    brand_names: tuple[str, ...],
+    profiles: tuple[CaProfile, ...] = PAPER_CA_PROFILES,
+) -> dict[str, dict]:
+    """Worker entry point: build every brand in ``brand_names`` and return
+    columnar parts (cheap to pickle back to the parent -- record objects
+    are 40x bigger on the wire)."""
+    from repro.scan import corpus
+
+    parts: dict[str, dict] = {}
+    for profile, layout in _shard_layouts(calibration, profiles, brand_names):
+        state, leaves = build_brand(calibration, profile, layout)
+        parts[profile.name] = corpus.encode_brand_parts(state, leaves)
+    return parts

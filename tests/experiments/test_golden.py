@@ -18,14 +18,13 @@ would otherwise see a different stream depending on test order.
 
 from __future__ import annotations
 
-import hashlib
 import json
 from pathlib import Path
 
 import pytest
 
-from repro import MeasurementStudy
-from repro.experiments.runner import ALL_EXPERIMENTS, run_all
+from repro import api
+from repro.experiments.runner import ALL_EXPERIMENTS
 
 GOLDEN_PATH = (
     Path(__file__).parent / "golden" / "reports-scale0.002-seed20151028.json"
@@ -33,17 +32,12 @@ GOLDEN_PATH = (
 
 
 def compute_digests() -> dict[str, str]:
-    """One sequential run of everything at the pinned calibration."""
-    study = MeasurementStudy(scale=0.002, seed=20151028, fault_profile="none")
-    results = run_all(study)
-    crashed = [r.experiment_id for r in results if not r.ok]
-    assert not crashed, f"experiments crashed: {crashed}"
-    return {
-        result.experiment_id: hashlib.sha256(
-            result.render().encode("utf-8")
-        ).hexdigest()
-        for result in results
-    }
+    """One sequential run of everything at the pinned calibration.
+
+    Delegates to :func:`repro.api.golden_digests`, the same call
+    ``scripts/update_golden.py`` uses to regenerate the file.
+    """
+    return api.golden_digests(scale=0.002, seed=20151028, fault_profile="none")
 
 
 def golden_payload(digests: dict[str, str]) -> dict:

@@ -1,0 +1,148 @@
+"""Out-of-core corpus store round-trip lockdown.
+
+Generate -> persist (SQLite columnar store) -> reload must reproduce the
+corpus byte-for-byte: same corpus digest, same report bytes.  Unreadable
+or mismatched stores are cache misses, never crashes -- ``run_all``
+workers depend on that.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+
+import pytest
+
+from repro import api
+from repro.core.pipeline import MeasurementStudy
+from repro.scan import corpus, corpus_store
+from repro.scan.calibration import Calibration
+from repro.scan.datastore import ArtifactCache
+from repro.scan.ecosystem import Ecosystem
+
+SCALE = 0.0005
+
+
+@pytest.fixture(scope="module")
+def calibration() -> Calibration:
+    return Calibration(scale=SCALE)
+
+
+@pytest.fixture(scope="module")
+def generated(calibration) -> Ecosystem:
+    return Ecosystem(calibration, shards=2)
+
+
+@pytest.fixture(scope="module")
+def store_path(calibration, generated, tmp_path_factory):
+    cache = ArtifactCache(tmp_path_factory.mktemp("store"))
+    return cache.store_ecosystem(calibration, generated)
+
+
+@pytest.fixture(scope="module")
+def reloaded(calibration, store_path) -> Ecosystem:
+    arrays, meta = corpus_store.read_corpus(store_path)
+    return Ecosystem.from_corpus(calibration, arrays, meta)
+
+
+class TestRoundTrip:
+    def test_corpus_digest_survives_the_store(self, generated, reloaded):
+        original = corpus.corpus_digest(corpus.encode_corpus(generated)[0])
+        restored = corpus.corpus_digest(corpus.encode_corpus(reloaded)[0])
+        assert restored == original
+
+    def test_leaf_records_are_equal(self, generated, reloaded):
+        assert len(reloaded.leaves) == len(generated.leaves)
+        stride = max(1, len(generated.leaves) // 200)
+        for a, b in zip(
+            generated.leaves[::stride], reloaded.leaves[::stride]
+        ):
+            assert a == b
+
+    def test_crl_population_is_equal(self, calibration, generated, reloaded):
+        end = calibration.measurement_end
+        assert len(reloaded.crls) == len(generated.crls)
+        for a, b in zip(generated.crls, reloaded.crls):
+            assert a.url == b.url
+            assert a.assigned_cert_count == b.assigned_cert_count
+            assert len(a.entries) == len(b.entries)
+            assert a.series.entry_count(end) == b.series.entry_count(end)
+
+    def test_meta_describes_the_corpus(self, store_path, generated):
+        meta = corpus_store.read_meta(store_path)
+        assert meta["format"] == corpus.CORPUS_FORMAT
+        assert meta["leaf_count"] == len(generated.leaves)
+        assert meta["scale"] == repr(SCALE)
+
+    def test_no_temp_files_left_behind(self, store_path):
+        leftovers = [
+            p for p in store_path.parent.iterdir() if p.name != store_path.name
+        ]
+        assert leftovers == []
+
+
+class TestReportBytesUnchanged:
+    """In-memory vs store-backed study: identical report bytes."""
+
+    @pytest.fixture(scope="class")
+    def in_memory(self, calibration) -> MeasurementStudy:
+        return MeasurementStudy(calibration=calibration)
+
+    @pytest.fixture(scope="class")
+    def store_backed(self, calibration, tmp_path_factory) -> MeasurementStudy:
+        cache_dir = tmp_path_factory.mktemp("warm")
+        # First study populates the store; the one under test only reads.
+        MeasurementStudy(calibration=calibration, cache_dir=cache_dir).ecosystem
+        return MeasurementStudy(calibration=calibration, cache_dir=cache_dir)
+
+    @pytest.mark.parametrize("experiment_id", ["section3", "fig2", "fig7"])
+    def test_report_render_is_byte_identical(
+        self, in_memory, store_backed, experiment_id
+    ):
+        a = api.run_one(experiment_id, in_memory).render()
+        b = api.run_one(experiment_id, store_backed).render()
+        assert a == b
+
+    def test_scans_are_identical(self, in_memory, store_backed):
+        assert in_memory.scans == store_backed.scans
+
+
+class TestMissSemantics:
+    def test_missing_store_is_a_miss(self, calibration, tmp_path):
+        assert ArtifactCache(tmp_path).load_ecosystem(calibration) is None
+
+    def test_garbage_store_is_a_miss(self, calibration, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        cache.ecosystem_path(calibration).write_bytes(b"not a sqlite file")
+        assert cache.load_ecosystem(calibration) is None
+        assert not cache.has_ecosystem(calibration)
+
+    def test_schema_mismatch_is_a_miss(self, calibration, tmp_path):
+        cache = ArtifactCache(tmp_path)
+        path = cache.ecosystem_path(calibration)
+        connection = sqlite3.connect(path)
+        connection.execute("CREATE TABLE wrong (x)")
+        connection.commit()
+        connection.close()
+        assert cache.load_ecosystem(calibration) is None
+
+    def test_other_calibration_never_hits(
+        self, calibration, generated, tmp_path
+    ):
+        cache = ArtifactCache(tmp_path)
+        cache.store_ecosystem(calibration, generated)
+        other = Calibration(scale=SCALE, seed=calibration.seed + 1)
+        assert cache.load_ecosystem(other) is None
+        assert cache.has_ecosystem(calibration)
+        assert not cache.has_ecosystem(other)
+
+
+class TestApiSurface:
+    def test_build_corpus_builds_then_reuses(self, tmp_path):
+        first = api.build_corpus(tmp_path, scale=SCALE, shards=2)
+        assert first["rebuilt"] is True
+        second = api.build_corpus(tmp_path, scale=SCALE)
+        assert second["rebuilt"] is False
+        assert second["corpus_digest"] == first["corpus_digest"]
+        assert api.corpus_info(first["path"])["leaf_count"] == first["leaf_count"]
+        listed = api.list_corpora(tmp_path)
+        assert [info["path"] for info in listed] == [first["path"]]

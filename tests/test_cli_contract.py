@@ -93,6 +93,55 @@ class TestExitCodes:
         assert main(["trace", "--diff", str(a), str(b)]) == 0
 
 
+class TestCorpusSubcommand:
+    """`repro corpus build|inspect|stat` wired through repro.api."""
+
+    SCALE = "0.0005"
+
+    def test_build_then_stat_then_inspect(self, tmp_path, capsys):
+        directory = str(tmp_path)
+        assert main(["corpus", "build", directory, "--scale", self.SCALE]) == 0
+        out = capsys.readouterr().out
+        assert "rebuilt        True" in out
+        assert "corpus_digest" in out
+
+        assert main(["corpus", "stat", directory]) == 0
+        stat_out = capsys.readouterr().out
+        assert f"scale {self.SCALE}" in stat_out
+
+        store = next(tmp_path.glob("corpus-*.sqlite"))
+        assert main(["corpus", "inspect", str(store)]) == 0
+        assert str(store) in capsys.readouterr().out
+
+    def test_rebuild_is_skipped_when_store_exists(self, tmp_path, capsys):
+        directory = str(tmp_path)
+        assert main(["corpus", "build", directory, "--scale", self.SCALE]) == 0
+        capsys.readouterr()
+        assert (
+            main(
+                ["corpus", "build", directory, "--scale", self.SCALE,
+                 "--shards", "4"]
+            )
+            == 0
+        )
+        assert "rebuilt        False" in capsys.readouterr().out
+
+    def test_inspect_unreadable_store_is_2(self, tmp_path, capsys):
+        bogus = tmp_path / "corpus-bogus.sqlite"
+        bogus.write_bytes(b"garbage")
+        assert main(["corpus", "inspect", str(bogus)]) == 2
+        assert "unreadable" in capsys.readouterr().err
+
+    def test_stat_empty_directory_is_0(self, tmp_path, capsys):
+        assert main(["corpus", "stat", str(tmp_path)]) == 0
+        assert "no corpus stores" in capsys.readouterr().out
+
+    def test_corpus_requires_subcommand(self):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["corpus"])
+        assert excinfo.value.code == 2
+
+
 class TestFlagPrecedence:
     """After-subcommand flags win; singly-given flags apply anywhere."""
 
