@@ -9,9 +9,12 @@ from conftest import emit_text
 
 import time
 
-from repro.core.report import format_bytes, format_table
-from repro.crlset.bloom import BloomFilter
-from repro.crlset.gcs import GolombCompressedSet
+from repro.api import (
+    BloomFilter,
+    GolombCompressedSet,
+    format_bytes,
+    format_table,
+)
 
 N = 25_000  # one paper-sized CRLSet worth of revocations
 FP = 0.01

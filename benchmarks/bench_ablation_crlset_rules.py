@@ -9,10 +9,12 @@ the production CRLSet covers well under 1% of revocations.
 
 from conftest import emit_text
 
-from repro.core.report import format_table
-from repro.crlset.builder import CrlSetBuilder
-from repro.crlset.coverage import analyze_coverage
-from repro.revocation.reason import is_crlset_eligible
+from repro.api import (
+    CrlSetBuilder,
+    analyze_coverage,
+    format_table,
+    is_crlset_eligible,
+)
 
 
 def _built_coverage(study, **builder_kwargs) -> float:

@@ -9,10 +9,7 @@ from conftest import emit_text
 
 import datetime
 
-from repro.ca.crl_publisher import CrlPublisher
-from repro.core.report import format_bytes, format_table
-from repro.pki.keys import KeyPair
-from repro.pki.name import Name
+from repro.api import CrlPublisher, KeyPair, Name, format_bytes, format_table
 
 NOW = datetime.datetime(2015, 3, 1, 12, 0, tzinfo=datetime.timezone.utc)
 REVOCATIONS = 3000

@@ -9,8 +9,7 @@ from conftest import emit_text
 
 import pytest
 
-from repro.core.report import format_table
-from repro.pki.keys import Ed25519Backend, KeyPair, SimBackend
+from repro.api import Ed25519Backend, KeyPair, SimBackend, format_table
 
 MESSAGES = [f"tbs-certificate-{i}".encode() * 8 for i in range(200)]
 

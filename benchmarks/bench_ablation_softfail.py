@@ -11,10 +11,7 @@ from conftest import emit_text
 
 import datetime
 
-from repro.browsers.certgen import TestPki
-from repro.browsers.policy import ChainContext
-from repro.browsers.registry import all_browsers
-from repro.core.report import format_table
+from repro.api import ChainContext, TestPki, all_browsers, format_table
 
 NOW = datetime.datetime(2015, 3, 31, 12, 0, tzinfo=datetime.timezone.utc)
 

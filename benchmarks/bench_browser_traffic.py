@@ -7,19 +7,21 @@ traffic buys in detected revocations.
 
 from conftest import emit_text
 
-from repro.browsers.desktop import (
+from repro.api import (
+    AndroidBrowser,
     Chrome,
     Firefox,
     InternetExplorer,
+    MobileSafari,
     Opera12,
     Opera31,
     Safari,
+    StrictClient,
+    format_bytes,
+    format_table,
+    generate_test_suite,
+    traffic_report,
 )
-from repro.browsers.mobile import AndroidBrowser, MobileSafari
-from repro.browsers.strict import StrictClient
-from repro.browsers.testsuite import generate_test_suite
-from repro.browsers.traffic import traffic_report
-from repro.core.report import format_bytes, format_table
 
 
 def test_bench_browser_traffic(benchmark):

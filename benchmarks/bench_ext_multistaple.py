@@ -9,10 +9,13 @@ from conftest import emit_text
 
 import datetime
 
-from repro.browsers.certgen import TestPki
-from repro.core.report import format_table
-from repro.extensions.multistaple import MultiStapleServer, chain_check_cost
-from repro.revocation.ocsp import OcspRequest
+from repro.api import (
+    MultiStapleServer,
+    OcspRequest,
+    TestPki,
+    chain_check_cost,
+    format_table,
+)
 
 NOW = datetime.datetime(2015, 3, 31, 12, 0, tzinfo=datetime.timezone.utc)
 

@@ -6,9 +6,14 @@ bytes-per-protected-certificate of OneCRL vs CRLSet.
 
 from conftest import emit_text, emit  # noqa: F401  (fixture wiring parity)
 
-from repro.core.report import format_bytes, format_table
-from repro.extensions.onecrl import blast_radius, build_onecrl
-from repro.extensions.shortlived import RevocationRegime, attack_window_study
+from repro.api import (
+    RevocationRegime,
+    attack_window_study,
+    blast_radius,
+    build_onecrl,
+    format_bytes,
+    format_table,
+)
 
 
 def test_bench_attack_windows(benchmark, study):

@@ -2,13 +2,13 @@
 
 from conftest import emit
 
-from repro.crlset.bloom import BloomFilter
-from repro.experiments import fig11
+from repro.api import BloomFilter
+from repro import api
 
 
 def test_bench_fig11_analysis(benchmark, crlset_ready):
     result = benchmark.pedantic(
-        lambda: fig11.run(crlset_ready), rounds=2, iterations=1
+        lambda: api.run_one("fig11", crlset_ready), rounds=2, iterations=1
     )
     emit(result)
     assert all(c.shape_holds for c in result.comparisons)

@@ -2,12 +2,12 @@
 
 from conftest import emit
 
-from repro.experiments import fig2
+from repro import api
 
 
 def test_bench_fig2_revocation_series(benchmark, study):
     result = benchmark.pedantic(
-        lambda: fig2.run(study), rounds=3, iterations=1, warmup_rounds=1
+        lambda: api.run_one("fig2", study), rounds=3, iterations=1, warmup_rounds=1
     )
     emit(result)
     assert all(c.shape_holds for c in result.comparisons)

@@ -2,12 +2,12 @@
 
 from conftest import emit
 
-from repro.experiments import fig4
+from repro import api
 
 
 def test_bench_fig4_revocation_info(benchmark, study):
     result = benchmark.pedantic(
-        lambda: fig4.run(study), rounds=3, iterations=1, warmup_rounds=1
+        lambda: api.run_one("fig4", study), rounds=3, iterations=1, warmup_rounds=1
     )
     emit(result)
     assert all(c.shape_holds for c in result.comparisons)

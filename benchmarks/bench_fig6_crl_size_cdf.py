@@ -2,12 +2,12 @@
 
 from conftest import emit
 
-from repro.experiments import fig6
+from repro import api
 
 
 def test_bench_fig6_crl_cdf(benchmark, study):
     result = benchmark.pedantic(
-        lambda: fig6.run(study), rounds=3, iterations=1, warmup_rounds=1
+        lambda: api.run_one("fig6", study), rounds=3, iterations=1, warmup_rounds=1
     )
     emit(result)
     assert all(c.shape_holds for c in result.comparisons)

@@ -2,8 +2,8 @@
 
 from conftest import emit
 
-from repro.crlset.builder import CrlSetBuilder
-from repro.experiments import fig8
+from repro.api import CrlSetBuilder
+from repro import api
 
 
 def test_bench_crlset_daily_sweep(benchmark, study):
@@ -16,7 +16,7 @@ def test_bench_crlset_daily_sweep(benchmark, study):
 
 def test_bench_fig8_series(benchmark, crlset_ready):
     result = benchmark.pedantic(
-        lambda: fig8.run(crlset_ready), rounds=3, iterations=1, warmup_rounds=1
+        lambda: api.run_one("fig8", crlset_ready), rounds=3, iterations=1, warmup_rounds=1
     )
     emit(result)
     assert all(c.shape_holds for c in result.comparisons)

@@ -2,12 +2,12 @@
 
 from conftest import emit
 
-from repro.experiments import section3
+from repro import api
 
 
 def test_bench_section3_dataset(benchmark, study):
     result = benchmark.pedantic(
-        lambda: section3.run(study), rounds=3, iterations=1, warmup_rounds=1
+        lambda: api.run_one("section3", study), rounds=3, iterations=1, warmup_rounds=1
     )
     emit(result)
     assert all(c.shape_holds for c in result.comparisons)

@@ -2,12 +2,12 @@
 
 from conftest import emit
 
-from repro.experiments import section42
+from repro import api
 
 
 def test_bench_section42_reasons(benchmark, study):
     result = benchmark.pedantic(
-        lambda: section42.run(study), rounds=3, iterations=1, warmup_rounds=1
+        lambda: api.run_one("section42", study), rounds=3, iterations=1, warmup_rounds=1
     )
     emit(result)
     assert all(c.shape_holds for c in result.comparisons)

@@ -7,9 +7,7 @@ mobile links.
 
 from conftest import emit_text
 
-from repro.core.cost import SessionCostModel
-from repro.core.report import format_bytes, format_table
-from repro.net.transport import LinkProfile
+from repro.api import LinkProfile, SessionCostModel, format_bytes, format_table
 
 
 def test_bench_session_cost(benchmark, study):

@@ -6,10 +6,14 @@ determines how large a corpus the scan experiments can afford.
 
 import datetime
 
-from repro.pki.certificate import Certificate, CertificateBuilder
-from repro.pki.keys import KeyPair
-from repro.pki.name import Name
-from repro.revocation.crl import CertificateRevocationList, RevokedEntry
+from repro.api import (
+    Certificate,
+    CertificateBuilder,
+    CertificateRevocationList,
+    KeyPair,
+    Name,
+    RevokedEntry,
+)
 
 UTC = datetime.timezone.utc
 NB = datetime.datetime(2014, 1, 1, tzinfo=UTC)

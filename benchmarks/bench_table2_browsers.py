@@ -7,9 +7,8 @@ Table 2 matrix and diffs it against the paper.
 
 from conftest import emit
 
-from repro.browsers.desktop import InternetExplorer
-from repro.browsers.testsuite import BrowserTestHarness, generate_test_suite
-from repro.experiments import table2
+from repro.api import BrowserTestHarness, InternetExplorer, generate_test_suite
+from repro import api
 
 
 def test_bench_one_browser_full_suite(benchmark):
@@ -25,7 +24,7 @@ def test_bench_one_browser_full_suite(benchmark):
 
 def test_bench_full_table2(benchmark, study):
     result = benchmark.pedantic(
-        lambda: table2.run(study), rounds=1, iterations=1
+        lambda: api.run_one("table2", study), rounds=1, iterations=1
     )
     emit(result)
     assert not result.data["mismatches"]

@@ -14,22 +14,21 @@ import os
 
 import pytest
 
-from repro import MeasurementStudy
-from repro.scan.calibration import Calibration
+from repro import api
 
 BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.002"))
 
 
 @pytest.fixture(scope="session")
-def study() -> MeasurementStudy:
-    study = MeasurementStudy(calibration=Calibration(scale=BENCH_SCALE))
+def study():
+    study = api.new_study(scale=BENCH_SCALE)
     # Materialise the substrate outside the timed regions.
     _ = study.ecosystem
     return study
 
 
 @pytest.fixture(scope="session")
-def crlset_ready(study) -> MeasurementStudy:
+def crlset_ready(study):
     _ = study.crlset_history
     return study
 

@@ -12,7 +12,10 @@ Usage::
     python -m repro corpus build DIR --shards 4  # persist the corpus store
     python -m repro corpus inspect FILE        # one store's meta
     python -m repro corpus stat DIR            # list stores in a directory
+    python -m repro corpus verify FILE         # integrity-check a store
     python -m repro --fault-profile chaos      # run everything degraded
+    python -m repro run all --supervise        # crash-recovering run
+    python -m repro run all --resume           # continue an interrupted run
 
 The CLI is a thin shell over :mod:`repro.api`, the stable programmatic
 facade: every subcommand maps onto one facade call.
@@ -38,6 +41,20 @@ aligns two traces' span trees and reports the structural delta --
 ``--check`` exits 1 when the diff is non-empty, which is how CI asserts
 "same seed, same behaviour".  Tracing never changes a report byte, and
 sequential traces are byte-identical per seed.
+
+Supervised execution (docs/ROBUSTNESS.md): ``run all --supervise`` runs
+the experiments under the crash-recovering supervisor and journals each
+completed leg under ``--checkpoint-dir`` (default
+``.repro-checkpoints``); ``--exec-fault-profile`` injects deterministic
+worker kills / hangs / aborts (:data:`repro.exec.faults.EXEC_PROFILES`).
+An injected abort exits with code 3 (nothing on stdout); rerunning with
+``--resume`` replays the journal and produces stdout byte-identical to
+an uninterrupted run.  ``corpus build --supervise`` is the same
+discipline for sharded corpus builds.
+
+Exit codes: 0 success; 1 experiment crashes / shape failures (or a
+non-empty ``trace --diff --check``, or a failed ``corpus verify``);
+2 usage errors; 3 run interrupted (resume with ``--resume``).
 """
 
 from __future__ import annotations
@@ -70,6 +87,42 @@ def _fault_parent(suppress: bool) -> argparse.ArgumentParser:
         default=default,
         metavar="SEED",
         help="seed for the fault-injection RNG (default: the study seed)",
+    )
+    return parent
+
+
+def _exec_parent() -> argparse.ArgumentParser:
+    """The shared supervised-execution flags (run all / corpus build)."""
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument(
+        "--supervise",
+        action="store_true",
+        help="run under the crash-recovering supervisor with checkpoints",
+    )
+    parent.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume an interrupted supervised run from its checkpoints",
+    )
+    parent.add_argument(
+        "--checkpoint-dir",
+        default=None,
+        metavar="DIR",
+        help="checkpoint journal directory (default .repro-checkpoints)",
+    )
+    parent.add_argument(
+        "--exec-fault-profile",
+        default=None,
+        metavar="NAME",
+        help="inject process/storage faults (none, kill-worker, hang-worker, "
+        "torn-write, chaos-proc)",
+    )
+    parent.add_argument(
+        "--exec-fault-seed",
+        type=int,
+        default=None,
+        metavar="SEED",
+        help="seed for the process-fault RNG (default: the study seed)",
     )
     return parent
 
@@ -107,7 +160,9 @@ def _build_parser() -> argparse.ArgumentParser:
 
     shared = [_fault_parent(suppress=True), _calibration_parent()]
     run = sub.add_parser(
-        "run", parents=shared, help="run one experiment (or 'all')"
+        "run",
+        parents=shared + [_exec_parent()],
+        help="run one experiment (or 'all')",
     )
     run.add_argument("experiment", help="experiment id, e.g. fig2, table2, all")
     run.add_argument(
@@ -170,7 +225,7 @@ def _build_parser() -> argparse.ArgumentParser:
     corpus_sub = corpus.add_subparsers(dest="corpus_command", required=True)
     build = corpus_sub.add_parser(
         "build",
-        parents=[_calibration_parent()],
+        parents=[_calibration_parent(), _exec_parent()],
         help="generate the ecosystem (sharded) and persist it as a store",
     )
     build.add_argument("directory", help="store directory (created if missing)")
@@ -201,6 +256,16 @@ def _build_parser() -> argparse.ArgumentParser:
         "stat", help="list every corpus store under a directory"
     )
     stat.add_argument("directory", help="store directory")
+    verify = corpus_sub.add_parser(
+        "verify",
+        help="integrity-check a store (digests per brand); exit 1 if unsound",
+    )
+    verify.add_argument("store", help="corpus-<digest>.sqlite file")
+    verify.add_argument(
+        "--quarantine",
+        action="store_true",
+        help="move an unsound store aside (<name>.quarantined)",
+    )
 
     sub.add_parser(
         "analyze",
@@ -225,6 +290,28 @@ def _check_fault_profile(fault_profile: str | None) -> bool:
     return False
 
 
+def _check_exec_fault_profile(profile: str | None) -> bool:
+    if profile is None:
+        return True
+    from repro.exec.faults import EXEC_PROFILES
+
+    if profile in EXEC_PROFILES:
+        return True
+    print(
+        f"unknown exec fault profile {profile!r}; "
+        f"known: {sorted(EXEC_PROFILES)}",
+        file=sys.stderr,
+    )
+    return False
+
+
+def _interrupted(exc) -> int:
+    # Stdout stays untouched so a resumed run's combined stdout can be
+    # byte-compared against an uninterrupted run's.
+    print(exc, file=sys.stderr)
+    return 3
+
+
 def _cmd_run(args: argparse.Namespace) -> int:
     if args.cache_dir is not None:
         from pathlib import Path
@@ -236,6 +323,11 @@ def _cmd_run(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
             return 2
+    if (args.supervise or args.resume) and args.experiment != "all":
+        print("--supervise/--resume apply to 'run all' only", file=sys.stderr)
+        return 2
+    from repro.exec.supervisor import RunInterrupted
+
     try:
         run = api.run_study(
             experiment=args.experiment,
@@ -246,10 +338,17 @@ def _cmd_run(args: argparse.Namespace) -> int:
             cache_dir=args.cache_dir,
             parallel=args.parallel,
             trace=args.trace_out is not None,
+            supervise=args.supervise,
+            resume=args.resume,
+            checkpoint_dir=args.checkpoint_dir,
+            exec_fault_profile=args.exec_fault_profile,
+            exec_fault_seed=args.exec_fault_seed,
         )
     except KeyError as exc:
         print(exc, file=sys.stderr)
         return 2
+    except RunInterrupted as exc:
+        return _interrupted(exc)
     if args.trace_out is not None:
         run.write_trace(
             args.trace_out, experiment=args.experiment, parallel=args.parallel
@@ -282,16 +381,45 @@ def _render_corpus_info(info: dict) -> str:
 
 def _cmd_corpus(args: argparse.Namespace) -> int:
     if args.corpus_command == "build":
-        info = api.build_corpus(
-            args.directory,
-            scale=args.scale,
-            seed=args.seed,
-            shards=args.shards,
-            workers=args.workers,
-            force=args.force,
-        )
+        if not _check_exec_fault_profile(args.exec_fault_profile):
+            return 2
+        from repro.exec.supervisor import RunInterrupted
+
+        try:
+            info = api.build_corpus(
+                args.directory,
+                scale=args.scale,
+                seed=args.seed,
+                shards=args.shards,
+                workers=args.workers,
+                force=args.force,
+                supervise=args.supervise,
+                resume=args.resume,
+                checkpoint_dir=args.checkpoint_dir,
+                exec_fault_profile=args.exec_fault_profile,
+                exec_fault_seed=args.exec_fault_seed,
+            )
+        except RunInterrupted as exc:
+            return _interrupted(exc)
         print(_render_corpus_info(info))
         return 0
+    if args.corpus_command == "verify":
+        problems = api.verify_corpus(args.store)
+        if not problems:
+            print(f"{args.store}: ok")
+            return 0
+        for problem in problems:
+            print(f"{args.store}: {problem}")
+        if args.quarantine:
+            from repro.scan.corpus_store import quarantine_store
+
+            try:
+                target = quarantine_store(args.store)
+            except OSError as exc:
+                print(f"quarantine failed: {exc}", file=sys.stderr)
+                return 2
+            print(f"quarantined -> {target}")
+        return 1
     if args.corpus_command == "inspect":
         try:
             info = api.corpus_info(args.store)
@@ -371,12 +499,21 @@ def main(argv: list[str] | None = None) -> int:
         args.parallel = None
         args.cache_dir = None
         args.trace_out = None
+        args.supervise = False
+        args.resume = False
+        args.checkpoint_dir = None
+        args.exec_fault_profile = None
+        args.exec_fault_seed = None
     if args.command == "list":
         for experiment_id, title in api.list_experiments().items():
             print(f"{experiment_id:10s} {title}")
         return 0
     if args.command in ("run", "report") and not _check_fault_profile(
         args.fault_profile
+    ):
+        return 2
+    if args.command == "run" and not _check_exec_fault_profile(
+        args.exec_fault_profile
     ):
         return 2
     if args.command == "run":

@@ -25,7 +25,7 @@ from repro.analysis.project import ProjectContext
 __all__ = ["FileContext", "Rule", "analyze_source", "analyze_file"]
 
 #: bump when rule semantics change -- invalidates the result cache.
-ENGINE_VERSION = "1"
+ENGINE_VERSION = "2"
 
 _NOQA = re.compile(r"#\s*repro:\s*noqa(?:\s+(?P<rules>[A-Z0-9, ]+))?")
 

@@ -1,4 +1,4 @@
-"""The repo-specific rule catalogue (RPR001..RPR011).
+"""The repo-specific rule catalogue (RPR001..RPR012).
 
 Each rule enforces one invariant the reproduction's determinism or PKI
 correctness depends on; docs/STATIC_ANALYSIS.md ties every rule back to
@@ -710,6 +710,52 @@ class UnseededHypothesisRule(Rule):
         )
 
 
+# --------------------------------------------------------------------------
+# RPR012 -- worker pools live in repro.exec
+# --------------------------------------------------------------------------
+
+_EXEC_HOME = "repro/exec/"
+#: pool/process constructors whose direct use bypasses the supervised
+#: execution layer (docs/ROBUSTNESS.md).
+_POOL_CONSTRUCTORS = frozenset(
+    {
+        "concurrent.futures.ProcessPoolExecutor",
+        "concurrent.futures.ThreadPoolExecutor",
+        "concurrent.futures.process.ProcessPoolExecutor",
+        "concurrent.futures.thread.ThreadPoolExecutor",
+        "multiprocessing.Pool",
+        "multiprocessing.Process",
+        "multiprocessing.pool.Pool",
+    }
+)
+
+
+class PoolOutsideExecRule(Rule):
+    code = "RPR012"
+    name = "pool-in-exec-only"
+    summary = (
+        "process/thread pool construction outside repro/exec bypasses "
+        "supervision, checkpointing, and fault injection"
+    )
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.AST, ctx: FileContext) -> None:
+        if _EXEC_HOME in ctx.rel_path:
+            return
+        resolved = ctx.imports.resolve(node.func)
+        if resolved not in _POOL_CONSTRUCTORS:
+            return
+        short = resolved.rsplit(".", 1)[-1]
+        ctx.report(
+            node,
+            self.code,
+            f"direct {short} construction: route fan-out through "
+            "repro.exec (pool_map / run_pool, or Supervisor for crash "
+            "recovery) so every pool gets deadlines, retries, and "
+            "checkpoint support",
+        )
+
+
 ALL_RULES: tuple[type[Rule], ...] = (
     WallClockRule,
     AmbientRandomnessRule,
@@ -722,6 +768,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     MutableDefaultRule,
     SharedWorkerRngRule,
     UnseededHypothesisRule,
+    PoolOutsideExecRule,
 )
 
 

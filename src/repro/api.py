@@ -1,11 +1,19 @@
 """Stable programmatic facade over the repro package.
 
 ``repro.api`` is the supported entry surface for scripts, notebooks,
-and the CLI (``python -m repro`` is a thin shell over this module):
-running studies, rendering the EXPERIMENTS.md report, loading /
+benchmarks, and the CLI (``python -m repro`` is a thin shell over this
+module): running studies (supervised or not), rendering the
+EXPERIMENTS.md report, building/verifying corpus stores, loading /
 rolling up / diffing traces, and invoking the static-analysis gate.
 Everything else under ``repro.*`` is implementation and may be
-refactored freely; the signatures here are kept stable.
+refactored freely; the signatures here are kept stable and versioned
+(:data:`API_VERSION`, pinned by ``tests/test_api_contract.py``).
+
+Component re-exports: the classes and helpers the micro-benchmarks (and
+similar out-of-tree consumers) exercise directly -- browser models, PKI
+builders, CRLSet structures -- are re-exported lazily by name (PEP 562),
+so ``api.CrlSetBuilder`` is stable even if the implementing module
+moves.
 
 Typical use::
 
@@ -25,14 +33,26 @@ from pathlib import Path
 
 from repro.core.pipeline import MeasurementStudy
 from repro.experiments.common import ExperimentResult
-from repro.experiments.runner import ALL_EXPERIMENTS, run_all, run_experiment
+from repro.experiments.runner import (
+    ALL_EXPERIMENTS,
+    run_all,
+    run_experiment,
+    run_supervised,
+)
 from repro.obs import Observability
 from repro.obs import report as _trace_report
 from repro.obs.diff import TraceDiff
 from repro.obs.diff import diff_traces as _diff_traces
 from repro.obs.diff import render_diff_json, render_diff_text
 
+#: facade contract version: bump the minor on compatible additions, the
+#: major on any breaking change to a signature or re-export listed in
+#: ``__all__``/``_COMPONENT_EXPORTS`` (tests/test_api_contract.py pins
+#: the surface against this).
+API_VERSION = "1.1"
+
 __all__ = [
+    "API_VERSION",
     "StudyRun",
     "TraceDiff",
     "build_corpus",
@@ -51,7 +71,69 @@ __all__ = [
     "run_experiments",
     "run_one",
     "run_study",
+    "verify_corpus",
 ]
+
+#: lazy component re-exports (attribute -> implementing module).  These
+#: are part of the facade contract: renaming an implementing module is
+#: fine, dropping or renaming an attribute is a breaking change.
+_COMPONENT_EXPORTS = {
+    "AndroidBrowser": "repro.browsers.mobile",
+    "BloomFilter": "repro.crlset.bloom",
+    "BrowserTestHarness": "repro.browsers.testsuite",
+    "Calibration": "repro.scan.calibration",
+    "Certificate": "repro.pki.certificate",
+    "CertificateBuilder": "repro.pki.certificate",
+    "CertificateRevocationList": "repro.revocation.crl",
+    "ChainContext": "repro.browsers.policy",
+    "Chrome": "repro.browsers.desktop",
+    "CrlPublisher": "repro.ca.crl_publisher",
+    "CrlSetBuilder": "repro.crlset.builder",
+    "Ed25519Backend": "repro.pki.keys",
+    "Firefox": "repro.browsers.desktop",
+    "GolombCompressedSet": "repro.crlset.gcs",
+    "InternetExplorer": "repro.browsers.desktop",
+    "KeyPair": "repro.pki.keys",
+    "LinkProfile": "repro.net.transport",
+    "MobileSafari": "repro.browsers.mobile",
+    "MultiStapleServer": "repro.extensions.multistaple",
+    "Name": "repro.pki.name",
+    "OcspRequest": "repro.revocation.ocsp",
+    "Opera12": "repro.browsers.desktop",
+    "Opera31": "repro.browsers.desktop",
+    "RevocationRegime": "repro.extensions.shortlived",
+    "RevokedEntry": "repro.revocation.crl",
+    "Safari": "repro.browsers.desktop",
+    "SessionCostModel": "repro.core.cost",
+    "SimBackend": "repro.pki.keys",
+    "StrictClient": "repro.browsers.strict",
+    "TestPki": "repro.browsers.certgen",
+    "all_browsers": "repro.browsers.registry",
+    "analyze_coverage": "repro.crlset.coverage",
+    "attack_window_study": "repro.extensions.shortlived",
+    "blast_radius": "repro.extensions.onecrl",
+    "build_onecrl": "repro.extensions.onecrl",
+    "chain_check_cost": "repro.extensions.multistaple",
+    "format_bytes": "repro.core.report",
+    "format_table": "repro.core.report",
+    "generate_test_suite": "repro.browsers.testsuite",
+    "is_crlset_eligible": "repro.revocation.reason",
+    "traffic_report": "repro.browsers.traffic",
+}
+
+
+def __getattr__(name: str):
+    """Resolve component re-exports lazily (PEP 562)."""
+    module_path = _COMPONENT_EXPORTS.get(name)
+    if module_path is None:
+        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+    import importlib
+
+    return getattr(importlib.import_module(module_path), name)
+
+
+def __dir__() -> list[str]:
+    return sorted([*globals(), *_COMPONENT_EXPORTS])
 
 
 @dataclass
@@ -123,6 +205,11 @@ def run_study(
     parallel: int | None = None,
     trace: bool = False,
     isolate_errors: bool = True,
+    supervise: bool = False,
+    resume: bool = False,
+    checkpoint_dir: str | Path | None = None,
+    exec_fault_profile: str | None = None,
+    exec_fault_seed: int | None = None,
 ) -> StudyRun:
     """Build a study and run one experiment (or ``"all"``).
 
@@ -131,6 +218,15 @@ def run_study(
     per-experiment crashes into failure records (``isolate_errors``);
     a single named experiment propagates exceptions, and an unknown id
     raises ``KeyError``.
+
+    ``supervise=True`` runs ``"all"`` under the supervised execution
+    layer (docs/ROBUSTNESS.md): worker crash recovery, per-leg
+    checkpoints under ``checkpoint_dir``, and -- with an
+    ``exec_fault_profile`` -- deterministic process-fault injection.
+    ``resume=True`` replays checkpointed legs from an interrupted run;
+    the combined output is byte-identical to an uninterrupted one.
+    Raises :class:`repro.exec.supervisor.RunInterrupted` when an
+    injected ABORT stops the run partway.
     """
     obs = Observability(enabled=True) if trace else None
     study = MeasurementStudy(
@@ -140,8 +236,17 @@ def run_study(
         fault_profile=fault_profile,
         fault_seed=fault_seed,
         obs=obs,
+        exec_fault_profile=exec_fault_profile,
+        exec_fault_seed=exec_fault_seed,
     )
-    if experiment == "all":
+    if experiment == "all" and (supervise or resume):
+        results = run_supervised(
+            study,
+            parallel=parallel,
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+        )
+    elif experiment == "all":
         results = run_all(study, parallel=parallel, isolate_errors=isolate_errors)
     else:
         results = [run_experiment(experiment, study)]
@@ -232,18 +337,55 @@ def build_corpus(
     shards: int = 1,
     workers: int | None = None,
     force: bool = False,
+    supervise: bool = False,
+    resume: bool = False,
+    checkpoint_dir: str | Path | None = None,
+    exec_fault_profile: str | None = None,
+    exec_fault_seed: int | None = None,
 ) -> dict:
     """Generate the ecosystem (sharded) and persist it as a corpus store.
 
     Returns the store's :func:`corpus_info` plus a ``rebuilt`` flag.  An
     existing readable store for the same calibration is reused unless
     ``force``; sharding/worker count never changes the stored bytes.
+
+    ``supervise=True`` builds each shard under the supervised execution
+    layer with per-shard checkpoints (docs/ROBUSTNESS.md); an
+    interrupted build resumed with ``resume=True`` produces a
+    byte-identical store.  Raises
+    :class:`repro.exec.supervisor.RunInterrupted` on an injected ABORT.
     """
     from repro.scan.calibration import Calibration
     from repro.scan.datastore import ArtifactCache
     from repro.scan.ecosystem import Ecosystem
 
     calibration = calibration or Calibration(scale=scale, seed=seed)
+    if supervise or resume:
+        from repro.exec.corpusbuild import build_corpus_supervised
+        from repro.exec.faults import plan_from_exec_profile
+        from repro.exec.supervisor import SupervisorConfig
+
+        faults = plan_from_exec_profile(
+            exec_fault_profile or "none",
+            exec_fault_seed if exec_fault_seed is not None else calibration.seed,
+        )
+        info = build_corpus_supervised(
+            directory,
+            calibration=calibration,
+            shards=max(shards, workers or 1),
+            config=SupervisorConfig(workers=workers or 2),
+            checkpoint_dir=checkpoint_dir,
+            resume=resume,
+            faults=faults,
+            force=force,
+        )
+        reused = info.pop("reused")
+        info.pop("path", None)
+        return {
+            **corpus_info(ArtifactCache(directory).ecosystem_path(calibration)),
+            **info,
+            "rebuilt": not reused,
+        }
     cache = ArtifactCache(directory)
     path = cache.ecosystem_path(calibration)
     if not force and path.exists():
@@ -265,6 +407,20 @@ def corpus_info(path: str | Path) -> dict:
     path = Path(path)
     meta = corpus_store.read_meta(path)
     return {**meta, "path": str(path), "bytes": path.stat().st_size}
+
+
+def verify_corpus(path: str | Path) -> list[str]:
+    """Integrity-check a corpus store; returns problems (empty == sound).
+
+    Self-contained: validates sqlite readability, the whole-corpus
+    content digest, and the per-brand slice digests recorded at write
+    time, localising any corruption to the brand it landed in.  Never
+    raises on a damaged file.  Quarantine + rebuild is ``python -m repro
+    corpus verify --quarantine`` or a forced :func:`build_corpus`.
+    """
+    from repro.scan import corpus_store
+
+    return corpus_store.verify_store(path)
 
 
 def list_corpora(directory: str | Path) -> list[dict]:

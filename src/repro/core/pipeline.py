@@ -60,6 +60,8 @@ class MeasurementStudy:
         obs: Observability | None = None,
         shards: int = 1,
         gen_workers: int | None = None,
+        exec_fault_profile: str | None = None,
+        exec_fault_seed: int | None = None,
     ) -> None:
         self.calibration = calibration or Calibration(scale=scale, seed=seed)
         self.targets: PaperTargets = self.calibration.targets
@@ -82,6 +84,22 @@ class MeasurementStudy:
         self.fault_profile = fault_profile
         self.fault_seed = (
             fault_seed if fault_seed is not None else self.calibration.seed
+        )
+        # Process/storage fault injection (repro.exec.faults): worker
+        # kills, hangs, parent aborts, corrupt store writes.  Honoured
+        # only by the supervised execution paths (run_supervised and the
+        # supervised corpus build); like the network-fault settings it
+        # stays out of the calibration digest -- and unlike them it never
+        # changes results at all, only how the run executes.
+        if exec_fault_profile is None:
+            exec_fault_profile = os.environ.get(
+                "REPRO_EXEC_FAULT_PROFILE", "none"
+            )
+        self.exec_fault_profile = exec_fault_profile
+        self.exec_fault_seed = (
+            exec_fault_seed
+            if exec_fault_seed is not None
+            else self.calibration.seed
         )
 
     # -- substrate ----------------------------------------------------------

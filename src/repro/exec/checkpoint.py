@@ -1,0 +1,160 @@
+"""Atomic checkpoint journal for supervised runs.
+
+A :class:`CheckpointJournal` records each completed unit of work (an
+experiment leg, a built corpus shard) as one JSONL line and rewrites the
+whole file through the temp+rename discipline of
+:mod:`repro.scan.corpus_store`, so a crash at any instant leaves either
+the previous journal or the new one -- never a torn file.  Defensively,
+the *reader* also tolerates torn or tampered lines: every line carries a
+sha256 over its canonical payload, and anything unparsable, mismatched,
+or keyed to a different run is silently a miss (the work is simply
+redone; checkpoints are an optimisation, never a correctness input).
+
+Keying: the journal is bound to a ``run_key`` -- for experiment runs the
+calibration digest plus the network-fault settings, for corpus builds
+the calibration digest -- so a journal left behind by a different
+scale/seed/profile can never leak results into a run (the
+``corpus_store`` staleness discipline).
+
+Payloads are JSON-safe dicts chosen by the caller: experiment legs embed
+a base64 pickle of the :class:`ExperimentResult`
+(:func:`pickle_payload` / :func:`unpickle_payload`); corpus shards point
+at a sibling ``.npz`` parts file plus its content digest.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+
+__all__ = [
+    "CheckpointJournal",
+    "pickle_payload",
+    "unpickle_payload",
+]
+
+_VERSION = 1
+#: reserved task id marking "this run was deliberately interrupted once".
+_ABORT_MARK = "__aborted__"
+
+
+def _line_digest(run_key: str, task: str, payload: dict) -> str:
+    canonical = json.dumps(
+        [_VERSION, run_key, task, payload], sort_keys=True, separators=(",", ":")
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def pickle_payload(obj) -> dict:
+    """An arbitrary picklable object as a JSON-safe journal payload."""
+    blob = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    return {"pickle": base64.b64encode(blob).decode("ascii")}
+
+
+def unpickle_payload(payload: dict):
+    """Inverse of :func:`pickle_payload`; raises on malformed payloads."""
+    return pickle.loads(base64.b64decode(payload["pickle"]))
+
+
+class CheckpointJournal:
+    """One run's completed-work journal (see module docstring).
+
+    The journal loads eagerly on construction; :meth:`get`/:meth:`tasks`
+    expose what survived validation.  :meth:`record` persists a new
+    entry immediately (atomic full-file rewrite -- journals are small:
+    one line per experiment leg or corpus shard).
+    """
+
+    def __init__(self, path: str | Path, run_key: str) -> None:
+        self.path = Path(path)
+        self.run_key = run_key
+        self._entries: dict[str, dict] = {}
+        self._load()
+
+    # -- reading -----------------------------------------------------------
+
+    def _load(self) -> None:
+        try:
+            text = self.path.read_text(encoding="utf-8")
+        except OSError:
+            return
+        for line in text.splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except ValueError:
+                continue  # torn tail line from a killed writer
+            if not isinstance(record, dict):
+                continue
+            if record.get("v") != _VERSION:
+                continue
+            if record.get("run_key") != self.run_key:
+                continue  # stale journal from another calibration/profile
+            task = record.get("task")
+            payload = record.get("payload")
+            if not isinstance(task, str) or not isinstance(payload, dict):
+                continue
+            if record.get("sha256") != _line_digest(self.run_key, task, payload):
+                continue  # tampered or bit-rotted line
+            self._entries[task] = payload
+
+    def get(self, task: str) -> dict | None:
+        """The validated payload for a completed task, or None (a miss)."""
+        return self._entries.get(task)
+
+    def tasks(self) -> list[str]:
+        """Completed task ids, insertion-ordered (abort mark excluded)."""
+        return [task for task in self._entries if task != _ABORT_MARK]
+
+    def __len__(self) -> int:
+        return len(self.tasks())
+
+    @property
+    def aborted(self) -> bool:
+        """True when this run was already interrupted once (the ABORT
+        fault fires at most once per journal, so a resumed run completes)."""
+        return _ABORT_MARK in self._entries
+
+    # -- writing -----------------------------------------------------------
+
+    def start_fresh(self) -> None:
+        """Drop every entry (a non-resume run starts a new journal)."""
+        self._entries.clear()
+        self.path.unlink(missing_ok=True)
+
+    def record(self, task: str, payload: dict) -> None:
+        """Persist one completed task (atomic temp+rename rewrite)."""
+        self._entries[task] = payload
+        self._flush()
+
+    def mark_aborted(self) -> None:
+        self.record(_ABORT_MARK, {})
+
+    def _flush(self) -> None:
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        lines = []
+        for task, payload in self._entries.items():
+            lines.append(
+                json.dumps(
+                    {
+                        "v": _VERSION,
+                        "run_key": self.run_key,
+                        "task": task,
+                        "payload": payload,
+                        "sha256": _line_digest(self.run_key, task, payload),
+                    },
+                    sort_keys=True,
+                )
+            )
+        tmp = self.path.with_suffix(f".tmp.{os.getpid()}")
+        try:
+            tmp.write_text("\n".join(lines) + "\n", encoding="utf-8")
+            os.replace(tmp, self.path)
+        finally:
+            tmp.unlink(missing_ok=True)

@@ -1,0 +1,57 @@
+"""The plain worker-pool primitive.
+
+Every unsupervised fan-out in the codebase (``run_all(parallel=N)``'s
+fast path, sharded ecosystem generation) routes its pool construction
+through here instead of touching ``concurrent.futures`` directly; lint
+rule RPR012 enforces that.  Centralising the construction keeps one
+place to harden (and is why the supervised layer could be added without
+hunting down stray pools).
+
+Semantics match ``ProcessPoolExecutor`` + ``map``: submission order is
+preserved, worker exceptions propagate to the caller, and the pool is
+torn down before returning.  For crash recovery, retries, deadlines, and
+checkpointing, use :class:`repro.exec.supervisor.Supervisor` instead.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+
+__all__ = ["pool_map", "run_pool"]
+
+
+def pool_map(
+    fn,
+    items,
+    *,
+    workers: int,
+    initializer=None,
+    initargs: tuple = (),
+) -> list:
+    """``[fn(item) for item in items]`` across ``workers`` processes.
+
+    Results come back in submission order (``pool.map`` semantics), so
+    callers that also have a sequential path stay order-identical.
+    """
+    items = list(items)
+    if not items:
+        return []
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=min(workers, len(items)),
+        initializer=initializer,
+        initargs=initargs,
+    ) as pool:
+        return list(pool.map(fn, items))
+
+
+def run_pool(fn, argtuples, *, workers: int) -> list:
+    """``[fn(*args) for args in argtuples]`` across ``workers`` processes,
+    in submission order."""
+    argtuples = list(argtuples)
+    if not argtuples:
+        return []
+    with concurrent.futures.ProcessPoolExecutor(
+        max_workers=min(workers, len(argtuples))
+    ) as pool:
+        futures = [pool.submit(fn, *args) for args in argtuples]
+        return [future.result() for future in futures]

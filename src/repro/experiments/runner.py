@@ -11,12 +11,20 @@ Experiments are error-isolated: a crash in one figure is captured into a
 structured failure record (:func:`repro.experiments.common.failure_result`)
 and the remaining experiments still run.  Pass ``isolate_errors=False``
 to re-raise instead (useful under a debugger).
+
+``supervise=True`` additionally runs the fan-out under the
+:class:`repro.exec.supervisor.Supervisor` (crash recovery, deadlines,
+retries, degradation) and checkpoints every completed experiment leg to
+a journal, so an interrupted run resumes (``resume=True``) instead of
+restarting -- and, because each leg is deterministic for its
+calibration, produces the identical report (docs/ROBUSTNESS.md).
 """
 
 from __future__ import annotations
 
-import concurrent.futures
+import hashlib
 import os
+from pathlib import Path
 
 from repro.core.pipeline import MeasurementStudy
 from repro.experiments import (
@@ -40,7 +48,7 @@ from repro.experiments.common import ExperimentResult, failure_result
 from repro.obs import NULL_OBS, Observability
 from repro.scan.calibration import Calibration
 
-__all__ = ["ALL_EXPERIMENTS", "run_all", "run_experiment"]
+__all__ = ["ALL_EXPERIMENTS", "run_all", "run_experiment", "run_supervised"]
 
 ALL_EXPERIMENTS = {
     module.EXPERIMENT_ID: module
@@ -173,6 +181,158 @@ def _merge_worker_traces(
         obs.metrics.merge(best_metrics[token][1])
 
 
+def _prewarm_store(study: MeasurementStudy) -> str | None:
+    """Warm the corpus store before spawning workers (or None without a
+    cache_dir).
+
+    The parent pays for (possibly sharded) generation once and each
+    worker then loads the corpus out-of-core instead of rebuilding it.
+    When the store is already warm the parent deliberately does NOT
+    materialise the ecosystem: workers read the file themselves, and a
+    small parent heap keeps forking the pool cheap.
+    """
+    if study.cache_dir is None:
+        return None
+    from repro.scan.datastore import ArtifactCache
+
+    cache = ArtifactCache(study.cache_dir, obs=study.obs)
+    if not cache.has_ecosystem(study.calibration):
+        study.ecosystem
+    return str(study.cache_dir)
+
+
+def _run_key(study: MeasurementStudy) -> str:
+    """Checkpoint identity for a run's results.
+
+    Covers everything the *results* depend on: the full calibration and
+    the network-fault settings.  Exec-fault settings are deliberately
+    excluded -- they shape how the run executes, never what it computes
+    -- so a run interrupted under an exec fault profile can resume under
+    a different one (or none).
+    """
+    from repro.scan.datastore import calibration_digest
+
+    return (
+        f"{calibration_digest(study.calibration)}"
+        f"/net={study.fault_profile}/{study.fault_seed}"
+    )
+
+
+def run_supervised(
+    study: MeasurementStudy | None = None,
+    parallel: int | None = None,
+    *,
+    checkpoint_dir: str | Path | None = None,
+    resume: bool = False,
+    config=None,
+) -> list[ExperimentResult]:
+    """``run_all`` under the supervisor, with checkpoint/resume.
+
+    Every completed experiment leg is journaled (atomic JSONL keyed on
+    the calibration + network-fault digest); ``resume=True`` replays
+    validated checkpoints and runs only the missing legs.  The study's
+    ``exec_fault_profile``/``exec_fault_seed`` select the injected
+    process faults; an injected ABORT raises
+    :class:`repro.exec.supervisor.RunInterrupted` after journaling.
+    """
+    from repro.exec.checkpoint import (
+        CheckpointJournal,
+        pickle_payload,
+        unpickle_payload,
+    )
+    from repro.exec.faults import plan_from_exec_profile
+    from repro.exec.supervisor import (
+        RunInterrupted,
+        Supervisor,
+        SupervisorConfig,
+    )
+
+    study = study or MeasurementStudy()
+    order = list(ALL_EXPERIMENTS)
+    run_key = _run_key(study)
+    directory = Path(checkpoint_dir or ".repro-checkpoints")
+    journal_name = hashlib.sha256(run_key.encode()).hexdigest()[:12]
+    journal = CheckpointJournal(directory / f"run-{journal_name}.jsonl", run_key)
+    if not resume:
+        journal.start_fresh()
+
+    obs = study.obs
+    checkpointed: dict[str, ExperimentResult] = {}
+    remaining: list[tuple[str, str]] = []
+    for eid in order:
+        payload = journal.get(eid) if resume else None
+        result = None
+        if payload is not None:
+            try:
+                result = unpickle_payload(payload)
+            except Exception:
+                result = None  # torn/foreign payload: a miss
+            if not isinstance(result, ExperimentResult) or (
+                result.experiment_id != eid
+            ):
+                result = None
+        if result is not None:
+            checkpointed[eid] = result
+            if obs.enabled:
+                obs.metrics.counter("exec.checkpoint.hits").inc()
+        else:
+            remaining.append((eid, eid))
+            if obs.enabled and resume:
+                obs.metrics.counter("exec.checkpoint.misses").inc()
+
+    faults = plan_from_exec_profile(
+        study.exec_fault_profile, study.exec_fault_seed
+    )
+
+    def on_complete(eid: str, output: tuple) -> None:
+        journal.record(eid, pickle_payload(output[0]))
+
+    def local_fn(eid: str) -> tuple:
+        # Degradation/serial path: run in the parent against the parent
+        # study (deterministic, so identical to a worker's answer).
+        return _run_isolated(eid, study), None, None, 0, 0
+
+    workers = (
+        1
+        if parallel is None or parallel <= 1
+        else min(parallel, len(order), os.cpu_count() or 1)
+    )
+    cache_dir = _prewarm_store(study) if workers > 1 else None
+    supervisor = Supervisor(
+        config or SupervisorConfig(workers=workers),
+        obs=obs,
+        faults=faults,
+    )
+    try:
+        outcome = supervisor.run(
+            remaining,
+            _run_in_worker,
+            initializer=_init_worker,
+            initargs=(
+                study.calibration,
+                cache_dir,
+                study.fault_profile,
+                study.fault_seed,
+                obs.enabled,
+            ),
+            local_fn=local_fn,
+            on_complete=on_complete,
+            completed_before=len(checkpointed),
+            allow_abort=not (resume or journal.aborted),
+        )
+    except RunInterrupted:
+        journal.mark_aborted()
+        raise
+
+    if obs.enabled:
+        live = [outcome.results[eid] for eid in order if eid in outcome.results]
+        _merge_worker_traces(obs, live)
+    return [
+        checkpointed[eid] if eid in checkpointed else outcome.results[eid][0]
+        for eid in order
+    ]
+
+
 def run_all(
     study: MeasurementStudy | None = None,
     parallel: int | None = None,
@@ -182,8 +342,11 @@ def run_all(
 
     ``parallel=N`` (N >= 2) uses a process pool of N workers.  When the
     study has a ``cache_dir`` the workers share its artifact cache, so
-    the ecosystem is generated at most once across the pool.
+    the ecosystem is generated at most once across the pool.  For crash
+    recovery and checkpoint/resume, see :func:`run_supervised`.
     """
+    from repro.exec.pool import pool_map
+
     study = study or MeasurementStudy()
     order = list(ALL_EXPERIMENTS)
     if parallel is None or parallel <= 1:
@@ -192,21 +355,13 @@ def run_all(
         return [_run_raw(eid, study) for eid in order]
 
     workers = min(parallel, len(order), os.cpu_count() or 1)
-    cache_dir = str(study.cache_dir) if study.cache_dir is not None else None
-    if cache_dir is not None:
-        # Warm the corpus store before spawning workers: the parent pays
-        # for (possibly sharded) generation once and each worker then
-        # loads the corpus out-of-core instead of rebuilding it.  When
-        # the store is already warm the parent deliberately does NOT
-        # materialise the ecosystem: workers read the file themselves,
-        # and a small parent heap keeps forking the pool cheap.
-        from repro.scan.datastore import ArtifactCache
-
-        cache = ArtifactCache(study.cache_dir, obs=study.obs)
-        if not cache.has_ecosystem(study.calibration):
-            study.ecosystem
-    with concurrent.futures.ProcessPoolExecutor(
-        max_workers=workers,
+    cache_dir = _prewarm_store(study)
+    # pool_map preserves submission order, so results come back in the
+    # same order the sequential path produces them.
+    outputs = pool_map(
+        _run_in_worker,
+        order,
+        workers=workers,
         initializer=_init_worker,
         initargs=(
             study.calibration,
@@ -215,10 +370,7 @@ def run_all(
             study.fault_seed,
             study.obs.enabled,
         ),
-    ) as pool:
-        # map() preserves submission order, so results come back in the
-        # same order the sequential path produces them.
-        outputs = list(pool.map(_run_in_worker, order))
+    )
     results = [output[0] for output in outputs]
     if study.obs.enabled:
         _merge_worker_traces(study.obs, outputs)

@@ -35,12 +35,14 @@ from repro.scan.records import LeafRecord
 
 __all__ = [
     "CORPUS_FORMAT",
+    "brand_digests",
     "concat_parts",
     "corpus_digest",
     "decode_brand_leaves",
     "decode_crl_population",
     "encode_brand_parts",
     "encode_corpus",
+    "slice_brand",
 ]
 
 #: bump when the array schema changes; the store treats a mismatch as a miss.
@@ -215,11 +217,26 @@ def concat_parts(parts: list[dict[str, np.ndarray]]) -> dict[str, np.ndarray]:
 
 
 def encode_corpus(ecosystem) -> tuple[dict[str, np.ndarray], dict]:
-    """The full corpus as (columns, meta) for the artifact store."""
+    """The full corpus as (columns, meta) for the artifact store.
+
+    ``meta`` carries the whole-corpus content digest *and* the per-brand
+    layout + digests, so :func:`repro.scan.corpus_store.verify_store`
+    can localise corruption to a brand slice without the calibration.
+    """
     crl_index_of_url = {crl.url: i for i, crl in enumerate(ecosystem.crls)}
     arrays = _encode_leaves(ecosystem.leaves, crl_index_of_url)
     arrays.update(_encode_crls(ecosystem.crls))
     calibration = ecosystem.calibration
+    layouts = [
+        [
+            profile.name,
+            layout.cert_base,
+            layout.cert_count,
+            layout.crl_base,
+            layout.crl_count,
+        ]
+        for profile, layout in zip(ecosystem.profiles, ecosystem._layouts)
+    ]
     meta = {
         "format": CORPUS_FORMAT,
         "seed": calibration.seed,
@@ -228,21 +245,71 @@ def encode_corpus(ecosystem) -> tuple[dict[str, np.ndarray], dict]:
         "crl_count": len(ecosystem.crls),
         "entry_count": int(arrays["crl_entry_count"].sum()),
         "corpus_digest": corpus_digest(arrays),
+        "brand_layouts": layouts,
+        "brand_digests": brand_digests(arrays, layouts),
     }
     return arrays, meta
 
 
-def corpus_digest(arrays: dict[str, np.ndarray]) -> str:
-    """Content digest over every column; byte-identity across shard
+def corpus_digest(
+    arrays: dict[str, np.ndarray], columns: tuple[str, ...] = ALL_COLUMNS
+) -> str:
+    """Content digest over ``columns``; byte-identity across shard
     counts and transports is asserted against this."""
     hasher = hashlib.sha256()
-    for name in ALL_COLUMNS:
+    for name in columns:
         array = np.ascontiguousarray(arrays[name])
         hasher.update(name.encode())
         hasher.update(str(array.dtype).encode())
         hasher.update(str(array.shape).encode())
         hasher.update(array.tobytes())
     return hasher.hexdigest()[:20]
+
+
+#: columns a brand's generation substream fully determines.  leaf_alexa
+#: is excluded: Alexa ranks are a merge-time global stage
+#: (:func:`repro.scan.shardgen.assign_alexa_ranks`), so worker-built
+#: parts carry zeros there; the whole-corpus digest still covers it.
+_BRAND_COLUMNS = tuple(c for c in ALL_COLUMNS if c != "leaf_alexa")
+
+
+def slice_brand(
+    arrays: dict[str, np.ndarray], layout_row: list | tuple
+) -> dict[str, np.ndarray]:
+    """One brand's substream columns out of the full corpus.
+
+    ``layout_row`` is a ``brand_layouts`` meta row
+    (``[name, cert_base, cert_count, crl_base, crl_count]``).  Because
+    ``leaf_crl`` stores *global* CRL indexes even inside per-brand parts,
+    a brand's slice of the merged corpus is byte-identical to the parts
+    its generation worker produced (:data:`_BRAND_COLUMNS` only) -- so
+    one digest covers both the shard checkpoint and the store slice.
+    """
+    _, cert_base, cert_count, crl_base, crl_count = layout_row
+    counts = arrays["crl_entry_count"]
+    entry_base = int(counts[:crl_base].sum())
+    entry_count = int(counts[crl_base : crl_base + crl_count].sum())
+    sliced = {}
+    for name in _BRAND_COLUMNS:
+        if name in _LEAF_COLUMNS:
+            base, count = cert_base, cert_count
+        elif name in _ENTRY_COLUMNS:
+            base, count = entry_base, entry_count
+        else:
+            base, count = crl_base, crl_count
+        sliced[name] = arrays[name][base : base + count]
+    return sliced
+
+
+def brand_digests(
+    arrays: dict[str, np.ndarray], layouts: list
+) -> dict[str, str]:
+    """Per-brand content digests over the corpus columns (see
+    :func:`slice_brand` for why these match shard-checkpoint digests)."""
+    return {
+        row[0]: corpus_digest(slice_brand(arrays, row), _BRAND_COLUMNS)
+        for row in layouts
+    }
 
 
 # ---------------------------------------------------------------------------

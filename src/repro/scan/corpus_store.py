@@ -22,7 +22,13 @@ from pathlib import Path
 
 import numpy as np
 
-__all__ = ["read_corpus", "read_meta", "write_corpus"]
+__all__ = [
+    "quarantine_store",
+    "read_corpus",
+    "read_meta",
+    "verify_store",
+    "write_corpus",
+]
 
 _SCHEMA = """
 CREATE TABLE meta (key TEXT PRIMARY KEY, value TEXT NOT NULL);
@@ -36,9 +42,20 @@ CREATE TABLE arrays (
 
 
 def write_corpus(
-    path: str | Path, arrays: dict[str, np.ndarray], meta: dict
+    path: str | Path,
+    arrays: dict[str, np.ndarray],
+    meta: dict,
+    *,
+    fault=None,
 ) -> Path:
-    """Atomically write (or replace) the store file at ``path``."""
+    """Atomically write (or replace) the store file at ``path``.
+
+    ``fault`` is a storage-fault hook from
+    :meth:`repro.exec.faults.ExecFaultPlan.decide_write`: a callable
+    applied to the final path *after* the rename, modelling corruption
+    that survives the atomic-write discipline (torn sectors, bit rot).
+    Callers that inject it must re-validate with :func:`verify_store`.
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     tmp = path.with_suffix(f".tmp.{os.getpid()}")
@@ -69,6 +86,8 @@ def write_corpus(
         os.replace(tmp, path)
     finally:
         tmp.unlink(missing_ok=True)
+    if fault is not None:
+        fault(path)
     return path
 
 
@@ -107,3 +126,63 @@ def read_corpus(path: str | Path) -> tuple[dict[str, np.ndarray], dict]:
         for name, dtype, shape, data in array_rows
     }
     return arrays, meta
+
+
+def verify_store(path: str | Path) -> list[str]:
+    """Integrity-check a store file; returns problems (empty == sound).
+
+    Self-contained -- no calibration needed: the meta table carries the
+    whole-corpus content digest plus per-brand layouts and digests
+    (:func:`repro.scan.corpus.encode_corpus`), so corruption is both
+    *detected* (sqlite-level damage, truncation, any flipped byte in a
+    column blob) and *localised* to the brand slice it landed in.
+    Never raises on a damaged file; unreadable is just another finding.
+    """
+    from repro.scan import corpus
+
+    path = Path(path)
+    if not path.exists():
+        return ["store file does not exist"]
+    try:
+        arrays, meta = read_corpus(path)
+    except Exception as exc:
+        return [f"unreadable store: {type(exc).__name__}: {exc}"]
+    problems: list[str] = []
+    if meta.get("format") != corpus.CORPUS_FORMAT:
+        problems.append(f"unsupported corpus format {meta.get('format')!r}")
+    missing = [name for name in corpus.ALL_COLUMNS if name not in arrays]
+    if missing:
+        problems.append(f"missing columns: {', '.join(missing)}")
+        return problems
+    try:
+        digest = corpus.corpus_digest(arrays)
+    except Exception as exc:
+        return problems + [f"undigestable columns: {type(exc).__name__}: {exc}"]
+    if digest != meta.get("corpus_digest"):
+        problems.append(
+            f"corpus digest mismatch: stored {meta.get('corpus_digest')!r}, "
+            f"computed {digest!r}"
+        )
+    # Always cross-check the per-brand digests: a tampered digest in the
+    # meta table leaves the whole-corpus digest intact but would still
+    # read as a datastore miss, so ``corpus verify`` must flag it too.
+    layouts = meta.get("brand_layouts") or []
+    expected = meta.get("brand_digests") or {}
+    for row in layouts:
+        try:
+            actual = corpus.brand_digests(arrays, [row])[row[0]]
+        except Exception:
+            problems.append(f"brand {row[0]}: slice unreadable")
+            continue
+        if actual != expected.get(row[0]):
+            problems.append(f"brand {row[0]}: slice digest mismatch")
+    return problems
+
+
+def quarantine_store(path: str | Path) -> Path:
+    """Move a corrupt store aside (``<name>.quarantined``) so the next
+    build starts clean instead of tripping over the damaged file."""
+    path = Path(path)
+    target = path.with_name(path.name + ".quarantined")
+    os.replace(path, target)
+    return target

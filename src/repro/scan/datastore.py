@@ -112,6 +112,16 @@ class ArtifactCache:
         digest = calibration_digest(calibration)
         try:
             arrays, meta = corpus_store.read_corpus(path)
+            # Digest checks inside the try: silent corruption (a flipped
+            # byte in a column blob parses fine) must be a miss too, and
+            # per-brand digests catch damage the decoder would absorb.
+            if meta.get("corpus_digest") != corpus.corpus_digest(arrays):
+                raise ValueError("corpus digest mismatch")
+            layouts = meta.get("brand_layouts") or []
+            if layouts and meta.get("brand_digests") != corpus.brand_digests(
+                arrays, layouts
+            ):
+                raise ValueError("brand digest mismatch")
             loaded = Ecosystem.from_corpus(calibration, arrays, meta)
         except Exception:
             # A cache read must never fail a run: missing, unreadable,

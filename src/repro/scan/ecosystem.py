@@ -167,6 +167,36 @@ class Ecosystem:
         self._finalize(assign_alexa=False)  # ranks came out of the columns
         return self
 
+    @classmethod
+    def from_parts(
+        cls,
+        calibration: Calibration,
+        parts_by_brand: dict,
+        profiles: tuple[CaProfile, ...] = PAPER_CA_PROFILES,
+    ) -> Ecosystem:
+        """Assemble an ecosystem from pre-built columnar brand parts.
+
+        The supervised corpus builder checkpoints each shard's parts as
+        it completes; a resumed build merges checkpointed and freshly
+        generated parts through this one path, so interrupted and
+        uninterrupted builds converge on the same ecosystem (the parts
+        are keyed on brand substreams, not on which run produced them).
+        """
+        self = cls.__new__(cls)
+        self.calibration = calibration
+        self.profiles = profiles
+        self._scaffold()
+        missing = [
+            profile.name
+            for profile in profiles
+            if profile.name not in parts_by_brand
+        ]
+        if missing:
+            raise ValueError(f"missing brand parts: {', '.join(missing)}")
+        self._build_from_parts(parts_by_brand)
+        self._finalize(assign_alexa=True)
+        return self
+
     # ------------------------------------------------------------------
     # construction
     # ------------------------------------------------------------------
@@ -216,7 +246,7 @@ class Ecosystem:
 
     def _generate_parts_parallel(self, shards: int, workers: int) -> dict:
         """Columnar brand parts from a process pool, one task per shard."""
-        import concurrent.futures
+        from repro.exec.pool import run_pool
 
         calibration = self.calibration
         shards = max(shards, workers)
@@ -226,17 +256,12 @@ class Ecosystem:
             if group
         ]
         parts_by_brand: dict[str, dict] = {}
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(workers, len(plan))
-        ) as pool:
-            futures = [
-                pool.submit(
-                    shardgen.build_shard_parts, calibration, group, self.profiles
-                )
-                for group in plan
-            ]
-            for future in futures:
-                parts_by_brand.update(future.result())
+        for shard_parts in run_pool(
+            shardgen.build_shard_parts,
+            [(calibration, group, self.profiles) for group in plan],
+            workers=workers,
+        ):
+            parts_by_brand.update(shard_parts)
         return parts_by_brand
 
     def _build_from_parts(self, parts_by_brand: dict) -> None:

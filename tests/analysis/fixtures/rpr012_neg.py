@@ -1,0 +1,11 @@
+"""RPR012 negative: fan-out routed through the execution layer."""
+from repro.exec import Supervisor, SupervisorConfig, pool_map
+
+
+def fan_out(fn, items):
+    return pool_map(fn, items, workers=4)
+
+
+def fan_out_supervised(tasks, fn):
+    supervisor = Supervisor(SupervisorConfig(workers=4))
+    return supervisor.run(tasks, fn)

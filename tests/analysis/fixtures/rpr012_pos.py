@@ -1,0 +1,19 @@
+"""RPR012 positive: direct pool construction outside repro/exec."""
+import concurrent.futures
+import multiprocessing
+
+
+def fan_out(fn, items):
+    with concurrent.futures.ProcessPoolExecutor(max_workers=4) as pool:
+        return list(pool.map(fn, items))
+
+
+def fan_out_threads(fn, items):
+    with concurrent.futures.ThreadPoolExecutor() as pool:
+        return list(pool.map(fn, items))
+
+
+def spawn(fn):
+    worker = multiprocessing.Process(target=fn)
+    worker.start()
+    return worker

@@ -1,0 +1,99 @@
+"""Checkpoint journal: atomicity, validation, staleness, abort mark."""
+
+from __future__ import annotations
+
+import json
+
+from repro.exec.checkpoint import (
+    CheckpointJournal,
+    pickle_payload,
+    unpickle_payload,
+)
+
+RUN_KEY = "cal-abc123/net=none/0"
+
+
+def _journal(tmp_path, run_key=RUN_KEY):
+    return CheckpointJournal(tmp_path / "run.jsonl", run_key)
+
+
+class TestRoundTrip:
+    def test_record_then_reload(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.record("fig2", {"answer": 42})
+        journal.record("fig3", {"answer": 43})
+        reloaded = _journal(tmp_path)
+        assert reloaded.get("fig2") == {"answer": 42}
+        assert reloaded.tasks() == ["fig2", "fig3"]
+        assert len(reloaded) == 2
+
+    def test_missing_journal_is_empty(self, tmp_path):
+        journal = _journal(tmp_path)
+        assert journal.get("fig2") is None
+        assert journal.tasks() == []
+
+    def test_record_overwrites_same_task(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.record("fig2", {"v": 1})
+        journal.record("fig2", {"v": 2})
+        assert _journal(tmp_path).get("fig2") == {"v": 2}
+
+    def test_no_temp_files_left_behind(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.record("fig2", {"v": 1})
+        assert [p.name for p in tmp_path.iterdir()] == ["run.jsonl"]
+
+    def test_pickle_payload_roundtrip(self):
+        payload = pickle_payload({"nested": [1, 2, (3, 4)]})
+        assert set(payload) == {"pickle"}
+        json.dumps(payload)  # JSON-safe by construction
+        assert unpickle_payload(payload) == {"nested": [1, 2, (3, 4)]}
+
+
+class TestDefensiveReads:
+    def test_torn_tail_line_is_skipped(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.record("fig2", {"v": 1})
+        with open(journal.path, "a", encoding="utf-8") as handle:
+            handle.write('{"v": 1, "run_key": "cal-abc123/net=non')
+        reloaded = _journal(tmp_path)
+        assert reloaded.tasks() == ["fig2"]
+
+    def test_tampered_line_is_a_miss(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.record("fig2", {"v": 1})
+        text = journal.path.read_text()
+        journal.path.write_text(text.replace('"v": 1', '"v": 2'))
+        assert _journal(tmp_path).get("fig2") is None
+
+    def test_different_run_key_is_a_miss(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.record("fig2", {"v": 1})
+        stale = _journal(tmp_path, run_key="cal-other/net=none/0")
+        assert stale.get("fig2") is None
+        assert stale.tasks() == []
+
+    def test_non_journal_garbage_is_empty(self, tmp_path):
+        (tmp_path / "run.jsonl").write_text("not json\n[1, 2]\n{}\n")
+        assert _journal(tmp_path).tasks() == []
+
+
+class TestLifecycle:
+    def test_start_fresh_drops_everything(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.record("fig2", {"v": 1})
+        journal.start_fresh()
+        assert journal.tasks() == []
+        assert not journal.path.exists()
+        assert _journal(tmp_path).tasks() == []
+
+    def test_abort_mark_survives_reload(self, tmp_path):
+        journal = _journal(tmp_path)
+        journal.record("fig2", {"v": 1})
+        assert not journal.aborted
+        journal.mark_aborted()
+        reloaded = _journal(tmp_path)
+        assert reloaded.aborted
+        # The mark is bookkeeping, not a completed task.
+        assert reloaded.tasks() == ["fig2"]
+        assert len(reloaded) == 1

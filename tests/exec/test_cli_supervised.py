@@ -1,0 +1,112 @@
+"""CLI surface of the execution layer: flags, exit codes, verify."""
+
+from __future__ import annotations
+
+import re
+
+import pytest
+
+from repro.__main__ import main
+
+SCALE_ARGS = ["--scale", "0.0005", "--seed", "3"]
+
+
+class TestFlagValidation:
+    def test_supervise_rejected_for_single_experiment(self, capsys):
+        assert main(["run", "fig2", "--supervise"]) == 2
+        assert "all" in capsys.readouterr().err
+
+    def test_resume_rejected_for_single_experiment(self, capsys):
+        assert main(["run", "fig2", "--resume"]) == 2
+
+    def test_unknown_exec_fault_profile(self, capsys):
+        assert (
+            main(
+                ["run", "all", "--supervise", "--exec-fault-profile", "bogus"]
+            )
+            == 2
+        )
+        assert "exec fault profile" in capsys.readouterr().err
+
+    def test_unknown_exec_fault_profile_on_corpus_build(self, capsys, tmp_path):
+        assert (
+            main(
+                [
+                    "corpus",
+                    "build",
+                    str(tmp_path),
+                    "--supervise",
+                    "--exec-fault-profile",
+                    "bogus",
+                ]
+            )
+            == 2
+        )
+        assert "exec fault profile" in capsys.readouterr().err
+
+
+class TestCorpusVerifyCommand:
+    @pytest.fixture()
+    def store(self, tmp_path, capsys):
+        assert (
+            main(["corpus", "build", str(tmp_path), *SCALE_ARGS]) == 0
+        )
+        out = capsys.readouterr().out
+        return next(tmp_path.glob("corpus-*.sqlite"))
+
+    def test_verify_sound_store(self, store, capsys):
+        assert main(["corpus", "verify", str(store)]) == 0
+        assert "ok" in capsys.readouterr().out
+
+    def test_verify_corrupt_store_exits_1(self, store, capsys):
+        with open(store, "r+b") as handle:
+            handle.truncate(store.stat().st_size // 2)
+        assert main(["corpus", "verify", str(store)]) == 1
+        assert "unreadable" in capsys.readouterr().out
+
+    def test_verify_quarantine_moves_store(self, store, capsys):
+        with open(store, "r+b") as handle:
+            handle.truncate(store.stat().st_size // 2)
+        assert main(["corpus", "verify", str(store), "--quarantine"]) == 1
+        out = capsys.readouterr().out
+        assert "quarantined ->" in out
+        assert not store.exists()
+        assert store.with_name(store.name + ".quarantined").exists()
+
+
+class TestSupervisedCorpusBuild:
+    def test_interrupt_resume_reproduces_the_plain_digest(
+        self, tmp_path, capsys
+    ):
+        plain_dir, chaos_dir = tmp_path / "plain", tmp_path / "chaos"
+        assert (
+            main(["corpus", "build", str(plain_dir), *SCALE_ARGS]) == 0
+        )
+        plain_digest = re.search(
+            r"corpus_digest\s+(\S+)", capsys.readouterr().out
+        )
+        assert plain_digest is not None
+
+        chaos_args = [
+            "corpus",
+            "build",
+            str(chaos_dir),
+            *SCALE_ARGS,
+            "--shards",
+            "6",
+            "--workers",
+            "2",
+            "--supervise",
+            "--exec-fault-profile",
+            "chaos-proc",
+            "--exec-fault-seed",
+            "1",
+        ]
+        assert main(chaos_args) == 3
+        captured = capsys.readouterr()
+        assert captured.out == ""  # interruption goes to stderr only
+        assert "--resume" in captured.err
+
+        assert main(chaos_args + ["--resume"]) == 0
+        resumed_out = capsys.readouterr().out
+        assert plain_digest.group(1) in resumed_out

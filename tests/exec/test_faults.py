@@ -1,0 +1,142 @@
+"""Process/storage fault plans: determinism, profiles, file edits."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec.faults import (
+    EXEC_PROFILES,
+    ExecFaultKind,
+    ExecFaultPlan,
+    ExecFaultSpec,
+    plan_from_exec_profile,
+)
+
+
+class TestSpecValidation:
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError):
+            ExecFaultSpec(ExecFaultKind.KILL, probability=1.5)
+        with pytest.raises(ValueError):
+            ExecFaultSpec(ExecFaultKind.KILL, probability=-0.1)
+
+    def test_abort_requires_after_tasks(self):
+        with pytest.raises(ValueError):
+            ExecFaultSpec(ExecFaultKind.ABORT)
+        with pytest.raises(ValueError):
+            ExecFaultSpec(ExecFaultKind.ABORT, after_tasks=0)
+        assert ExecFaultSpec(ExecFaultKind.ABORT, after_tasks=1).after_tasks == 1
+
+    def test_hang_seconds_positive(self):
+        with pytest.raises(ValueError):
+            ExecFaultSpec(ExecFaultKind.HANG, hang_seconds=0.0)
+
+    def test_attempt_restriction(self):
+        spec = ExecFaultSpec(ExecFaultKind.KILL, attempts=(0,))
+        assert spec.applies_to_attempt(0)
+        assert not spec.applies_to_attempt(1)
+        assert ExecFaultSpec(
+            ExecFaultKind.KILL, attempts=None
+        ).applies_to_attempt(5)
+
+
+class TestDeterminism:
+    """Every decision is a pure function of (seed, identifier, attempt)."""
+
+    def _plan(self, seed=7):
+        plan = ExecFaultPlan(seed=seed)
+        plan.add(ExecFaultSpec(ExecFaultKind.KILL, probability=0.5))
+        return plan
+
+    def test_same_seed_same_decisions(self):
+        a = self._plan()
+        b = self._plan()
+        ids = [f"t{i}" for i in range(64)]
+        assert [a.decide_task(t, 0) for t in ids] == [
+            b.decide_task(t, 0) for t in ids
+        ]
+
+    def test_decisions_do_not_depend_on_call_order(self):
+        ordered = [self._plan().decide_task(f"t{i}", 0) for i in range(16)]
+        plan = self._plan()
+        reversed_calls = {
+            f"t{i}": plan.decide_task(f"t{i}", 0) for i in reversed(range(16))
+        }
+        assert ordered == [reversed_calls[f"t{i}"] for i in range(16)]
+
+    def test_different_seeds_differ(self):
+        ids = [f"t{i}" for i in range(64)]
+        a = [self._plan(seed=1).decide_task(t, 0) for t in ids]
+        b = [self._plan(seed=2).decide_task(t, 0) for t in ids]
+        assert a != b
+
+    def test_first_attempt_only_by_default(self):
+        plan = ExecFaultPlan(seed=0)
+        plan.add(ExecFaultSpec(ExecFaultKind.KILL, probability=1.0))
+        assert plan.decide_task("t0", 0) is ExecFaultKind.KILL
+        assert plan.decide_task("t0", 1) is None
+
+    def test_zero_probability_never_fires(self):
+        plan = ExecFaultPlan(seed=0)
+        plan.add(ExecFaultSpec(ExecFaultKind.KILL, probability=0.0))
+        assert all(
+            plan.decide_task(f"t{i}", 0) is None for i in range(100)
+        )
+
+
+class TestWriteFaults:
+    def _plan(self, kind):
+        plan = ExecFaultPlan(seed=3)
+        plan.add(ExecFaultSpec(kind, probability=1.0))
+        return plan
+
+    def test_torn_write_truncates(self, tmp_path):
+        target = tmp_path / "store.bin"
+        target.write_bytes(bytes(range(256)) * 8)
+        fault = self._plan(ExecFaultKind.TORN_WRITE).decide_write("corpus", 0)
+        assert fault is not None
+        fault(target)
+        assert target.stat().st_size == 1024
+
+    def test_flip_write_flips_one_back_half_byte(self, tmp_path):
+        target = tmp_path / "store.bin"
+        original = bytes(256) * 8
+        target.write_bytes(original)
+        fault = self._plan(ExecFaultKind.FLIP_WRITE).decide_write("corpus", 0)
+        assert fault is not None
+        fault(target)
+        damaged = target.read_bytes()
+        assert len(damaged) == len(original)
+        diffs = [i for i, (a, b) in enumerate(zip(original, damaged)) if a != b]
+        assert len(diffs) == 1
+        assert diffs[0] >= len(original) // 2
+
+    def test_write_faults_skip_later_attempts(self):
+        plan = self._plan(ExecFaultKind.TORN_WRITE)
+        assert plan.decide_write("corpus", 0) is not None
+        assert plan.decide_write("corpus", 1) is None
+
+
+class TestProfiles:
+    def test_none_profile_is_empty(self):
+        assert EXEC_PROFILES["none"] == []
+        plan = plan_from_exec_profile("none", seed=9)
+        assert len(plan) == 0
+        assert plan.decide_task("t0", 0) is None
+        assert plan.abort_after is None
+
+    def test_kill_worker_profile_aborts(self):
+        plan = plan_from_exec_profile("kill-worker", seed=1)
+        assert plan.abort_after == 6
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(ValueError, match="unknown exec fault profile"):
+            plan_from_exec_profile("meteor-strike")
+
+    def test_task_kinds_converge_under_bounded_retries(self):
+        """Every named profile restricts KILL/HANG to attempt 0, so a
+        supervisor with max_task_attempts >= 2 always finishes."""
+        for name, specs in EXEC_PROFILES.items():
+            for spec in specs:
+                if spec.kind in (ExecFaultKind.KILL, ExecFaultKind.HANG):
+                    assert spec.attempts == (0,), (name, spec.kind)

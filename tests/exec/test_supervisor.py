@@ -1,0 +1,208 @@
+"""Supervisor recovery paths: kills, hangs, errors, degradation, abort."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.exec.faults import ExecFaultKind, ExecFaultPlan, ExecFaultSpec
+from repro.exec.supervisor import (
+    RunInterrupted,
+    Supervisor,
+    SupervisorConfig,
+)
+
+
+def _square(payload):
+    return payload * payload
+
+
+def _flaky(payload):
+    if payload == "boom":
+        raise ValueError("worker boom")
+    return payload
+
+
+def _fast_config(**overrides):
+    defaults = dict(
+        workers=2,
+        task_timeout=10.0,
+        max_task_attempts=3,
+        respawn_budget=16,
+        backoff_base=0.01,
+        poll_interval=0.02,
+    )
+    defaults.update(overrides)
+    return SupervisorConfig(**defaults)
+
+
+def _tasks(n):
+    return [(f"t{i}", i) for i in range(n)]
+
+
+def _kill_plan(attempts=(0,)):
+    plan = ExecFaultPlan(seed=0)
+    plan.add(
+        ExecFaultSpec(ExecFaultKind.KILL, probability=1.0, attempts=attempts)
+    )
+    return plan
+
+
+class TestHappyPath:
+    def test_parallel_runs_every_task(self):
+        outcome = Supervisor(_fast_config()).run(_tasks(6), _square)
+        assert outcome.results == {f"t{i}": i * i for i in range(6)}
+        assert outcome.failures == []
+        assert outcome.retries == outcome.respawns == 0
+
+    def test_serial_matches_parallel(self):
+        serial = Supervisor(_fast_config(workers=1)).run(_tasks(6), _square)
+        parallel = Supervisor(_fast_config(workers=3)).run(_tasks(6), _square)
+        assert serial.results == parallel.results
+
+    def test_on_complete_fires_per_task(self):
+        seen = []
+        Supervisor(_fast_config(workers=1)).run(
+            _tasks(4), _square, on_complete=lambda tid, r: seen.append((tid, r))
+        )
+        assert seen == [(f"t{i}", i * i) for i in range(4)]
+
+    def test_backoff_is_deterministic(self):
+        a = Supervisor(_fast_config())._backoff("t3", 1)
+        b = Supervisor(_fast_config())._backoff("t3", 1)
+        assert a == b > 0
+
+
+class TestKillRecovery:
+    def test_killed_workers_are_respawned_and_tasks_retried(self):
+        supervisor = Supervisor(_fast_config(), faults=_kill_plan())
+        outcome = supervisor.run(_tasks(4), _square)
+        assert outcome.results == {f"t{i}": i * i for i in range(4)}
+        assert outcome.retries == 4
+        assert outcome.respawns >= 1
+        kinds = {record.kind for record in outcome.failures}
+        assert kinds == {"worker-death"}
+        assert all("code 23" in r.detail for r in outcome.failures)
+
+    def test_unkillable_tasks_degrade_to_in_process(self):
+        # Every attempt dies and nothing may respawn: the fleet drains
+        # and the parent finishes the work inline.
+        supervisor = Supervisor(
+            _fast_config(respawn_budget=0, max_task_attempts=10),
+            faults=_kill_plan(attempts=None),
+        )
+        outcome = supervisor.run(_tasks(4), _square)
+        assert outcome.results == {f"t{i}": i * i for i in range(4)}
+        assert set(outcome.degraded) | {
+            r.task_id for r in outcome.failures if r.kind == "worker-death"
+        } == {f"t{i}" for i in range(4)}
+        assert outcome.respawns == 0
+
+
+class TestHangRecovery:
+    def test_watchdog_times_out_wedged_workers(self):
+        plan = ExecFaultPlan(seed=0)
+        plan.add(
+            ExecFaultSpec(
+                ExecFaultKind.HANG,
+                probability=1.0,
+                attempts=(0,),
+                hang_seconds=30.0,
+            )
+        )
+        supervisor = Supervisor(_fast_config(task_timeout=0.4), faults=plan)
+        outcome = supervisor.run(_tasks(2), _square)
+        assert outcome.results == {"t0": 0, "t1": 1}
+        assert {r.kind for r in outcome.failures} == {"timeout"}
+        assert outcome.retries == 2
+
+
+class TestErrorHandling:
+    def test_worker_errors_retry_then_degrade_via_local_fn(self):
+        supervisor = Supervisor(_fast_config(max_task_attempts=2))
+        outcome = supervisor.run(
+            [("ok", "fine"), ("bad", "boom")],
+            _flaky,
+            local_fn=lambda payload: f"local:{payload}",
+        )
+        assert outcome.results["ok"] == "fine"
+        assert outcome.results["bad"] == "local:boom"
+        assert outcome.degraded == ["bad"]
+        error_records = [r for r in outcome.failures if r.kind == "error"]
+        assert error_records and all(
+            "worker boom" in r.detail for r in error_records
+        )
+
+    def test_serial_retries_transient_errors(self):
+        calls = {"n": 0}
+
+        def flaky_local(payload):
+            calls["n"] += 1
+            if payload == 1 and calls["n"] < 3:
+                raise RuntimeError("transient")
+            return payload
+
+        outcome = Supervisor(_fast_config(workers=1)).run(
+            _tasks(3), flaky_local
+        )
+        assert outcome.results == {"t0": 0, "t1": 1, "t2": 2}
+        assert outcome.retries == 1
+
+    def test_serial_exhausted_attempts_raise(self):
+        def always_broken(payload):
+            raise RuntimeError("permanent")
+
+        with pytest.raises(RuntimeError, match="permanent"):
+            Supervisor(_fast_config(workers=1, max_task_attempts=2)).run(
+                _tasks(2), always_broken
+            )
+
+
+class TestAbort:
+    def _abort_plan(self, after):
+        plan = ExecFaultPlan(seed=0)
+        plan.add(
+            ExecFaultSpec(
+                ExecFaultKind.ABORT, probability=1.0, after_tasks=after
+            )
+        )
+        return plan
+
+    def test_abort_interrupts_after_threshold(self):
+        completed = []
+        supervisor = Supervisor(
+            _fast_config(workers=1), faults=self._abort_plan(3)
+        )
+        with pytest.raises(RunInterrupted) as info:
+            supervisor.run(
+                _tasks(6),
+                _square,
+                on_complete=lambda tid, r: completed.append(tid),
+            )
+        assert completed == ["t0", "t1", "t2"]
+        assert info.value.completed == 3
+        assert info.value.remaining == ["t3", "t4", "t5"]
+        assert "--resume" in str(info.value)
+
+    def test_completed_before_counts_toward_threshold(self):
+        supervisor = Supervisor(
+            _fast_config(workers=1), faults=self._abort_plan(3)
+        )
+        with pytest.raises(RunInterrupted) as info:
+            supervisor.run(_tasks(4), _square, completed_before=2)
+        assert info.value.completed == 3
+
+    def test_allow_abort_false_completes(self):
+        supervisor = Supervisor(
+            _fast_config(workers=1), faults=self._abort_plan(2)
+        )
+        outcome = supervisor.run(_tasks(5), _square, allow_abort=False)
+        assert len(outcome.results) == 5
+
+    def test_abort_fires_even_on_the_last_task(self):
+        supervisor = Supervisor(
+            _fast_config(workers=1), faults=self._abort_plan(3)
+        )
+        with pytest.raises(RunInterrupted) as info:
+            supervisor.run(_tasks(3), _square)
+        assert info.value.completed == 3
+        assert info.value.remaining == []

@@ -136,6 +136,87 @@ class TestMissSemantics:
         assert not cache.has_ecosystem(other)
 
 
+class TestCorruptionSemantics:
+    """Damaged stores are cache misses and verify findings -- never
+    exceptions (truncation, bit rot, tampered digests, torn writes)."""
+
+    @pytest.fixture()
+    def cache(self, calibration, store_path, tmp_path):
+        """A private ArtifactCache seeded with a pristine copy of the
+        module's store file (each test corrupts its own copy)."""
+        cache = ArtifactCache(tmp_path)
+        target = cache.ecosystem_path(calibration)
+        target.write_bytes(store_path.read_bytes())
+        return cache
+
+    def _path(self, cache, calibration):
+        return cache.ecosystem_path(calibration)
+
+    def test_pristine_copy_hits_and_verifies(self, calibration, cache):
+        assert cache.load_ecosystem(calibration) is not None
+        assert corpus_store.verify_store(self._path(cache, calibration)) == []
+
+    def test_truncated_store_is_a_miss(self, calibration, cache):
+        path = self._path(cache, calibration)
+        with open(path, "r+b") as handle:
+            handle.truncate(path.stat().st_size // 2)
+        assert cache.load_ecosystem(calibration) is None
+        assert corpus_store.verify_store(path)
+
+    def test_flipped_byte_is_a_miss(self, calibration, cache):
+        path = self._path(cache, calibration)
+        size = path.stat().st_size
+        index = size // 2 + size // 4  # land in the column blobs
+        with open(path, "r+b") as handle:
+            handle.seek(index)
+            original = handle.read(1)
+            handle.seek(index)
+            handle.write(bytes([original[0] ^ 0x01]))
+        assert cache.load_ecosystem(calibration) is None
+        assert corpus_store.verify_store(path)
+
+    def test_tampered_brand_digest_is_a_miss(self, calibration, cache):
+        path = self._path(cache, calibration)
+        arrays, meta = corpus_store.read_corpus(path)
+        brand = meta["brand_layouts"][0][0]
+        meta["brand_digests"][brand] = "0" * 40
+        corpus_store.write_corpus(path, arrays, meta)
+        assert cache.load_ecosystem(calibration) is None
+        problems = corpus_store.verify_store(path)
+        assert any(
+            f"brand {brand}: slice digest mismatch" in p for p in problems
+        )
+
+    def test_crash_mid_write_is_a_miss(self, calibration, cache):
+        path = self._path(cache, calibration)
+        partial = path.read_bytes()
+        path.write_bytes(partial[: len(partial) // 3])
+        assert cache.load_ecosystem(calibration) is None
+        problems = corpus_store.verify_store(path)
+        assert problems and "unreadable" in problems[0]
+
+    def test_injected_write_faults_are_misses(self, calibration, cache):
+        from repro.exec.faults import plan_from_exec_profile
+
+        path = self._path(cache, calibration)
+        arrays, meta = corpus_store.read_corpus(path)
+        fault = plan_from_exec_profile("torn-write", seed=5).decide_write(
+            "corpus", 0
+        )
+        corpus_store.write_corpus(path, arrays, meta, fault=fault)
+        assert cache.load_ecosystem(calibration) is None
+        assert corpus_store.verify_store(path)
+
+    def test_quarantine_moves_the_store_aside(self, calibration, cache):
+        path = self._path(cache, calibration)
+        with open(path, "r+b") as handle:
+            handle.truncate(path.stat().st_size // 2)
+        target = corpus_store.quarantine_store(path)
+        assert not path.exists()
+        assert target.name == path.name + ".quarantined"
+        assert cache.load_ecosystem(calibration) is None  # just a miss
+
+
 class TestApiSurface:
     def test_build_corpus_builds_then_reuses(self, tmp_path):
         first = api.build_corpus(tmp_path, scale=SCALE, shards=2)

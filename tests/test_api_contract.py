@@ -1,0 +1,145 @@
+"""Facade contract: the exported surface of ``repro.api`` is pinned.
+
+Anything in ``__all__`` or ``_COMPONENT_EXPORTS`` is a compatibility
+promise: removing or renaming an entry is a breaking change (major bump
+of ``API_VERSION``), adding one is a compatible change (minor bump).
+When one of these tests fails, either revert the facade change or bump
+``API_VERSION`` *and* update the pinned lists here in the same commit.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api
+
+PINNED_VERSION = "1.1"
+
+PINNED_ALL = [
+    "API_VERSION",
+    "StudyRun",
+    "TraceDiff",
+    "build_corpus",
+    "corpus_info",
+    "crawl_figures_legs",
+    "diff_traces",
+    "golden_digests",
+    "list_corpora",
+    "list_experiments",
+    "load_trace",
+    "new_study",
+    "render_diff",
+    "render_report",
+    "render_trace",
+    "run_analysis",
+    "run_experiments",
+    "run_one",
+    "run_study",
+    "verify_corpus",
+]
+
+PINNED_COMPONENTS = [
+    "AndroidBrowser",
+    "BloomFilter",
+    "BrowserTestHarness",
+    "Calibration",
+    "Certificate",
+    "CertificateBuilder",
+    "CertificateRevocationList",
+    "ChainContext",
+    "Chrome",
+    "CrlPublisher",
+    "CrlSetBuilder",
+    "Ed25519Backend",
+    "Firefox",
+    "GolombCompressedSet",
+    "InternetExplorer",
+    "KeyPair",
+    "LinkProfile",
+    "MobileSafari",
+    "MultiStapleServer",
+    "Name",
+    "OcspRequest",
+    "Opera12",
+    "Opera31",
+    "RevocationRegime",
+    "RevokedEntry",
+    "Safari",
+    "SessionCostModel",
+    "SimBackend",
+    "StrictClient",
+    "TestPki",
+    "all_browsers",
+    "analyze_coverage",
+    "attack_window_study",
+    "blast_radius",
+    "build_onecrl",
+    "chain_check_cost",
+    "format_bytes",
+    "format_table",
+    "generate_test_suite",
+    "is_crlset_eligible",
+    "traffic_report",
+]
+
+
+class TestVersion:
+    def test_version_is_pinned(self):
+        assert api.API_VERSION == PINNED_VERSION
+
+    def test_version_shape(self):
+        major, minor = api.API_VERSION.split(".")
+        assert major.isdigit() and minor.isdigit()
+
+
+class TestExportedSurface:
+    def test_all_is_exactly_the_pinned_list(self):
+        assert list(api.__all__) == PINNED_ALL
+
+    def test_all_is_sorted(self):
+        assert list(api.__all__) == sorted(api.__all__)
+
+    def test_every_all_entry_resolves(self):
+        for name in PINNED_ALL:
+            assert getattr(api, name) is not None, name
+
+
+class TestComponentReExports:
+    def test_component_exports_are_exactly_the_pinned_list(self):
+        assert sorted(api._COMPONENT_EXPORTS) == PINNED_COMPONENTS
+
+    def test_every_component_resolves_lazily(self):
+        for name in PINNED_COMPONENTS:
+            attr = getattr(api, name)
+            assert attr is not None, name
+            # The re-export is the implementing object itself, not a copy.
+            module = __import__(
+                api._COMPONENT_EXPORTS[name], fromlist=[name]
+            )
+            assert attr is getattr(module, name), name
+
+    def test_dir_covers_the_whole_surface(self):
+        names = dir(api)
+        for name in PINNED_ALL + PINNED_COMPONENTS:
+            assert name in names
+
+    def test_unknown_attribute_raises(self):
+        with pytest.raises(AttributeError):
+            api.NoSuchExport
+
+    def test_benchmarks_only_import_the_facade(self):
+        """The micro-benches ride on the facade: no ``repro.*`` internals
+        (the RPR012 lint rule enforces the pool side of this)."""
+        from pathlib import Path
+        import re
+
+        bench_dir = Path(__file__).resolve().parent.parent / "benchmarks"
+        pattern = re.compile(
+            r"^\s*(?:from|import)\s+(repro[.\w]*)", re.MULTILINE
+        )
+        for path in sorted(bench_dir.glob("*.py")):
+            for module in pattern.findall(path.read_text()):
+                assert module in ("repro", "repro.api"), (
+                    f"{path.name} imports {module}; benchmarks must go "
+                    "through repro.api"
+                )
