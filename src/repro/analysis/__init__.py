@@ -11,7 +11,13 @@ checks those conventions mechanically on every commit:
 
 * :mod:`repro.analysis.engine` -- single-pass AST walker with per-node
   rule dispatch and ``# repro: noqa RPRxxx`` suppression;
-* :mod:`repro.analysis.rules` -- the RPR001..RPR010 catalogue;
+* :mod:`repro.analysis.dataflow` -- intraprocedural def-use/taint
+  substrate: unordered, ambient-RNG, wall-clock, and stats values are
+  tracked from construction site to sink across statement boundaries;
+* :mod:`repro.analysis.rules` -- the RPR001..RPR014 catalogue (RPR003,
+  RPR013, RPR014 ride on the dataflow substrate);
+* :mod:`repro.analysis.fixes` -- machine application of the ``safe``
+  suggestions findings carry (``analyze --fix`` / ``--diff``);
 * :mod:`repro.analysis.project` -- cross-file facts (enum members,
   experiment registration) for the non-local rules;
 * :mod:`repro.analysis.baseline` / :mod:`repro.analysis.cache` --
@@ -20,16 +26,20 @@ checks those conventions mechanically on every commit:
 """
 
 from repro.analysis.engine import ENGINE_VERSION, analyze_file, analyze_source
-from repro.analysis.findings import Finding, compute_fingerprint
+from repro.analysis.findings import Finding, Suggestion, compute_fingerprint
+from repro.analysis.fixes import apply_suggestions, fixable
 from repro.analysis.rules import ALL_RULES, default_rules, rules_catalogue
 
 __all__ = [
     "ALL_RULES",
     "ENGINE_VERSION",
     "Finding",
+    "Suggestion",
     "analyze_file",
     "analyze_source",
+    "apply_suggestions",
     "compute_fingerprint",
     "default_rules",
+    "fixable",
     "rules_catalogue",
 ]

@@ -5,11 +5,19 @@ Usage::
     python -m repro.analysis [paths...] [--format text|json]
         [--baseline FILE] [--select RPR001,RPR005] [--ignore RPR003]
         [--no-cache] [--cache-dir DIR] [--update-baseline] [--list-rules]
+        [--fix] [--diff]
 
 Exit codes: 0 -- no new findings; 1 -- new findings (or parse errors);
 2 -- usage/configuration error.  Findings already recorded in the
 baseline never fail the gate; this repo ships an empty baseline, so any
 finding fails CI (docs/STATIC_ANALYSIS.md).
+
+``--fix`` applies every ``safe``-class autofix suggestion in place,
+re-lints the touched files, and repeats until a pass applies nothing --
+so running it twice is a byte-identical no-op.  ``--diff`` renders the
+same edits as a unified diff without writing anything.  The exit code
+always describes the tree the command leaves behind: after ``--fix`` it
+reflects the remaining (unfixable) findings.
 """
 
 from __future__ import annotations
@@ -25,6 +33,12 @@ from repro.analysis.cache import ResultCache
 from repro.analysis.config import AnalysisConfig, find_project_root, load_config
 from repro.analysis.engine import ENGINE_VERSION, analyze_source
 from repro.analysis.findings import Finding
+from repro.analysis.fixes import (
+    MAX_ROUNDS,
+    apply_suggestions,
+    fixable,
+    render_diff,
+)
 from repro.analysis.project import build_project_context
 from repro.analysis.rules import default_rules, rules_catalogue
 
@@ -78,6 +92,16 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--list-rules", action="store_true", help="print the rule catalogue"
+    )
+    parser.add_argument(
+        "--fix",
+        action="store_true",
+        help="apply safe-class autofix suggestions in place and re-lint",
+    )
+    parser.add_argument(
+        "--diff",
+        action="store_true",
+        help="show the --fix edits as a unified diff without writing",
     )
     return parser
 
@@ -166,30 +190,32 @@ def main(argv: list[str] | None = None) -> int:
         )
 
     rules = default_rules()
-    findings: list[Finding] = []
+    sources: dict[str, str] = {}
+    findings_by_path: dict[str, list[Finding]] = {}
     cached_hits = 0
     for rel_path, abs_path in files:
         try:
             data = abs_path.read_bytes()
         except OSError as exc:
-            findings.append(
+            findings_by_path[rel_path] = [
                 Finding(
                     "RPR000", rel_path, 1, 0, f"unreadable: {exc}", "unreadable"
                 )
-            )
+            ]
             continue
         content_hash = ResultCache.content_hash(data)
         file_findings = (
             cache.load(rel_path, content_hash) if cache is not None else None
         )
+        source = data.decode("utf-8", errors="replace")
         if file_findings is None:
-            source = data.decode("utf-8", errors="replace")
             file_findings = analyze_source(source, rel_path, rules, project)
             if cache is not None:
                 cache.store(rel_path, content_hash, file_findings)
         else:
             cached_hits += 1
-        findings.extend(file_findings)
+        sources[rel_path] = source
+        findings_by_path[rel_path] = file_findings
 
     # Post-filters: per-path config ignores, then --select/--ignore.
     # RPR000 (parse failure) is never filtered -- a file the engine
@@ -203,10 +229,18 @@ def main(argv: list[str] | None = None) -> int:
             return False
         return finding.rule not in ignore
 
-    findings = sorted(
-        (f for f in findings if keep(f)),
-        key=lambda f: (f.path, f.line, f.col, f.rule),
-    )
+    def collect() -> list[Finding]:
+        return sorted(
+            (
+                f
+                for file_findings in findings_by_path.values()
+                for f in file_findings
+                if keep(f)
+            ),
+            key=lambda f: (f.path, f.line, f.col, f.rule),
+        )
+
+    findings = collect()
 
     baseline_path = Path(args.baseline or config.baseline or DEFAULT_BASELINE)
     if not baseline_path.is_absolute():
@@ -226,6 +260,73 @@ def main(argv: list[str] | None = None) -> int:
         return 2
     new, baselined = partition(findings, accepted)
 
+    # -- autofix loop (--fix / --diff): apply safe suggestions against
+    # the in-memory sources, re-lint what changed, repeat until a round
+    # applies nothing.  --diff renders the edits instead of writing.
+    fix_mode = args.fix or args.diff
+    writes_back = args.fix and not args.diff
+    originals: dict[str, str] = {}
+    fixed_paths: set[str] = set()
+    applied_count = 0
+    rounds = 0
+    if fix_mode:
+        pre_fix = (findings, new, baselined)
+        abs_by_rel = {rel: abs_path for rel, abs_path in files}
+        while rounds < MAX_ROUNDS:
+            by_path: dict[str, list[Finding]] = {}
+            for finding in fixable(new):
+                if config.is_fix_excluded(finding.path):
+                    continue
+                if finding.path not in sources:
+                    continue
+                by_path.setdefault(finding.path, []).append(finding)
+            if not by_path:
+                break
+            rounds += 1
+            progressed = False
+            for rel_path, path_findings in sorted(by_path.items()):
+                outcome = apply_suggestions(
+                    sources[rel_path],
+                    [f.suggestion for f in path_findings],
+                )
+                if not outcome.changed:
+                    continue
+                progressed = True
+                originals.setdefault(rel_path, sources[rel_path])
+                sources[rel_path] = outcome.source
+                fixed_paths.add(rel_path)
+                applied_count += len(outcome.applied)
+                file_findings = analyze_source(
+                    outcome.source, rel_path, rules, project
+                )
+                findings_by_path[rel_path] = file_findings
+                if cache is not None:
+                    cache.store(
+                        rel_path,
+                        ResultCache.content_hash(
+                            outcome.source.encode("utf-8")
+                        ),
+                        file_findings,
+                    )
+            if not progressed:
+                break
+            findings = collect()
+            new, baselined = partition(findings, accepted)
+        if writes_back:
+            for rel_path in sorted(fixed_paths):
+                abs_by_rel[rel_path].write_text(
+                    sources[rel_path], encoding="utf-8"
+                )
+        else:
+            # Preview mode leaves the tree untouched, so the findings,
+            # counts, and exit code must describe the on-disk state.
+            findings, new, baselined = pre_fix
+
+    diffs = {
+        rel_path: render_diff(rel_path, originals[rel_path], sources[rel_path])
+        for rel_path in sorted(fixed_paths)
+    }
+
     if args.fmt == "json":
         document = {
             "engine_version": ENGINE_VERSION,
@@ -237,12 +338,30 @@ def main(argv: list[str] | None = None) -> int:
             },
             "findings": [finding.as_dict() for finding in new],
             "baselined": [finding.as_dict() for finding in baselined],
+            "fixes": {
+                "applied": applied_count,
+                "files": sorted(fixed_paths),
+                "rounds": rounds,
+                "written": bool(writes_back and fixed_paths),
+            },
         }
+        if args.diff:
+            document["diffs"] = diffs
         print(json.dumps(document, indent=2, sort_keys=True))
     else:
+        if args.diff:
+            for rel_path in sorted(diffs):
+                sys.stdout.write(diffs[rel_path])
         for finding in new:
             print(finding.render())
         elapsed = time.perf_counter() - started
+        if fix_mode:
+            verb = "previewed" if args.diff else "applied"
+            print(
+                f"autofix: {applied_count} edit(s) {verb} in "
+                f"{len(fixed_paths)} file(s) over {rounds} round(s)",
+                file=sys.stderr,
+            )
         print(
             f"{len(new)} new finding(s), {len(baselined)} baselined; "
             f"{len(files)} file(s) analysed ({cached_hits} cached) "

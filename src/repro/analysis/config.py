@@ -6,6 +6,7 @@ Recognised keys::
     [tool.repro.analysis]
     paths = ["src", "tests", "benchmarks"]   # default CLI targets
     exclude = ["tests/analysis/fixtures"]    # never analysed
+    fix-exclude = ["tests"]                  # analysed but never autofixed
     baseline = ".repro-analysis-baseline.json"
     cache-dir = ".repro-analysis-cache"
 
@@ -33,6 +34,10 @@ class AnalysisConfig:
     root: Path
     paths: tuple[str, ...] = ("src", "tests", "benchmarks")
     exclude: tuple[str, ...] = ()
+    #: paths the linter analyses but ``--fix`` must never edit.  Not
+    #: part of :meth:`digest` -- autofix eligibility cannot change what
+    #: the analysis finds, so it must not invalidate cached findings.
+    fix_exclude: tuple[str, ...] = ()
     baseline: str | None = None
     cache_dir: str = ".repro-analysis-cache"
     per_path_ignores: dict[str, tuple[str, ...]] = field(default_factory=dict)
@@ -53,6 +58,9 @@ class AnalysisConfig:
 
     def is_excluded(self, rel_path: str) -> bool:
         return any(_covers(prefix, rel_path) for prefix in self.exclude)
+
+    def is_fix_excluded(self, rel_path: str) -> bool:
+        return any(_covers(prefix, rel_path) for prefix in self.fix_exclude)
 
     def ignored_rules(self, rel_path: str) -> frozenset[str]:
         ignored: set[str] = set()
@@ -90,6 +98,7 @@ def load_config(root: Path) -> AnalysisConfig:
         root=root,
         paths=tuple(section.get("paths", ("src", "tests", "benchmarks"))),
         exclude=tuple(section.get("exclude", ())),
+        fix_exclude=tuple(section.get("fix-exclude", ())),
         baseline=section.get("baseline"),
         cache_dir=section.get("cache-dir", ".repro-analysis-cache"),
         per_path_ignores={

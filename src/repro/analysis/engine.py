@@ -19,13 +19,15 @@ import re
 from dataclasses import dataclass, field
 from pathlib import Path
 
-from repro.analysis.findings import Finding, assign_fingerprints
+from repro.analysis.findings import Finding, Suggestion, assign_fingerprints
 from repro.analysis.project import ProjectContext
 
 __all__ = ["FileContext", "Rule", "analyze_source", "analyze_file"]
 
 #: bump when rule semantics change -- invalidates the result cache.
-ENGINE_VERSION = "2"
+#: "3": RPR003 rewritten on the dataflow substrate, RPR013/RPR014
+#: added, findings carry autofix suggestions.
+ENGINE_VERSION = "3"
 
 _NOQA = re.compile(r"#\s*repro:\s*noqa(?:\s+(?P<rules>[A-Z0-9, ]+))?")
 
@@ -89,8 +91,17 @@ class FileContext:
     project: ProjectContext
     function_depth: int = 0
     _findings: list[Finding] = field(default_factory=list)
+    #: per-file scratch space for substrates shared across rules (the
+    #: dataflow pass computes once here, RPR003/013/014 all read it).
+    scratch: dict = field(default_factory=dict)
 
-    def report(self, node: ast.AST, rule: str, message: str) -> None:
+    def report(
+        self,
+        node: ast.AST,
+        rule: str,
+        message: str,
+        suggestion: Suggestion | None = None,
+    ) -> None:
         self._findings.append(
             Finding(
                 rule=rule,
@@ -98,10 +109,18 @@ class FileContext:
                 line=getattr(node, "lineno", 1),
                 col=getattr(node, "col_offset", 0),
                 message=message,
+                suggestion=suggestion,
             )
         )
 
-    def report_at(self, line: int, col: int, rule: str, message: str) -> None:
+    def report_at(
+        self,
+        line: int,
+        col: int,
+        rule: str,
+        message: str,
+        suggestion: Suggestion | None = None,
+    ) -> None:
         self._findings.append(
             Finding(
                 rule=rule,
@@ -109,6 +128,7 @@ class FileContext:
                 line=line,
                 col=col,
                 message=message,
+                suggestion=suggestion,
             )
         )
 

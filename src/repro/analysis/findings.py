@@ -1,17 +1,70 @@
-"""Finding model and stable fingerprints.
+"""Finding model, autofix suggestions, and stable fingerprints.
 
 A fingerprint identifies *what* a finding is about, not *where on the
 page* it sits: it hashes the rule, the file, the stripped source line
 text, and an occurrence counter (for identical lines repeated in one
-file) -- never the line number.  Inserting or deleting unrelated lines
-therefore does not churn the baseline, which is what lets a baseline
-file survive ordinary edits (the same trick ESLint and detekt use).
+file) -- never the line number and never the attached suggestion.
+Inserting or deleting unrelated lines therefore does not churn the
+baseline, which is what lets a baseline file survive ordinary edits
+(the same trick ESLint and detekt use), and an autofix-irrelevant
+change to how a suggestion is rendered can never invalidate one.
 """
 
 from __future__ import annotations
 
 import hashlib
 from dataclasses import dataclass
+
+#: suggestion safety classes.  ``safe`` edits are provably
+#: behaviour-preserving at the emit boundary (wrapping an expression in
+#: ``sorted(...)`` at the sink, swapping ``vars(x)`` for
+#: ``x.as_dict()``) and are the only class ``--fix`` applies;
+#: ``unsafe`` edits change a value other code may still observe (e.g.
+#: sorting a container that is also used for membership tests) and are
+#: surfaced for review only.
+SAFETY_SAFE = "safe"
+SAFETY_UNSAFE = "unsafe"
+
+
+@dataclass(frozen=True)
+class Suggestion:
+    """One machine-applicable edit attached to a finding.
+
+    The span is a half-open source region in the ``ast`` coordinate
+    system (1-based lines, 0-based UTF-8 byte columns); ``replacement``
+    is the literal text to substitute for it.
+    """
+
+    line: int
+    col: int
+    end_line: int
+    end_col: int
+    replacement: str
+    safety: str  # SAFETY_SAFE | SAFETY_UNSAFE
+    description: str = ""
+
+    def as_dict(self) -> dict:
+        return {
+            "line": self.line,
+            "col": self.col,
+            "end_line": self.end_line,
+            "end_col": self.end_col,
+            "replacement": self.replacement,
+            "safety": self.safety,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, raw: dict) -> "Suggestion":
+        return cls(
+            line=int(raw["line"]),
+            col=int(raw["col"]),
+            end_line=int(raw["end_line"]),
+            end_col=int(raw["end_col"]),
+            replacement=raw["replacement"],
+            safety=raw["safety"],
+            description=raw.get("description", ""),
+        )
 
 
 @dataclass(frozen=True)
@@ -24,6 +77,7 @@ class Finding:
     col: int  # 0-based, as in the ast module
     message: str
     fingerprint: str = ""
+    suggestion: Suggestion | None = None
 
     def as_dict(self) -> dict:
         return {
@@ -33,10 +87,14 @@ class Finding:
             "col": self.col,
             "message": self.message,
             "fingerprint": self.fingerprint,
+            "suggestion": (
+                self.suggestion.as_dict() if self.suggestion else None
+            ),
         }
 
     @classmethod
     def from_dict(cls, raw: dict) -> "Finding":
+        suggestion = raw.get("suggestion")
         return cls(
             rule=raw["rule"],
             path=raw["path"],
@@ -44,6 +102,9 @@ class Finding:
             col=int(raw["col"]),
             message=raw["message"],
             fingerprint=raw.get("fingerprint", ""),
+            suggestion=(
+                Suggestion.from_dict(suggestion) if suggestion else None
+            ),
         )
 
     def render(self) -> str:
@@ -86,6 +147,7 @@ def assign_fingerprints(
                 fingerprint=compute_fingerprint(
                     finding.rule, finding.path, text, occurrence
                 ),
+                suggestion=finding.suggestion,
             )
         )
     return out

@@ -1,0 +1,133 @@
+"""Machine application of finding suggestions (``analyze --fix``).
+
+Every dataflow finding may carry a :class:`~repro.analysis.findings.
+Suggestion` -- a source span plus replacement text and a safety class.
+This module turns the ``safe`` ones into edits:
+
+* spans use the ``ast`` coordinate system (1-based lines, 0-based UTF-8
+  *byte* columns), so edits are applied on the encoded source and
+  decoded back -- multi-byte characters cannot skew offsets;
+* overlapping suggestions are resolved deterministically: spans are
+  applied back-to-front and a span that overlaps an already-applied one
+  is skipped (it will be re-derived, against fresh offsets, on the next
+  fix round);
+* the driver loops apply-then-relint until a round applies nothing,
+  which is what makes ``--fix`` idempotent: a ``sorted(...)`` wrap
+  sanitises the taint that produced it, so the second pass has no safe
+  suggestion left to apply.
+
+Nothing here writes to disk -- the CLI owns I/O; this module maps
+``(source, findings) -> (new_source, applied)`` so the same machinery
+backs ``--fix`` (write), ``--diff`` (render), and the tests.
+"""
+
+from __future__ import annotations
+
+import difflib
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import SAFETY_SAFE, Finding, Suggestion
+
+__all__ = ["FixOutcome", "apply_suggestions", "fixable", "render_diff"]
+
+#: bound on apply-relint rounds; each round strictly shrinks the safe
+#: suggestion set, so this is a backstop against a misbehaving rule,
+#: not a tuning knob.
+MAX_ROUNDS = 5
+
+
+@dataclass
+class FixOutcome:
+    """What one apply pass over one file did."""
+
+    source: str
+    applied: list[Suggestion] = field(default_factory=list)
+    skipped_overlap: int = 0
+
+    @property
+    def changed(self) -> bool:
+        return bool(self.applied)
+
+
+def fixable(findings: list[Finding]) -> list[Finding]:
+    """The findings ``--fix`` may act on: safe-class suggestions only."""
+    return [
+        finding
+        for finding in findings
+        if finding.suggestion is not None
+        and finding.suggestion.safety == SAFETY_SAFE
+    ]
+
+
+def _line_starts(data: bytes) -> list[int]:
+    """Byte offset of the start of each (1-based) line."""
+    starts = [0]
+    for index, byte in enumerate(data):
+        if byte == 0x0A:  # \n
+            starts.append(index + 1)
+    return starts
+
+
+def _abs_span(
+    suggestion: Suggestion, starts: list[int], size: int
+) -> tuple[int, int] | None:
+    if not 1 <= suggestion.line <= len(starts):
+        return None
+    if not 1 <= suggestion.end_line <= len(starts):
+        return None
+    begin = starts[suggestion.line - 1] + suggestion.col
+    end = starts[suggestion.end_line - 1] + suggestion.end_col
+    if not 0 <= begin <= end <= size:
+        return None
+    return begin, end
+
+
+def apply_suggestions(
+    source: str, suggestions: list[Suggestion]
+) -> FixOutcome:
+    """Apply non-overlapping suggestion spans to ``source``.
+
+    Spans are applied from the end of the file backwards so earlier
+    offsets stay valid; between two overlapping spans the one starting
+    earlier wins (deterministic regardless of input order).
+    """
+    data = source.encode("utf-8")
+    starts = _line_starts(data)
+    located: list[tuple[int, int, Suggestion]] = []
+    for suggestion in suggestions:
+        span = _abs_span(suggestion, starts, len(data))
+        if span is not None:
+            located.append((span[0], span[1], suggestion))
+    located.sort(key=lambda item: (item[0], item[1]))
+
+    chosen: list[tuple[int, int, Suggestion]] = []
+    skipped = 0
+    last_end = -1
+    for begin, end, suggestion in located:
+        if begin < last_end or (chosen and (begin, end) == chosen[-1][:2]):
+            skipped += 1
+            continue
+        chosen.append((begin, end, suggestion))
+        last_end = end
+
+    out = data
+    for begin, end, suggestion in reversed(chosen):
+        out = out[:begin] + suggestion.replacement.encode("utf-8") + out[end:]
+    return FixOutcome(
+        source=out.decode("utf-8"),
+        applied=[suggestion for _, _, suggestion in chosen],
+        skipped_overlap=skipped,
+    )
+
+
+def render_diff(rel_path: str, before: str, after: str) -> str:
+    """Unified diff of one file's fix pass, empty if nothing changed."""
+    if before == after:
+        return ""
+    lines = difflib.unified_diff(
+        before.splitlines(keepends=True),
+        after.splitlines(keepends=True),
+        fromfile=f"a/{rel_path}",
+        tofile=f"b/{rel_path}",
+    )
+    return "".join(lines)

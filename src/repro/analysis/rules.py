@@ -1,11 +1,13 @@
-"""The repo-specific rule catalogue (RPR001..RPR012).
+"""The repo-specific rule catalogue (RPR001..RPR014).
 
 Each rule enforces one invariant the reproduction's determinism or PKI
 correctness depends on; docs/STATIC_ANALYSIS.md ties every rule back to
 the paper sections it protects.  Rules are single-node checks where
 possible (dispatched by the engine in one pass) and fall back to a
-file-level hook only where the invariant spans statements (RPR005) or
-files (RPR007, via the project pre-pass).
+file-level hook where the invariant spans statements (RPR005, and the
+dataflow rules RPR003/RPR013/RPR014 via the shared taint substrate in
+:mod:`repro.analysis.dataflow`) or files (RPR007, via the project
+pre-pass).
 """
 
 from __future__ import annotations
@@ -14,28 +16,12 @@ import ast
 import re
 from pathlib import PurePosixPath
 
+from repro.analysis import dataflow
+from repro.analysis.dataflow import WALL_CLOCK_CALLS as _WALL_CLOCK
 from repro.analysis.engine import FileContext, Rule
 from repro.analysis.project import is_experiment_module
 
 __all__ = ["ALL_RULES", "default_rules", "rules_catalogue"]
-
-
-# --------------------------------------------------------------------------
-# RPR001 -- no wall clock
-# --------------------------------------------------------------------------
-
-_WALL_CLOCK = frozenset(
-    {
-        "datetime.datetime.now",
-        "datetime.datetime.utcnow",
-        "datetime.datetime.today",
-        "datetime.date.today",
-        "time.time",
-        "time.time_ns",
-        "time.monotonic",
-        "time.monotonic_ns",
-    }
-)
 
 
 class WallClockRule(Rule):
@@ -110,84 +96,95 @@ class AmbientRandomnessRule(Rule):
 
 
 # --------------------------------------------------------------------------
-# RPR003 -- no unordered iteration at emit boundaries
+# RPR003 -- no unordered values flowing to emit boundaries (dataflow)
 # --------------------------------------------------------------------------
-
-_EMIT_SINKS = frozenset({"json.dump", "json.dumps"})
-_EMIT_SINK_SUFFIXES = ("format_table",)
-_ORDER_NEUTRAL = frozenset({"sorted", "min", "max", "sum", "len", "any", "all"})
 
 
 class UnorderedEmitRule(Rule):
     code = "RPR003"
     name = "no-unordered-emit"
     summary = (
-        "sets and dict views must be sorted() before feeding json, "
-        "digests, or report tables"
+        "set/dict-view values must be sorted() before they flow into "
+        "json, digests, or report tables -- tracked across statements"
     )
-    node_types = (ast.Call,)
 
-    def _is_sink(self, resolved: str | None) -> bool:
-        if resolved is None:
-            return False
-        if resolved in _EMIT_SINKS or resolved.startswith("hashlib."):
-            return True
-        return any(
-            resolved == suffix or resolved.endswith("." + suffix)
-            for suffix in _EMIT_SINK_SUFFIXES
-        )
-
-    def check(self, node: ast.Call, ctx: FileContext) -> None:
-        if not self._is_sink(ctx.imports.resolve(node.func)):
-            return
-        for arg in [*node.args, *[kw.value for kw in node.keywords]]:
-            self._scan(arg, ctx)
-
-    def _scan(self, node: ast.AST, ctx: FileContext) -> None:
-        if isinstance(node, ast.Call):
-            resolved = ctx.imports.resolve(node.func)
-            if resolved in _ORDER_NEUTRAL:
-                return  # sorted(...)/len(...) make order irrelevant below
-            unordered = self._unordered_reason(node, ctx)
-            if unordered:
-                ctx.report(node, self.code, unordered)
-                return
-        elif isinstance(node, (ast.Set, ast.SetComp)):
+    def check_file(self, tree: ast.Module, ctx: FileContext) -> None:
+        for flow in dataflow.file_flows(tree, ctx):
+            if flow.category != dataflow.CAT_EMIT_UNORDERED:
+                continue
+            taint = flow.taint
+            if taint.line != flow.sink_line:
+                provenance = (
+                    f"{taint.detail} constructed at line {taint.line} flows"
+                )
+            else:
+                provenance = f"{taint.detail} reaches"
             ctx.report(
-                node,
+                flow.carrier,
                 self.code,
-                "set literal reaches an emit boundary with no defined "
-                "order; wrap it in sorted(...)",
+                f"{provenance} into emit sink {flow.sink_name}(...) with "
+                "no defined order; wrap it in sorted(...)",
+                suggestion=flow.suggestion,
             )
-            return
-        elif isinstance(node, ast.Compare) and all(
-            isinstance(op, (ast.In, ast.NotIn)) for op in node.ops
-        ):
-            self._scan(node.left, ctx)  # membership tests are order-free
-            return
-        for child in ast.iter_child_nodes(node):
-            self._scan(child, ctx)
 
-    def _unordered_reason(
-        self, node: ast.Call, ctx: FileContext
-    ) -> str | None:
-        resolved = ctx.imports.resolve(node.func)
-        if resolved in ("set", "frozenset"):
-            return (
-                f"{resolved}(...) reaches an emit boundary with no defined "
-                "order; wrap it in sorted(...)"
+
+# --------------------------------------------------------------------------
+# RPR013 -- no ambient-RNG / wall-clock values in digest inputs (dataflow)
+# --------------------------------------------------------------------------
+
+
+class NondeterministicDigestInputRule(Rule):
+    code = "RPR013"
+    name = "no-nondeterministic-digest-input"
+    summary = (
+        "ambient-RNG or wall-clock *values* must not flow into corpus "
+        "arrays, Calibration fields, or digest inputs"
+    )
+
+    def check_file(self, tree: ast.Module, ctx: FileContext) -> None:
+        for flow in dataflow.file_flows(tree, ctx):
+            if flow.category != dataflow.CAT_DIGEST_NONDET:
+                continue
+            taint = flow.taint
+            source_kind = (
+                "wall-clock" if taint.kind == dataflow.CLOCK else "ambient-RNG"
             )
-        if (
-            isinstance(node.func, ast.Attribute)
-            and node.func.attr in ("values", "keys")
-            and not node.args
-            and not node.keywords
-        ):
-            return (
-                f".{node.func.attr}() iteration order depends on insertion "
-                "history; emit sorted(...) for a stable artifact"
+            ctx.report(
+                flow.carrier,
+                self.code,
+                f"{source_kind} value from {taint.detail} (line "
+                f"{taint.line}) flows into {flow.sink_name}; corpus "
+                "arrays, calibration fields, and digest inputs must be "
+                "derived from the seed (SimClock / seeded random.Random)",
+                suggestion=flow.suggestion,
             )
-        return None
+
+
+# --------------------------------------------------------------------------
+# RPR014 -- stats exports go through the sorted-key helpers (dataflow)
+# --------------------------------------------------------------------------
+
+
+class StatsExportRule(Rule):
+    code = "RPR014"
+    name = "stats-export-via-as-dict"
+    summary = (
+        "FetchStats/FailureRecord values flowing to report emission "
+        "must pass through the sorted-key .as_dict() export helpers"
+    )
+
+    def check_file(self, tree: ast.Module, ctx: FileContext) -> None:
+        for flow in dataflow.file_flows(tree, ctx):
+            if flow.category != dataflow.CAT_STATS_EXPORT:
+                continue
+            ctx.report(
+                flow.carrier,
+                self.code,
+                f"{flow.taint.detail} (line {flow.taint.line}) flows into "
+                f"{flow.sink_name}(...) around the export helper; use "
+                ".as_dict() so key order and field derivation stay stable",
+                suggestion=flow.suggestion,
+            )
 
 
 # --------------------------------------------------------------------------
@@ -769,6 +766,8 @@ ALL_RULES: tuple[type[Rule], ...] = (
     SharedWorkerRngRule,
     UnseededHypothesisRule,
     PoolOutsideExecRule,
+    NondeterministicDigestInputRule,
+    StatsExportRule,
 )
 
 

@@ -90,6 +90,21 @@ class FailureRecord:
     detail: str
     worker: str
 
+    def as_dict(self) -> dict:
+        """Fixed-key export shape for reports and JSON dumps.
+
+        Always serialise through this (never ``vars``/``asdict``) so
+        key order stays pinned independent of field declaration order;
+        RPR014 enforces the convention.
+        """
+        return {
+            "task_id": self.task_id,
+            "attempt": self.attempt,
+            "kind": self.kind,
+            "detail": self.detail,
+            "worker": self.worker,
+        }
+
 
 @dataclass
 class SupervisedOutcome:

@@ -1,6 +1,20 @@
-"""RPR003 negative: everything is sorted before it is emitted."""
+"""RPR003 negative: everything is sorted (or order-neutral) on emit.
+
+``join_tokens`` and ``count_kinds`` pin two historical false
+positives: ``"".join(sorted(...))`` is ordered by construction, and
+``len({...})`` inside an f-string reduces the set to a number -- no
+iteration order ever reaches the artifact.
+"""
 import json
 
 
 def emit(counts: dict, names) -> str:
     return json.dumps({"unique": sorted(set(names)), "vals": sorted(counts.values())})
+
+
+def join_tokens(tokens) -> str:
+    return json.dumps("".join(sorted(set(tokens))))
+
+
+def count_kinds(items) -> str:
+    return json.dumps(f"saw {len({item.kind for item in items})} kinds")

@@ -1,6 +1,17 @@
-"""RPR003 positive: unordered iteration feeding a JSON artifact."""
+"""RPR003 positive: unordered values reaching a JSON artifact.
+
+Covers both the in-expression case and the variable-indirection case
+(the set is bound to a name and emitted statements later) -- the latter
+is the dataflow engine's regression test: the purely syntactic rule it
+replaced could not see it.
+"""
 import json
 
 
 def emit(counts: dict, names) -> str:
     return json.dumps({"unique": list(set(names)), "vals": list(counts.values())})
+
+
+def emit_indirect(names) -> str:
+    uniq = set(names)
+    return json.dumps(list(uniq))

@@ -1,0 +1,16 @@
+"""RPR013 negative: digest inputs derived from the seed.
+
+A seeded ``random.Random`` and caller-supplied timestamps are
+replayable, so hashing over them is fine.
+"""
+import hashlib
+import random
+
+
+def fingerprint(payload: bytes, seed: int, stamp: float) -> str:
+    rng = random.Random(seed)
+    salt = rng.getrandbits(64)
+    digest = hashlib.sha256()
+    digest.update(payload)
+    digest.update(f"{salt}:{stamp}".encode())
+    return digest.hexdigest()

@@ -1,0 +1,16 @@
+"""RPR013 positive: ambient-RNG and wall-clock values feeding digests.
+
+The digest inputs are what the paper's replayable corpus hashes over,
+so a value read from the host (clock or process entropy) makes two
+"identical" runs produce different fingerprints.
+"""
+import hashlib
+import os
+
+
+def fingerprint(payload: bytes) -> str:
+    salt = os.urandom(8)
+    digest = hashlib.sha256()
+    digest.update(payload)
+    digest.update(salt)
+    return digest.hexdigest()

@@ -1,0 +1,13 @@
+"""RPR014 negative: stats exported through the fixed-key helpers."""
+import json
+
+from repro.exec.supervisor import FailureRecord
+from repro.net.fetcher import FetchStats
+
+
+def export_stats(stats: FetchStats) -> str:
+    return json.dumps(stats.as_dict(), sort_keys=True)
+
+
+def export_failure(record: FailureRecord) -> str:
+    return json.dumps(record.as_dict(), sort_keys=True)

@@ -1,0 +1,19 @@
+"""RPR014 positive: stats exported via introspection, not the helper.
+
+``vars``/``dataclasses.asdict``/``__dict__`` reflect field declaration
+order, so reordering a dataclass silently reorders every report that
+serialises it; the ``as_dict()`` helpers pin the export shape.
+"""
+import dataclasses
+import json
+
+from repro.exec.supervisor import FailureRecord
+from repro.net.fetcher import FetchStats
+
+
+def export_stats(stats: FetchStats) -> str:
+    return json.dumps(vars(stats), sort_keys=True)
+
+
+def export_failure(record: FailureRecord) -> str:
+    return json.dumps(dataclasses.asdict(record), sort_keys=True)

@@ -1,0 +1,201 @@
+"""Autofix machinery: span application, overlap policy, CLI --fix/--diff."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.analysis.cli import main
+from repro.analysis.findings import (
+    SAFETY_SAFE,
+    SAFETY_UNSAFE,
+    Finding,
+    Suggestion,
+)
+from repro.analysis.fixes import apply_suggestions, fixable, render_diff
+
+
+def sug(line, col, end_col, replacement, end_line=None, safety=SAFETY_SAFE):
+    return Suggestion(
+        line=line,
+        col=col,
+        end_line=end_line or line,
+        end_col=end_col,
+        replacement=replacement,
+        safety=safety,
+    )
+
+
+# -- apply_suggestions ---------------------------------------------------
+
+
+def test_single_span_replacement():
+    outcome = apply_suggestions("x = set(y)\n", [sug(1, 4, 10, "sorted(y)")])
+    assert outcome.source == "x = sorted(y)\n"
+    assert len(outcome.applied) == 1
+
+
+def test_multiple_spans_apply_back_to_front():
+    source = "a = set(x)\nb = set(y)\n"
+    outcome = apply_suggestions(
+        source,
+        [sug(1, 4, 10, "sorted(x)"), sug(2, 4, 10, "sorted(y)")],
+    )
+    assert outcome.source == "a = sorted(x)\nb = sorted(y)\n"
+
+
+def test_overlapping_spans_keep_the_earlier_one():
+    source = "emit(set(x))\n"
+    outcome = apply_suggestions(
+        source,
+        [sug(1, 5, 11, "sorted(set(x))"), sug(1, 0, 12, "other(x)")],
+    )
+    assert outcome.source == "other(x)\n"
+    assert outcome.skipped_overlap == 1
+
+
+def test_duplicate_spans_apply_once():
+    outcome = apply_suggestions(
+        "x = set(y)\n",
+        [sug(1, 4, 10, "sorted(y)"), sug(1, 4, 10, "sorted(y)")],
+    )
+    assert outcome.source == "x = sorted(y)\n"
+    assert outcome.skipped_overlap == 1
+
+
+def test_columns_are_utf8_byte_offsets():
+    # "é" is two bytes in UTF-8; ast reports byte columns, and the
+    # applier must honour that or every later span on the line skews.
+    source = 'name = "é"; x = set(y)\n'
+    col = source.encode("utf-8").index(b"set(y)")
+    outcome = apply_suggestions(source, [sug(1, col, col + 6, "sorted(y)")])
+    assert outcome.source == 'name = "é"; x = sorted(y)\n'
+
+
+def test_out_of_range_span_is_ignored():
+    outcome = apply_suggestions("x = 1\n", [sug(9, 0, 4, "nope")])
+    assert outcome.source == "x = 1\n"
+    assert not outcome.changed
+
+
+def test_fixable_filters_to_safe_suggestions():
+    def finding(suggestion):
+        return Finding("RPR003", "a.py", 1, 0, "m", "fp", suggestion)
+
+    findings = [
+        finding(None),
+        finding(sug(1, 0, 3, "x", safety=SAFETY_UNSAFE)),
+        finding(sug(1, 0, 3, "y")),
+    ]
+    assert [f.suggestion.replacement for f in fixable(findings)] == ["y"]
+
+
+def test_render_diff_is_a_unified_diff():
+    diff = render_diff("src/m.py", "a = set(x)\n", "a = sorted(x)\n")
+    assert diff.startswith("--- a/src/m.py")
+    assert "+a = sorted(x)" in diff
+    assert render_diff("src/m.py", "same\n", "same\n") == ""
+
+
+# -- CLI integration -----------------------------------------------------
+
+PYPROJECT = """\
+[tool.repro.analysis]
+paths = ["src"]
+"""
+
+FIXABLE = """\
+import json
+
+
+def emit(names, counts):
+    uniq = set(names)
+    return json.dumps({"unique": list(uniq), "vals": list(counts.values())})
+"""
+
+FIXED = """\
+import json
+
+
+def emit(names, counts):
+    uniq = set(names)
+    return json.dumps({"unique": list(sorted(uniq)), "vals": list(sorted(counts.values()))})
+"""
+
+
+@pytest.fixture
+def project(tmp_path, monkeypatch):
+    (tmp_path / "pyproject.toml").write_text(PYPROJECT)
+    (tmp_path / "src").mkdir()
+    (tmp_path / "src" / "mod.py").write_text(FIXABLE)
+    monkeypatch.chdir(tmp_path)
+    return tmp_path
+
+
+def test_fix_applies_safe_edits_and_exits_clean(project, capsys):
+    assert main(["--fix"]) == 0
+    assert (project / "src" / "mod.py").read_text() == FIXED
+    _, err = capsys.readouterr()
+    assert "2 edit(s) applied" in err
+
+
+def test_fix_is_idempotent(project, capsys):
+    assert main(["--fix"]) == 0
+    after_first = (project / "src" / "mod.py").read_text()
+    assert main(["--fix"]) == 0
+    assert (project / "src" / "mod.py").read_text() == after_first
+    _, err = capsys.readouterr()
+    assert "0 edit(s) applied" in err
+
+
+def test_diff_previews_without_writing(project, capsys):
+    assert main(["--diff"]) == 1  # the on-disk tree still has findings
+    assert (project / "src" / "mod.py").read_text() == FIXABLE
+    out, _ = capsys.readouterr()
+    assert "--- a/src/mod.py" in out
+    assert "+++ b/src/mod.py" in out
+    assert "sorted(uniq)" in out
+
+
+def test_fix_json_document_reports_what_was_applied(project, capsys):
+    assert main(["--fix", "--format", "json"]) == 0
+    document = json.loads(capsys.readouterr().out)
+    assert document["fixes"]["applied"] == 2
+    assert document["fixes"]["files"] == ["src/mod.py"]
+    assert document["fixes"]["rounds"] == 1
+    assert document["fixes"]["written"] is True
+    assert document["counts"]["new"] == 0
+
+
+def test_diff_json_document_carries_diffs_and_disk_counts(project, capsys):
+    assert main(["--diff", "--format", "json"]) == 1
+    document = json.loads(capsys.readouterr().out)
+    assert document["fixes"]["written"] is False
+    assert "src/mod.py" in document["diffs"]
+    # Counts describe the tree the command left behind (unchanged).
+    assert document["counts"]["new"] >= 1
+
+
+def test_fix_exclude_paths_are_never_edited(project, capsys):
+    (project / "pyproject.toml").write_text(
+        PYPROJECT + 'fix-exclude = ["src"]\n'
+    )
+    assert main(["--fix"]) == 1
+    assert (project / "src" / "mod.py").read_text() == FIXABLE
+
+
+def test_unsafe_suggestions_are_not_applied(project, capsys):
+    # Taint embedded in a dict bound to a name: the suggestion targets
+    # the whole payload and is review-only.
+    (project / "src" / "mod.py").write_text(
+        "import json\n"
+        "\n"
+        "\n"
+        "def emit(names):\n"
+        "    payload = {'u': list(set(names))}\n"
+        "    return json.dumps(payload)\n"
+    )
+    before = (project / "src" / "mod.py").read_text()
+    assert main(["--fix"]) == 1
+    assert (project / "src" / "mod.py").read_text() == before
