@@ -158,6 +158,11 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("list", help="list available experiments")
 
+    sub.add_parser(
+        "mechanisms",
+        help="list registered revocation mechanisms (docs/MECHANISMS.md)",
+    )
+
     shared = [_fault_parent(suppress=True), _calibration_parent()]
     run = sub.add_parser(
         "run",
@@ -490,7 +495,8 @@ def main(argv: list[str] | None = None) -> int:
         # invocation: run everything under the named profile.
         if args.fault_profile is None and args.fault_seed is None:
             parser.error(
-                "a command is required (list, run, report, trace, corpus)"
+                "a command is required "
+                "(list, mechanisms, run, report, trace, corpus)"
             )
         args.command = "run"
         args.experiment = "all"
@@ -507,6 +513,10 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "list":
         for experiment_id, title in api.list_experiments().items():
             print(f"{experiment_id:10s} {title}")
+        return 0
+    if args.command == "mechanisms":
+        for name, title in api.list_mechanisms().items():
+            print(f"{name:16s} {title}")
         return 0
     if args.command in ("run", "report") and not _check_fault_profile(
         args.fault_profile

@@ -49,7 +49,7 @@ from repro.obs.diff import render_diff_json, render_diff_text
 #: major on any breaking change to a signature or re-export listed in
 #: ``__all__``/``_COMPONENT_EXPORTS`` (tests/test_api_contract.py pins
 #: the surface against this).
-API_VERSION = "1.1"
+API_VERSION = "1.2"
 
 __all__ = [
     "API_VERSION",
@@ -62,7 +62,9 @@ __all__ = [
     "golden_digests",
     "list_corpora",
     "list_experiments",
+    "list_mechanisms",
     "load_trace",
+    "mechanism_digests",
     "new_study",
     "render_diff",
     "render_report",
@@ -86,9 +88,11 @@ _COMPONENT_EXPORTS = {
     "CertificateBuilder": "repro.pki.certificate",
     "CertificateRevocationList": "repro.revocation.crl",
     "ChainContext": "repro.browsers.policy",
+    "CheckCost": "repro.mechanisms",
     "Chrome": "repro.browsers.desktop",
     "CrlPublisher": "repro.ca.crl_publisher",
     "CrlSetBuilder": "repro.crlset.builder",
+    "Delivery": "repro.mechanisms",
     "Ed25519Backend": "repro.pki.keys",
     "Firefox": "repro.browsers.desktop",
     "GolombCompressedSet": "repro.crlset.gcs",
@@ -101,13 +105,16 @@ _COMPONENT_EXPORTS = {
     "OcspRequest": "repro.revocation.ocsp",
     "Opera12": "repro.browsers.desktop",
     "Opera31": "repro.browsers.desktop",
+    "RevocationMechanism": "repro.mechanisms",
     "RevocationRegime": "repro.extensions.shortlived",
     "RevokedEntry": "repro.revocation.crl",
     "Safari": "repro.browsers.desktop",
     "SessionCostModel": "repro.core.cost",
+    "SessionState": "repro.mechanisms",
     "SimBackend": "repro.pki.keys",
     "StrictClient": "repro.browsers.strict",
     "TestPki": "repro.browsers.certgen",
+    "UpdateModel": "repro.mechanisms",
     "all_browsers": "repro.browsers.registry",
     "analyze_coverage": "repro.crlset.coverage",
     "attack_window_study": "repro.extensions.shortlived",
@@ -192,6 +199,18 @@ class StudyRun:
 def list_experiments() -> dict[str, str]:
     """Mapping of experiment id -> title, in run (declaration) order."""
     return {eid: module.TITLE for eid, module in ALL_EXPERIMENTS.items()}
+
+
+def list_mechanisms() -> dict[str, str]:
+    """Mapping of mechanism name -> title, in registry (sweep) order.
+
+    Every entry implements :class:`repro.mechanisms.RevocationMechanism`
+    and passes the shared conformance suite
+    (``tests/mechanisms/conformance.py``, docs/MECHANISMS.md).
+    """
+    from repro.mechanisms import mechanism_titles
+
+    return mechanism_titles()
 
 
 def run_study(
@@ -322,6 +341,28 @@ def golden_digests(
             result.render().encode("utf-8")
         ).hexdigest()
         for result in results
+    }
+
+
+def mechanism_digests(
+    *,
+    scale: float = 0.002,
+    seed: int = 20151028,
+    fault_profile: str = "none",
+) -> dict[str, str]:
+    """Per-mechanism sha256 digests of the mechanism-sweep report rows.
+
+    The contract behind ``tests/experiments/golden/mechanisms-*.json``:
+    one digest per registered mechanism over its rendered sweep block,
+    so a refactor of any single mechanism is provably byte-neutral
+    (and a behaviour change is localised to its name).
+    """
+    from repro.experiments import mechanisms as mechanisms_experiment
+
+    study = MeasurementStudy(scale=scale, seed=seed, fault_profile=fault_profile)
+    return {
+        name: hashlib.sha256(block.encode("utf-8")).hexdigest()
+        for name, block in mechanisms_experiment.mechanism_blocks(study).items()
     }
 
 
@@ -471,14 +512,30 @@ def crawl_figures_legs(study: MeasurementStudy):
 def run_one(
     experiment_id: str,
     study: MeasurementStudy | None = None,
+    *,
+    mechanism: str | None = None,
     **study_kwargs,
 ) -> ExperimentResult:
     """Run a single experiment and return its result.
 
     Pass an existing :class:`MeasurementStudy` to reuse its substrate,
     or keyword arguments (``scale``, ``seed``, ``fault_profile``, ...)
-    to build a fresh one.  Raises ``KeyError`` for an unknown id.
+    to build a fresh one.  ``mechanism`` restricts the experiment's
+    revocation-mechanism sweep to one registered name (it only applies
+    when ``run_one`` builds the study; pass
+    ``MeasurementStudy(mechanisms=...)`` yourself otherwise).  Raises
+    ``KeyError`` for an unknown experiment id or mechanism name.
     """
+    if mechanism is not None:
+        from repro.mechanisms import get as get_mechanism
+
+        get_mechanism(mechanism)  # unknown names fail fast
+        if study is not None:
+            raise ValueError(
+                "mechanism= only applies when run_one builds the study; "
+                "pass MeasurementStudy(mechanisms=...) instead"
+            )
+        study_kwargs["mechanisms"] = (mechanism,)
     if study is None:
         study = MeasurementStudy(**study_kwargs)
     return run_experiment(experiment_id, study)

@@ -5,6 +5,12 @@ sites pays bytes and blocking latency for every revocation check their
 browser performs.  The model combines the ecosystem's real CRL sizes,
 OCSP response sizes, the link profile, and a cache with CRL/OCSP
 expiry -- the exact levers the paper argues over.
+
+Per-check accounting is delegated to the pluggable revocation
+mechanisms (:mod:`repro.mechanisms`, docs/MECHANISMS.md):
+:meth:`SessionCostModel.session_for` prices a session under any
+registered mechanism, and the legacy ``"crl"``/``"ocsp"``/``"staple"``
+modes are thin aliases onto the corresponding mechanism, byte-for-byte.
 """
 
 from __future__ import annotations
@@ -12,14 +18,20 @@ from __future__ import annotations
 import random
 from dataclasses import dataclass
 
+from repro.mechanisms import RevocationMechanism, SessionState, create
+from repro.mechanisms.base import OCSP_RESPONSE_BYTES  # noqa: F401  (re-export)
 from repro.net.transport import LinkProfile
 from repro.scan.ecosystem import Ecosystem
 from repro.scan.records import LeafRecord
 
 __all__ = ["SessionCost", "SessionCostModel"]
 
-#: typical encoded size of one OCSP response (paper: "typically <1 KB").
-OCSP_RESPONSE_BYTES = 450
+#: legacy mode name -> registered mechanism name.
+_MODE_MECHANISMS = {
+    "crl": "crl",
+    "ocsp": "ocsp",
+    "staple": "ocsp-stapling",
+}
 
 
 @dataclass(frozen=True)
@@ -51,6 +63,10 @@ class SessionCostModel:
     * ``"staple"``-- zero fetches when the site staples, else fall back
       to OCSP (the paper's recommended end state);
     * ``"none"``  -- the mobile-browser regime: no checks at all.
+
+    The model itself satisfies :class:`repro.mechanisms.MechanismHost`
+    for the pull/handshake mechanisms, so it can price them without a
+    full measurement study.
     """
 
     def __init__(
@@ -62,16 +78,19 @@ class SessionCostModel:
         self.ecosystem = ecosystem
         self.profile = profile or LinkProfile()
         self._rng = random.Random(seed)
-        self._crl_sizes: dict[str, int] = {}
+        self._mechanisms: dict[str, RevocationMechanism] = {}
 
-    def _crl_size(self, url: str) -> int:
-        size = self._crl_sizes.get(url)
-        if size is None:
-            size = self.ecosystem.crl_for_url(url).size_bytes(
-                self.ecosystem.calibration.measurement_end
-            )
-            self._crl_sizes[url] = size
-        return size
+    @property
+    def calibration(self):
+        """MechanismHost: the ecosystem's calibration."""
+        return self.ecosystem.calibration
+
+    def _mechanism(self, name: str) -> RevocationMechanism:
+        mechanism = self._mechanisms.get(name)
+        if mechanism is None:
+            mechanism = create(name, self)
+            self._mechanisms[name] = mechanism
+        return mechanism
 
     def sample_sites(self, count: int) -> list[LeafRecord]:
         """Popularity-weighted site sample (Alexa-ranked sites repeat)."""
@@ -86,38 +105,24 @@ class SessionCostModel:
         weights = [1.0 / leaf.alexa_rank if leaf.alexa_rank else 1.0 for leaf in ranked]
         return self._rng.choices(ranked, weights=weights, k=count)
 
-    def session(self, sites: list[LeafRecord], mode: str) -> SessionCost:
-        if mode not in ("crl", "ocsp", "staple", "none"):
-            raise ValueError(f"unknown mode {mode!r}")
+    def session_for(
+        self, sites: list[LeafRecord], mechanism: RevocationMechanism
+    ) -> SessionCost:
+        """Price one session under any registered mechanism."""
         checks = 0
         nbytes = 0
         latency = 0.0
         cache_hits = 0
-        crl_cache: set[str] = set()
-        ocsp_cache: set[int] = set()
+        state = SessionState()
         for leaf in sites:
-            if mode == "none":
+            cost = mechanism.check_cost(leaf, state)
+            if cost.cache_hit:
+                cache_hits += 1
                 continue
-            if mode == "staple" and leaf.stapling_servers == leaf.server_count > 0:
-                continue  # staple arrived in the handshake: no extra cost
-            use_crl = mode == "crl" and leaf.crl_url is not None
-            if use_crl:
-                if leaf.crl_url in crl_cache:
-                    cache_hits += 1
-                    continue
-                size = self._crl_size(leaf.crl_url)
-                crl_cache.add(leaf.crl_url)
-            elif leaf.ocsp_url is not None:
-                if leaf.cert_id in ocsp_cache:
-                    cache_hits += 1
-                    continue
-                size = OCSP_RESPONSE_BYTES
-                ocsp_cache.add(leaf.cert_id)
-            else:
-                continue  # never-revocable certificate
-            checks += 1
-            nbytes += size
-            latency += self.profile.transfer_time(size).total_seconds()
+            for size in cost.fetched:
+                checks += 1
+                nbytes += size
+                latency += self.profile.transfer_time(size).total_seconds()
         return SessionCost(
             sites=len(sites),
             checks=checks,
@@ -126,9 +131,50 @@ class SessionCostModel:
             cache_hits=cache_hits,
         )
 
+    def session(self, sites: list[LeafRecord], mode: str) -> SessionCost:
+        if mode == "none":
+            return SessionCost(
+                sites=len(sites),
+                checks=0,
+                bytes_downloaded=0,
+                blocking_latency_s=0.0,
+                cache_hits=0,
+            )
+        mechanism_name = _MODE_MECHANISMS.get(mode)
+        if mechanism_name is None:
+            raise ValueError(f"unknown mode {mode!r}")
+        return self.session_for(sites, self._mechanism(mechanism_name))
+
     def compare_modes(self, site_count: int = 100) -> dict[str, SessionCost]:
         sites = self.sample_sites(site_count)
         return {
             mode: self.session(sites, mode)
             for mode in ("crl", "ocsp", "staple", "none")
         }
+
+    def compare_mechanisms(
+        self,
+        mechanisms: list[RevocationMechanism],
+        site_count: int = 100,
+        include_baseline: bool = True,
+    ) -> dict[str, SessionCost]:
+        """One sampled session priced under every given mechanism.
+
+        Pass ``study.mechanism_suite`` to sweep the registry; the
+        ``"none"`` baseline row (no checks at all) is appended unless
+        disabled.
+        """
+        sites = self.sample_sites(site_count)
+        costs = {
+            mechanism.name: self.session_for(sites, mechanism)
+            for mechanism in mechanisms
+        }
+        if include_baseline:
+            costs["none"] = SessionCost(
+                sites=len(sites),
+                checks=0,
+                bytes_downloaded=0,
+                blocking_latency_s=0.0,
+                cache_hits=0,
+            )
+        return costs

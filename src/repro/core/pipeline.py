@@ -62,6 +62,7 @@ class MeasurementStudy:
         gen_workers: int | None = None,
         exec_fault_profile: str | None = None,
         exec_fault_seed: int | None = None,
+        mechanisms: tuple[str, ...] | list[str] | None = None,
     ) -> None:
         self.calibration = calibration or Calibration(scale=scale, seed=seed)
         self.targets: PaperTargets = self.calibration.targets
@@ -101,6 +102,12 @@ class MeasurementStudy:
             if exec_fault_seed is not None
             else self.calibration.seed
         )
+        # Restricts (and re-orders) the revocation-mechanism sweep
+        # (repro.mechanisms); None sweeps the whole registry.  Like the
+        # fault settings this never enters the calibration digest -- the
+        # substrate is identical, only which mechanisms get measured
+        # changes.
+        self.mechanism_names = tuple(mechanisms) if mechanisms else None
 
     # -- substrate ----------------------------------------------------------
 
@@ -241,6 +248,18 @@ class MeasurementStudy:
     def crl_entry_counts(self, at: datetime.date | None = None) -> dict[str, int]:
         at = at or self.calibration.measurement_end
         return self.crawler.entry_counts_at(at)
+
+    # -- revocation mechanisms (docs/MECHANISMS.md) ---------------------------
+
+    @cached_property
+    def mechanism_suite(self):
+        """Registered revocation mechanisms bound to this study, in
+        sweep order (restricted by the ``mechanisms`` constructor
+        argument).  The study satisfies
+        :class:`repro.mechanisms.MechanismHost`."""
+        from repro.mechanisms import create_suite
+
+        return create_suite(self, names=self.mechanism_names)
 
     # -- §7: CRLSets ------------------------------------------------------------
 

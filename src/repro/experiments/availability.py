@@ -153,6 +153,7 @@ def _run_leg(
     plan: FaultPlan | None,
     policy: RetryPolicy,
     fetcher_seed: int,
+    chain,
     obs: Observability = NULL_OBS,
 ) -> dict:
     network = _wire_network(ca, plan)
@@ -178,13 +179,23 @@ def _run_leg(
         )
         checker = RevocationChecker(fetcher)
         at = clock.advance(_STEP)
-        result = checker.check_ocsp(leaf, ca.issuer_key_hash, at)
-        if not result.is_definitive:
-            # Fall back to the CRL, as CRL-capable clients do (§6.1).
-            fallback = checker.check_crl(leaf, at)
-            latency += result.latency
-            attempts += result.attempts
-            result = fallback
+        # Walk the registry's active fallback chain (OCSP first, then
+        # the CRL, as CRL-capable clients do, §6.1): each non-definitive
+        # answer is paid for, then the next mechanism gets a try.
+        result = None
+        for mechanism in chain:
+            check = mechanism.active_check(
+                checker, leaf, at, issuer_key_hash=ca.issuer_key_hash
+            )
+            if check is None:
+                continue
+            if result is not None:
+                latency += result.latency
+                attempts += result.attempts
+            result = check
+            if check.is_definitive:
+                break
+        assert result is not None, "fallback chain produced no check"
         latency += result.latency
         attempts += result.attempts
         if result.is_definitive:
@@ -225,6 +236,17 @@ def run(study: MeasurementStudy) -> ExperimentResult:
         "no-retry": RetryPolicy.no_retry(),
         "retry": RetryPolicy.aggressive(),
     }
+    # The connection-time fetch chain comes from the mechanism registry
+    # (docs/MECHANISMS.md), not a hard-coded protocol list: mechanisms
+    # that opt into active fallback are tried in priority order.
+    chain = sorted(
+        (
+            mechanism
+            for mechanism in study.mechanism_suite
+            if mechanism.fallback_priority is not None
+        ),
+        key=lambda mechanism: mechanism.fallback_priority,
+    )
 
     cells: dict[tuple[float, str], dict] = {}
     for probability in PROBABILITIES:
@@ -239,6 +261,7 @@ def run(study: MeasurementStudy) -> ExperimentResult:
                     plan,
                     policy,
                     fetcher_seed=seed,
+                    chain=chain,
                     obs=study.obs,
                 )
 
@@ -253,6 +276,7 @@ def run(study: MeasurementStudy) -> ExperimentResult:
                 plan_from_profile(study.fault_profile, seed=seed),
                 policies["retry"],
                 fetcher_seed=seed,
+                chain=chain,
                 obs=study.obs,
             )
 

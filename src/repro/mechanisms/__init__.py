@@ -1,0 +1,54 @@
+"""Pluggable revocation mechanisms behind one interface.
+
+Every way a client can learn "this certificate is revoked" -- the
+paper's four (CRL, OCSP, OCSP stapling, CRLSets) and the post-2015
+scenario pack (CRLite cascades, short-lived certificates, OneCRL,
+postcertificates) -- implements :class:`RevocationMechanism` and
+registers itself here, so experiments sweep the registry uniformly
+(docs/MECHANISMS.md).
+
+Import order below *is* sweep order: legacy mechanisms first, in the
+order the paper introduces them.
+"""
+
+from repro.mechanisms.base import (
+    CheckCost,
+    Delivery,
+    MechanismHost,
+    RevocationMechanism,
+    SessionState,
+    UpdateModel,
+    attack_window_days,
+    staleness_window_days,
+)
+from repro.mechanisms.registry import (
+    create,
+    create_suite,
+    get,
+    mechanism_names,
+    mechanism_titles,
+    register,
+)
+
+# Registration order: the paper's mechanisms (§5-§7) ...
+from repro.mechanisms import crl as _crl  # noqa: E402,F401
+from repro.mechanisms import ocsp as _ocsp  # noqa: E402,F401
+from repro.mechanisms import stapling as _stapling  # noqa: E402,F401
+from repro.mechanisms import crlset as _crlset  # noqa: E402,F401
+
+__all__ = [
+    "CheckCost",
+    "Delivery",
+    "MechanismHost",
+    "RevocationMechanism",
+    "SessionState",
+    "UpdateModel",
+    "attack_window_days",
+    "create",
+    "create_suite",
+    "get",
+    "mechanism_names",
+    "mechanism_titles",
+    "register",
+    "staleness_window_days",
+]

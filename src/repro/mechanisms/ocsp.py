@@ -1,0 +1,70 @@
+"""OCSP as a pluggable mechanism (paper §5.2).
+
+One query per certificate, answered with a signed response "typically
+<1 KB" and cacheable for days.  The per-certificate pull keeps payloads
+tiny but adds a blocking round trip per new site and leaks browsing
+history to the responder -- the trade the paper's §5.2/§6 sections
+weigh.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.mechanisms.base import (
+    OCSP_RESPONSE_BYTES,
+    CheckCost,
+    Delivery,
+    RevocationMechanism,
+    SessionState,
+    UpdateModel,
+)
+from repro.mechanisms.registry import register
+from repro.revocation.checker import CheckOutcome
+from repro.scan.records import LeafRecord
+
+
+@register
+class OcspMechanism(RevocationMechanism):
+    name = "ocsp"
+    title = "OCSP (pull per certificate)"
+    delivery = Delivery.PULL_PER_CERT
+    uses_network = True
+    #: first in the availability fallback chain (§6.1).
+    fallback_priority = 10
+
+    def covers(self, leaf: LeafRecord) -> bool:
+        return leaf.ocsp_url is not None
+
+    def lookup(self, leaf: LeafRecord, at: datetime.date) -> CheckOutcome:
+        if not self.covers(leaf):
+            return CheckOutcome.NO_INFO
+        if leaf.revoked_at is not None and leaf.revoked_at <= at:
+            return CheckOutcome.REVOKED
+        if at > leaf.not_after:
+            # Responders may answer "good" for expired serials (§6.1's
+            # complaint); model the honest responder: no statement.
+            return CheckOutcome.UNKNOWN
+        return CheckOutcome.GOOD
+
+    def update_model(self) -> UpdateModel:
+        # Responses are produced on demand but cacheable for ~4 days
+        # (§2.2), so a client may trust one that old.
+        return UpdateModel(update_interval_days=4.0)
+
+    def check_cost(self, leaf: LeafRecord, session: SessionState) -> CheckCost:
+        if leaf.ocsp_url is None:
+            return CheckCost()
+        if leaf.cert_id in session.ocsp_certs:
+            return CheckCost(cache_hit=True)
+        session.ocsp_certs.add(leaf.cert_id)
+        return CheckCost(fetched=(OCSP_RESPONSE_BYTES,))
+
+    def payload_bytes(self, at: datetime.date) -> int:
+        """One signed response: the artifact a client holds per cert."""
+        return OCSP_RESPONSE_BYTES
+
+    def active_check(self, checker, certificate, at, issuer_key_hash=None):
+        if issuer_key_hash is None:
+            return None
+        return checker.check_ocsp(certificate, issuer_key_hash, at)

@@ -1,0 +1,80 @@
+"""The mechanism registry.
+
+Concrete :class:`~repro.mechanisms.base.RevocationMechanism` classes
+register themselves with :func:`register`; everything else -- the
+experiments, ``repro.api``, the CLI, the conformance suite -- goes
+through :func:`create` / :func:`create_suite` and never constructs a
+concrete class directly (lint rule RPR015 enforces this outside
+``repro/mechanisms/``).
+
+Registration order is import order in ``repro/mechanisms/__init__.py``,
+so sweeps are deterministic: the paper's four legacy mechanisms first,
+then the modern scenario pack.
+"""
+
+from __future__ import annotations
+
+from repro.mechanisms.base import MechanismHost, RevocationMechanism
+
+__all__ = [
+    "create",
+    "create_suite",
+    "get",
+    "mechanism_names",
+    "mechanism_titles",
+    "register",
+]
+
+_REGISTRY: dict[str, type[RevocationMechanism]] = {}
+
+
+def register(
+    cls: type[RevocationMechanism],
+) -> type[RevocationMechanism]:
+    """Class decorator adding a mechanism to the registry."""
+    name = cls.name
+    if not name or name == RevocationMechanism.name:
+        raise ValueError(f"{cls.__name__} must define a concrete name")
+    existing = _REGISTRY.get(name)
+    if existing is not None and existing is not cls:
+        raise ValueError(f"mechanism name {name!r} already registered")
+    _REGISTRY[name] = cls
+    return cls
+
+
+def mechanism_names() -> tuple[str, ...]:
+    """Registered names, in registration (sweep) order."""
+    return tuple(_REGISTRY)
+
+
+def mechanism_titles() -> dict[str, str]:
+    """Mapping of mechanism name -> report title, in sweep order."""
+    return {name: cls.title for name, cls in _REGISTRY.items()}
+
+
+def get(name: str) -> type[RevocationMechanism]:
+    """The registered class for ``name``; raises ``KeyError``."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        known = ", ".join(_REGISTRY) or "none"
+        raise KeyError(
+            f"unknown mechanism {name!r} (registered: {known})"
+        ) from None
+
+
+def create(name: str, host: MechanismHost) -> RevocationMechanism:
+    """Instantiate one registered mechanism against a study host."""
+    return get(name)(host)
+
+
+def create_suite(
+    host: MechanismHost, names: tuple[str, ...] | list[str] | None = None
+) -> list[RevocationMechanism]:
+    """Instantiate mechanisms in sweep order.
+
+    ``names`` restricts (and re-orders) the suite -- the hook behind
+    ``repro.api.run_one(..., mechanism=...)``.
+    """
+    selected = mechanism_names() if names is None else tuple(names)
+    return [create(name, host) for name in selected]

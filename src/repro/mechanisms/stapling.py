@@ -1,0 +1,72 @@
+"""OCSP Stapling as a pluggable mechanism (paper §4.3, §8).
+
+The server fetches its own OCSP response and staples it into the TLS
+handshake: zero extra client fetches when every server for the site
+staples, an ordinary OCSP pull otherwise.  The partial-deployment
+fallback mirrors the legacy ``SessionCostModel`` ``"staple"`` mode
+byte-for-byte; multi-staple chain costs stay in
+:mod:`repro.extensions.multistaple`.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.mechanisms.base import (
+    OCSP_RESPONSE_BYTES,
+    CheckCost,
+    Delivery,
+    RevocationMechanism,
+    SessionState,
+    UpdateModel,
+)
+from repro.mechanisms.registry import register
+from repro.revocation.checker import CheckOutcome
+from repro.scan.records import LeafRecord
+
+
+@register
+class StaplingMechanism(RevocationMechanism):
+    name = "ocsp-stapling"
+    title = "OCSP Stapling (handshake-delivered, OCSP fallback)"
+    delivery = Delivery.HANDSHAKE
+    uses_network = True  # the fallback pull still reaches the responder
+
+    def covers(self, leaf: LeafRecord) -> bool:
+        return leaf.ocsp_url is not None
+
+    @staticmethod
+    def is_fully_stapled(leaf: LeafRecord) -> bool:
+        """Every server advertising the cert staples (§4.3's bar for a
+        site to actually benefit)."""
+        return leaf.stapling_servers == leaf.server_count > 0
+
+    def lookup(self, leaf: LeafRecord, at: datetime.date) -> CheckOutcome:
+        if not self.covers(leaf):
+            return CheckOutcome.NO_INFO
+        if leaf.revoked_at is not None and leaf.revoked_at <= at:
+            # A revoked-status staple (or the fallback query) says so;
+            # the mis-stapling server case is §6.2's browser-policy
+            # question, not the mechanism's.
+            return CheckOutcome.REVOKED
+        if at > leaf.not_after:
+            return CheckOutcome.UNKNOWN
+        return CheckOutcome.GOOD
+
+    def update_model(self) -> UpdateModel:
+        # A staple is an OCSP response: same cacheable validity.
+        return UpdateModel(update_interval_days=4.0)
+
+    def check_cost(self, leaf: LeafRecord, session: SessionState) -> CheckCost:
+        if self.is_fully_stapled(leaf):
+            return CheckCost()  # staple arrived in the handshake
+        if leaf.ocsp_url is None:
+            return CheckCost()
+        if leaf.cert_id in session.ocsp_certs:
+            return CheckCost(cache_hit=True)
+        session.ocsp_certs.add(leaf.cert_id)
+        return CheckCost(fetched=(OCSP_RESPONSE_BYTES,))
+
+    def payload_bytes(self, at: datetime.date) -> int:
+        """The stapled response rides the handshake, same size."""
+        return OCSP_RESPONSE_BYTES

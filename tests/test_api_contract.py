@@ -13,7 +13,7 @@ import pytest
 
 from repro import api
 
-PINNED_VERSION = "1.1"
+PINNED_VERSION = "1.2"
 
 PINNED_ALL = [
     "API_VERSION",
@@ -26,7 +26,9 @@ PINNED_ALL = [
     "golden_digests",
     "list_corpora",
     "list_experiments",
+    "list_mechanisms",
     "load_trace",
+    "mechanism_digests",
     "new_study",
     "render_diff",
     "render_report",
@@ -47,9 +49,11 @@ PINNED_COMPONENTS = [
     "CertificateBuilder",
     "CertificateRevocationList",
     "ChainContext",
+    "CheckCost",
     "Chrome",
     "CrlPublisher",
     "CrlSetBuilder",
+    "Delivery",
     "Ed25519Backend",
     "Firefox",
     "GolombCompressedSet",
@@ -62,13 +66,16 @@ PINNED_COMPONENTS = [
     "OcspRequest",
     "Opera12",
     "Opera31",
+    "RevocationMechanism",
     "RevocationRegime",
     "RevokedEntry",
     "Safari",
     "SessionCostModel",
+    "SessionState",
     "SimBackend",
     "StrictClient",
     "TestPki",
+    "UpdateModel",
     "all_browsers",
     "analyze_coverage",
     "attack_window_study",
