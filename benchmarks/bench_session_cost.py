@@ -1,8 +1,9 @@
 """Client session-cost bench: what revocation checking costs a user.
 
 The §5.2/§6 tension made concrete: bytes and blocking latency for a
-100-site browsing session under each client behaviour, on broadband and
-mobile links.
+100-site browsing session, swept over every registered revocation
+mechanism (docs/MECHANISMS.md) plus the no-checking baseline, on
+broadband and mobile links.
 """
 
 from conftest import emit_text
@@ -13,30 +14,41 @@ from repro.api import LinkProfile, SessionCostModel, format_bytes, format_table
 def test_bench_session_cost(benchmark, study):
     model = SessionCostModel(study.ecosystem)
     comparison = benchmark.pedantic(
-        lambda: model.compare_modes(site_count=100), rounds=3, iterations=1
+        lambda: model.compare_mechanisms(study.mechanism_suite, site_count=100),
+        rounds=3,
+        iterations=1,
     )
 
     mobile_model = SessionCostModel(study.ecosystem, LinkProfile.mobile())
-    mobile = mobile_model.compare_modes(site_count=100)
+    mobile = mobile_model.compare_mechanisms(
+        study.mechanism_suite, site_count=100
+    )
 
     rows = []
-    for mode in ("crl", "ocsp", "staple", "none"):
-        cost = comparison[mode]
+    for name, cost in comparison.items():
         rows.append(
             (
-                mode,
+                name,
                 cost.checks,
                 format_bytes(cost.bytes_downloaded),
                 f"{cost.latency_per_site_ms:.0f} ms",
-                f"{mobile[mode].latency_per_site_ms:.0f} ms",
+                f"{mobile[name].latency_per_site_ms:.0f} ms",
             )
         )
     emit_text(
         format_table(
-            ["mode", "fetches", "bytes (100 sites)", "latency/site", "mobile latency/site"],
+            ["mechanism", "fetches", "bytes (100 sites)", "latency/site", "mobile latency/site"],
             rows,
             title="client cost of revocation checking for a 100-site session",
         )
     )
+    # The sweep covers the whole registry plus the baseline row.
+    assert set(comparison) == {m.name for m in study.mechanism_suite} | {"none"}
     assert comparison["crl"].bytes_downloaded > comparison["ocsp"].bytes_downloaded
     assert comparison["none"].bytes_downloaded == 0
+    pushed = [
+        comparison[m.name].bytes_downloaded
+        for m in study.mechanism_suite
+        if not m.uses_network
+    ]
+    assert pushed and all(cost == 0 for cost in pushed)

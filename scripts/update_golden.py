@@ -6,9 +6,11 @@ Usage (from the repo root)::
     PYTHONPATH=src python scripts/update_golden.py
 
 Reruns every experiment at the pinned calibration (scale 0.002, seed
-20151028, no faults) and rewrites ``tests/experiments/golden/``.  Commit
-the diff together with the change that caused it -- the point of the
-golden file is that report-byte changes are always a reviewed diff
+20151028, no faults) and rewrites ``tests/experiments/golden/``: the
+per-experiment report digests and the per-mechanism sweep-block digests
+(``mechanisms-*.json``, one digest per registered revocation mechanism).
+Commit the diff together with the change that caused it -- the point of
+the golden files is that report-byte changes are always a reviewed diff
 (tests/experiments/test_golden.py).
 """
 
@@ -23,36 +25,52 @@ sys.path.insert(0, str(REPO_ROOT / "src"))
 
 from repro import api  # noqa: E402
 
-GOLDEN_PATH = (
-    REPO_ROOT / "tests" / "experiments" / "golden"
-    / "reports-scale0.002-seed20151028.json"
-)
+GOLDEN_DIR = REPO_ROOT / "tests" / "experiments" / "golden"
+GOLDEN_PATH = GOLDEN_DIR / "reports-scale0.002-seed20151028.json"
+MECHANISMS_PATH = GOLDEN_DIR / "mechanisms-scale0.002-seed20151028.json"
 
 
-def main() -> int:
+def _write(path: Path, digests: dict[str, str]) -> list[str]:
+    """Write one golden file; return the keys whose digests changed."""
     old = None
-    if GOLDEN_PATH.exists():
-        old = json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))["digests"]
-    digests = api.golden_digests(scale=0.002, seed=20151028, fault_profile="none")
+    if path.exists():
+        old = json.loads(path.read_text(encoding="utf-8"))["digests"]
     payload = {
         "scale": 0.002,
         "seed": 20151028,
         "fault_profile": "none",
         "digests": digests,
     }
-    GOLDEN_PATH.parent.mkdir(parents=True, exist_ok=True)
-    GOLDEN_PATH.write_text(
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
         json.dumps(payload, indent=2, sort_keys=True) + "\n",
         encoding="utf-8",
     )
     changed = (
         sorted(digests)
         if old is None
-        else [eid for eid in digests if old.get(eid) != digests[eid]]
+        else sorted(
+            set(digests) ^ set(old)
+            | {key for key in digests if old.get(key) != digests[key]}
+        )
     )
-    print(f"wrote {GOLDEN_PATH.relative_to(REPO_ROOT)}")
+    print(f"wrote {path.relative_to(REPO_ROOT)}")
     print(
         f"{len(changed)} digest(s) changed: {', '.join(changed) or '(none)'}"
+    )
+    return changed
+
+
+def main() -> int:
+    _write(
+        GOLDEN_PATH,
+        api.golden_digests(scale=0.002, seed=20151028, fault_profile="none"),
+    )
+    _write(
+        MECHANISMS_PATH,
+        api.mechanism_digests(
+            scale=0.002, seed=20151028, fault_profile="none"
+        ),
     )
     return 0
 

@@ -189,6 +189,15 @@ def _build_parser() -> argparse.ArgumentParser:
         metavar="FILE",
         help="record spans + metrics while running and write them as JSONL",
     )
+    run.add_argument(
+        "--mechanism",
+        default=None,
+        metavar="NAME",
+        help=(
+            "restrict revocation-mechanism sweeps to one registered "
+            "mechanism (see: python -m repro mechanisms)"
+        ),
+    )
 
     sub.add_parser(
         "report", parents=shared, help="print the EXPERIMENTS.md body"
@@ -348,6 +357,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
             checkpoint_dir=args.checkpoint_dir,
             exec_fault_profile=args.exec_fault_profile,
             exec_fault_seed=args.exec_fault_seed,
+            mechanism=args.mechanism,
         )
     except KeyError as exc:
         print(exc, file=sys.stderr)
@@ -505,6 +515,7 @@ def main(argv: list[str] | None = None) -> int:
         args.parallel = None
         args.cache_dir = None
         args.trace_out = None
+        args.mechanism = None
         args.supervise = False
         args.resume = False
         args.checkpoint_dir = None

@@ -27,7 +27,8 @@ __all__ = ["FileContext", "Rule", "analyze_source", "analyze_file"]
 #: bump when rule semantics change -- invalidates the result cache.
 #: "3": RPR003 rewritten on the dataflow substrate, RPR013/RPR014
 #: added, findings carry autofix suggestions.
-ENGINE_VERSION = "3"
+#: "4": RPR015 (mechanism construction goes through the registry).
+ENGINE_VERSION = "4"
 
 _NOQA = re.compile(r"#\s*repro:\s*noqa(?:\s+(?P<rules>[A-Z0-9, ]+))?")
 

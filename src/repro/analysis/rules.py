@@ -1,4 +1,4 @@
-"""The repo-specific rule catalogue (RPR001..RPR014).
+"""The repo-specific rule catalogue (RPR001..RPR015).
 
 Each rule enforces one invariant the reproduction's determinism or PKI
 correctness depends on; docs/STATIC_ANALYSIS.md ties every rule back to
@@ -753,6 +753,45 @@ class PoolOutsideExecRule(Rule):
         )
 
 
+# --------------------------------------------------------------------------
+# RPR015 -- mechanism construction goes through the registry
+# --------------------------------------------------------------------------
+
+_MECHANISMS_HOME = "repro/mechanisms/"
+#: the abstract base is fine to subclass/reference anywhere; only
+#: *concrete* mechanism classes are registry-gated.
+_MECHANISM_BASE = "RevocationMechanism"
+
+
+class MechanismConstructionRule(Rule):
+    code = "RPR015"
+    name = "mechanism-via-registry"
+    summary = (
+        "direct construction of a concrete RevocationMechanism outside "
+        "repro/mechanisms bypasses the registry (sweep order, name "
+        "uniqueness, run_one's mechanism= restriction)"
+    )
+    node_types = (ast.Call,)
+
+    def check(self, node: ast.AST, ctx: FileContext) -> None:
+        if _MECHANISMS_HOME in ctx.rel_path:
+            return
+        resolved = ctx.imports.resolve(node.func)
+        if resolved is None or not resolved.startswith("repro.mechanisms"):
+            return
+        short = resolved.rsplit(".", 1)[-1]
+        if not short.endswith("Mechanism") or short == _MECHANISM_BASE:
+            return
+        ctx.report(
+            node,
+            self.code,
+            f"direct {short}(...) construction: go through the registry "
+            "(repro.mechanisms.create / create_suite, or "
+            "study.mechanism_suite) so sweeps stay uniform and "
+            "docs/MECHANISMS.md's conformance contract applies",
+        )
+
+
 ALL_RULES: tuple[type[Rule], ...] = (
     WallClockRule,
     AmbientRandomnessRule,
@@ -768,6 +807,7 @@ ALL_RULES: tuple[type[Rule], ...] = (
     PoolOutsideExecRule,
     NondeterministicDigestInputRule,
     StatsExportRule,
+    MechanismConstructionRule,
 )
 
 

@@ -229,6 +229,7 @@ def run_study(
     checkpoint_dir: str | Path | None = None,
     exec_fault_profile: str | None = None,
     exec_fault_seed: int | None = None,
+    mechanism: str | None = None,
 ) -> StudyRun:
     """Build a study and run one experiment (or ``"all"``).
 
@@ -236,7 +237,9 @@ def run_study(
     the result with :meth:`StudyRun.write_trace`.  ``"all"`` isolates
     per-experiment crashes into failure records (``isolate_errors``);
     a single named experiment propagates exceptions, and an unknown id
-    raises ``KeyError``.
+    raises ``KeyError``.  ``mechanism`` restricts every
+    revocation-mechanism sweep to one registered name (the CLI's
+    ``run --mechanism``); an unknown name raises ``KeyError``.
 
     ``supervise=True`` runs ``"all"`` under the supervised execution
     layer (docs/ROBUSTNESS.md): worker crash recovery, per-leg
@@ -247,6 +250,10 @@ def run_study(
     Raises :class:`repro.exec.supervisor.RunInterrupted` when an
     injected ABORT stops the run partway.
     """
+    if mechanism is not None:
+        from repro.mechanisms import get as get_mechanism
+
+        get_mechanism(mechanism)  # unknown names fail fast
     obs = Observability(enabled=True) if trace else None
     study = MeasurementStudy(
         scale=scale,
@@ -257,6 +264,7 @@ def run_study(
         obs=obs,
         exec_fault_profile=exec_fault_profile,
         exec_fault_seed=exec_fault_seed,
+        mechanisms=(mechanism,) if mechanism is not None else None,
     )
     if experiment == "all" and (supervise or resume):
         results = run_supervised(

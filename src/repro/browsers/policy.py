@@ -29,10 +29,33 @@ __all__ = [
     "BrowserModel",
     "ChainContext",
     "CheckRecord",
+    "PROTOCOL_MECHANISMS",
     "Position",
     "UnavailableAction",
     "ValidationResult",
+    "mechanism_for_protocol",
 ]
+
+#: wire-protocol name (as recorded by the policy engine / Table 2) ->
+#: registered revocation-mechanism name (repro.mechanisms,
+#: docs/MECHANISMS.md).  The glue that lets browser-policy results be
+#: priced and swept through the mechanism registry.
+PROTOCOL_MECHANISMS = {
+    "crl": "crl",
+    "ocsp": "ocsp",
+    "staple": "ocsp-stapling",
+}
+
+
+def mechanism_for_protocol(protocol: str) -> str:
+    """Resolve a policy-engine protocol onto its registry name."""
+    try:
+        return PROTOCOL_MECHANISMS[protocol]
+    except KeyError:
+        raise KeyError(
+            f"no registered mechanism for protocol {protocol!r}; "
+            f"known: {sorted(PROTOCOL_MECHANISMS)}"
+        ) from None
 
 
 class Position(enum.Enum):
@@ -106,6 +129,16 @@ class ValidationResult:
     @property
     def performed_any_check(self) -> bool:
         return bool(self.checks) or self.staple_used
+
+    def mechanisms_used(self) -> tuple[str, ...]:
+        """Registry names of the mechanisms this validation exercised,
+        in first-use order (deduplicated)."""
+        seen: list[str] = []
+        for check in self.checks:
+            name = mechanism_for_protocol(check.protocol)
+            if name not in seen:
+                seen.append(name)
+        return tuple(seen)
 
 
 class BrowserModel:

@@ -3,12 +3,47 @@
 from __future__ import annotations
 
 from repro.core.pipeline import MeasurementStudy
-from repro.core.report import render_cdf
+from repro.core.report import format_table, render_cdf
 from repro.core.stats import Cdf
 from repro.experiments.common import ExperimentResult, stage
 
 EXPERIMENT_ID = "fig10"
 TITLE = "Days of vulnerability: appearance lag and early removal (Figure 10)"
+
+
+def mechanism_window_table(study: MeasurementStudy) -> str:
+    """Mean/median vulnerability window per registered mechanism.
+
+    The sweep comes from the study's mechanism suite (registry order,
+    docs/MECHANISMS.md) -- never a hard-coded mechanism list -- so new
+    mechanisms show up here without touching this module.
+    """
+    end = study.calibration.measurement_end
+    revoked = [
+        leaf
+        for leaf in study.ecosystem.leaves
+        if leaf.revoked_at is not None and leaf.revoked_at <= end
+    ]
+    rows = []
+    for mechanism in study.mechanism_suite:
+        windows = sorted(
+            mechanism.vulnerability_window_days(leaf) for leaf in revoked
+        )
+        mean = sum(windows) / len(windows) if windows else 0.0
+        median = windows[len(windows) // 2] if windows else 0.0
+        rows.append(
+            (
+                mechanism.name,
+                f"{mechanism.update_model().staleness_window_days:.1f}",
+                f"{mean:.1f}",
+                f"{median:.1f}",
+            )
+        )
+    return format_table(
+        ["mechanism", "staleness (days)", "mean window", "median window"],
+        rows,
+        title=f"vulnerability window per mechanism ({len(revoked)} revoked certs)",
+    )
 
 
 def run(study: MeasurementStudy) -> ExperimentResult:
@@ -30,6 +65,8 @@ def run(study: MeasurementStudy) -> ExperimentResult:
         + f"\n\nappearance cases n={len(dynamics.days_to_appear)}, "
         f"early-removal cases n={len(dynamics.removal_before_expiry_days)}, "
         f"never appeared n={dynamics.never_appeared_count}"
+        + "\n\n"
+        + mechanism_window_table(study)
     )
 
     result = ExperimentResult(

@@ -39,6 +39,7 @@ from repro.experiments import (
     fig9,
     fig10,
     fig11,
+    mechanisms,
     section3,
     section42,
     table1,
@@ -68,6 +69,7 @@ ALL_EXPERIMENTS = {
         fig10,
         fig11,
         availability,
+        mechanisms,
     )
 }
 

@@ -25,6 +25,11 @@ import enum
 import random
 from dataclasses import dataclass
 
+from repro.mechanisms.base import (
+    attack_window_days,
+    residual_life_days,
+    staleness_window_days,
+)
 from repro.scan.ecosystem import Ecosystem
 
 __all__ = ["AttackWindowReport", "RevocationRegime", "attack_window_study"]
@@ -86,16 +91,23 @@ def attack_window_study(
     windows: dict[RevocationRegime, list[float]] = {
         regime: [] for regime in RevocationRegime
     }
+    # The window math is the shared repro.mechanisms.base helpers --
+    # hard-fail exposure is reaction + staleness, and every window is
+    # clamped to the certificate's residual life.
+    hard_exposure = staleness_window_days(
+        admin_reaction_days, revocation_propagation_days
+    )
     for leaf in revoked:
         compromise = leaf.revoked_at - datetime.timedelta(days=admin_reaction_days)
 
         # Soft-fail: nothing stops the attacker before expiry.
-        soft = max(0.0, (leaf.not_after - compromise).days)
+        soft = residual_life_days(leaf.not_after, compromise)
         windows[RevocationRegime.SOFT_FAIL].append(soft)
 
         # Hard-fail: reaction + propagation, but never past expiry.
-        hard = min(soft, admin_reaction_days + revocation_propagation_days)
-        windows[RevocationRegime.HARD_FAIL].append(hard)
+        windows[RevocationRegime.HARD_FAIL].append(
+            attack_window_days(soft, hard_exposure)
+        )
 
         # Short-lived: the certificate in force at compromise time expires
         # within `short_lived_days`; the administrator stops renewing once
@@ -103,7 +115,8 @@ def attack_window_study(
         # short certificate plus the reaction time, capped at reaction +
         # one full lifetime.
         residual = rng.uniform(0.0, short_lived_days)
-        short = min(admin_reaction_days + residual, soft)
-        windows[RevocationRegime.SHORT_LIVED].append(short)
+        windows[RevocationRegime.SHORT_LIVED].append(
+            attack_window_days(soft, admin_reaction_days + residual)
+        )
 
     return AttackWindowReport(windows=windows, short_lived_days=short_lived_days)

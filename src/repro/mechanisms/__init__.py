@@ -19,6 +19,7 @@ from repro.mechanisms.base import (
     SessionState,
     UpdateModel,
     attack_window_days,
+    residual_life_days,
     staleness_window_days,
 )
 from repro.mechanisms.registry import (
@@ -36,6 +37,12 @@ from repro.mechanisms import ocsp as _ocsp  # noqa: E402,F401
 from repro.mechanisms import stapling as _stapling  # noqa: E402,F401
 from repro.mechanisms import crlset as _crlset  # noqa: E402,F401
 
+# ... then the post-2015 scenario pack (PAPERS.md).
+from repro.mechanisms import crlite as _crlite  # noqa: E402,F401
+from repro.mechanisms import shortlived as _shortlived  # noqa: E402,F401
+from repro.mechanisms import onecrl as _onecrl  # noqa: E402,F401
+from repro.mechanisms import postcert as _postcert  # noqa: E402,F401
+
 __all__ = [
     "CheckCost",
     "Delivery",
@@ -50,5 +57,6 @@ __all__ = [
     "mechanism_names",
     "mechanism_titles",
     "register",
+    "residual_life_days",
     "staleness_window_days",
 ]

@@ -49,6 +49,7 @@ __all__ = [
     "SessionState",
     "UpdateModel",
     "attack_window_days",
+    "residual_life_days",
     "staleness_window_days",
 ]
 
@@ -89,6 +90,17 @@ def staleness_window_days(
     if update_interval_days < 0 or propagation_lag_days < 0:
         raise ValueError("staleness components must be non-negative")
     return update_interval_days + propagation_lag_days
+
+
+def residual_life_days(
+    not_after: datetime.date, since: datetime.date
+) -> float:
+    """Days a certificate stays valid after ``since`` (compromise or
+    revocation date); zero once it has already expired.  The residual
+    half of every attack-window computation -- previously re-implemented
+    by ``repro.extensions.shortlived`` and the OneCRL scope override.
+    """
+    return max(0.0, float((not_after - since).days))
 
 
 def attack_window_days(residual_days: float, exposure_days: float) -> float:
@@ -233,7 +245,7 @@ class RevocationMechanism(abc.ABC):
             else update_interval_days
         )
         exposure = staleness_window_days(interval, model.propagation_lag_days)
-        residual = max(0.0, float((leaf.not_after - leaf.revoked_at).days))
+        residual = residual_life_days(leaf.not_after, leaf.revoked_at)
         return attack_window_days(residual, exposure)
 
     def active_check(

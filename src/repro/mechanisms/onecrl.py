@@ -1,0 +1,86 @@
+"""OneCRL as a pluggable mechanism (paper §7 footnote 24).
+
+Mozilla's pushed, *complete* list of revoked intermediates: a few dozen
+32-byte entries that each block an entire issuance subtree.  Building
+the list and measuring blast radius stays in
+:mod:`repro.extensions.onecrl`; the mechanism wraps it so the sweeps can
+hold its tiny payload against its deliberately narrow scope -- leaf
+revocations are invisible to it, and ``lookup`` says so (``NO_INFO``)
+instead of vouching ``GOOD`` for a revoked leaf.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.extensions.onecrl import build_onecrl
+from repro.mechanisms.base import (
+    CheckCost,
+    Delivery,
+    RevocationMechanism,
+    SessionState,
+    UpdateModel,
+    residual_life_days,
+)
+from repro.mechanisms.registry import register
+from repro.revocation.checker import CheckOutcome
+from repro.scan.records import IntermediateRecord, LeafRecord
+
+
+@register
+class OneCrlMechanism(RevocationMechanism):
+    name = "onecrl"
+    title = "OneCRL (pushed list of revoked intermediates)"
+    delivery = Delivery.PUSHED
+
+    def __init__(self, host) -> None:
+        super().__init__(host)
+        self._by_id: dict[int, IntermediateRecord] | None = None
+
+    def _intermediate(self, leaf: LeafRecord) -> IntermediateRecord:
+        if self._by_id is None:
+            self._by_id = {
+                record.intermediate_id: record
+                for record in self.ecosystem.intermediates
+            }
+        return self._by_id[leaf.intermediate_id]
+
+    def covers(self, leaf: LeafRecord) -> bool:
+        """Only chains under a (to-be-)listed intermediate are in scope;
+        the revoked *leaf* population is deliberately not."""
+        if leaf.revoked_at is not None:
+            return self._intermediate(leaf).revoked_at is not None
+        return True  # a clean chain is vouched for by list absence
+
+    def lookup(self, leaf: LeafRecord, at: datetime.date) -> CheckOutcome:
+        intermediate = self._intermediate(leaf)
+        if intermediate.revoked_at is not None and intermediate.revoked_at <= at:
+            return CheckOutcome.REVOKED  # the whole subtree is blocked
+        if leaf.revoked_at is not None:
+            return CheckOutcome.NO_INFO  # leaf revocations are out of scope
+        if at > leaf.not_after:
+            return CheckOutcome.UNKNOWN
+        return CheckOutcome.GOOD
+
+    def update_model(self) -> UpdateModel:
+        # Shipped with the browser's daily component-update push.
+        return UpdateModel(update_interval_days=1.0)
+
+    def vulnerability_window_days(
+        self,
+        leaf: LeafRecord,
+        update_interval_days: float | None = None,
+    ) -> float:
+        """Honest about scope: a revoked leaf under a healthy
+        intermediate stays accepted until it expires."""
+        if leaf.revoked_at is None:
+            raise ValueError(f"certificate {leaf.cert_id} was never revoked")
+        if self._intermediate(leaf).revoked_at is None:
+            return residual_life_days(leaf.not_after, leaf.revoked_at)
+        return super().vulnerability_window_days(leaf, update_interval_days)
+
+    def check_cost(self, leaf: LeafRecord, session: SessionState) -> CheckCost:
+        return CheckCost()  # pushed out of band
+
+    def payload_bytes(self, at: datetime.date) -> int:
+        return build_onecrl(self.ecosystem, at).size_bytes

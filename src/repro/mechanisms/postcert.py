@@ -1,0 +1,62 @@
+"""Postcertificates / revocation transparency as a pluggable mechanism.
+
+The "Postcertificates for Revocation Transparency" proposal
+(arXiv:2203.02280): revocations are appended to a CT-style public log,
+and the server proves its certificate's *absence* from the revoked set
+(or presents the postcertificate) inside the TLS handshake.  The client
+pays no extra fetch -- the proof rides the handshake -- and the log's
+maximum merge delay bounds the staleness window for every certificate,
+leaf and intermediate alike.
+"""
+
+from __future__ import annotations
+
+import datetime
+import math
+
+from repro.mechanisms.base import (
+    CheckCost,
+    Delivery,
+    RevocationMechanism,
+    SessionState,
+    UpdateModel,
+)
+from repro.mechanisms.registry import register
+from repro.revocation.checker import CheckOutcome
+from repro.scan.records import LeafRecord
+
+#: the log's maximum merge delay (days): how long a freshly submitted
+#: revocation may take to appear in a signed tree head.
+LOG_MMD_DAYS = 1.0
+
+#: fixed proof framing: signed tree head + signature + timestamps.
+_PROOF_HEADER_BYTES = 128
+
+
+@register
+class PostcertificateMechanism(RevocationMechanism):
+    name = "postcertificate"
+    title = "Postcertificates (revocation-transparency log proofs)"
+    delivery = Delivery.HANDSHAKE
+
+    def covers(self, leaf: LeafRecord) -> bool:
+        return True  # issuance logs every certificate
+
+    def lookup(self, leaf: LeafRecord, at: datetime.date) -> CheckOutcome:
+        if leaf.revoked_at is not None and leaf.revoked_at <= at:
+            return CheckOutcome.REVOKED
+        if at > leaf.not_after:
+            return CheckOutcome.UNKNOWN
+        return CheckOutcome.GOOD
+
+    def update_model(self) -> UpdateModel:
+        return UpdateModel(update_interval_days=LOG_MMD_DAYS)
+
+    def check_cost(self, leaf: LeafRecord, session: SessionState) -> CheckCost:
+        return CheckCost()  # the proof rides the handshake
+
+    def payload_bytes(self, at: datetime.date) -> int:
+        """One Merkle inclusion/absence proof: log2(n) 32-byte hashes
+        plus the signed head -- the per-handshake artifact."""
+        population = max(2, len(self.ecosystem.leaves))
+        return _PROOF_HEADER_BYTES + 32 * math.ceil(math.log2(population))

@@ -1,0 +1,63 @@
+"""Short-lived certificates as a pluggable mechanism (paper §8/§9).
+
+Topalovic et al.'s way out of the revocation mess: issue certificates so
+short-lived that "revoking a certificate is as easy as not renewing
+it".  There is no revocation channel at all -- the update interval *is*
+the certificate lifetime, so the vulnerability window is bounded by it.
+The Monte-Carlo regime study stays in
+:mod:`repro.extensions.shortlived`; this class gives the same issuance
+model the shared mechanism interface so the sweeps can compare it.
+"""
+
+from __future__ import annotations
+
+import datetime
+
+from repro.mechanisms.base import (
+    CheckCost,
+    Delivery,
+    RevocationMechanism,
+    SessionState,
+    UpdateModel,
+)
+from repro.mechanisms.registry import register
+from repro.revocation.checker import CheckOutcome
+from repro.scan.records import LeafRecord
+
+#: default lifetime, matching repro.extensions.shortlived's study.
+SHORT_LIVED_DAYS = 4
+
+
+@register
+class ShortLivedMechanism(RevocationMechanism):
+    name = "short-lived"
+    title = f"Short-lived certificates ({SHORT_LIVED_DAYS}-day, no revocation)"
+    delivery = Delivery.LIFETIME
+
+    lifetime_days = SHORT_LIVED_DAYS
+
+    def covers(self, leaf: LeafRecord) -> bool:
+        return True  # expiry needs no pointers
+
+    def lookup(self, leaf: LeafRecord, at: datetime.date) -> CheckOutcome:
+        """Status under the short-lived *issuance regime*: the CA stops
+        renewing at ``revoked_at``, so the last short certificate dies
+        at most one lifetime later."""
+        if leaf.revoked_at is not None:
+            expiry = leaf.revoked_at + datetime.timedelta(
+                days=self.lifetime_days
+            )
+            if min(expiry, leaf.not_after) <= at:
+                return CheckOutcome.REVOKED
+        elif at > leaf.not_after:
+            return CheckOutcome.UNKNOWN
+        return CheckOutcome.GOOD
+
+    def update_model(self) -> UpdateModel:
+        return UpdateModel(update_interval_days=float(self.lifetime_days))
+
+    def check_cost(self, leaf: LeafRecord, session: SessionState) -> CheckCost:
+        return CheckCost()  # no revocation traffic, ever
+
+    def payload_bytes(self, at: datetime.date) -> int:
+        return 0  # there is no revocation artifact

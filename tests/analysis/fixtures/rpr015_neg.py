@@ -1,0 +1,15 @@
+"""RPR015 negative: mechanisms obtained through the registry."""
+from repro.mechanisms import RevocationMechanism, create, create_suite, get
+
+
+def registry_sweep(study):
+    return [mechanism.name for mechanism in create_suite(study)]
+
+
+def one_mechanism(study, name):
+    assert issubclass(get(name), RevocationMechanism)
+    return create(name, study)
+
+
+def restricted(study):
+    return create_suite(study, names=("ocsp", "crl"))

@@ -1,0 +1,13 @@
+"""RPR015 positive: concrete mechanisms constructed outside the registry."""
+from repro.mechanisms import CrlSetMechanism
+from repro.mechanisms.crl import CrlMechanism
+from repro.mechanisms.ocsp import OcspMechanism as Responder
+
+
+def hand_rolled_sweep(study):
+    mechanisms = [
+        CrlMechanism(study),
+        Responder(study),
+        CrlSetMechanism(study),
+    ]
+    return [mechanism.name for mechanism in mechanisms]

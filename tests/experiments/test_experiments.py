@@ -38,6 +38,7 @@ class TestExperimentRegistry:
             "fig10",
             "fig11",
             "availability",
+            "mechanisms",
         }
 
     def test_unknown_experiment_raises(self, study):

@@ -25,9 +25,13 @@ import pytest
 
 from repro import api
 from repro.experiments.runner import ALL_EXPERIMENTS
+from repro.mechanisms import mechanism_names
 
 GOLDEN_PATH = (
     Path(__file__).parent / "golden" / "reports-scale0.002-seed20151028.json"
+)
+MECHANISMS_GOLDEN_PATH = (
+    Path(__file__).parent / "golden" / "mechanisms-scale0.002-seed20151028.json"
 )
 
 
@@ -51,16 +55,26 @@ def golden_payload(digests: dict[str, str]) -> dict:
 
 # Tolerate a missing file at import so scripts/update_golden.py can be
 # used to create it in the first place; the tests then fail loudly.
-_GOLDEN = (
-    json.loads(GOLDEN_PATH.read_text(encoding="utf-8"))
-    if GOLDEN_PATH.exists()
-    else {"scale": None, "seed": None, "fault_profile": None, "digests": {}}
-)
+def _load(path: Path) -> dict:
+    if path.exists():
+        return json.loads(path.read_text(encoding="utf-8"))
+    return {"scale": None, "seed": None, "fault_profile": None, "digests": {}}
+
+
+_GOLDEN = _load(GOLDEN_PATH)
+_MECHANISMS_GOLDEN = _load(MECHANISMS_GOLDEN_PATH)
 
 
 @pytest.fixture(scope="module")
 def digests() -> dict[str, str]:
     return compute_digests()
+
+
+@pytest.fixture(scope="module")
+def mech_digests() -> dict[str, str]:
+    return api.mechanism_digests(
+        scale=0.002, seed=20151028, fault_profile="none"
+    )
 
 
 def test_golden_covers_every_experiment():
@@ -77,5 +91,28 @@ def test_golden_pins_the_calibration():
 def test_report_matches_golden(digests, experiment_id):
     assert digests[experiment_id] == _GOLDEN["digests"][experiment_id], (
         f"{experiment_id}'s report changed; if intentional, regenerate "
+        "with: PYTHONPATH=src python scripts/update_golden.py"
+    )
+
+
+def test_mechanisms_golden_covers_every_registered_mechanism():
+    """One digest per registered mechanism: registering a new mechanism
+    (or dropping one) must regenerate the mechanisms golden."""
+    assert sorted(_MECHANISMS_GOLDEN["digests"]) == sorted(mechanism_names())
+
+
+def test_mechanisms_golden_pins_the_calibration():
+    assert _MECHANISMS_GOLDEN["scale"] == pytest.approx(0.002)
+    assert _MECHANISMS_GOLDEN["seed"] == 20151028
+    assert _MECHANISMS_GOLDEN["fault_profile"] == "none"
+
+
+@pytest.mark.parametrize("name", sorted(mechanism_names()))
+def test_mechanism_block_matches_golden(mech_digests, name):
+    """Per-mechanism lockdown: a refactor of one mechanism that changes
+    another's sweep block bytes is caught by name, not as one opaque
+    whole-report digest."""
+    assert mech_digests[name] == _MECHANISMS_GOLDEN["digests"][name], (
+        f"{name}'s sweep block changed; if intentional, regenerate "
         "with: PYTHONPATH=src python scripts/update_golden.py"
     )

@@ -1,0 +1,100 @@
+"""Run the conformance harness over every registered mechanism.
+
+Parametrized by registry name, so CI's mechanism matrix can select one
+mechanism (``pytest -k "[crl]"``) and every new registration is covered
+automatically.  The fault-profile leg honors ``REPRO_FAULT_PROFILE``
+(the CI fault matrix) on top of the always-run none/flaky pair.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import api
+from repro.core.pipeline import MeasurementStudy
+from repro.experiments.mechanisms import mechanism_blocks
+from repro.mechanisms import mechanism_names
+
+from tests.mechanisms import conformance
+
+MECHANISMS = mechanism_names()
+
+#: fault profiles every mechanism must stay honest under; the CI matrix
+#: adds its own via REPRO_FAULT_PROFILE.
+FAULT_PROFILES = tuple(
+    dict.fromkeys(
+        ["none", "flaky", os.environ.get("REPRO_FAULT_PROFILE", "none")]
+    )
+)
+
+
+@pytest.fixture(scope="module")
+def suite(study):
+    return {mechanism.name: mechanism for mechanism in study.mechanism_suite}
+
+
+@pytest.fixture(scope="module")
+def twin_suite(study):
+    """A second, independently built study at the same calibration."""
+    twin = MeasurementStudy(
+        scale=study.calibration.scale, seed=study.calibration.seed
+    )
+    return {mechanism.name: mechanism for mechanism in twin.mechanism_suite}
+
+
+@pytest.fixture(scope="module")
+def full_blocks(study):
+    return mechanism_blocks(study)
+
+
+@pytest.mark.parametrize("name", MECHANISMS)
+def test_metadata(suite, name):
+    conformance.check_metadata(suite[name])
+
+
+@pytest.mark.parametrize("name", MECHANISMS)
+def test_deterministic_across_builds(suite, twin_suite, measurement_end, name):
+    conformance.check_determinism(suite[name], twin_suite[name], measurement_end)
+
+
+@pytest.mark.parametrize("name", MECHANISMS)
+def test_lookup_soundness(suite, measurement_end, name):
+    conformance.check_soundness(suite[name], measurement_end)
+
+
+@pytest.mark.parametrize("name", MECHANISMS)
+def test_window_semantics(suite, measurement_end, name):
+    conformance.check_window_semantics(suite[name], measurement_end)
+
+
+@pytest.mark.parametrize("name", MECHANISMS)
+def test_cost_accounting(suite, name):
+    conformance.check_cost_accounting(suite[name])
+
+
+@pytest.mark.parametrize("profile", FAULT_PROFILES)
+@pytest.mark.parametrize("name", MECHANISMS)
+def test_honest_costs_under_faults(suite, name, profile):
+    conformance.check_active_faults(suite[name], profile)
+
+
+@pytest.mark.parametrize("name", MECHANISMS)
+def test_report_byte_parity(study, full_blocks, name):
+    restricted = MeasurementStudy(
+        calibration=study.calibration, mechanisms=(name,)
+    )
+    # Share the already-built substrate: parity is about the sweep, not
+    # about rebuilding identical corpora (test_deterministic covers that).
+    restricted.__dict__["ecosystem"] = study.ecosystem
+    restricted.__dict__["crlset_history"] = study.crlset_history
+    conformance.check_report_parity(name, full_blocks, restricted)
+
+
+def test_registry_exposes_the_full_pack(suite):
+    """The acceptance bar: at least the paper's four plus the modern
+    scenario pack, all conformant (the tests above) and all visible
+    through the api facade."""
+    assert len(MECHANISMS) >= 7
+    assert set(api.list_mechanisms()) == set(MECHANISMS)

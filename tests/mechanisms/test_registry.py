@@ -1,0 +1,135 @@
+"""Registry semantics: registration, lookup, suite construction, and
+the glue surfaces (api facade, browser-protocol mapping)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import api
+from repro.browsers.policy import (
+    PROTOCOL_MECHANISMS,
+    CheckRecord,
+    Position,
+    ValidationResult,
+    mechanism_for_protocol,
+)
+from repro.core.pipeline import MeasurementStudy
+from repro.mechanisms import (
+    RevocationMechanism,
+    create_suite,
+    get,
+    mechanism_names,
+    mechanism_titles,
+    register,
+)
+from repro.revocation.checker import CheckOutcome
+
+#: the full scenario pack, in registration (sweep) order: the paper's
+#: four legacy mechanisms, then the post-2015 pack.
+EXPECTED_ORDER = (
+    "crl",
+    "ocsp",
+    "ocsp-stapling",
+    "crlset",
+    "crlite-cascade",
+    "short-lived",
+    "onecrl",
+    "postcertificate",
+)
+
+
+def test_registry_order_is_the_sweep_order():
+    assert mechanism_names() == EXPECTED_ORDER
+
+
+def test_registry_meets_the_scenario_pack_bar():
+    assert len(mechanism_names()) >= 7
+
+
+def test_duplicate_name_registration_is_rejected():
+    class Impostor(RevocationMechanism):
+        name = "crl"  # already taken by CrlMechanism
+
+        def covers(self, leaf):  # pragma: no cover - never called
+            return False
+
+        def lookup(self, leaf, at):  # pragma: no cover
+            return CheckOutcome.NO_INFO
+
+        def update_model(self):  # pragma: no cover
+            raise NotImplementedError
+
+        def check_cost(self, leaf, session):  # pragma: no cover
+            raise NotImplementedError
+
+        def payload_bytes(self, at):  # pragma: no cover
+            raise NotImplementedError
+
+    with pytest.raises(ValueError, match="already registered"):
+        register(Impostor)
+    # The legitimate registrant is untouched.
+    assert get("crl").__name__ == "CrlMechanism"
+
+
+def test_reregistering_the_same_class_is_idempotent():
+    cls = get("ocsp")
+    assert register(cls) is cls
+    assert mechanism_names().count("ocsp") == 1
+
+
+def test_abstract_name_is_rejected():
+    class Nameless(RevocationMechanism):
+        pass
+
+    with pytest.raises(ValueError, match="concrete name"):
+        register(Nameless)
+
+
+def test_get_unknown_mechanism_raises_with_known_names():
+    with pytest.raises(KeyError, match="crlite-cascade"):
+        get("carrier-pigeon")
+
+
+def test_create_suite_defaults_to_registry_order(study):
+    assert tuple(m.name for m in study.mechanism_suite) == EXPECTED_ORDER
+
+
+def test_create_suite_restricts_and_reorders(study):
+    suite = create_suite(study, names=("onecrl", "crl"))
+    assert [m.name for m in suite] == ["onecrl", "crl"]
+
+
+def test_study_mechanisms_argument_restricts_the_sweep(study):
+    restricted = MeasurementStudy(
+        calibration=study.calibration, mechanisms=("short-lived",)
+    )
+    assert [m.name for m in restricted.mechanism_suite] == ["short-lived"]
+
+
+def test_api_list_mechanisms_matches_the_registry():
+    assert api.list_mechanisms() == mechanism_titles()
+    assert tuple(api.list_mechanisms()) == mechanism_names()
+
+
+def test_run_one_rejects_unknown_mechanism():
+    with pytest.raises(KeyError):
+        api.run_one("fig10", mechanism="carrier-pigeon", scale=0.0005)
+
+
+def test_protocol_mechanisms_are_all_registered():
+    for name in PROTOCOL_MECHANISMS.values():
+        assert issubclass(get(name), RevocationMechanism)
+    assert mechanism_for_protocol("staple") == "ocsp-stapling"
+    with pytest.raises(KeyError, match="ocsp"):
+        mechanism_for_protocol("smoke-signal")
+
+
+def test_validation_result_maps_checks_onto_registry_names():
+    result = ValidationResult()
+    result.checks = [
+        CheckRecord(Position.LEAF, "staple", CheckOutcome.GOOD),
+        CheckRecord(Position.LEAF, "ocsp", CheckOutcome.GOOD),
+        CheckRecord(Position.INT1, "ocsp", CheckOutcome.GOOD),
+        CheckRecord(Position.INT1, "crl", CheckOutcome.GOOD),
+    ]
+    assert result.mechanisms_used() == ("ocsp-stapling", "ocsp", "crl")
