@@ -8,7 +8,7 @@ from repro import api
 
 def test_bench_fig11_analysis(benchmark, crlset_ready):
     result = benchmark.pedantic(
-        lambda: api.run_one("fig11", crlset_ready), rounds=2, iterations=1
+        lambda: api.study.run_one("fig11", crlset_ready), rounds=2, iterations=1
     )
     emit(result)
     assert all(c.shape_holds for c in result.comparisons)

@@ -7,7 +7,7 @@ from repro import api
 
 def test_bench_fig2_revocation_series(benchmark, study):
     result = benchmark.pedantic(
-        lambda: api.run_one("fig2", study), rounds=3, iterations=1, warmup_rounds=1
+        lambda: api.study.run_one("fig2", study), rounds=3, iterations=1, warmup_rounds=1
     )
     emit(result)
     assert all(c.shape_holds for c in result.comparisons)

@@ -7,7 +7,7 @@ from repro import api
 
 def test_bench_fig7_coverage(benchmark, crlset_ready):
     result = benchmark.pedantic(
-        lambda: api.run_one("fig7", crlset_ready), rounds=3, iterations=1, warmup_rounds=1
+        lambda: api.study.run_one("fig7", crlset_ready), rounds=3, iterations=1, warmup_rounds=1
     )
     emit(result)
     assert all(c.shape_holds for c in result.comparisons)

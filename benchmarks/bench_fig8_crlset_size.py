@@ -16,7 +16,7 @@ def test_bench_crlset_daily_sweep(benchmark, study):
 
 def test_bench_fig8_series(benchmark, crlset_ready):
     result = benchmark.pedantic(
-        lambda: api.run_one("fig8", crlset_ready), rounds=3, iterations=1, warmup_rounds=1
+        lambda: api.study.run_one("fig8", crlset_ready), rounds=3, iterations=1, warmup_rounds=1
     )
     emit(result)
     assert all(c.shape_holds for c in result.comparisons)

@@ -75,8 +75,8 @@ def _time(fn):
 
 def bench_crawl_figures_path(scale: float) -> dict:
     """Figure 5/6/9 inputs: naive per-day rescans vs the crawl index."""
-    study = api.new_study(scale=scale)
-    naive, fast = api.crawl_figures_legs(study)
+    study = api.study.new_study(scale=scale)
+    naive, fast = api.study.crawl_figures_legs(study)
     naive_seconds, naive_results = _time(naive)
     # The fast leg invalidates the series caches itself, so it pays for
     # its own index builds.
@@ -103,19 +103,19 @@ def bench_run_all(scale: float, parallel: int | None = None) -> dict:
     if parallel:
         with tempfile.TemporaryDirectory() as cache_dir:
             substrate_seconds, _ = _time(
-                lambda: api.build_corpus(cache_dir, scale=scale, shards=4)
+                lambda: api.corpus.build(cache_dir, scale=scale, shards=4)
             )
             # The parent never materialises the ecosystem: run_all sees
             # the warm store and the workers load it themselves.
-            study = api.new_study(scale=scale, cache_dir=cache_dir)
+            study = api.study.new_study(scale=scale, cache_dir=cache_dir)
             sweep_seconds, results = _time(
-                lambda: api.run_experiments(study, parallel=parallel)
+                lambda: api.study.run_experiments(study, parallel=parallel)
             )
         store_warm = True
     else:
-        study = api.new_study(scale=scale)
+        study = api.study.new_study(scale=scale)
         substrate_seconds, _ = _time(lambda: study.ecosystem)
-        sweep_seconds, results = _time(lambda: api.run_experiments(study))
+        sweep_seconds, results = _time(lambda: api.study.run_experiments(study))
         store_warm = False
     return {
         "scale": scale,
@@ -132,9 +132,9 @@ def bench_corpus_store(scale: float = BIG_SCALE, shards: int = BIG_SHARDS) -> di
     gc.collect()
     with tempfile.TemporaryDirectory() as cache_dir:
         build_seconds, info = _time(
-            lambda: api.build_corpus(cache_dir, scale=scale, shards=shards)
+            lambda: api.corpus.build(cache_dir, scale=scale, shards=shards)
         )
-        study = api.new_study(scale=scale, cache_dir=cache_dir)
+        study = api.study.new_study(scale=scale, cache_dir=cache_dir)
         load_seconds, _ = _time(lambda: study.ecosystem)
     return {
         "scale": scale,

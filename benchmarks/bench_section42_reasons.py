@@ -7,7 +7,7 @@ from repro import api
 
 def test_bench_section42_reasons(benchmark, study):
     result = benchmark.pedantic(
-        lambda: api.run_one("section42", study), rounds=3, iterations=1, warmup_rounds=1
+        lambda: api.study.run_one("section42", study), rounds=3, iterations=1, warmup_rounds=1
     )
     emit(result)
     assert all(c.shape_holds for c in result.comparisons)

@@ -8,18 +8,18 @@ broadband and mobile links.
 
 from conftest import emit_text
 
-from repro.api import LinkProfile, SessionCostModel, format_bytes, format_table
+from repro.api import LINK_PROFILES, SessionCostModel, format_bytes, format_table
 
 
 def test_bench_session_cost(benchmark, study):
-    model = SessionCostModel(study.ecosystem)
+    model = SessionCostModel(study.ecosystem, LINK_PROFILES["broadband"])
     comparison = benchmark.pedantic(
         lambda: model.compare_mechanisms(study.mechanism_suite, site_count=100),
         rounds=3,
         iterations=1,
     )
 
-    mobile_model = SessionCostModel(study.ecosystem, LinkProfile.mobile())
+    mobile_model = SessionCostModel(study.ecosystem, LINK_PROFILES["mobile"])
     mobile = mobile_model.compare_mechanisms(
         study.mechanism_suite, site_count=100
     )

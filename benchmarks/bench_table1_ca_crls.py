@@ -7,7 +7,7 @@ from repro import api
 
 def test_bench_table1_per_ca(benchmark, study):
     result = benchmark.pedantic(
-        lambda: api.run_one("table1", study), rounds=3, iterations=1, warmup_rounds=1
+        lambda: api.study.run_one("table1", study), rounds=3, iterations=1, warmup_rounds=1
     )
     emit(result)
     assert all(c.shape_holds for c in result.comparisons)

@@ -24,7 +24,7 @@ def test_bench_one_browser_full_suite(benchmark):
 
 def test_bench_full_table2(benchmark, study):
     result = benchmark.pedantic(
-        lambda: api.run_one("table2", study), rounds=1, iterations=1
+        lambda: api.study.run_one("table2", study), rounds=1, iterations=1
     )
     emit(result)
     assert not result.data["mismatches"]

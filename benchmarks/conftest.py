@@ -21,7 +21,7 @@ BENCH_SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "0.002"))
 
 @pytest.fixture(scope="session")
 def study():
-    study = api.new_study(scale=BENCH_SCALE)
+    study = api.study.new_study(scale=BENCH_SCALE)
     # Materialise the substrate outside the timed regions.
     _ = study.ecosystem
     return study

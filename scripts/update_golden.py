@@ -7,8 +7,10 @@ Usage (from the repo root)::
 
 Reruns every experiment at the pinned calibration (scale 0.002, seed
 20151028, no faults) and rewrites ``tests/experiments/golden/``: the
-per-experiment report digests and the per-mechanism sweep-block digests
-(``mechanisms-*.json``, one digest per registered revocation mechanism).
+per-experiment report digests, the per-mechanism sweep-block digests
+(``mechanisms-*.json``, one digest per registered revocation mechanism),
+and the per-mechanism serving-block digests (``serving-*.json``, one
+digest per mechanism's serving report; docs/SERVING.md).
 Commit the diff together with the change that caused it -- the point of
 the golden files is that report-byte changes are always a reviewed diff
 (tests/experiments/test_golden.py).
@@ -28,6 +30,7 @@ from repro import api  # noqa: E402
 GOLDEN_DIR = REPO_ROOT / "tests" / "experiments" / "golden"
 GOLDEN_PATH = GOLDEN_DIR / "reports-scale0.002-seed20151028.json"
 MECHANISMS_PATH = GOLDEN_DIR / "mechanisms-scale0.002-seed20151028.json"
+SERVING_PATH = GOLDEN_DIR / "serving-scale0.002-seed20151028.json"
 
 
 def _write(path: Path, digests: dict[str, str]) -> list[str]:
@@ -64,11 +67,19 @@ def _write(path: Path, digests: dict[str, str]) -> list[str]:
 def main() -> int:
     _write(
         GOLDEN_PATH,
-        api.golden_digests(scale=0.002, seed=20151028, fault_profile="none"),
+        api.study.golden_digests(
+            scale=0.002, seed=20151028, fault_profile="none"
+        ),
     )
     _write(
         MECHANISMS_PATH,
-        api.mechanism_digests(
+        api.study.mechanism_digests(
+            scale=0.002, seed=20151028, fault_profile="none"
+        ),
+    )
+    _write(
+        SERVING_PATH,
+        api.serve.serving_digests(
             scale=0.002, seed=20151028, fault_profile="none"
         ),
     )

@@ -13,6 +13,7 @@ Usage::
     python -m repro corpus inspect FILE        # one store's meta
     python -m repro corpus stat DIR            # list stores in a directory
     python -m repro corpus verify FILE         # integrity-check a store
+    python -m repro serve-bench --sessions 1000000  # serving-layer report
     python -m repro --fault-profile chaos      # run everything degraded
     python -m repro run all --supervise        # crash-recovering run
     python -m repro run all --resume           # continue an interrupted run
@@ -281,6 +282,47 @@ def _build_parser() -> argparse.ArgumentParser:
         help="move an unsound store aside (<name>.quarantined)",
     )
 
+    serve_bench = sub.add_parser(
+        "serve-bench",
+        parents=shared,
+        help="drive the revocation-status serving layer with a synthetic "
+        "client fleet and print the per-mechanism serving report "
+        "(docs/SERVING.md)",
+    )
+    serve_bench.add_argument(
+        "--sessions",
+        type=int,
+        default=1_000_000,
+        metavar="N",
+        help="client sessions in the fleet (default 1000000)",
+    )
+    serve_bench.add_argument(
+        "--ticks",
+        type=int,
+        default=48,
+        metavar="N",
+        help="simulated ticks (default 48)",
+    )
+    serve_bench.add_argument(
+        "--tick-seconds",
+        type=int,
+        default=900,
+        metavar="S",
+        help="seconds per tick (default 900)",
+    )
+    serve_bench.add_argument(
+        "--mechanism",
+        default=None,
+        metavar="NAME",
+        help="serve one registered mechanism instead of all",
+    )
+    serve_bench.add_argument(
+        "--trace-out",
+        default=None,
+        metavar="FILE",
+        help="record spans + metrics while serving and write them as JSONL",
+    )
+
     sub.add_parser(
         "analyze",
         help="run the determinism & PKI-invariant linter "
@@ -343,7 +385,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     from repro.exec.supervisor import RunInterrupted
 
     try:
-        run = api.run_study(
+        run = api.study.run_study(
             experiment=args.experiment,
             scale=args.scale,
             seed=args.seed,
@@ -401,7 +443,7 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
         from repro.exec.supervisor import RunInterrupted
 
         try:
-            info = api.build_corpus(
+            info = api.corpus.build(
                 args.directory,
                 scale=args.scale,
                 seed=args.seed,
@@ -419,7 +461,7 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
         print(_render_corpus_info(info))
         return 0
     if args.corpus_command == "verify":
-        problems = api.verify_corpus(args.store)
+        problems = api.corpus.verify(args.store)
         if not problems:
             print(f"{args.store}: ok")
             return 0
@@ -437,14 +479,14 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
         return 1
     if args.corpus_command == "inspect":
         try:
-            info = api.corpus_info(args.store)
+            info = api.corpus.info(args.store)
         except Exception as exc:
             print(f"unreadable store {args.store!r}: {exc}", file=sys.stderr)
             return 2
         print(_render_corpus_info(info))
         return 0
     if args.corpus_command == "stat":
-        entries = api.list_corpora(args.directory)
+        entries = api.corpus.list(args.directory)
         if not entries:
             print(f"no corpus stores under {args.directory}")
             return 0
@@ -461,6 +503,61 @@ def _cmd_corpus(args: argparse.Namespace) -> int:
     return 2
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    if args.sessions < 0 or args.ticks < 1 or args.tick_seconds < 1:
+        print(
+            "--sessions must be >= 0, --ticks/--tick-seconds >= 1",
+            file=sys.stderr,
+        )
+        return 2
+    names = list(api.study.list_mechanisms())
+    if args.mechanism is not None:
+        if args.mechanism not in names:
+            print(
+                f"unknown mechanism {args.mechanism!r}; known: {names}",
+                file=sys.stderr,
+            )
+            return 2
+        names = [args.mechanism]
+    plan = None
+    if args.fault_profile is not None:
+        from repro.net.faults import plan_from_profile
+
+        fault_seed = (
+            args.fault_seed if args.fault_seed is not None else args.seed
+        )
+        plan = plan_from_profile(args.fault_profile, fault_seed)
+    study = api.study.new_study(
+        scale=args.scale, seed=args.seed, trace=args.trace_out is not None
+    )
+    config = api.serve.FleetConfig(
+        sessions=args.sessions,
+        ticks=args.ticks,
+        tick_seconds=args.tick_seconds,
+        seed=args.seed,
+        fault_plan=plan,
+    )
+    reports = [
+        api.serve.run_fleet(study, name, config=config, obs=study.obs)
+        for name in names
+    ]
+    print(api.serve.render_serving_report(reports))
+    if args.trace_out is not None:
+        study.obs.write_jsonl(
+            args.trace_out,
+            header={
+                "experiment": "serve-bench",
+                "scale": study.calibration.scale,
+                "seed": study.calibration.seed,
+                "fault_profile": args.fault_profile,
+                "fault_seed": args.fault_seed,
+                "sessions": args.sessions,
+                "ticks": args.ticks,
+            },
+        )
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     if args.diff is not None and args.trace_file is not None:
         print("give either FILE or --diff A B, not both", file=sys.stderr)
@@ -474,20 +571,20 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     try:
         if args.diff is not None:
             a_path, b_path = args.diff
-            diff = api.diff_traces(api.load_trace(a_path), api.load_trace(b_path))
+            diff = api.trace.diff(api.trace.load(a_path), api.trace.load(b_path))
         else:
-            records = api.load_trace(args.trace_file)
+            records = api.trace.load(args.trace_file)
     except (OSError, ValueError) as exc:
         print(exc, file=sys.stderr)
         return 2
     if args.diff is not None:
         print(
-            api.render_diff(
+            api.trace.render_diff(
                 diff, fmt=args.trace_format, a_label=a_path, b_label=b_path
             )
         )
         return 1 if (args.check and not diff.is_empty) else 0
-    print(api.render_trace(records, fmt=args.trace_format, limit=args.limit))
+    print(api.trace.render(records, fmt=args.trace_format, limit=args.limit))
     return 0
 
 
@@ -497,7 +594,7 @@ def main(argv: list[str] | None = None) -> int:
     if argv and argv[0] == "analyze":
         # Delegate verbatim so the linter owns its own flags (--format,
         # --baseline, ...) without colliding with the study parser's.
-        return api.run_analysis(argv[1:])
+        return api.analysis.run(argv[1:])
     parser = _build_parser()
     args = parser.parse_args(argv)
     if args.command is None:
@@ -506,7 +603,7 @@ def main(argv: list[str] | None = None) -> int:
         if args.fault_profile is None and args.fault_seed is None:
             parser.error(
                 "a command is required "
-                "(list, mechanisms, run, report, trace, corpus)"
+                "(list, mechanisms, run, report, serve-bench, trace, corpus)"
             )
         args.command = "run"
         args.experiment = "all"
@@ -522,14 +619,14 @@ def main(argv: list[str] | None = None) -> int:
         args.exec_fault_profile = None
         args.exec_fault_seed = None
     if args.command == "list":
-        for experiment_id, title in api.list_experiments().items():
+        for experiment_id, title in api.study.list_experiments().items():
             print(f"{experiment_id:10s} {title}")
         return 0
     if args.command == "mechanisms":
-        for name, title in api.list_mechanisms().items():
+        for name, title in api.study.list_mechanisms().items():
             print(f"{name:16s} {title}")
         return 0
-    if args.command in ("run", "report") and not _check_fault_profile(
+    if args.command in ("run", "report", "serve-bench") and not _check_fault_profile(
         args.fault_profile
     ):
         return 2
@@ -541,7 +638,7 @@ def main(argv: list[str] | None = None) -> int:
         return _cmd_run(args)
     if args.command == "report":
         sys.stdout.write(
-            api.render_report(
+            api.study.render_report(
                 args.scale,
                 seed=args.seed,
                 fault_profile=args.fault_profile,
@@ -549,6 +646,8 @@ def main(argv: list[str] | None = None) -> int:
             )
         )
         return 0
+    if args.command == "serve-bench":
+        return _cmd_serve_bench(args)
     if args.command == "trace":
         return _cmd_trace(args)
     if args.command == "corpus":

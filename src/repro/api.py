@@ -2,12 +2,27 @@
 
 ``repro.api`` is the supported entry surface for scripts, notebooks,
 benchmarks, and the CLI (``python -m repro`` is a thin shell over this
-module): running studies (supervised or not), rendering the
-EXPERIMENTS.md report, building/verifying corpus stores, loading /
-rolling up / diffing traces, and invoking the static-analysis gate.
-Everything else under ``repro.*`` is implementation and may be
-refactored freely; the signatures here are kept stable and versioned
-(:data:`API_VERSION`, pinned by ``tests/test_api_contract.py``).
+module).  Since API 2.0 the surface is organised into namespaced
+sub-facades:
+
+* :data:`api.study <study>` -- running studies and experiments, report
+  rendering, golden digests (``run_study``, ``new_study``, ``run_one``,
+  ``run_experiments``, ...);
+* :data:`api.corpus <corpus>` -- corpus stores (``build``, ``info``,
+  ``verify``, ``list``);
+* :data:`api.trace <trace>` -- trace loading, rollup, and span-diff
+  (``load``, ``render``, ``diff``, ``render_diff``);
+* :data:`api.analysis <analysis>` -- the static-analysis gate (``run``);
+* :data:`api.serve <serve>` -- the revocation-status serving layer
+  (``build_service``, ``run_fleet``, ``serving_digests``).
+
+Every pre-2.0 flat name (``api.run_study``, ``api.build_corpus``, ...)
+remains available as a **deprecated alias**: attribute access resolves
+through PEP 562 ``__getattr__`` to the *same object* as its namespaced
+home (:data:`DEPRECATED_ALIASES` is the alias -> (namespace, attribute)
+map) and emits a ``DeprecationWarning``.  In-repo code must use the
+namespaced form (lint rule RPR016); the aliases exist for out-of-tree
+consumers and will be removed in API 3.0.
 
 Component re-exports: the classes and helpers the micro-benchmarks (and
 similar out-of-tree consumers) exercise directly -- browser models, PKI
@@ -19,15 +34,17 @@ Typical use::
 
     from repro import api
 
-    run = api.run_study(experiment="fig2", scale=0.0005, trace=True)
+    run = api.study.run_study(experiment="fig2", scale=0.0005, trace=True)
     run.write_trace("a.jsonl", experiment="fig2")
-    diff = api.diff_traces("a.jsonl", "b.jsonl")
-    print(api.render_diff(diff))
+    diff = api.trace.diff("a.jsonl", "b.jsonl")
+    print(api.trace.render_diff(diff))
 """
 
 from __future__ import annotations
 
+import difflib
 import hashlib
+import warnings
 from dataclasses import dataclass
 from pathlib import Path
 
@@ -41,39 +58,29 @@ from repro.experiments.runner import (
 )
 from repro.obs import Observability
 from repro.obs import report as _trace_report
-from repro.obs.diff import TraceDiff
-from repro.obs.diff import diff_traces as _diff_traces
+from repro.obs.diff import TraceDiff as _TraceDiff
+from repro.obs.diff import diff_traces as _obs_diff_traces
 from repro.obs.diff import render_diff_json, render_diff_text
+from repro.serve import FleetConfig as _FleetConfig
+from repro.serve import build_service as _build_service
+from repro.serve import render_serving_report as _render_serving_report
+from repro.serve import run_fleet as _run_fleet
 
 #: facade contract version: bump the minor on compatible additions, the
 #: major on any breaking change to a signature or re-export listed in
 #: ``__all__``/``_COMPONENT_EXPORTS`` (tests/test_api_contract.py pins
-#: the surface against this).
-API_VERSION = "1.2"
+#: the surface against this).  2.0: the flat surface became namespaced
+#: sub-facades; every 1.x flat name survives as a deprecated alias.
+API_VERSION = "2.0"
 
 __all__ = [
     "API_VERSION",
-    "StudyRun",
-    "TraceDiff",
-    "build_corpus",
-    "corpus_info",
-    "crawl_figures_legs",
-    "diff_traces",
-    "golden_digests",
-    "list_corpora",
-    "list_experiments",
-    "list_mechanisms",
-    "load_trace",
-    "mechanism_digests",
-    "new_study",
-    "render_diff",
-    "render_report",
-    "render_trace",
-    "run_analysis",
-    "run_experiments",
-    "run_one",
-    "run_study",
-    "verify_corpus",
+    "DEPRECATED_ALIASES",
+    "analysis",
+    "corpus",
+    "serve",
+    "study",
+    "trace",
 ]
 
 #: lazy component re-exports (attribute -> implementing module).  These
@@ -98,6 +105,7 @@ _COMPONENT_EXPORTS = {
     "GolombCompressedSet": "repro.crlset.gcs",
     "InternetExplorer": "repro.browsers.desktop",
     "KeyPair": "repro.pki.keys",
+    "LINK_PROFILES": "repro.net.transport",
     "LinkProfile": "repro.net.transport",
     "MobileSafari": "repro.browsers.mobile",
     "MultiStapleServer": "repro.extensions.multistaple",
@@ -109,6 +117,7 @@ _COMPONENT_EXPORTS = {
     "RevocationRegime": "repro.extensions.shortlived",
     "RevokedEntry": "repro.revocation.crl",
     "Safari": "repro.browsers.desktop",
+    "ServeModel": "repro.mechanisms",
     "SessionCostModel": "repro.core.cost",
     "SessionState": "repro.mechanisms",
     "SimBackend": "repro.pki.keys",
@@ -127,20 +136,6 @@ _COMPONENT_EXPORTS = {
     "is_crlset_eligible": "repro.revocation.reason",
     "traffic_report": "repro.browsers.traffic",
 }
-
-
-def __getattr__(name: str):
-    """Resolve component re-exports lazily (PEP 562)."""
-    module_path = _COMPONENT_EXPORTS.get(name)
-    if module_path is None:
-        raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-    import importlib
-
-    return getattr(importlib.import_module(module_path), name)
-
-
-def __dir__() -> list[str]:
-    return sorted([*globals(), *_COMPONENT_EXPORTS])
 
 
 @dataclass
@@ -196,12 +191,18 @@ class StudyRun:
         )
 
 
-def list_experiments() -> dict[str, str]:
+# The class lives on ``api.study.StudyRun``; the module-global binding is
+# removed below so the flat ``api.StudyRun`` spelling goes through the
+# deprecated-alias path like every other 1.x name.
+_StudyRun = StudyRun
+
+
+def _list_experiments() -> dict[str, str]:
     """Mapping of experiment id -> title, in run (declaration) order."""
     return {eid: module.TITLE for eid, module in ALL_EXPERIMENTS.items()}
 
 
-def list_mechanisms() -> dict[str, str]:
+def _list_mechanisms() -> dict[str, str]:
     """Mapping of mechanism name -> title, in registry (sweep) order.
 
     Every entry implements :class:`repro.mechanisms.RevocationMechanism`
@@ -213,7 +214,7 @@ def list_mechanisms() -> dict[str, str]:
     return mechanism_titles()
 
 
-def run_study(
+def _run_study(
     *,
     experiment: str = "all",
     scale: float = 0.002,
@@ -255,7 +256,7 @@ def run_study(
 
         get_mechanism(mechanism)  # unknown names fail fast
     obs = Observability(enabled=True) if trace else None
-    study = MeasurementStudy(
+    built = MeasurementStudy(
         scale=scale,
         seed=seed,
         cache_dir=cache_dir,
@@ -268,19 +269,19 @@ def run_study(
     )
     if experiment == "all" and (supervise or resume):
         results = run_supervised(
-            study,
+            built,
             parallel=parallel,
             checkpoint_dir=checkpoint_dir,
             resume=resume,
         )
     elif experiment == "all":
-        results = run_all(study, parallel=parallel, isolate_errors=isolate_errors)
+        results = run_all(built, parallel=parallel, isolate_errors=isolate_errors)
     else:
-        results = [run_experiment(experiment, study)]
-    return StudyRun(study=study, results=results)
+        results = [run_experiment(experiment, built)]
+    return _StudyRun(study=built, results=results)
 
 
-def new_study(
+def _new_study(
     *,
     scale: float = 0.002,
     seed: int = 20151028,
@@ -312,7 +313,7 @@ def new_study(
     )
 
 
-def run_experiments(
+def _run_experiments(
     study: MeasurementStudy,
     parallel: int | None = None,
     isolate_errors: bool = True,
@@ -326,7 +327,7 @@ def run_experiments(
     return run_all(study, parallel=parallel, isolate_errors=isolate_errors)
 
 
-def golden_digests(
+def _golden_digests(
     *,
     scale: float = 0.002,
     seed: int = 20151028,
@@ -339,8 +340,8 @@ def golden_digests(
     calibration, so these digests only change when report bytes do.
     Raises ``RuntimeError`` if any experiment crashes.
     """
-    study = MeasurementStudy(scale=scale, seed=seed, fault_profile=fault_profile)
-    results = run_all(study)
+    built = MeasurementStudy(scale=scale, seed=seed, fault_profile=fault_profile)
+    results = run_all(built)
     crashed = [result.experiment_id for result in results if not result.ok]
     if crashed:
         raise RuntimeError(f"experiments crashed: {crashed}")
@@ -352,7 +353,7 @@ def golden_digests(
     }
 
 
-def mechanism_digests(
+def _mechanism_digests(
     *,
     scale: float = 0.002,
     seed: int = 20151028,
@@ -367,17 +368,17 @@ def mechanism_digests(
     """
     from repro.experiments import mechanisms as mechanisms_experiment
 
-    study = MeasurementStudy(scale=scale, seed=seed, fault_profile=fault_profile)
+    built = MeasurementStudy(scale=scale, seed=seed, fault_profile=fault_profile)
     return {
         name: hashlib.sha256(block.encode("utf-8")).hexdigest()
-        for name, block in mechanisms_experiment.mechanism_blocks(study).items()
+        for name, block in mechanisms_experiment.mechanism_blocks(built).items()
     }
 
 
 # -- corpus store -----------------------------------------------------------
 
 
-def build_corpus(
+def _build_corpus(
     directory: str | Path,
     *,
     scale: float = 0.002,
@@ -394,7 +395,7 @@ def build_corpus(
 ) -> dict:
     """Generate the ecosystem (sharded) and persist it as a corpus store.
 
-    Returns the store's :func:`corpus_info` plus a ``rebuilt`` flag.  An
+    Returns the store's :func:`corpus.info` plus a ``rebuilt`` flag.  An
     existing readable store for the same calibration is reused unless
     ``force``; sharding/worker count never changes the stored bytes.
 
@@ -431,7 +432,7 @@ def build_corpus(
         reused = info.pop("reused")
         info.pop("path", None)
         return {
-            **corpus_info(ArtifactCache(directory).ecosystem_path(calibration)),
+            **_corpus_info(ArtifactCache(directory).ecosystem_path(calibration)),
             **info,
             "rebuilt": not reused,
         }
@@ -439,17 +440,17 @@ def build_corpus(
     path = cache.ecosystem_path(calibration)
     if not force and path.exists():
         try:
-            info = corpus_info(path)
+            info = _corpus_info(path)
         except Exception:
             info = None  # unreadable store: rebuild it below
         if info is not None:
             return {**info, "rebuilt": False}
     ecosystem = Ecosystem(calibration, shards=shards, workers=workers)
     cache.store_ecosystem(calibration, ecosystem)
-    return {**corpus_info(path), "rebuilt": True}
+    return {**_corpus_info(path), "rebuilt": True}
 
 
-def corpus_info(path: str | Path) -> dict:
+def _corpus_info(path: str | Path) -> dict:
     """A store's meta table (seed, scale, counts, digest) plus file size."""
     from repro.scan import corpus_store
 
@@ -458,32 +459,32 @@ def corpus_info(path: str | Path) -> dict:
     return {**meta, "path": str(path), "bytes": path.stat().st_size}
 
 
-def verify_corpus(path: str | Path) -> list[str]:
+def _verify_corpus(path: str | Path) -> list[str]:
     """Integrity-check a corpus store; returns problems (empty == sound).
 
     Self-contained: validates sqlite readability, the whole-corpus
     content digest, and the per-brand slice digests recorded at write
     time, localising any corruption to the brand it landed in.  Never
     raises on a damaged file.  Quarantine + rebuild is ``python -m repro
-    corpus verify --quarantine`` or a forced :func:`build_corpus`.
+    corpus verify --quarantine`` or a forced :func:`corpus.build`.
     """
     from repro.scan import corpus_store
 
     return corpus_store.verify_store(path)
 
 
-def list_corpora(directory: str | Path) -> list[dict]:
+def _list_corpora(directory: str | Path) -> list[dict]:
     """Info for every corpus store under ``directory``."""
     entries: list[dict] = []
     for path in sorted(Path(directory).glob("corpus-*.sqlite")):
         try:
-            entries.append(corpus_info(path))
+            entries.append(_corpus_info(path))
         except Exception:
             entries.append({"path": str(path), "error": "unreadable"})
     return entries
 
 
-def crawl_figures_legs(study: MeasurementStudy):
+def _crawl_figures_legs(study: MeasurementStudy):
     """(naive, fast) thunks computing the Figure 5/6/9 crawl inputs.
 
     Both compute the same results over the study's ecosystem; the
@@ -517,7 +518,7 @@ def crawl_figures_legs(study: MeasurementStudy):
     return naive, fast
 
 
-def run_one(
+def _run_one(
     experiment_id: str,
     study: MeasurementStudy | None = None,
     *,
@@ -549,7 +550,7 @@ def run_one(
     return run_experiment(experiment_id, study)
 
 
-def render_report(
+def _render_report(
     scale: float = 0.002,
     *,
     seed: int = 20151028,
@@ -564,45 +565,51 @@ def render_report(
     )
 
 
-def load_trace(path: str | Path) -> list[dict]:
+# -- traces -----------------------------------------------------------------
+
+
+def _load_trace(path: str | Path) -> list[dict]:
     """Parse a ``run --trace-out`` JSONL file into its records."""
     return _trace_report.load_records(path)
 
 
-def render_trace(records: list[dict], fmt: str = "text", limit: int = 15) -> str:
+def _render_trace(records: list[dict], fmt: str = "text", limit: int = 15) -> str:
     """Roll up trace records (summary, top spans, flame-table)."""
     if fmt == "json":
         return _trace_report.render_json(records, limit=limit)
     return _trace_report.render_text(records, limit=limit)
 
 
-def diff_traces(
+def _diff_traces(
     a: str | Path | list[dict], b: str | Path | list[dict]
-) -> TraceDiff:
+) -> _TraceDiff:
     """Structurally diff two traces (paths or pre-loaded record lists).
 
     See :mod:`repro.obs.diff` for the alignment and attribution
     semantics; ``diff.is_empty`` is the machine-checkable "same
     behaviour" predicate.
     """
-    a_records = load_trace(a) if isinstance(a, (str, Path)) else a
-    b_records = load_trace(b) if isinstance(b, (str, Path)) else b
-    return _diff_traces(a_records, b_records)
+    a_records = _load_trace(a) if isinstance(a, (str, Path)) else a
+    b_records = _load_trace(b) if isinstance(b, (str, Path)) else b
+    return _obs_diff_traces(a_records, b_records)
 
 
-def render_diff(
-    diff: TraceDiff,
+def _render_diff(
+    diff: _TraceDiff,
     fmt: str = "text",
     a_label: str = "A",
     b_label: str = "B",
 ) -> str:
-    """Render a :class:`TraceDiff` as text or JSON."""
+    """Render a :class:`~repro.obs.diff.TraceDiff` as text or JSON."""
     if fmt == "json":
         return render_diff_json(diff, a_label=a_label, b_label=b_label)
     return render_diff_text(diff, a_label=a_label, b_label=b_label)
 
 
-def run_analysis(argv: list[str] | None = None) -> int:
+# -- static analysis --------------------------------------------------------
+
+
+def _run_analysis(argv: list[str] | None = None) -> int:
     """Run the determinism & PKI-invariant linter; returns its exit code.
 
     The documented entry point behind ``python -m repro analyze``: the
@@ -612,3 +619,184 @@ def run_analysis(argv: list[str] | None = None) -> int:
     from repro.analysis.cli import main as analyze_main
 
     return analyze_main(argv if argv is not None else [])
+
+
+# -- serving ----------------------------------------------------------------
+
+
+def _serving_digests(
+    *,
+    scale: float = 0.002,
+    seed: int = 20151028,
+    fault_profile: str = "none",
+) -> dict[str, str]:
+    """Per-mechanism sha256 digests of the serving-experiment blocks.
+
+    The contract behind ``tests/experiments/golden/serving-*.json``:
+    one digest per registered mechanism over its rendered serving
+    block, so a serving-stack change is localised to the mechanisms it
+    actually affects.
+    """
+    from repro.experiments import serving as serving_experiment
+
+    built = MeasurementStudy(scale=scale, seed=seed, fault_profile=fault_profile)
+    return {
+        name: hashlib.sha256(block.encode("utf-8")).hexdigest()
+        for name, block in serving_experiment.serving_blocks(built).items()
+    }
+
+
+# -- the namespaced facade --------------------------------------------------
+
+
+class _Facet:
+    """One namespaced sub-facade (``api.study``, ``api.corpus``, ...).
+
+    Members are plain instance attributes holding the *same objects* the
+    deprecated flat aliases resolve to, so identity checks
+    (``api.run_study is api.study.run_study``) hold by construction.
+    """
+
+    def __init__(self, name: str, members: dict[str, object]) -> None:
+        self._name = name
+        self._members = tuple(sorted(members))
+        self.__dict__.update(members)
+
+    @property
+    def members(self) -> tuple[str, ...]:
+        return self._members
+
+    def __repr__(self) -> str:
+        return f"<repro.api.{self._name}: {', '.join(self._members)}>"
+
+    def __dir__(self) -> list[str]:
+        return list(self._members)
+
+
+study = _Facet(
+    "study",
+    {
+        "StudyRun": _StudyRun,
+        "crawl_figures_legs": _crawl_figures_legs,
+        "golden_digests": _golden_digests,
+        "list_experiments": _list_experiments,
+        "list_mechanisms": _list_mechanisms,
+        "mechanism_digests": _mechanism_digests,
+        "new_study": _new_study,
+        "render_report": _render_report,
+        "run_experiments": _run_experiments,
+        "run_one": _run_one,
+        "run_study": _run_study,
+    },
+)
+
+corpus = _Facet(
+    "corpus",
+    {
+        "build": _build_corpus,
+        "info": _corpus_info,
+        "list": _list_corpora,
+        "verify": _verify_corpus,
+    },
+)
+
+trace = _Facet(
+    "trace",
+    {
+        "TraceDiff": _TraceDiff,
+        "diff": _diff_traces,
+        "load": _load_trace,
+        "render": _render_trace,
+        "render_diff": _render_diff,
+    },
+)
+
+analysis = _Facet("analysis", {"run": _run_analysis})
+
+serve = _Facet(
+    "serve",
+    {
+        "FleetConfig": _FleetConfig,
+        "build_service": _build_service,
+        "render_serving_report": _render_serving_report,
+        "run_fleet": _run_fleet,
+        "serving_digests": _serving_digests,
+    },
+)
+
+#: every pre-2.0 flat name -> its namespaced home ``(facet, attribute)``.
+#: Resolution happens in ``__getattr__`` (the names are deliberately NOT
+#: module globals) and returns the identical object, with a
+#: ``DeprecationWarning``.  Scheduled for removal in API 3.0.
+DEPRECATED_ALIASES: dict[str, tuple[str, str]] = {
+    "StudyRun": ("study", "StudyRun"),
+    "TraceDiff": ("trace", "TraceDiff"),
+    "build_corpus": ("corpus", "build"),
+    "corpus_info": ("corpus", "info"),
+    "crawl_figures_legs": ("study", "crawl_figures_legs"),
+    "diff_traces": ("trace", "diff"),
+    "golden_digests": ("study", "golden_digests"),
+    "list_corpora": ("corpus", "list"),
+    "list_experiments": ("study", "list_experiments"),
+    "list_mechanisms": ("study", "list_mechanisms"),
+    "load_trace": ("trace", "load"),
+    "mechanism_digests": ("study", "mechanism_digests"),
+    "new_study": ("study", "new_study"),
+    "render_diff": ("trace", "render_diff"),
+    "render_report": ("study", "render_report"),
+    "render_trace": ("trace", "render"),
+    "run_analysis": ("analysis", "run"),
+    "run_experiments": ("study", "run_experiments"),
+    "run_one": ("study", "run_one"),
+    "run_study": ("study", "run_study"),
+    "verify_corpus": ("corpus", "verify"),
+}
+
+_FACETS: dict[str, _Facet] = {
+    "analysis": analysis,
+    "corpus": corpus,
+    "serve": serve,
+    "study": study,
+    "trace": trace,
+}
+
+# Flat access to StudyRun must go through the alias path like every
+# other 1.x name; the object itself lives on api.study.StudyRun.
+del StudyRun
+
+
+def _surface() -> list[str]:
+    """Every name the facade answers for (suggestions draw from this)."""
+    return sorted(
+        {*__all__, *_COMPONENT_EXPORTS, *DEPRECATED_ALIASES}
+    )
+
+
+def __getattr__(name: str):
+    """Resolve deprecated aliases and component re-exports (PEP 562)."""
+    alias = DEPRECATED_ALIASES.get(name)
+    if alias is not None:
+        facet, attribute = alias
+        warnings.warn(
+            f"repro.api.{name} is deprecated since API 2.0; "
+            f"use repro.api.{facet}.{attribute}",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return getattr(_FACETS[facet], attribute)
+    module_path = _COMPONENT_EXPORTS.get(name)
+    if module_path is not None:
+        import importlib
+
+        return getattr(importlib.import_module(module_path), name)
+    suggestions = difflib.get_close_matches(name, _surface(), n=3, cutoff=0.6)
+    hint = (
+        f" (did you mean: {', '.join(suggestions)}?)" if suggestions else ""
+    )
+    raise AttributeError(
+        f"module {__name__!r} has no attribute {name!r}{hint}"
+    )
+
+
+def __dir__() -> list[str]:
+    return sorted([*globals(), *_COMPONENT_EXPORTS, *DEPRECATED_ALIASES])

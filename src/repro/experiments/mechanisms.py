@@ -126,7 +126,7 @@ def render_block(stats: MechanismStats) -> str:
 
 def mechanism_blocks(study: MeasurementStudy) -> dict[str, str]:
     """name -> rendered block, the contract behind
-    :func:`repro.api.mechanism_digests`."""
+    :func:`repro.api.study.mechanism_digests`."""
     return {stats.name: render_block(stats) for stats in sweep(study)}
 
 

@@ -42,6 +42,7 @@ from repro.experiments import (
     mechanisms,
     section3,
     section42,
+    serving,
     table1,
     table2,
 )
@@ -70,6 +71,7 @@ ALL_EXPERIMENTS = {
         fig11,
         availability,
         mechanisms,
+        serving,
     )
 }
 

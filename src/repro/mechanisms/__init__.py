@@ -16,6 +16,7 @@ from repro.mechanisms.base import (
     Delivery,
     MechanismHost,
     RevocationMechanism,
+    ServeModel,
     SessionState,
     UpdateModel,
     attack_window_days,
@@ -48,6 +49,7 @@ __all__ = [
     "Delivery",
     "MechanismHost",
     "RevocationMechanism",
+    "ServeModel",
     "SessionState",
     "UpdateModel",
     "attack_window_days",

@@ -46,6 +46,8 @@ __all__ = [
     "MechanismHost",
     "OCSP_RESPONSE_BYTES",
     "RevocationMechanism",
+    "SERVE_ENDPOINTS",
+    "ServeModel",
     "SessionState",
     "UpdateModel",
     "attack_window_days",
@@ -128,6 +130,61 @@ class UpdateModel:
         return staleness_window_days(
             self.update_interval_days, self.propagation_lag_days
         )
+
+
+#: endpoint classes a mechanism's server side can expose.  ``"none"``
+#: marks mechanisms with no distribution channel at all.
+SERVE_ENDPOINTS = frozenset(
+    {"ocsp", "crl", "staple", "aggregate", "issuance", "none"}
+)
+
+
+@dataclass(frozen=True)
+class ServeModel:
+    """The server-side serving/distribution model behind a mechanism.
+
+    Where :class:`UpdateModel` describes the cadence a *client* observes,
+    ``ServeModel`` describes what the CA/CDN side must run to sustain it:
+    which endpoint class answers requests, how often responses are
+    re-signed, and how large one response is.  :mod:`repro.serve` builds
+    its responder, caches, and fleet traffic from this port alone.
+    """
+
+    #: endpoint class served (one of :data:`SERVE_ENDPOINTS`):
+    #: ``"ocsp"`` pre-signed per-certificate responses, ``"crl"``
+    #: per-CA shards, ``"staple"`` handshake proofs refreshed by the web
+    #: server, ``"aggregate"`` pushed blobs (CRLSet/CRLite/OneCRL)
+    #: distributed as deltas, ``"issuance"`` re-issuance load with no
+    #: online endpoint (short-lived certificates).
+    endpoint: str
+    #: days one pre-signed response stays valid (its nextUpdate horizon).
+    presign_interval_days: float
+    #: encoded size of one response; ``None`` means sized per artifact
+    #: by the storage adapter (CRL shards, aggregate blobs).
+    response_bytes: int | None = None
+    #: fraction of the full artifact one periodic delta update carries
+    #: (aggregate endpoints only).
+    delta_fraction: float = 1.0
+    #: days between client pulls of the aggregate delta; ``None`` for
+    #: request-driven endpoints.
+    pull_interval_days: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.endpoint not in SERVE_ENDPOINTS:
+            raise ValueError(f"unknown serve endpoint {self.endpoint!r}")
+        if self.presign_interval_days <= 0:
+            raise ValueError("presign_interval_days must be positive")
+        if self.response_bytes is not None and self.response_bytes <= 0:
+            raise ValueError("response_bytes must be positive when set")
+        if not 0.0 < self.delta_fraction <= 1.0:
+            raise ValueError("delta_fraction must be in (0, 1]")
+        if self.pull_interval_days is not None and self.pull_interval_days <= 0:
+            raise ValueError("pull_interval_days must be positive when set")
+
+    @property
+    def serves_online(self) -> bool:
+        """Does this mechanism answer live requests at all?"""
+        return self.endpoint in ("ocsp", "crl", "staple", "aggregate")
 
 
 @dataclass(frozen=True)
@@ -225,6 +282,36 @@ class RevocationMechanism(abc.ABC):
         """Size of the published artifact(s) behind this mechanism."""
 
     # -- derived behaviour (shared math; override only with cause) --------
+
+    def serve_model(self) -> ServeModel:
+        """The server-side model :mod:`repro.serve` runs this mechanism
+        under.  The default derives an endpoint class from
+        :attr:`delivery` and the update cadence; concrete mechanisms
+        override it with their real response sizing.
+        """
+        interval = self.update_model().update_interval_days
+        if self.delivery is Delivery.PULL_PER_CERT:
+            return ServeModel(
+                endpoint="ocsp",
+                presign_interval_days=interval,
+                response_bytes=OCSP_RESPONSE_BYTES,
+            )
+        if self.delivery is Delivery.PULL_PER_CA:
+            return ServeModel(endpoint="crl", presign_interval_days=interval)
+        if self.delivery is Delivery.HANDSHAKE:
+            return ServeModel(
+                endpoint="staple",
+                presign_interval_days=interval,
+                response_bytes=OCSP_RESPONSE_BYTES,
+            )
+        if self.delivery is Delivery.PUSHED:
+            return ServeModel(
+                endpoint="aggregate",
+                presign_interval_days=interval,
+                delta_fraction=0.1,
+                pull_interval_days=interval,
+            )
+        return ServeModel(endpoint="issuance", presign_interval_days=interval)
 
     def vulnerability_window_days(
         self,

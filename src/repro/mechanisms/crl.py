@@ -17,6 +17,7 @@ from repro.mechanisms.base import (
     CheckCost,
     Delivery,
     RevocationMechanism,
+    ServeModel,
     SessionState,
     UpdateModel,
 )
@@ -56,6 +57,11 @@ class CrlMechanism(RevocationMechanism):
     def update_model(self) -> UpdateModel:
         # Reissued daily; clients trust a cached copy to nextUpdate.
         return UpdateModel(update_interval_days=1.0, propagation_lag_days=1.0)
+
+    def serve_model(self) -> ServeModel:
+        # Per-CA shards, re-signed daily; shard sizes come from the
+        # ecosystem's exact incremental CRL sizing.
+        return ServeModel(endpoint="crl", presign_interval_days=1.0)
 
     def _crl_size(self, url: str) -> int:
         size = self._size_cache.get(url)

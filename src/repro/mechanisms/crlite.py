@@ -21,6 +21,7 @@ from repro.mechanisms.base import (
     CheckCost,
     Delivery,
     RevocationMechanism,
+    ServeModel,
     SessionState,
     UpdateModel,
 )
@@ -160,6 +161,15 @@ class CrliteMechanism(RevocationMechanism):
     def update_model(self) -> UpdateModel:
         # Rebuilt and pushed daily from the aggregated CRL corpus.
         return UpdateModel(update_interval_days=1.0)
+
+    def serve_model(self) -> ServeModel:
+        # Filter-cascade deltas are small relative to the full cascade.
+        return ServeModel(
+            endpoint="aggregate",
+            presign_interval_days=1.0,
+            delta_fraction=0.05,
+            pull_interval_days=1.0,
+        )
 
     def check_cost(self, leaf: LeafRecord, session: SessionState) -> CheckCost:
         return CheckCost()  # pushed out of band

@@ -16,6 +16,7 @@ from repro.mechanisms.base import (
     CheckCost,
     Delivery,
     RevocationMechanism,
+    ServeModel,
     SessionState,
     UpdateModel,
 )
@@ -69,6 +70,16 @@ class CrlSetMechanism(RevocationMechanism):
         # Pushed roughly daily; Figure 10 measures ~1 day of crawl /
         # publication lag before a revocation appears.
         return UpdateModel(update_interval_days=1.0, propagation_lag_days=1.0)
+
+    def serve_model(self) -> ServeModel:
+        # Daily pushed deltas against the ~250 KB blob; clients pull on
+        # the component-updater cadence.
+        return ServeModel(
+            endpoint="aggregate",
+            presign_interval_days=1.0,
+            delta_fraction=0.08,
+            pull_interval_days=1.0,
+        )
 
     def check_cost(self, leaf: LeafRecord, session: SessionState) -> CheckCost:
         return CheckCost()  # pushed out of band: free at browse time

@@ -16,6 +16,7 @@ from repro.mechanisms.base import (
     CheckCost,
     Delivery,
     RevocationMechanism,
+    ServeModel,
     SessionState,
     UpdateModel,
 )
@@ -51,6 +52,14 @@ class OcspMechanism(RevocationMechanism):
         # Responses are produced on demand but cacheable for ~4 days
         # (§2.2), so a client may trust one that old.
         return UpdateModel(update_interval_days=4.0)
+
+    def serve_model(self) -> ServeModel:
+        # Pre-signed per-certificate responses with a 4-day nextUpdate.
+        return ServeModel(
+            endpoint="ocsp",
+            presign_interval_days=4.0,
+            response_bytes=OCSP_RESPONSE_BYTES,
+        )
 
     def check_cost(self, leaf: LeafRecord, session: SessionState) -> CheckCost:
         if leaf.ocsp_url is None:

@@ -18,6 +18,7 @@ from repro.mechanisms.base import (
     CheckCost,
     Delivery,
     RevocationMechanism,
+    ServeModel,
     SessionState,
     UpdateModel,
     residual_life_days,
@@ -65,6 +66,16 @@ class OneCrlMechanism(RevocationMechanism):
     def update_model(self) -> UpdateModel:
         # Shipped with the browser's daily component-update push.
         return UpdateModel(update_interval_days=1.0)
+
+    def serve_model(self) -> ServeModel:
+        # The intermediate list is tiny, so each daily push carries a
+        # large fraction of it.
+        return ServeModel(
+            endpoint="aggregate",
+            presign_interval_days=1.0,
+            delta_fraction=0.25,
+            pull_interval_days=1.0,
+        )
 
     def vulnerability_window_days(
         self,

@@ -18,6 +18,7 @@ from repro.mechanisms.base import (
     CheckCost,
     Delivery,
     RevocationMechanism,
+    ServeModel,
     SessionState,
     UpdateModel,
 )
@@ -51,6 +52,12 @@ class PostcertificateMechanism(RevocationMechanism):
 
     def update_model(self) -> UpdateModel:
         return UpdateModel(update_interval_days=LOG_MMD_DAYS)
+
+    def serve_model(self) -> ServeModel:
+        # The log serves one Merkle inclusion proof per handshake,
+        # refreshed once per MMD; sized per artifact by the storage
+        # adapter from payload_bytes.
+        return ServeModel(endpoint="staple", presign_interval_days=LOG_MMD_DAYS)
 
     def check_cost(self, leaf: LeafRecord, session: SessionState) -> CheckCost:
         return CheckCost()  # the proof rides the handshake

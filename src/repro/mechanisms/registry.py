@@ -74,7 +74,7 @@ def create_suite(
     """Instantiate mechanisms in sweep order.
 
     ``names`` restricts (and re-orders) the suite -- the hook behind
-    ``repro.api.run_one(..., mechanism=...)``.
+    ``repro.api.study.run_one(..., mechanism=...)``.
     """
     selected = mechanism_names() if names is None else tuple(names)
     return [create(name, host) for name in selected]

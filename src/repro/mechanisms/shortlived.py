@@ -17,6 +17,7 @@ from repro.mechanisms.base import (
     CheckCost,
     Delivery,
     RevocationMechanism,
+    ServeModel,
     SessionState,
     UpdateModel,
 )
@@ -55,6 +56,14 @@ class ShortLivedMechanism(RevocationMechanism):
 
     def update_model(self) -> UpdateModel:
         return UpdateModel(update_interval_days=float(self.lifetime_days))
+
+    def serve_model(self) -> ServeModel:
+        # No online endpoint: the serving cost is the CA's re-issuance
+        # load, one signing per alive certificate per lifetime.
+        return ServeModel(
+            endpoint="issuance",
+            presign_interval_days=float(self.lifetime_days),
+        )
 
     def check_cost(self, leaf: LeafRecord, session: SessionState) -> CheckCost:
         return CheckCost()  # no revocation traffic, ever

@@ -17,6 +17,7 @@ from repro.mechanisms.base import (
     CheckCost,
     Delivery,
     RevocationMechanism,
+    ServeModel,
     SessionState,
     UpdateModel,
 )
@@ -56,6 +57,15 @@ class StaplingMechanism(RevocationMechanism):
     def update_model(self) -> UpdateModel:
         # A staple is an OCSP response: same cacheable validity.
         return UpdateModel(update_interval_days=4.0)
+
+    def serve_model(self) -> ServeModel:
+        # Web servers refresh one staple per certificate and reuse it
+        # for every handshake until nextUpdate (nginx-style reuse).
+        return ServeModel(
+            endpoint="staple",
+            presign_interval_days=4.0,
+            response_bytes=OCSP_RESPONSE_BYTES,
+        )
 
     def check_cost(self, leaf: LeafRecord, session: SessionState) -> CheckCost:
         if self.is_fully_stapled(leaf):

@@ -27,7 +27,14 @@ from dataclasses import dataclass
 from repro.net.dns import DnsError, Resolver
 from repro.net.http import HttpRequest, HttpResponse, HttpStatus, split_url
 
-__all__ = ["FailureMode", "LinkProfile", "Network", "TransferStats", "TimeoutError_"]
+__all__ = [
+    "FailureMode",
+    "LINK_PROFILES",
+    "LinkProfile",
+    "Network",
+    "TransferStats",
+    "TimeoutError_",
+]
 
 
 class FailureMode(enum.Enum):
@@ -75,6 +82,15 @@ class LinkProfile:
             rtt=datetime.timedelta(milliseconds=150),
             bandwidth_bytes_per_s=250_000.0,
         )
+
+
+#: the canonical named link profiles shared by the session-cost
+#: benchmark and the serving fleet's client cohorts (exposed through the
+#: ``repro.api`` facade; add new populations here, not at call sites).
+LINK_PROFILES: dict[str, LinkProfile] = {
+    "broadband": LinkProfile(),
+    "mobile": LinkProfile.mobile(),
+}
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,104 @@
+"""The revocation-status serving layer (docs/SERVING.md).
+
+A deterministic, sans-io request/response service -- pre-signed OCSP
+responder, CRL shard endpoints, aggregate (CRLSet/CRLite/OneCRL) delta
+distribution -- built as hexagonal ports/adapters:
+
+* :mod:`repro.serve.core` -- the pure protocol core
+  (:class:`StatusService`) and its three ports;
+* :mod:`repro.serve.caches` -- nextUpdate-aware cache tiers;
+* :mod:`repro.serve.adapters` -- simulation adapters (tick clock,
+  mechanism-backed storage, fault/link-aware fleet transport);
+* :mod:`repro.serve.fleet` -- the million-session synthetic client
+  fleet replaying browser cohorts as traffic generators;
+* :mod:`repro.serve.report` -- latency quantiles and the per-mechanism
+  serving report the ``serving`` experiment digests.
+
+Determinism contract: a serving report is a pure function of
+``(corpus, mechanism, FleetConfig)`` -- same seed, byte-identical
+report, traffic, and trace.
+"""
+
+from __future__ import annotations
+
+from repro.mechanisms.registry import create
+from repro.net.faults import FaultPlan
+from repro.obs import NULL_OBS, Observability
+from repro.serve.adapters import FleetTransport, MechanismStorage, TickClock
+from repro.serve.caches import CacheStats, CacheTiers, NextUpdateCache
+from repro.serve.core import (
+    ServeRequest,
+    ServiceStats,
+    StatusService,
+)
+from repro.serve.fleet import (
+    ClientFleet,
+    Cohort,
+    FleetConfig,
+    apportion,
+    default_cohorts,
+)
+from repro.serve.report import (
+    LatencyHistogram,
+    MechanismServingReport,
+    render_serving_report,
+)
+
+__all__ = [
+    "CacheStats",
+    "CacheTiers",
+    "ClientFleet",
+    "Cohort",
+    "FleetConfig",
+    "FleetTransport",
+    "LatencyHistogram",
+    "MechanismServingReport",
+    "MechanismStorage",
+    "NextUpdateCache",
+    "ServeRequest",
+    "ServiceStats",
+    "StatusService",
+    "TickClock",
+    "apportion",
+    "build_service",
+    "default_cohorts",
+    "render_serving_report",
+    "run_fleet",
+]
+
+
+def build_service(
+    host,
+    mechanism: str,
+    *,
+    config: FleetConfig | None = None,
+    fault_plan: FaultPlan | None = None,
+    obs: Observability = NULL_OBS,
+) -> ClientFleet:
+    """A ready-to-drive fleet (service + adapters) for one mechanism.
+
+    The returned :class:`ClientFleet` exposes the assembled hexagon
+    (``.service``, ``.storage``, ``.transport``, ``.caches``); call
+    :meth:`~ClientFleet.run` to replay the configured traffic, or drive
+    ``.service.handle`` directly with your own requests.
+    """
+    config = config or FleetConfig()
+    if fault_plan is not None:
+        from dataclasses import replace
+
+        config = replace(config, fault_plan=fault_plan)
+    return ClientFleet(host, create(mechanism, host), config, obs=obs)
+
+
+def run_fleet(
+    host,
+    mechanism: str,
+    *,
+    config: FleetConfig | None = None,
+    fault_plan: FaultPlan | None = None,
+    obs: Observability = NULL_OBS,
+) -> MechanismServingReport:
+    """Run one mechanism's fleet end to end and return its report."""
+    return build_service(
+        host, mechanism, config=config, fault_plan=fault_plan, obs=obs
+    ).run()

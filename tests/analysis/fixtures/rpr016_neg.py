@@ -1,0 +1,19 @@
+"""Negative fixture: the namespaced facade and component re-exports."""
+
+from repro import api
+from repro.api import LinkProfile, format_table  # components, not aliases
+
+
+def good_namespaced_use():
+    study = api.study.new_study(scale=0.002)
+    api.study.run_study(experiment="fig2")
+    return api.corpus.info, api.trace.render, api.serve.run_fleet, study
+
+
+def good_components():
+    return LinkProfile(), format_table(["h"], [["v"]])
+
+
+def good_alias_table_introspection():
+    # reading the mapping itself is fine; only *using* an alias is not.
+    return sorted(api.DEPRECATED_ALIASES)

@@ -1,0 +1,16 @@
+"""Positive fixture: deprecated flat facade aliases in-repo."""
+
+from repro import api
+from repro.api import run_study  # RPR016: flat import
+
+
+def bad_attribute_use():
+    return api.new_study(scale=0.002)  # RPR016: flat attribute
+
+
+def bad_corpus_call(path):
+    return api.build_corpus(path, scale=0.002)  # RPR016: flat attribute
+
+
+def uses_the_import():
+    return run_study(experiment="fig2")

@@ -37,7 +37,7 @@ GOLDEN = {
         "findings": 1,
         "new": 1,
     },
-    "engine_version": "4",
+    "engine_version": "5",
     "findings": [
         {
             "col": 27,

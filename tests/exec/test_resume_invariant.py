@@ -142,7 +142,7 @@ class TestCorpusBuildInvariant:
         assert resumed["resumed_shards"] >= 1
 
         # And the store verifies + reuses cleanly afterwards.
-        assert api.verify_corpus(resumed["path"]) == []
+        assert api.corpus.verify(resumed["path"]) == []
         again = build_corpus_supervised(chaos_dir, **faults_kwargs)
         assert again["reused"] is True
         assert again["corpus_digest"] == clean["corpus_digest"]
@@ -155,7 +155,7 @@ class TestCorpusBuildInvariant:
             shards=3,
             config=SupervisorConfig(workers=2),
         )
-        plain = api.build_corpus(
+        plain = api.corpus.build(
             tmp_path / "plain", scale=SCALE, seed=SEED, shards=1
         )
         assert supervised["corpus_digest"] == plain["corpus_digest"]

@@ -39,6 +39,7 @@ class TestExperimentRegistry:
             "fig11",
             "availability",
             "mechanisms",
+            "serving",
         }
 
     def test_unknown_experiment_raises(self, study):

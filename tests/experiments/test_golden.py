@@ -33,15 +33,20 @@ GOLDEN_PATH = (
 MECHANISMS_GOLDEN_PATH = (
     Path(__file__).parent / "golden" / "mechanisms-scale0.002-seed20151028.json"
 )
+SERVING_GOLDEN_PATH = (
+    Path(__file__).parent / "golden" / "serving-scale0.002-seed20151028.json"
+)
 
 
 def compute_digests() -> dict[str, str]:
     """One sequential run of everything at the pinned calibration.
 
-    Delegates to :func:`repro.api.golden_digests`, the same call
+    Delegates to :func:`repro.api.study.golden_digests`, the same call
     ``scripts/update_golden.py`` uses to regenerate the file.
     """
-    return api.golden_digests(scale=0.002, seed=20151028, fault_profile="none")
+    return api.study.golden_digests(
+        scale=0.002, seed=20151028, fault_profile="none"
+    )
 
 
 def golden_payload(digests: dict[str, str]) -> dict:
@@ -63,6 +68,7 @@ def _load(path: Path) -> dict:
 
 _GOLDEN = _load(GOLDEN_PATH)
 _MECHANISMS_GOLDEN = _load(MECHANISMS_GOLDEN_PATH)
+_SERVING_GOLDEN = _load(SERVING_GOLDEN_PATH)
 
 
 @pytest.fixture(scope="module")
@@ -72,7 +78,14 @@ def digests() -> dict[str, str]:
 
 @pytest.fixture(scope="module")
 def mech_digests() -> dict[str, str]:
-    return api.mechanism_digests(
+    return api.study.mechanism_digests(
+        scale=0.002, seed=20151028, fault_profile="none"
+    )
+
+
+@pytest.fixture(scope="module")
+def serving_digests() -> dict[str, str]:
+    return api.serve.serving_digests(
         scale=0.002, seed=20151028, fault_profile="none"
     )
 
@@ -114,5 +127,26 @@ def test_mechanism_block_matches_golden(mech_digests, name):
     whole-report digest."""
     assert mech_digests[name] == _MECHANISMS_GOLDEN["digests"][name], (
         f"{name}'s sweep block changed; if intentional, regenerate "
+        "with: PYTHONPATH=src python scripts/update_golden.py"
+    )
+
+
+def test_serving_golden_covers_every_registered_mechanism():
+    assert sorted(_SERVING_GOLDEN["digests"]) == sorted(mechanism_names())
+
+
+def test_serving_golden_pins_the_calibration():
+    assert _SERVING_GOLDEN["scale"] == pytest.approx(0.002)
+    assert _SERVING_GOLDEN["seed"] == 20151028
+    assert _SERVING_GOLDEN["fault_profile"] == "none"
+
+
+@pytest.mark.parametrize("name", sorted(mechanism_names()))
+def test_serving_block_matches_golden(serving_digests, name):
+    """Per-mechanism serving lockdown: the fleet, caches, and transport
+    behind one mechanism's serving report are digest-visible by name
+    (docs/SERVING.md's determinism contract)."""
+    assert serving_digests[name] == _SERVING_GOLDEN["digests"][name], (
+        f"{name}'s serving block changed; if intentional, regenerate "
         "with: PYTHONPATH=src python scripts/update_golden.py"
     )

@@ -97,4 +97,4 @@ def test_registry_exposes_the_full_pack(suite):
     scenario pack, all conformant (the tests above) and all visible
     through the api facade."""
     assert len(MECHANISMS) >= 7
-    assert set(api.list_mechanisms()) == set(MECHANISMS)
+    assert set(api.study.list_mechanisms()) == set(MECHANISMS)

@@ -107,13 +107,13 @@ def test_study_mechanisms_argument_restricts_the_sweep(study):
 
 
 def test_api_list_mechanisms_matches_the_registry():
-    assert api.list_mechanisms() == mechanism_titles()
-    assert tuple(api.list_mechanisms()) == mechanism_names()
+    assert api.study.list_mechanisms() == mechanism_titles()
+    assert tuple(api.study.list_mechanisms()) == mechanism_names()
 
 
 def test_run_one_rejects_unknown_mechanism():
     with pytest.raises(KeyError):
-        api.run_one("fig10", mechanism="carrier-pigeon", scale=0.0005)
+        api.study.run_one("fig10", mechanism="carrier-pigeon", scale=0.0005)
 
 
 def test_protocol_mechanisms_are_all_registered():

@@ -218,7 +218,7 @@ class TestGuarantee:
 
     def test_api_diff_localizes_to_fetch_path(self, fault_traces):
         none_a, _, flaky = fault_traces
-        diff = api.diff_traces(str(none_a), str(flaky))
+        diff = api.trace.diff(str(none_a), str(flaky))
         assert isinstance(diff, TraceDiff)
         assert not diff.is_empty
         assert diff.meta["fault_profile"] == ["none", "flaky"]
@@ -232,6 +232,6 @@ class TestGuarantee:
 
     def test_diff_is_deterministic(self, fault_traces):
         none_a, _, flaky = fault_traces
-        first = api.render_diff(api.diff_traces(str(none_a), str(flaky)))
-        second = api.render_diff(api.diff_traces(str(none_a), str(flaky)))
+        first = api.trace.render_diff(api.trace.diff(str(none_a), str(flaky)))
+        second = api.trace.render_diff(api.trace.diff(str(none_a), str(flaky)))
         assert first == second

@@ -98,8 +98,8 @@ class TestReportBytesUnchanged:
     def test_report_render_is_byte_identical(
         self, in_memory, store_backed, experiment_id
     ):
-        a = api.run_one(experiment_id, in_memory).render()
-        b = api.run_one(experiment_id, store_backed).render()
+        a = api.study.run_one(experiment_id, in_memory).render()
+        b = api.study.run_one(experiment_id, store_backed).render()
         assert a == b
 
     def test_scans_are_identical(self, in_memory, store_backed):
@@ -219,11 +219,11 @@ class TestCorruptionSemantics:
 
 class TestApiSurface:
     def test_build_corpus_builds_then_reuses(self, tmp_path):
-        first = api.build_corpus(tmp_path, scale=SCALE, shards=2)
+        first = api.corpus.build(tmp_path, scale=SCALE, shards=2)
         assert first["rebuilt"] is True
-        second = api.build_corpus(tmp_path, scale=SCALE)
+        second = api.corpus.build(tmp_path, scale=SCALE)
         assert second["rebuilt"] is False
         assert second["corpus_digest"] == first["corpus_digest"]
-        assert api.corpus_info(first["path"])["leaf_count"] == first["leaf_count"]
-        listed = api.list_corpora(tmp_path)
+        assert api.corpus.info(first["path"])["leaf_count"] == first["leaf_count"]
+        listed = api.corpus.list(tmp_path)
         assert [info["path"] for info in listed] == [first["path"]]

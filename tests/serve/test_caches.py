@@ -1,0 +1,191 @@
+"""nextUpdate-aware cache invariants, locked down with seeded
+hypothesis properties (the suite-wide ``derandomize`` profile in
+``tests/conftest.py`` makes every example stream reproducible).
+
+The invariants the serving layer leans on:
+
+* capacity bounds hold after every operation;
+* an expired entry is never served -- dropped on access, counted as an
+  expiration plus a miss;
+* eviction removes the soonest-expiring entry first (ties broken by
+  key), never a later-expiring one while an earlier one remains;
+* the statistics identities (lookups = hits + misses; insertions vs.
+  evictions vs. live entries) balance exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.serve.caches import CacheStats, CacheTiers, NextUpdateCache
+
+# One cache operation: (op, key, expiry-or-now).  Small key/tick spaces
+# force collisions, overwrites, and expiry interleavings.
+_ops = st.lists(
+    st.tuples(
+        st.sampled_from(["put", "get"]),
+        st.integers(min_value=0, max_value=9).map(lambda i: f"k{i}"),
+        st.integers(min_value=0, max_value=30),
+    ),
+    max_size=120,
+)
+
+
+def _replay(cache: NextUpdateCache, ops) -> int:
+    """Drive the cache; clamp ``get`` ticks below ``put`` expiries often
+    enough that both branches execute.  Returns the op count."""
+    for op, key, tick in ops:
+        if op == "put":
+            cache.put(key, bytes(1 + tick % 7), expires_tick=tick)
+        else:
+            cache.get(key, now_tick=tick // 2)
+    return len(ops)
+
+
+class TestBounds:
+    @given(ops=_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_max_entries_respected_after_every_op(self, ops):
+        cache = NextUpdateCache("t", max_entries=4)
+        for op, key, tick in ops:
+            if op == "put":
+                cache.put(key, b"xx", expires_tick=tick)
+            else:
+                cache.get(key, now_tick=tick)
+            assert len(cache) <= 4
+
+    @given(ops=_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_max_bytes_respected_after_every_op(self, ops):
+        cache = NextUpdateCache("t", max_bytes=16)
+        for op, key, tick in ops:
+            if op == "put":
+                cache.put(key, bytes(1 + tick % 7), expires_tick=tick)
+            else:
+                cache.get(key, now_tick=tick)
+            assert cache.current_bytes <= 16
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(ValueError):
+            NextUpdateCache("t", max_entries=0)
+        with pytest.raises(ValueError):
+            NextUpdateCache("t", max_bytes=0)
+
+
+class TestExpiry:
+    @given(
+        expiry=st.integers(min_value=0, max_value=50),
+        now=st.integers(min_value=0, max_value=50),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_expired_entries_are_never_served(self, expiry, now):
+        cache = NextUpdateCache("t")
+        cache.put("k", b"body", expires_tick=expiry)
+        got = cache.get("k", now_tick=now)
+        if expiry <= now:
+            assert got is None
+            assert cache.stats.expirations == 1
+            assert "k" not in cache
+        else:
+            assert got == b"body"
+
+    def test_expired_access_counts_expiration_and_miss(self):
+        cache = NextUpdateCache("t")
+        cache.put("k", b"body", expires_tick=5)
+        assert cache.get("k", now_tick=5) is None
+        assert cache.stats.misses == 1
+        assert cache.stats.expirations == 1
+        assert cache.stats.hits == 0
+        # the entry is gone, not resurrectable
+        assert cache.get("k", now_tick=0) is None
+        assert cache.stats.misses == 2
+
+
+class TestEvictionOrder:
+    def test_soonest_expiring_evicted_first(self):
+        cache = NextUpdateCache("t", max_entries=2)
+        cache.put("late", b"a", expires_tick=100)
+        cache.put("soon", b"b", expires_tick=1)
+        cache.put("mid", b"c", expires_tick=50)
+        assert "soon" not in cache
+        assert "late" in cache and "mid" in cache
+
+    def test_key_breaks_expiry_ties_deterministically(self):
+        cache = NextUpdateCache("t", max_entries=2)
+        cache.put("b", b"x", expires_tick=7)
+        cache.put("a", b"x", expires_tick=7)
+        cache.put("c", b"x", expires_tick=7)
+        assert "a" not in cache  # (7, "a") < (7, "b") < (7, "c")
+        assert "b" in cache and "c" in cache
+
+    def test_overwrite_does_not_leave_stale_heap_evictions(self):
+        cache = NextUpdateCache("t", max_entries=2)
+        cache.put("k", b"x", expires_tick=1)
+        cache.put("k", b"x", expires_tick=100)  # refresh: old record stale
+        cache.put("other", b"x", expires_tick=50)
+        cache.put("third", b"x", expires_tick=60)
+        # the stale (1, "k") heap record must be skipped: the refreshed
+        # "k" expires last and survives; "other" (soonest live) goes.
+        assert "k" in cache
+        assert "other" not in cache
+
+    @given(
+        entries=st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=9).map(lambda i: f"k{i}"),
+                st.integers(min_value=0, max_value=100),
+            ),
+            min_size=1,
+            max_size=40,
+            unique_by=lambda e: e[0],
+        )
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_survivors_are_the_latest_expiring(self, entries):
+        """After inserting N unique keys into a capacity-K cache, the
+        survivors are exactly the K latest-expiring (key tie-break)."""
+        cache = NextUpdateCache("t", max_entries=3)
+        for key, expiry in entries:
+            cache.put(key, b"x", expires_tick=expiry)
+        expected = sorted(entries, key=lambda e: (e[1], e[0]))[-3:]
+        assert {key for key, _ in expected} == set(cache._entries)
+
+
+class TestStatsIdentities:
+    @given(ops=_ops)
+    @settings(max_examples=60, deadline=None)
+    def test_accounting_balances(self, ops):
+        cache = NextUpdateCache("t", max_entries=3)
+        puts = _replay(cache, ops) and sum(
+            1 for op, _, _ in ops if op == "put"
+        )
+        gets = sum(1 for op, _, _ in ops if op == "get")
+        stats = cache.stats
+        assert stats.lookups == stats.hits + stats.misses == gets
+        assert stats.insertions == puts
+        assert stats.evictions + stats.expirations <= stats.insertions
+        assert len(cache) <= stats.insertions
+        assert 0.0 <= stats.hit_rate <= 1.0
+
+    def test_as_dict_round_trips_every_counter(self):
+        stats = CacheStats(hits=3, misses=1, insertions=2, evictions=1)
+        d = stats.as_dict()
+        assert d["hits"] == 3 and d["misses"] == 1
+        assert set(d) == {
+            "hits", "misses", "insertions", "evictions",
+            "expirations", "bytes_served", "bytes_inserted",
+        }
+
+
+class TestTiers:
+    def test_default_tiers_cover_the_cacheable_endpoints(self):
+        tiers = CacheTiers.default()
+        assert set(tiers.tiers) == {"ocsp", "crl", "staple", "aggregate"}
+        assert tiers.for_endpoint("issuance") is None
+        assert tiers.for_endpoint("none") is None
+
+    def test_stats_are_sorted_by_tier_name(self):
+        names = list(CacheTiers.default().stats())
+        assert names == sorted(names)

@@ -1,0 +1,132 @@
+"""The sans-io service core: ports in, bytes out, exact accounting."""
+
+from __future__ import annotations
+
+import datetime
+
+import pytest
+
+from repro.serve.adapters import TickClock, split_batch, synth_body
+from repro.serve.caches import CacheTiers, NextUpdateCache
+from repro.serve.core import ServeRequest, StatusService
+
+
+class RecordingStorage:
+    """StoragePort stub: fixed body per key, counts signings."""
+
+    def __init__(self, expiry_ticks: int = 10) -> None:
+        self.signings = 0
+        self.expiry_ticks = expiry_ticks
+
+    def body(self, endpoint: str, key: str, at) -> bytes:
+        self.signings += 1
+        return f"{endpoint}:{key}".encode()
+
+    def expiry_tick(self, endpoint: str, tick: int) -> int:
+        return tick + self.expiry_ticks
+
+
+class RecordingTransport:
+    """TransportPort stub: remembers every delivery."""
+
+    def __init__(self) -> None:
+        self.deliveries: list[tuple[str, bytes, str]] = []
+
+    def deliver(self, request, body, at, source) -> None:
+        self.deliveries.append((request.key, body, source))
+
+
+def _service(expiry_ticks: int = 10):
+    storage = RecordingStorage(expiry_ticks)
+    transport = RecordingTransport()
+    clock = TickClock(epoch=datetime.datetime(2015, 3, 31))
+    service = StatusService(storage, clock, transport)
+    return service, storage, transport
+
+
+class TestServeRequest:
+    def test_validates_count_and_tick(self):
+        with pytest.raises(ValueError):
+            ServeRequest("ocsp", "k", tick=0, mechanism="m", count=0)
+        with pytest.raises(ValueError):
+            ServeRequest("ocsp", "k", tick=-1, mechanism="m")
+
+
+class TestStatusService:
+    def test_miss_signs_then_hit_serves_presigned(self):
+        service, storage, transport = _service()
+        first = service.handle(ServeRequest("ocsp", "cert/1", 0, "m"))
+        second = service.handle(ServeRequest("ocsp", "cert/1", 1, "m"))
+        assert first == second == b"ocsp:cert/1"
+        assert storage.signings == 1
+        assert [s for _, _, s in transport.deliveries] == [
+            "origin", "presigned",
+        ]
+        assert service.stats.origin_misses == 1
+        assert service.stats.presigned_hits == 1
+
+    def test_expired_entry_resigns(self):
+        service, storage, _ = _service(expiry_ticks=2)
+        service.handle(ServeRequest("ocsp", "cert/1", 0, "m"))
+        service.handle(ServeRequest("ocsp", "cert/1", 2, "m"))  # expired
+        assert storage.signings == 2
+
+    def test_batched_count_is_client_weighted(self):
+        service, _, _ = _service()
+        service.handle(ServeRequest("ocsp", "cert/1", 0, "m", count=250))
+        service.handle(ServeRequest("ocsp", "cert/1", 1, "m", count=750))
+        assert service.stats.requests == 1000
+        assert service.stats.origin_misses == 250
+        assert service.stats.presigned_hits == 750
+        assert service.stats.by_endpoint == {"ocsp": 1000}
+
+    def test_uncached_endpoint_always_reaches_origin(self):
+        service, storage, _ = _service()
+        for tick in range(3):
+            service.handle(ServeRequest("issuance", "cert/1", tick, "m"))
+        assert storage.signings == 3
+
+    def test_custom_tiers_are_honoured(self):
+        storage = RecordingStorage()
+        transport = RecordingTransport()
+        clock = TickClock(epoch=datetime.datetime(2015, 3, 31))
+        tiers = CacheTiers({"ocsp": NextUpdateCache("ocsp", max_entries=1)})
+        service = StatusService(storage, clock, transport, caches=tiers)
+        service.handle(ServeRequest("ocsp", "a", 0, "m"))
+        service.handle(ServeRequest("ocsp", "b", 0, "m"))  # evicts a
+        service.handle(ServeRequest("ocsp", "a", 1, "m"))  # re-signs
+        assert storage.signings == 3
+
+    def test_accounting_identity(self):
+        service, _, _ = _service()
+        for tick in range(5):
+            service.handle(ServeRequest("ocsp", f"k{tick % 2}", tick, "m"))
+        stats = service.stats
+        assert stats.presigned_hits + stats.origin_misses == stats.requests
+        assert sum(stats.by_endpoint.values()) == stats.requests
+
+
+class TestAdapterPrimitives:
+    def test_tick_clock_arithmetic(self):
+        clock = TickClock(
+            epoch=datetime.datetime(2015, 3, 31), tick_seconds=900
+        )
+        assert clock.at(0) == datetime.datetime(2015, 3, 31)
+        assert clock.at(96) == datetime.datetime(2015, 4, 1)
+        assert clock.ticks_for_days(1.0) == 96
+        assert clock.ticks_for_days(0.0001) == 1  # never zero
+
+    def test_synth_body_exact_size_and_deterministic(self):
+        assert synth_body("tag", 0) == b""
+        body = synth_body("tag", 1000)
+        assert len(body) == 1000
+        assert body == synth_body("tag", 1000)
+        assert body != synth_body("other", 1000)
+
+    def test_split_batch_exact_and_near_equal(self):
+        assert split_batch(10, 3) == [4, 3, 3]
+        assert split_batch(2, 8) == [1, 1]  # never zero-sized chunks
+        assert sum(split_batch(1_000_001, 8)) == 1_000_001
+        assert max(split_batch(1_000_001, 8)) - min(
+            split_batch(1_000_001, 8)
+        ) <= 1

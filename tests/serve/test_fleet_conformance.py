@@ -1,0 +1,193 @@
+"""Serving-layer conformance, parametrized over the mechanism registry.
+
+Every registered mechanism's serving stack must satisfy the same
+contract (docs/SERVING.md):
+
+* determinism -- same corpus + seed + config, byte-identical report;
+* accounting -- the cache tiers, the service core, the storage port,
+  and the transport-level :class:`~repro.net.fetcher.FetchStats` agree
+  exactly (no request is counted twice or dropped);
+* byte parity -- the body the server signs for a lookup is exactly the
+  payload the client-side ``check_cost`` model says that lookup costs;
+* graceful degradation -- rising fault probability never improves tail
+  latency (the fault-stream nesting argument in
+  :mod:`repro.serve.adapters`).
+
+A new mechanism registered in :mod:`repro.mechanisms.registry` is
+swept in automatically; there is nothing serving-specific to add here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.mechanisms import SessionState, mechanism_names
+from repro.net.faults import FaultKind, FaultPlan, FaultSpec
+from repro.serve import ClientFleet, FleetConfig, apportion
+from repro.serve.core import ServeRequest
+
+MECHANISMS = sorted(mechanism_names())
+
+#: a fleet small enough to run per-mechanism in the suite but big
+#: enough to exercise every tick, cohort, and cache tier.
+SMALL = FleetConfig(
+    sessions=20_000, ticks=6, tick_seconds=900, representatives=2,
+    catalog_size=512,
+)
+
+
+def _mechanism(study, name):
+    for mechanism in study.mechanism_suite:
+        if mechanism.name == name:
+            return mechanism
+    raise LookupError(name)
+
+
+@pytest.fixture(scope="module")
+def fleets(study):
+    """One completed fleet per registered mechanism (reports + stacks)."""
+    built = {}
+    for name in MECHANISMS:
+        fleet = ClientFleet(study, _mechanism(study, name), SMALL)
+        built[name] = (fleet, fleet.run())
+    return built
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("name", MECHANISMS)
+    def test_same_seed_same_report_bytes(self, study, fleets, name):
+        _, report = fleets[name]
+        rerun = ClientFleet(study, _mechanism(study, name), SMALL).run()
+        assert rerun.render_block() == report.render_block()
+
+    @pytest.mark.parametrize("name", MECHANISMS)
+    def test_different_seed_perturbs_online_traffic(self, study, fleets, name):
+        _, report = fleets[name]
+        if not report.requests:
+            pytest.skip("no online endpoint traffic to perturb")
+        other = ClientFleet(
+            study, _mechanism(study, name), replace(SMALL, seed=1)
+        ).run()
+        # aggregate pull schedules are seed-independent by design;
+        # request-driven traffic must not be.
+        if report.endpoint in ("ocsp", "crl", "staple"):
+            assert other.render_block() != report.render_block()
+
+
+class TestAccounting:
+    @pytest.mark.parametrize("name", MECHANISMS)
+    def test_service_and_transport_agree_on_client_count(self, fleets, name):
+        fleet, report = fleets[name]
+        assert fleet.service.stats.requests == fleet.transport.stats.fetches
+        assert (
+            fleet.service.stats.presigned_hits
+            + fleet.service.stats.origin_misses
+            == fleet.service.stats.requests
+        )
+
+    @pytest.mark.parametrize("name", MECHANISMS)
+    def test_cache_misses_equal_origin_signings(self, fleets, name):
+        """Every tier miss is exactly one origin signing (issuance
+        mechanisms sign offline, outside the cache path)."""
+        fleet, report = fleets[name]
+        if report.endpoint == "issuance":
+            assert sum(
+                s.lookups for s in fleet.caches.stats().values()
+            ) == 0
+            return
+        misses = sum(s.misses for s in fleet.caches.stats().values())
+        assert misses == fleet.storage.signings
+
+    @pytest.mark.parametrize("name", MECHANISMS)
+    def test_no_faults_means_no_failures(self, fleets, name):
+        _, report = fleets[name]
+        assert report.fetch.failures == 0
+        assert report.fetch.successes == report.fetch.fetches
+
+    @pytest.mark.parametrize("name", MECHANISMS)
+    def test_latency_histogram_covers_every_delivery(self, fleets, name):
+        fleet, report = fleets[name]
+        assert sum(report.latency.counts) == fleet.transport.stats.fetches
+
+
+class TestByteParity:
+    @pytest.mark.parametrize("name", MECHANISMS)
+    def test_served_body_matches_client_side_cost(self, study, name):
+        """The parity seam: for every catalog leaf whose client-side
+        check fetches, the server signs a body of exactly the size the
+        client-side :class:`CheckCost` model charged for it."""
+        mechanism = _mechanism(study, name)
+        fleet = ClientFleet(study, mechanism, SMALL)
+        if not fleet.model.serves_online:
+            pytest.skip("no online endpoint")
+        catalog, _ = fleet._catalog()
+        checked = 0
+        for leaf in catalog[:50]:
+            cost = mechanism.check_cost(leaf, SessionState())
+            if not cost.fetched:
+                continue
+            for endpoint, key in fleet._visit_requests(leaf, cost):
+                body = fleet.service.handle(
+                    ServeRequest(endpoint, key, 0, mechanism.name)
+                )
+                assert len(body) == cost.fetched[0], (leaf.cert_id, endpoint)
+                checked += 1
+        if checked == 0:
+            pytest.skip("no fetching leaves in the catalog head")
+
+
+class TestFaultDegradation:
+    def test_p99_weakly_monotone_and_fault_sets_nest(self, study):
+        """Rising flaky probability: failures never shrink, tail latency
+        never improves, availability never rises."""
+        p99s, failures, avail = [], [], []
+        for probability in (0.0, 0.15, 0.45):
+            plan = FaultPlan(seed=SMALL.seed)
+            if probability:
+                plan.add(
+                    "*", FaultSpec(FaultKind.FLAKY, probability=probability)
+                )
+            report = ClientFleet(
+                study,
+                _mechanism(study, "ocsp"),
+                replace(SMALL, fault_plan=plan),
+            ).run()
+            p99s.append(report.latency.quantile(0.99))
+            failures.append(report.fetch.failures)
+            avail.append(report.availability)
+        assert p99s == sorted(p99s)
+        assert failures == sorted(failures)
+        assert avail == sorted(avail, reverse=True)
+        assert failures[0] == 0 and failures[-1] > 0
+
+
+class TestApportion:
+    @given(
+        total=st.integers(min_value=0, max_value=10_000),
+        weights=st.lists(
+            st.floats(min_value=0.0, max_value=50.0, allow_nan=False),
+            min_size=1,
+            max_size=12,
+        ),
+    )
+    @settings(max_examples=80, deadline=None)
+    def test_exact_total_and_proportionality(self, total, weights):
+        shares = apportion(total, weights)
+        assert sum(shares) == (total if sum(weights) else 0)
+        assert all(s >= 0 for s in shares)
+        scale = sum(weights)
+        if scale:
+            for share, weight in zip(shares, weights):
+                assert abs(share - total * weight / scale) < 1
+                if weight == 0:
+                    assert share == 0
+
+    def test_rejects_negatives(self):
+        with pytest.raises(ValueError):
+            apportion(-1, [1.0])
+        with pytest.raises(ValueError):
+            apportion(1, [-1.0])

@@ -1,44 +1,90 @@
 """Facade contract: the exported surface of ``repro.api`` is pinned.
 
-Anything in ``__all__`` or ``_COMPONENT_EXPORTS`` is a compatibility
-promise: removing or renaming an entry is a breaking change (major bump
-of ``API_VERSION``), adding one is a compatible change (minor bump).
-When one of these tests fails, either revert the facade change or bump
-``API_VERSION`` *and* update the pinned lists here in the same commit.
+API 2.0 restructures the facade into namespaced sub-facades
+(``api.study``, ``api.corpus``, ``api.trace``, ``api.analysis``,
+``api.serve``); every pre-2.0 flat name survives as a deprecated alias
+resolved lazily by the module ``__getattr__`` (PEP 562), returning the
+*identical* object with a ``DeprecationWarning``.
+
+Anything pinned here is a compatibility promise: removing or renaming an
+entry is a breaking change (major bump of ``API_VERSION``), adding one
+is a compatible change (minor bump).  When one of these tests fails,
+either revert the facade change or bump ``API_VERSION`` *and* update the
+pinned lists here in the same commit.
 """
 
 from __future__ import annotations
+
+import warnings
 
 import pytest
 
 from repro import api
 
-PINNED_VERSION = "1.2"
+PINNED_VERSION = "2.0"
 
 PINNED_ALL = [
     "API_VERSION",
-    "StudyRun",
-    "TraceDiff",
-    "build_corpus",
-    "corpus_info",
-    "crawl_figures_legs",
-    "diff_traces",
-    "golden_digests",
-    "list_corpora",
-    "list_experiments",
-    "list_mechanisms",
-    "load_trace",
-    "mechanism_digests",
-    "new_study",
-    "render_diff",
-    "render_report",
-    "render_trace",
-    "run_analysis",
-    "run_experiments",
-    "run_one",
-    "run_study",
-    "verify_corpus",
+    "DEPRECATED_ALIASES",
+    "analysis",
+    "corpus",
+    "serve",
+    "study",
+    "trace",
 ]
+
+PINNED_FACETS = {
+    "study": [
+        "StudyRun",
+        "crawl_figures_legs",
+        "golden_digests",
+        "list_experiments",
+        "list_mechanisms",
+        "mechanism_digests",
+        "new_study",
+        "render_report",
+        "run_experiments",
+        "run_one",
+        "run_study",
+    ],
+    "corpus": ["build", "info", "list", "verify"],
+    "trace": ["TraceDiff", "diff", "load", "render", "render_diff"],
+    "analysis": ["run"],
+    "serve": [
+        "FleetConfig",
+        "build_service",
+        "render_serving_report",
+        "run_fleet",
+        "serving_digests",
+    ],
+}
+
+#: every 1.x flat name -> its namespaced home.  The alias table in
+#: ``repro.api`` must match exactly: dropping an alias is a breaking
+#: change, and a new namespaced member never gets a *new* flat alias.
+PINNED_ALIASES = {
+    "StudyRun": ("study", "StudyRun"),
+    "TraceDiff": ("trace", "TraceDiff"),
+    "build_corpus": ("corpus", "build"),
+    "corpus_info": ("corpus", "info"),
+    "crawl_figures_legs": ("study", "crawl_figures_legs"),
+    "diff_traces": ("trace", "diff"),
+    "golden_digests": ("study", "golden_digests"),
+    "list_corpora": ("corpus", "list"),
+    "list_experiments": ("study", "list_experiments"),
+    "list_mechanisms": ("study", "list_mechanisms"),
+    "load_trace": ("trace", "load"),
+    "mechanism_digests": ("study", "mechanism_digests"),
+    "new_study": ("study", "new_study"),
+    "render_diff": ("trace", "render_diff"),
+    "render_report": ("study", "render_report"),
+    "render_trace": ("trace", "render"),
+    "run_analysis": ("analysis", "run"),
+    "run_experiments": ("study", "run_experiments"),
+    "run_one": ("study", "run_one"),
+    "run_study": ("study", "run_study"),
+    "verify_corpus": ("corpus", "verify"),
+}
 
 PINNED_COMPONENTS = [
     "AndroidBrowser",
@@ -59,6 +105,7 @@ PINNED_COMPONENTS = [
     "GolombCompressedSet",
     "InternetExplorer",
     "KeyPair",
+    "LINK_PROFILES",
     "LinkProfile",
     "MobileSafari",
     "MultiStapleServer",
@@ -70,6 +117,7 @@ PINNED_COMPONENTS = [
     "RevocationRegime",
     "RevokedEntry",
     "Safari",
+    "ServeModel",
     "SessionCostModel",
     "SessionState",
     "SimBackend",
@@ -99,16 +147,55 @@ class TestVersion:
         assert major.isdigit() and minor.isdigit()
 
 
-class TestExportedSurface:
+class TestNamespacedSurface:
     def test_all_is_exactly_the_pinned_list(self):
         assert list(api.__all__) == PINNED_ALL
 
     def test_all_is_sorted(self):
         assert list(api.__all__) == sorted(api.__all__)
 
-    def test_every_all_entry_resolves(self):
-        for name in PINNED_ALL:
-            assert getattr(api, name) is not None, name
+    @pytest.mark.parametrize("facet", sorted(PINNED_FACETS))
+    def test_facet_members_are_pinned(self, facet):
+        assert list(getattr(api, facet).members) == PINNED_FACETS[facet]
+
+    @pytest.mark.parametrize("facet", sorted(PINNED_FACETS))
+    def test_every_facet_member_resolves(self, facet):
+        namespace = getattr(api, facet)
+        for member in PINNED_FACETS[facet]:
+            assert getattr(namespace, member) is not None, member
+
+    @pytest.mark.parametrize("facet", sorted(PINNED_FACETS))
+    def test_facet_repr_and_dir(self, facet):
+        namespace = getattr(api, facet)
+        assert f"repro.api.{facet}" in repr(namespace)
+        assert sorted(dir(namespace)) == sorted(PINNED_FACETS[facet])
+
+
+class TestDeprecatedAliases:
+    def test_alias_table_is_pinned(self):
+        assert api.DEPRECATED_ALIASES == PINNED_ALIASES
+
+    def test_every_alias_targets_a_pinned_member(self):
+        for facet, attribute in PINNED_ALIASES.values():
+            assert attribute in PINNED_FACETS[facet], (facet, attribute)
+
+    @pytest.mark.parametrize("alias", sorted(PINNED_ALIASES))
+    def test_alias_warns_and_resolves_to_the_same_object(self, alias):
+        facet, attribute = PINNED_ALIASES[alias]
+        with pytest.warns(DeprecationWarning, match=f"repro.api.{alias} "):
+            flat = getattr(api, alias)
+        assert flat is getattr(getattr(api, facet), attribute)
+
+    def test_warning_names_the_namespaced_home(self):
+        with pytest.warns(DeprecationWarning) as caught:
+            api.run_study  # noqa: B018
+        assert "repro.api.study.run_study" in str(caught[0].message)
+
+    def test_aliases_are_not_module_globals(self):
+        """Flat names resolve only through ``__getattr__`` -- a module
+        global would silently bypass the deprecation path."""
+        for alias in PINNED_ALIASES:
+            assert alias not in vars(api), alias
 
 
 class TestComponentReExports:
@@ -125,15 +212,48 @@ class TestComponentReExports:
             )
             assert attr is getattr(module, name), name
 
+    def test_component_exports_do_not_warn(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            api.LinkProfile  # noqa: B018
+            api.LINK_PROFILES  # noqa: B018
+            api.ServeModel  # noqa: B018
+
+    def test_link_profiles_canonical(self):
+        """The broadband/mobile profiles have one home: the facade and
+        the serving fleet share the same objects."""
+        profiles = api.LINK_PROFILES
+        assert set(profiles) == {"broadband", "mobile"}
+        assert profiles["broadband"] == api.LinkProfile()
+        assert profiles["mobile"] == api.LinkProfile.mobile()
+
+
+class TestErrorPath:
     def test_dir_covers_the_whole_surface(self):
         names = dir(api)
-        for name in PINNED_ALL + PINNED_COMPONENTS:
+        for name in (
+            PINNED_ALL + PINNED_COMPONENTS + sorted(PINNED_ALIASES)
+        ):
             assert name in names
 
     def test_unknown_attribute_raises(self):
         with pytest.raises(AttributeError):
-            api.NoSuchExport
+            api.NoSuchExport  # noqa: B018
 
+    def test_unknown_attribute_suggests_near_misses(self):
+        with pytest.raises(AttributeError, match="did you mean"):
+            api.run_studdy  # noqa: B018
+        with pytest.raises(AttributeError) as excinfo:
+            api.lst_mechanisms  # noqa: B018
+        assert "list_mechanisms" in str(excinfo.value)
+
+    def test_unknown_attribute_without_a_near_miss_is_plain(self):
+        with pytest.raises(AttributeError) as excinfo:
+            api.zzqx_not_even_close  # noqa: B018
+        assert "did you mean" not in str(excinfo.value)
+
+
+class TestBenchmarkDiscipline:
     def test_benchmarks_only_import_the_facade(self):
         """The micro-benches ride on the facade: no ``repro.*`` internals
         (the RPR012 lint rule enforces the pool side of this)."""
@@ -150,3 +270,20 @@ class TestComponentReExports:
                     f"{path.name} imports {module}; benchmarks must go "
                     "through repro.api"
                 )
+
+    def test_benchmarks_never_use_flat_aliases(self):
+        """Benchmarks are first-class facade clients: they use the 2.0
+        namespaced form, never a deprecated flat alias (RPR016 enforces
+        the same for ``src/`` and ``tests/``)."""
+        from pathlib import Path
+        import re
+
+        bench_dir = Path(__file__).resolve().parent.parent / "benchmarks"
+        flat = re.compile(
+            r"\bapi\.(" + "|".join(sorted(PINNED_ALIASES)) + r")\b"
+        )
+        for path in sorted(bench_dir.glob("*.py")):
+            match = flat.search(path.read_text())
+            assert match is None, (
+                f"{path.name} uses deprecated flat alias api.{match.group(1)}"
+            )

@@ -77,7 +77,7 @@ class TestApiFacade:
     """The stable surface the CLI is a shell over."""
 
     def test_list_experiments_matches_cli(self, capsys):
-        experiments = api.list_experiments()
+        experiments = api.study.list_experiments()
         assert "fig2" in experiments and "table2" in experiments
         assert main(["list"]) == 0
         out = capsys.readouterr().out
@@ -85,17 +85,17 @@ class TestApiFacade:
             assert experiment_id in out and title in out
 
     def test_run_one_returns_result(self):
-        result = api.run_one("fig11", scale=0.0005)
+        result = api.study.run_one("fig11", scale=0.0005)
         assert result.ok
         assert result.experiment_id == "fig11"
         assert "Bloom" in result.render()
 
     def test_run_study_unknown_raises_key_error(self):
         with pytest.raises(KeyError):
-            api.run_study(experiment="fig99", scale=0.0005)
+            api.study.run_study(experiment="fig99", scale=0.0005)
 
     def test_run_study_ok_rollup(self):
-        run = api.run_study(experiment="fig11", scale=0.0005)
+        run = api.study.run_study(experiment="fig11", scale=0.0005)
         assert run.ok
         assert run.crashes == 0 and run.shape_failures == 0
         assert [r.experiment_id for r in run.results] == ["fig11"]

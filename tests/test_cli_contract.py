@@ -5,7 +5,7 @@ The contract (ISSUE 5): exit 0 on success, 1 on behavioural failures
 diffs), 2 on usage and input errors; fault flags given after the
 subcommand win over ones given before it (a parser property, not merge
 code); and the ``report`` subcommand is byte-equal to
-``repro.api.render_report`` / the ``reportgen`` module CLI.
+``repro.api.study.render_report`` / the ``reportgen`` module CLI.
 """
 
 from __future__ import annotations
@@ -187,13 +187,13 @@ class TestFlagPrecedence:
 
 
 class TestReportParity:
-    """`repro report` == api.render_report == the reportgen module CLI."""
+    """`repro report` == api.study.render_report == the reportgen module CLI."""
 
     SCALE = 0.0005
 
     @pytest.fixture(scope="class")
     def generated(self):
-        return api.render_report(self.SCALE)
+        return api.study.render_report(self.SCALE)
 
     def test_report_subcommand_matches_facade(self, generated, capsys):
         assert main(["report", "--scale", str(self.SCALE)]) == 0
